@@ -1,0 +1,94 @@
+// Ablation — resolver committee size (§4.4: "the algorithm can be easily
+// extended to the use of a group of objects that are responsible for
+// performing resolution and producing the commit messages. This only
+// contributes a constant factor to its total complexity.")
+//
+// Sweeps committee size c and N: total messages should be the base
+// (N-1)(2P+1) plus (c'-1)(N-1) extra Commit multicasts, where c' =
+// min(c, P) — i.e. a CONSTANT FACTOR, never a change in the N-exponent.
+// Also reports resolution latency: extra commits are concurrent, so
+// latency is flat in c.
+#include "bench_common.h"
+
+namespace caa::bench {
+namespace {
+
+using action::EnterConfig;
+using action::Participant;
+using action::uniform_handlers;
+
+struct Out {
+  std::int64_t messages = 0;
+  std::int64_t commits = 0;
+  sim::Time latency = 0;
+};
+
+Out run(int n, int p, std::uint32_t committee) {
+  World w;
+  std::vector<Participant*> objects;
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < n; ++i) {
+    objects.push_back(&w.add_participant("O" + std::to_string(i + 1)));
+    ids.push_back(objects.back()->id());
+  }
+  const auto& decl = w.actions().declare(
+      "A", ex::shapes::star(static_cast<std::size_t>(n)));
+  const auto& inst = w.actions().create_instance(decl, ids);
+  for (auto* o : objects) {
+    EnterConfig config;
+    config.handlers =
+        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
+    config.resolver_committee = committee;
+    if (!o->enter(inst.instance, config)) std::abort();
+  }
+  const sim::Time raise_at = 1000;
+  w.at(raise_at, [&] {
+    for (int i = 0; i < p; ++i) {
+      objects[i]->raise("s" + std::to_string(i + 1));
+    }
+  });
+  w.run();
+  Out out;
+  out.messages = w.resolution_messages();
+  out.commits = w.messages_of(net::MsgKind::kCommit);
+  sim::Time last = raise_at;
+  for (auto* o : objects) {
+    for (const auto& h : o->handled()) last = std::max(last, h.at);
+  }
+  out.latency = last - raise_at;
+  return out;
+}
+
+}  // namespace
+}  // namespace caa::bench
+
+int main() {
+  using namespace caa::bench;
+  header("Ablation — resolver committee size (crash-tolerant commit)");
+  std::printf("(P = N/2 raisers; expected total = (N-1)(2P+1) + "
+              "(min(c,P)-1)(N-1))\n\n");
+  std::printf("%4s %4s %4s %10s %10s %10s %10s %8s\n", "N", "P", "c",
+              "messages", "expected", "commits", "latency", "match");
+  bool all = true;
+  for (int n : {4, 8, 16}) {
+    const int p = n / 2;
+    for (std::uint32_t c : {1u, 2u, 3u, 4u}) {
+      const Out out = run(n, p, c);
+      const std::int64_t cc = std::min<std::int64_t>(c, p);
+      const std::int64_t expected =
+          static_cast<std::int64_t>(n - 1) * (2 * p + 1) +
+          (cc - 1) * (n - 1);
+      const bool match = out.messages == expected;
+      all = all && match;
+      std::printf("%4d %4d %4u %10lld %10lld %10lld %10lld %8s\n", n, p, c,
+                  static_cast<long long>(out.messages),
+                  static_cast<long long>(expected),
+                  static_cast<long long>(out.commits),
+                  static_cast<long long>(out.latency), match ? "yes" : "NO");
+    }
+  }
+  std::printf("=> %s; the committee adds a constant factor (extra commit\n"
+              "   multicasts), latency is unchanged — as §4.4 predicts.\n",
+              all ? "all rows match" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared table printing for the benchmark harness; the scenario
+// constructions themselves live in the library (src/scenario) so tests,
+// benches and downstream experiments use identical setups.
+//
+// Every bench prints paper-claim vs measured side by side, so the output of
+// `for b in build/bench/*; do $b; done` IS the reproduction record (also
+// summarized in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "scenario/scenarios.h"
+
+namespace caa::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+using RunResult = scenario::RunStats;
+
+/// §4.4 counting configuration: N participants, the first `p` raise
+/// distinct exceptions simultaneously, the last `q` (disjoint) sit in
+/// singleton nested actions.
+inline RunResult run_flat_scenario(int n, int p, int q,
+                                   sim::Time abort_duration = 0,
+                                   sim::Time handler_duration = 0) {
+  scenario::FlatOptions options;
+  options.participants = n;
+  options.raisers = p;
+  options.nested = q;
+  options.abort_duration = abort_duration;
+  options.handler_duration = handler_duration;
+  scenario::FlatScenario s(options);
+  return s.run();
+}
+
+}  // namespace caa::bench

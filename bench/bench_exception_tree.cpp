@@ -1,0 +1,91 @@
+// E11 — micro-benchmark of the exception-tree resolution primitive (§3.2):
+// resolve() = iterated LCA over the raised set, across tree shapes and
+// sizes. Run-time cost matters because resolution sits on the recovery
+// path of every exceptional CA action.
+#include <benchmark/benchmark.h>
+
+#include "ex/exception_tree.h"
+#include "util/rng.h"
+
+namespace {
+
+using caa::ExceptionId;
+using caa::Rng;
+using caa::ex::ExceptionTree;
+
+std::vector<ExceptionId> random_set(const ExceptionTree& tree,
+                                    std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ExceptionId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(ExceptionId(
+        static_cast<std::uint32_t>(rng.below(tree.size()))));
+  }
+  return out;
+}
+
+void BM_ResolveChain(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const ExceptionTree tree = caa::ex::shapes::chain(depth);
+  const auto raised = random_set(tree, 8, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.resolve(raised));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_ResolveChain)->RangeMultiplier(4)->Range(8, 4096)->Complexity();
+
+void BM_ResolveBalanced(benchmark::State& state) {
+  const auto levels = static_cast<std::size_t>(state.range(0));
+  const ExceptionTree tree = caa::ex::shapes::balanced_binary(levels);
+  const auto raised = random_set(tree, 8, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.resolve(raised));
+  }
+}
+BENCHMARK(BM_ResolveBalanced)->DenseRange(2, 12, 2);
+
+void BM_ResolveStar(benchmark::State& state) {
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  const ExceptionTree tree = caa::ex::shapes::star(leaves);
+  const auto raised = random_set(tree, 8, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.resolve(raised));
+  }
+}
+BENCHMARK(BM_ResolveStar)->RangeMultiplier(4)->Range(8, 4096);
+
+void BM_ResolveSetSize(benchmark::State& state) {
+  const ExceptionTree tree = caa::ex::shapes::balanced_binary(10);
+  const auto raised =
+      random_set(tree, static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.resolve(raised));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ResolveSetSize)->RangeMultiplier(2)->Range(2, 256)->Complexity();
+
+void BM_Covers(benchmark::State& state) {
+  const ExceptionTree tree = caa::ex::shapes::chain(
+      static_cast<std::size_t>(state.range(0)));
+  const ExceptionId deep(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.covers(tree.root(), deep));
+  }
+}
+BENCHMARK(BM_Covers)->RangeMultiplier(4)->Range(8, 4096);
+
+void BM_DeclareTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ExceptionTree tree = caa::ex::shapes::star(n);
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_DeclareTree)->RangeMultiplier(8)->Range(8, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

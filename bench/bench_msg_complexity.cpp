@@ -1,0 +1,76 @@
+// E1/E2/E3/E9/E10 — §4.4 message-complexity cases.
+//
+// Reproduces the paper's three closed-form counts:
+//   case 1: one exception, no nested actions        -> 3(N-1)
+//   case 2: one exception, all others nested        -> 3N(N-1)
+//   case 3: all N raise simultaneously              -> (N-1)(2N+1)
+// plus the "no overhead if an exception is not raised" claim and the
+// §4.3 Example 1 trace counts.
+#include "bench_common.h"
+
+namespace caa::bench {
+namespace {
+
+void case_table(const char* title, int p_of_n(int), int q_of_n(int),
+                std::int64_t formula(int)) {
+  header(title);
+  std::printf("%6s %6s %6s %12s %12s %7s\n", "N", "P", "Q", "measured",
+              "formula", "match");
+  bool all_match = true;
+  for (int n : {2, 3, 4, 6, 8, 12, 16, 24, 32, 48}) {
+    const int p = p_of_n(n), q = q_of_n(n);
+    const RunResult r = run_flat_scenario(n, p, q);
+    const std::int64_t expect = formula(n);
+    const bool match = r.messages == expect && r.all_handled;
+    all_match = all_match && match;
+    std::printf("%6d %6d %6d %12lld %12lld %7s\n", n, p, q,
+                static_cast<long long>(r.messages),
+                static_cast<long long>(expect), match ? "yes" : "NO");
+  }
+  std::printf("=> %s\n", all_match ? "exact match at every N"
+                                   : "MISMATCH (see rows above)");
+}
+
+}  // namespace
+}  // namespace caa::bench
+
+int main() {
+  using namespace caa::bench;
+
+  header("E9 — §4.3 Example 1: three objects, two concurrent exceptions");
+  {
+    const RunResult r = run_flat_scenario(3, 2, 0);
+    std::printf("Exception=%lld ACK=%lld Commit=%lld total=%lld "
+                "(paper narrative: 4 Exceptions, 4 ACKs, 2 Commits = 10)\n",
+                static_cast<long long>(r.exceptions),
+                static_cast<long long>(r.acks),
+                static_cast<long long>(r.commits),
+                static_cast<long long>(r.messages));
+  }
+
+  case_table(
+      "E1 — case 1: one exception, no nesting; paper: 3(N-1)",
+      [](int) { return 1; }, [](int) { return 0; },
+      [](int n) { return static_cast<std::int64_t>(3) * (n - 1); });
+
+  case_table(
+      "E2 — case 2: one exception, all other objects nested; paper: 3N(N-1)",
+      [](int) { return 1; }, [](int n) { return n - 1; },
+      [](int n) { return static_cast<std::int64_t>(3) * n * (n - 1); });
+
+  case_table(
+      "E3 — case 3: all N raise simultaneously; paper: (N-1)(2N+1)",
+      [](int n) { return n; }, [](int) { return 0; },
+      [](int n) { return static_cast<std::int64_t>(n - 1) * (2 * n + 1); });
+
+  header("E10 — no overhead when no exception is raised (paper §4.4)");
+  {
+    std::printf("%6s %22s\n", "N", "resolution messages");
+    for (int n : {2, 4, 8, 16, 32}) {
+      const RunResult r = run_flat_scenario(n, /*p=*/0, /*q=*/0);
+      std::printf("%6d %22lld\n", n, static_cast<long long>(r.messages));
+    }
+    std::printf("=> fault-free runs exchange zero resolution messages\n");
+  }
+  return 0;
+}

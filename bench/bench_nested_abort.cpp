@@ -1,0 +1,191 @@
+// E6 — Figure 1: two methods of treating a nested action when an exception
+// is raised in the containing action.
+//
+//   (a) WAIT  — the resolution is deferred until the nested action
+//               completes (its execution is "invisible and indivisible").
+//   (b) ABORT — an abortion exception is raised in the nested action's
+//               participants; abortion handlers run, then resolution
+//               proceeds (the method the paper adopts and we implement).
+//
+// We measure recovery latency (exception raised -> every participant's
+// handler started) while sweeping how much work the nested action still
+// has left, and show the belated-participant case where method (a) waits
+// forever (§2.2: "other processes in the nested action would wait forever").
+#include "bench_common.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace caa::bench {
+namespace {
+
+using action::EnterConfig;
+using action::Participant;
+using action::uniform_handlers;
+
+struct NestedScenario {
+  World world;
+  std::vector<Participant*> objects;
+  const action::InstanceInfo* outer = nullptr;
+  const action::InstanceInfo* nested = nullptr;
+  const action::ActionDecl* outer_decl = nullptr;
+  const action::ActionDecl* nested_decl = nullptr;
+
+  /// 3 objects in the outer action; objects 1 and 2 in a nested action.
+  void build(sim::Time abort_duration) {
+    for (int i = 0; i < 3; ++i) {
+      objects.push_back(&world.add_participant("O" + std::to_string(i + 1)));
+    }
+    outer_decl = &world.actions().declare("A1", ex::shapes::star(3));
+    nested_decl = &world.actions().declare("A2", ex::shapes::star(1));
+    outer = &world.actions().create_instance(
+        *outer_decl, {objects[0]->id(), objects[1]->id(), objects[2]->id()});
+    nested = &world.actions().create_instance(
+        *nested_decl, {objects[1]->id(), objects[2]->id()}, outer->instance);
+    for (auto* o : objects) {
+      EnterConfig config;
+      config.handlers = uniform_handlers(outer_decl->tree(),
+                                         ex::HandlerResult::recovered());
+      if (!o->enter(outer->instance, config)) std::abort();
+    }
+    for (int i = 1; i < 3; ++i) {
+      EnterConfig config;
+      config.handlers = uniform_handlers(nested_decl->tree(),
+                                         ex::HandlerResult::recovered());
+      config.abortion_handler = [abort_duration] {
+        return ex::AbortResult::none(abort_duration);
+      };
+      if (!objects[i]->enter(nested->instance, config)) std::abort();
+    }
+  }
+
+  sim::Time last_outer_handler() const {
+    sim::Time last = 0;
+    for (auto* o : objects) {
+      for (const auto& h : o->handled()) {
+        if (h.instance == outer->instance) last = std::max(last, h.at);
+      }
+    }
+    return last;
+  }
+};
+
+/// Method (b): raise at t=1000 while the nested action still has
+/// `remaining` ticks of work; the implementation aborts it immediately.
+sim::Time run_abort_method(sim::Time remaining, sim::Time abort_duration) {
+  NestedScenario s;
+  s.build(abort_duration);
+  const sim::Time raise_at = 1000;
+  // The nested participants would complete at raise_at + remaining; the
+  // abortion pre-empts that work.
+  s.world.at(raise_at + remaining, [&] {
+    for (int i = 1; i < 3; ++i) {
+      if (s.objects[i]->in_action() &&
+          s.objects[i]->active_instance() == s.nested->instance) {
+        s.objects[i]->complete();
+      }
+    }
+  });
+  s.world.at(raise_at, [&] { s.objects[0]->raise("s1"); });
+  s.world.run();
+  return s.last_outer_handler() - raise_at;
+}
+
+/// Method (a): the raiser waits for the nested action to complete before
+/// starting the resolution (the paper's Figure 1(a) semantics).
+sim::Time run_wait_method(sim::Time remaining) {
+  NestedScenario s;
+  s.build(0);
+  const sim::Time raise_at = 1000;
+  // Nested work finishes at raise_at + remaining; the exit barrier then
+  // needs a couple of message hops before the container is clean.
+  s.world.at(raise_at + remaining, [&] {
+    for (int i = 1; i < 3; ++i) {
+      if (s.objects[i]->in_action() &&
+          s.objects[i]->active_instance() == s.nested->instance) {
+        s.objects[i]->complete();
+      }
+    }
+  });
+  // Model of (a): O1 defers its raise until the nested action has left.
+  std::function<void()> raise_when_clean = [&] {
+    const bool nested_done = !s.objects[1]->in_action() ||
+                             s.objects[1]->active_instance() ==
+                                 s.outer->instance;
+    const bool nested_done2 = !s.objects[2]->in_action() ||
+                              s.objects[2]->active_instance() ==
+                                  s.outer->instance;
+    if (nested_done && nested_done2) {
+      s.objects[0]->raise("s1");
+      return;
+    }
+    s.world.simulator().schedule_after(50, raise_when_clean);
+  };
+  s.world.at(raise_at, raise_when_clean);
+  s.world.run();
+  return s.last_outer_handler() - raise_at;
+}
+
+}  // namespace
+}  // namespace caa::bench
+
+int main() {
+  using namespace caa;
+  using namespace caa::bench;
+  header("E6 — Figure 1: waiting for vs aborting a nested action");
+  std::printf("(recovery latency in ticks from raise to last handler start;\n"
+              " link latency 100/hop, abortion handler 200 ticks)\n\n");
+  std::printf("%18s %14s %14s %9s\n", "nested work left", "(a) wait",
+              "(b) abort", "speedup");
+  for (sim::Time remaining : {0, 500, 1000, 2000, 5000, 10000, 50000}) {
+    const sim::Time wait = run_wait_method(remaining);
+    const sim::Time abort = run_abort_method(remaining, /*abort=*/200);
+    std::printf("%18lld %14lld %14lld %8.1fx\n",
+                static_cast<long long>(remaining),
+                static_cast<long long>(wait), static_cast<long long>(abort),
+                static_cast<double>(wait) / static_cast<double>(abort));
+  }
+
+  std::printf("\nBelated participant (a process expected in the nested "
+              "action never arrives):\n");
+  {
+    // Method (a) would wait forever; method (b) recovers.
+    NestedScenario s;
+    s.build(/*abort_duration=*/200);
+    // Nested participants never complete (they wait for a belated peer).
+    s.world.at(1000, [&] { s.objects[0]->raise("s1"); });
+    s.world.run();
+    std::printf("  (a) wait : NEVER (nested action cannot complete)\n");
+    std::printf("  (b) abort: %lld ticks\n",
+                static_cast<long long>(s.last_outer_handler() - 1000));
+  }
+  std::printf("=> matches the paper's argument for aborting (§2.2, Fig. 1b): "
+              "bounded,\n   predictable recovery; waiting is unbounded and "
+              "deadlocks on belated\n   participants.\n");
+
+  // Predictability (§2.2: "for real-time systems it seems to be more
+  // predictable to abort the nested action than to wait for its
+  // completion"): over a random mix of nested workloads, the abort method's
+  // recovery latency is a constant, the wait method's follows the workload.
+  std::printf("\nPredictability over 200 random workloads (nested work left "
+              "~ U[0, 20000]):\n");
+  std::printf("%10s %10s %10s %10s %10s\n", "method", "mean", "stddev",
+              "p99", "max");
+  caa::Rng rng(2026);
+  caa::Samples wait_samples, abort_samples;
+  for (int i = 0; i < 200; ++i) {
+    const auto remaining = static_cast<sim::Time>(rng.below(20000));
+    wait_samples.add(static_cast<double>(run_wait_method(remaining)));
+    abort_samples.add(
+        static_cast<double>(run_abort_method(remaining, /*abort=*/200)));
+  }
+  std::printf("%10s %10.0f %10.0f %10.0f %10.0f\n", "(a) wait",
+              wait_samples.mean(), wait_samples.stddev(),
+              wait_samples.percentile(99), wait_samples.max());
+  std::printf("%10s %10.0f %10.0f %10.0f %10.0f\n", "(b) abort",
+              abort_samples.mean(), abort_samples.stddev(),
+              abort_samples.percentile(99), abort_samples.max());
+  std::printf("=> abort: zero variance (deterministic recovery path); wait: "
+              "stddev tracks\n   the workload spread — the §2.2 "
+              "predictability claim, quantified.\n");
+  return 0;
+}

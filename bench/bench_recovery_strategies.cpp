@@ -1,0 +1,155 @@
+// E7 — Figure 2: forward vs backward error recovery over external atomic
+// objects.
+//
+//   Forward (Fig. 2a): an exception is raised and resolved; the handlers
+//   repair the atomic objects (put them into NEW valid states) and the
+//   action COMMITS its associated transaction.
+//
+//   Backward (Fig. 2b): the attempt fails its acceptance test; the
+//   associated transaction is ABORTED (before-images restored), every
+//   participant rolls back to its checkpoint, and the action retries an
+//   alternate; the successful attempt commits.
+//
+// We run a two-participant "transfer" action over two atomic accounts,
+// inject faults with probability f, and compare completion latency and
+// transaction abort counts. Correctness (money conserved) is checked on
+// every trial.
+#include "bench_common.h"
+#include "txn/atomic_object.h"
+#include "txn/txn_manager.h"
+#include "util/rng.h"
+
+namespace caa::bench {
+namespace {
+
+using action::EnterConfig;
+using action::Participant;
+using action::uniform_handlers;
+
+struct TrialResult {
+  sim::Time completion = 0;
+  std::int64_t txn_aborts = 0;
+  bool state_ok = false;
+};
+
+TrialResult run_trial(bool forward, bool fault, std::uint64_t seed) {
+  WorldConfig wc;
+  wc.seed = seed;
+  World w(wc);
+  auto& o1 = w.add_participant("O1");
+  auto& o2 = w.add_participant("O2");
+  txn::AtomicObjectHost host_a, host_b;
+  txn::TxnClient client;
+  w.attach(host_a, "bankA", w.add_node());
+  w.attach(host_b, "bankB", w.add_node());
+  w.attach(client, "txncli", w.add_node());
+  host_a.put_initial("acctA", 1000);
+  host_b.put_initial("acctB", 0);
+
+  const auto& decl = w.actions().declare("transfer", ex::shapes::star(1));
+  const auto& inst = w.actions().create_instance(decl, {o1.id(), o2.id()});
+
+  TxnId current_txn;
+  // Leader body: under a fresh transaction per attempt, move 100 from A to
+  // B; a fault either raises (forward) or fails the acceptance test
+  // (backward).
+  EnterConfig c1;
+  c1.max_attempts = 4;
+  bool acceptance_ok = true;
+  c1.handlers = uniform_handlers(
+      decl.tree(), ex::HandlerResult::recovered(/*duration=*/1500));
+  if (forward) {
+    // The handler repairs the atomic objects into the intended new state
+    // (fire-and-forget writes complete well within the handler duration).
+    c1.handlers.set(decl.tree().find("s1"), [&](ExceptionId) {
+      client.write(current_txn, host_a.id(), "acctA", 900, [](Status) {});
+      client.write(current_txn, host_b.id(), "acctB", 100, [](Status) {});
+      return ex::HandlerResult::recovered(/*duration=*/1500);
+    });
+  }
+  c1.body = [&, forward, fault](std::uint32_t attempt) {
+    current_txn = client.begin();
+    const bool faulty = fault && attempt == 0;
+    client.add(current_txn, host_a.id(), "acctA", -100,
+               [&, faulty](Result<std::int64_t> r) {
+      if (!r.is_ok()) return;
+      // A faulty attempt corrupts the in-flight state (writes a wrong
+      // amount) before the fault is detected.
+      const std::int64_t delta = faulty ? 55 : 100;
+      client.add(current_txn, host_b.id(), "acctB", delta,
+                 [&, faulty](Result<std::int64_t> r2) {
+        if (!r2.is_ok()) return;
+        if (faulty && forward) {
+          o1.raise("s1", "inconsistent transfer detected");
+        } else if (faulty) {
+          acceptance_ok = false;
+          o1.complete(false);
+        } else {
+          acceptance_ok = true;
+          o1.complete(true);
+        }
+      });
+    });
+  };
+  c1.on_commit = [&] { client.commit(current_txn, [](Status) {}); };
+  c1.on_abort = [&] {
+    if (client.active(current_txn)) client.abort(current_txn, [](Status) {});
+  };
+  EnterConfig c2;
+  c2.handlers = uniform_handlers(
+      decl.tree(), ex::HandlerResult::recovered(/*duration=*/1500));
+  c2.body = [&o2](std::uint32_t) { o2.complete(); };
+
+  const sim::Time start = w.simulator().now();
+  if (!o1.enter(inst.instance, c1)) std::abort();
+  if (!o2.enter(inst.instance, c2)) std::abort();
+  w.run();
+
+  TrialResult t;
+  t.completion = w.simulator().now() - start;
+  t.txn_aborts = client.aborts();
+  const auto a = host_a.peek("acctA");
+  const auto b = host_b.peek("acctB");
+  t.state_ok = a.has_value() && b.has_value() && *a == 900 && *b == 100 &&
+               !o1.in_action() && !o2.in_action();
+  return t;
+}
+
+}  // namespace
+}  // namespace caa::bench
+
+int main() {
+  using namespace caa;
+  using namespace caa::bench;
+  header("E7 — Figure 2: forward vs backward recovery over atomic objects");
+  std::printf("(two-account transfer; fault corrupts the attempt; 20 trials "
+              "per cell)\n\n");
+  std::printf("%12s %10s %16s %12s %10s\n", "strategy", "fault f",
+              "mean completion", "txn aborts", "state ok");
+  for (const bool forward : {true, false}) {
+    for (const double f : {0.0, 0.25, 0.5, 1.0}) {
+      Rng rng(42);
+      sim::Time total = 0;
+      std::int64_t aborts = 0;
+      int ok = 0;
+      const int trials = 20;
+      for (int i = 0; i < trials; ++i) {
+        const bool fault = rng.chance(f);
+        const TrialResult t = run_trial(forward, fault, 1000 + i);
+        total += t.completion;
+        aborts += t.txn_aborts;
+        ok += t.state_ok ? 1 : 0;
+      }
+      std::printf("%12s %10.2f %16.1f %12lld %9d/%d\n",
+                  forward ? "forward" : "backward", f,
+                  static_cast<double>(total) / trials,
+                  static_cast<long long>(aborts), ok, trials);
+    }
+  }
+  std::printf(
+      "=> forward recovery commits the repaired state (no transaction\n"
+      "   aborts); backward recovery aborts and re-executes, paying the\n"
+      "   extra attempt. Both always leave the atomic objects consistent\n"
+      "   (Figure 2's start/abort/commit discipline).\n");
+  return 0;
+}

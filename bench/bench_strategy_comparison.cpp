@@ -1,0 +1,85 @@
+// Ablation — resolution strategies (§4.5: "dynamic change of different
+// resolution algorithms (e.g. centralised or decentralised)").
+//
+// Compares the paper's decentralized algorithm against the centralized
+// manager-based variant on flat actions: messages and time-to-commit as N
+// and the number of simultaneous raisers P grow. The centralized variant
+// sends fewer messages (3(N-1)+P vs (N-1)(2P+1)) but serializes through
+// one manager and adds a hop of latency when the raiser is not the
+// manager; it also reintroduces a single point of failure — which the
+// decentralized algorithm plus committee avoids.
+#include "bench_common.h"
+#include "resolve/centralized_resolver.h"
+
+namespace caa::bench {
+namespace {
+
+struct Out {
+  std::int64_t messages = 0;
+  sim::Time latency = 0;
+};
+
+Out run_central(int n, int p) {
+  World w;
+  std::vector<std::unique_ptr<resolve::CentralizedParticipant>> objects;
+  std::vector<ObjectId> ids;
+  ex::ExceptionTree tree = ex::shapes::star(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    objects.push_back(std::make_unique<resolve::CentralizedParticipant>());
+    w.attach(*objects.back(), "Z" + std::to_string(i + 1), w.add_node());
+    ids.push_back(objects.back()->id());
+  }
+  for (auto& o : objects) {
+    resolve::CentralizedParticipant::Config config;
+    config.members = ids;
+    config.tree = &tree;
+    o->configure(std::move(config));
+  }
+  const sim::Time raise_at = 1000;
+  w.at(raise_at, [&] {
+    // Raisers are the LAST p objects: worst case for the centralized
+    // variant (manager is object 0, one extra hop per exception).
+    for (int i = n - p; i < n; ++i) {
+      objects[i]->raise(tree.find("s" + std::to_string(i + 1)));
+    }
+  });
+  w.run();
+  Out out;
+  out.messages = w.messages_of(net::MsgKind::kCentralException) +
+                 w.messages_of(net::MsgKind::kCentralFreeze) +
+                 w.messages_of(net::MsgKind::kCentralFrozenAck) +
+                 w.messages_of(net::MsgKind::kCentralCommit);
+  out.latency = w.simulator().now() - raise_at;
+  for (auto& o : objects) {
+    if (!o->resolved().valid()) std::abort();
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace caa::bench
+
+int main() {
+  using namespace caa::bench;
+  header("Ablation — decentralized (paper, §4.2) vs centralized (§4.5)");
+  std::printf("%4s %4s | %12s %12s | %12s %12s\n", "N", "P", "dec msgs",
+              "dec latency", "cen msgs", "cen latency");
+  for (int n : {4, 8, 16, 32}) {
+    for (int p : {1, n / 2, n}) {
+      const RunResult dec = run_flat_scenario(n, p, 0);
+      const Out cen = run_central(n, p);
+      std::printf("%4d %4d | %12lld %12lld | %12lld %12lld\n", n, p,
+                  static_cast<long long>(dec.messages),
+                  static_cast<long long>(dec.resolution_latency),
+                  static_cast<long long>(cen.messages),
+                  static_cast<long long>(cen.latency));
+    }
+  }
+  std::printf(
+      "=> centralized trades message count for a serial manager (single\n"
+      "   point of failure, extra hop for non-manager raisers); the paper's\n"
+      "   decentralized algorithm pays (N-1)(2P+1) messages but any raiser\n"
+      "   can complete the resolution, and the committee extension adds\n"
+      "   crash tolerance at constant cost.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Figure 2 end-to-end: a CA action over external atomic objects with both
+// recovery styles.
+//
+// Two branch servers host atomic accounts. A "transfer" CA action moves
+// money between them under the action's associated transaction (§3.1):
+// start on entry, commit on success, abort on failure.
+//
+//   Run 1 (forward recovery, Fig. 2a): the transfer mis-posts; an
+//   exception is raised; the resolved handler REPAIRS the accounts to the
+//   intended state and the transaction COMMITS.
+//
+//   Run 2 (backward recovery, Fig. 2b): the attempt fails its acceptance
+//   test; the transaction is ABORTED (before-images restored) and the
+//   action retries a clean attempt, which commits.
+#include <cstdio>
+
+#include "caa/world.h"
+#include "txn/atomic_object.h"
+#include "txn/txn_manager.h"
+
+using namespace caa;
+using action::EnterConfig;
+using action::uniform_handlers;
+
+namespace {
+
+void run(bool forward) {
+  std::printf("\n--- %s recovery ---\n", forward ? "forward" : "backward");
+  World world;
+  auto& teller = world.add_participant("teller");
+  auto& auditor = world.add_participant("auditor");
+  txn::AtomicObjectHost branch_a, branch_b;
+  txn::TxnClient client;
+  world.attach(branch_a, "branchA", world.add_node());
+  world.attach(branch_b, "branchB", world.add_node());
+  world.attach(client, "client", world.add_node());
+  branch_a.put_initial("alice", 1000);
+  branch_b.put_initial("bob", 250);
+
+  ex::ExceptionTree tree;
+  tree.declare("misposted_transfer");
+  const auto& decl = world.actions().declare("Transfer", std::move(tree));
+  const auto& inst =
+      world.actions().create_instance(decl, {teller.id(), auditor.id()});
+
+  TxnId txn;
+  EnterConfig teller_config;
+  teller_config.max_attempts = 3;
+  teller_config.handlers =
+      uniform_handlers(decl.tree(), ex::HandlerResult::recovered(1500));
+  if (forward) {
+    teller_config.handlers.set(
+        decl.tree().find("misposted_transfer"), [&](ExceptionId) {
+          std::printf("  teller: handler repairs the mis-posted amounts "
+                      "in-place\n");
+          client.write(txn, branch_a.id(), "alice", 900, [](Status) {});
+          client.write(txn, branch_b.id(), "bob", 350, [](Status) {});
+          return ex::HandlerResult::recovered(1500);
+        });
+  }
+  teller_config.body = [&, forward](std::uint32_t attempt) {
+    std::printf("  teller: attempt %u — transfer 100 alice -> bob under a "
+                "fresh transaction\n", attempt);
+    txn = client.begin();
+    const bool faulty = attempt == 0;  // first attempt mis-posts
+    client.add(txn, branch_a.id(), "alice", -100, [&, faulty](auto r) {
+      if (!r.is_ok()) return;
+      client.add(txn, branch_b.id(), "bob", faulty ? 10 : 100,
+                 [&, faulty](auto r2) {
+        if (!r2.is_ok()) return;
+        if (faulty && forward) {
+          std::printf("  teller: detects the mis-post, raises "
+                      "misposted_transfer\n");
+          teller.raise("misposted_transfer");
+        } else if (faulty) {
+          std::printf("  teller: acceptance test fails -> backward "
+                      "recovery\n");
+          teller.complete(false);
+        } else {
+          teller.complete(true);
+        }
+      });
+    });
+  };
+  teller_config.on_commit = [&] {
+    std::printf("  action committed -> transaction commits (2PC)\n");
+    client.commit(txn, [](Status) {});
+  };
+  teller_config.on_abort = [&] {
+    if (client.active(txn)) {
+      std::printf("  attempt failed -> transaction aborts, before-images "
+                  "restored\n");
+      client.abort(txn, [](Status) {});
+    }
+  };
+
+  EnterConfig auditor_config;
+  auditor_config.handlers =
+      uniform_handlers(decl.tree(), ex::HandlerResult::recovered(1500));
+  auditor_config.body = [&auditor](std::uint32_t) { auditor.complete(); };
+
+  teller.enter(inst.instance, teller_config);
+  auditor.enter(inst.instance, auditor_config);
+  world.run();
+
+  std::printf("  final: alice=%lld bob=%lld (expected 900 / 350), "
+              "txn commits=%lld aborts=%lld\n",
+              static_cast<long long>(*branch_a.peek("alice")),
+              static_cast<long long>(*branch_b.peek("bob")),
+              static_cast<long long>(client.commits()),
+              static_cast<long long>(client.aborts()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 2: exception handling with external atomic objects\n");
+  run(/*forward=*/true);
+  run(/*forward=*/false);
+  return 0;
+}

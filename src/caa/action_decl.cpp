@@ -1,0 +1,13 @@
+#include "caa/action_decl.h"
+
+#include "util/check.h"
+
+namespace caa::action {
+
+ActionDecl::ActionDecl(ActionId id, std::string name, ex::ExceptionTree tree)
+    : id_(id), name_(std::move(name)), tree_(std::move(tree)) {
+  CAA_CHECK_MSG(id_.valid(), "action declaration needs a valid id");
+  tree_.freeze();
+}
+
+}  // namespace caa::action

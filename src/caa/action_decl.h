@@ -1,0 +1,32 @@
+// Static declaration of a CA action (§3.1).
+//
+// "The exceptions that can be raised within a CA action are declared
+// together with the action declaration" — a declaration owns the action's
+// exception (resolution) tree, frozen before use, plus the declared role
+// count. Instances (runtime executions, including nested ones and retries)
+// are created from declarations by the ActionManager.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ex/exception_tree.h"
+#include "util/ids.h"
+
+namespace caa::action {
+
+class ActionDecl {
+ public:
+  ActionDecl(ActionId id, std::string name, ex::ExceptionTree tree);
+
+  [[nodiscard]] ActionId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ex::ExceptionTree& tree() const { return tree_; }
+
+ private:
+  ActionId id_;
+  std::string name_;
+  ex::ExceptionTree tree_;
+};
+
+}  // namespace caa::action

@@ -1,0 +1,65 @@
+// Runtime action instances and the entry/exit coordination messages.
+//
+// An InstanceInfo is the immutable description every participant receives
+// when it enters one execution of a CA action: the instance id (globally
+// unique — nested actions and retries get fresh ids), the declaration, the
+// sorted member list (the §4.1 ordering), the designated leader (smallest
+// member id; used only for exit synchronization, not for resolution), and
+// the parent instance for nesting.
+#pragma once
+
+#include <vector>
+
+#include "caa/action_decl.h"
+#include "net/message.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace caa::action {
+
+struct InstanceInfo {
+  ActionInstanceId instance;
+  const ActionDecl* decl = nullptr;
+  std::vector<ObjectId> members;  // sorted
+  GroupId group;                  // closed communication group (§4.5)
+  ActionInstanceId parent;        // invalid for an outermost action
+
+  [[nodiscard]] ObjectId leader() const { return members.front(); }
+  [[nodiscard]] bool is_member(ObjectId o) const;
+  [[nodiscard]] bool is_outermost() const { return !parent.valid(); }
+};
+
+/// Exit-barrier outcome decided by the leader.
+enum class LeaveOutcome : std::uint8_t {
+  kCommitted = 0,  // all participants done and accepted: action succeeds
+  kSignalled = 1,  // handlers failed: signal an exception to the container
+  kRestored = 2,   // acceptance test failed: backward recovery, new attempt
+};
+
+/// Participant -> leader: "my part is finished".
+/// `ok=false` means the local acceptance test failed (requests backward
+/// recovery); `signal` (when valid) means this participant's handler asked
+/// to signal that exception to the containing action.
+struct DoneMsg {
+  ActionInstanceId scope;
+  std::uint32_t round = 0;  // resolution-round/attempt tag (see Participant)
+  ObjectId sender;
+  bool ok = true;
+  ExceptionId signal;
+};
+
+/// Leader -> all members: the exit decision.
+struct LeaveMsg {
+  ActionInstanceId scope;
+  std::uint32_t round = 0;
+  LeaveOutcome outcome = LeaveOutcome::kCommitted;
+  ExceptionId signal;        // valid iff outcome == kSignalled
+  std::uint32_t attempt = 0; // next attempt number for kRestored
+};
+
+net::Bytes encode(const DoneMsg& m);
+net::Bytes encode(const LeaveMsg& m);
+Result<DoneMsg> decode_done(const net::Bytes& bytes);
+Result<LeaveMsg> decode_leave(const net::Bytes& bytes);
+
+}  // namespace caa::action

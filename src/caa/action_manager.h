@@ -1,0 +1,51 @@
+// Action declaration registry and instance factory (§4: "a (centralized or
+// decentralized) manager of CA actions").
+//
+// The manager is pure bookkeeping: it assigns globally unique instance ids
+// and records membership; all synchronization (entry buffering, exit
+// barrier, resolution) is performed by the participants themselves with
+// messages, as in the paper's decentralized reading.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "caa/action_instance.h"
+#include "net/group.h"
+
+namespace caa::action {
+
+class ActionManager {
+ public:
+  explicit ActionManager(net::GroupDirectory& groups) : groups_(groups) {}
+
+  /// Declares a new action type with its exception tree (frozen here).
+  const ActionDecl& declare(std::string name, ex::ExceptionTree tree);
+
+  [[nodiscard]] const ActionDecl* find(std::string_view name) const;
+
+  /// Creates a runtime instance over `members` (any order; sorted here).
+  /// `parent` is the containing instance for a nested action, or invalid.
+  /// Nested members must be a subset of the parent's members — checked.
+  const InstanceInfo& create_instance(const ActionDecl& decl,
+                                      std::vector<ObjectId> members,
+                                      ActionInstanceId parent =
+                                          ActionInstanceId::invalid());
+
+  [[nodiscard]] const InstanceInfo& info(ActionInstanceId instance) const;
+  [[nodiscard]] bool known(ActionInstanceId instance) const {
+    return instances_.contains(instance);
+  }
+
+ private:
+  net::GroupDirectory& groups_;
+  std::vector<std::unique_ptr<ActionDecl>> decls_;
+  std::unordered_map<ActionInstanceId, std::unique_ptr<InstanceInfo>>
+      instances_;
+  std::uint64_t next_instance_ = 1;
+  std::uint32_t next_action_ = 1;
+};
+
+}  // namespace caa::action

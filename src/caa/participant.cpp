@@ -1,0 +1,785 @@
+#include "caa/participant.h"
+
+#include <algorithm>
+
+#include "rt/runtime.h"
+#include "util/check.h"
+
+namespace caa::action {
+
+namespace {
+constexpr std::string_view kCounterRaiseSuperseded = "caa.raise_superseded";
+constexpr std::string_view kCounterCompleteSuperseded =
+    "caa.complete_superseded";
+constexpr std::string_view kCounterDeadScopeDropped = "caa.dead_scope_dropped";
+constexpr std::string_view kCounterAbortingDropped = "caa.aborting_dropped";
+constexpr std::string_view kCounterSignalDropped =
+    "caa.signal_dropped_resolution_in_progress";
+}  // namespace
+
+ex::HandlerTable uniform_handlers(const ex::ExceptionTree& tree,
+                                  ex::HandlerResult result) {
+  ex::HandlerTable table;
+  table.fill_defaults(tree, [result](ExceptionId) { return result; });
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-facing API
+// ---------------------------------------------------------------------------
+
+bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
+  const InstanceInfo& info = manager_.info(instance);
+  CAA_CHECK_MSG(info.is_member(id()), "enter(): not a declared member");
+  if (dead_.contains(instance)) {
+    // The instance was aborted before we managed to enter: we are the
+    // paper's belated participant that "will never be able to" enter.
+    runtime().simulator().counters().add("caa.enter_refused_dead");
+    return false;
+  }
+  if (info.parent.valid() &&
+      (contexts_.empty() || contexts_.active().instance != info.parent)) {
+    // The containing action is not our active action (it was aborted, or it
+    // completed, or we never entered it): entry is impossible — the belated
+    // participant "will never be able to enter" (§2.2).
+    CAA_CHECK_MSG(dead_.contains(info.parent),
+                  "enter(): containing action neither active nor aborted — "
+                  "scenario bug");
+    runtime().simulator().counters().add("caa.enter_refused_dead");
+    return false;
+  }
+  if (!contexts_.empty()) {
+    CAA_CHECK_MSG(info.parent == contexts_.active().instance,
+                  "enter(): instance is not nested in the active action");
+    const Dyn& active_dyn = dyn_.at(contexts_.active().instance);
+    if (active_dyn.aborting || active_dyn.done_sent || active_dyn.handling ||
+        active_dyn.engine->state() != resolve::ResolverCore::State::kNormal) {
+      // Resolution/abortion in progress in the containing action, or this
+      // participant already finished its part of it: entry is impossible
+      // now (belated participant).
+      runtime().simulator().counters().add("caa.enter_refused_exceptional");
+      return false;
+    }
+  } else {
+    CAA_CHECK_MSG(!info.parent.valid(),
+                  "enter(): nested instance entered with no containing "
+                  "action on this participant");
+  }
+  CAA_CHECK_MSG(config.handlers.is_complete_for(info.decl->tree()),
+                "enter(): participant must have handlers for ALL declared "
+                "exceptions (§3.3)");
+  if (!config.abortion_handler) {
+    config.abortion_handler = [] { return ex::AbortResult::none(); };
+  }
+  if (config.save_checkpoint) config.save_checkpoint();
+
+  auto [it, inserted] = dyn_.emplace(instance, Dyn{});
+  CAA_CHECK_MSG(inserted, "enter(): re-entering an instance");
+  Dyn& dyn = it->second;
+  dyn.info = &info;
+  dyn.config = std::move(config);
+
+  ex::Context context;
+  context.instance = instance;
+  context.action = info.decl->id();
+  context.group = info.group;
+  context.tree = &info.decl->tree();
+  context.handlers = &dyn.config.handlers;
+  context.abortion_handler = dyn.config.abortion_handler;
+  contexts_.push(std::move(context));
+
+  dyn.engine = make_engine(dyn, instance);
+  trace("enter", info.decl->name());
+
+  drain_pending(instance);  // §4.2 "process messages having arrived"
+
+  if (dyn_.contains(instance) && dyn_.at(instance).config.body) {
+    run_guarded(instance, 0, [this, instance] {
+      Dyn* d = find_dyn(instance);
+      if (d != nullptr && d->config.body) d->config.body(d->attempt);
+    });
+  }
+  return true;
+}
+
+void Participant::raise(ExceptionId exception, std::string message) {
+  CAA_CHECK_MSG(in_action(), "raise(): not inside a CA action");
+  Dyn& dyn = dyn_.at(contexts_.active().instance);
+  if (dyn.aborting || dyn.done_sent || dyn.handling ||
+      dyn.engine->state() != resolve::ResolverCore::State::kNormal) {
+    // Superseded: a resolution or handler is in progress, or this
+    // participant already finished its part and waits at the acceptance
+    // line (a process there raises no further exceptions; errors it detects
+    // surface as acceptance failures instead).
+    runtime().simulator().counters().add(kCounterRaiseSuperseded);
+    return;
+  }
+  dyn.engine->raise(exception, std::move(message));
+}
+
+void Participant::raise(std::string_view exception_name, std::string message) {
+  CAA_CHECK_MSG(in_action(), "raise(): not inside a CA action");
+  const ex::ExceptionTree& tree = *contexts_.active().tree;
+  const ExceptionId e = tree.find(exception_name);
+  CAA_CHECK_MSG(e.valid(), "raise(): exception name not declared");
+  raise(e, std::move(message));
+}
+
+void Participant::complete(bool acceptance_ok) {
+  CAA_CHECK_MSG(in_action(), "complete(): not inside a CA action");
+  const ActionInstanceId scope = contexts_.active().instance;
+  Dyn& dyn = dyn_.at(scope);
+  if (dyn.aborting || dyn.done_sent || dyn.handling ||
+      dyn.engine->state() != resolve::ResolverCore::State::kNormal) {
+    // A resolution superseded the normal outcome (the handler will complete
+    // the action — termination model, §3.1), or Done was already sent.
+    runtime().simulator().counters().add(kCounterCompleteSuperseded);
+    return;
+  }
+  complete_internal(scope, acceptance_ok, ExceptionId::invalid());
+}
+
+ActionInstanceId Participant::active_instance() const {
+  CAA_CHECK(in_action());
+  return contexts_.active().instance;
+}
+
+resolve::ResolverCore::State Participant::resolver_state() const {
+  CAA_CHECK(in_action());
+  return dyn_.at(contexts_.active().instance).engine->state();
+}
+
+bool Participant::at_acceptance_line() const {
+  CAA_CHECK(in_action());
+  return dyn_.at(contexts_.active().instance).done_sent;
+}
+
+std::uint32_t Participant::round_of(ActionInstanceId instance) const {
+  auto it = dyn_.find(instance);
+  CAA_CHECK_MSG(it != dyn_.end(), "round_of(): not entered");
+  return it->second.round;
+}
+
+std::uint32_t Participant::attempt_of(ActionInstanceId instance) const {
+  auto it = dyn_.find(instance);
+  CAA_CHECK_MSG(it != dyn_.end(), "attempt_of(): not entered");
+  return it->second.attempt;
+}
+
+// ---------------------------------------------------------------------------
+// Message routing
+// ---------------------------------------------------------------------------
+
+void Participant::on_message(ObjectId from, net::MsgKind kind,
+                             const net::Bytes& payload) {
+  switch (kind) {
+    case net::MsgKind::kException:
+    case net::MsgKind::kHaveNested:
+    case net::MsgKind::kNestedCompleted:
+    case net::MsgKind::kAck:
+    case net::MsgKind::kCommit:
+      route_resolution(from, kind, payload);
+      return;
+    case net::MsgKind::kActionDone: {
+      auto sr = resolve::peek_scope_round(payload);
+      if (!sr.is_ok()) return;
+      if (dead_.contains(sr.value().scope)) {
+        runtime().simulator().counters().add(kCounterDeadScopeDropped);
+        return;
+      }
+      if (find_dyn(sr.value().scope) == nullptr) {
+        pending_[sr.value().scope].push_back(RawMsg{from, kind, payload});
+        return;
+      }
+      on_done_msg(from, payload);
+      return;
+    }
+    case net::MsgKind::kActionLeave: {
+      auto sr = resolve::peek_scope_round(payload);
+      if (!sr.is_ok()) return;
+      if (dead_.contains(sr.value().scope) ||
+          find_dyn(sr.value().scope) == nullptr) {
+        runtime().simulator().counters().add(kCounterDeadScopeDropped);
+        return;
+      }
+      on_leave_msg(payload);
+      return;
+    }
+    default:
+      runtime().simulator().counters().add("caa.unhandled_kind");
+      return;
+  }
+}
+
+void Participant::route_resolution(ObjectId from, net::MsgKind kind,
+                                   const net::Bytes& payload) {
+  auto sr_result = resolve::peek_scope_round(payload);
+  if (!sr_result.is_ok()) return;  // malformed: never trust the wire
+  const auto [scope, round] = sr_result.value();
+
+  if (dead_.contains(scope)) {
+    runtime().simulator().counters().add(kCounterDeadScopeDropped);
+    return;
+  }
+  Dyn* dyn = find_dyn(scope);
+  if (dyn == nullptr) {
+    // Belated: not (yet) entered. Buffer until entry (§4.2 entry rule).
+    pending_[scope].push_back(RawMsg{from, kind, payload});
+    return;
+  }
+  if (dyn->aborting) {
+    // This context is part of an abort chain: its resolution is being
+    // superseded by a containing action's resolution.
+    runtime().simulator().counters().add(kCounterAbortingDropped);
+    return;
+  }
+  if (round < dyn->round) {
+    ack_stale(from, kind, scope, round);
+    return;
+  }
+  if (round > dyn->round || dyn->engine->round() != dyn->round) {
+    // Future round, or the engine for the current round is not installed
+    // yet (round bump pending after a finish).
+    dyn->future.push_back(RawMsg{from, kind, payload});
+    return;
+  }
+  const bool scope_is_active =
+      in_action() && contexts_.active().instance == scope;
+  deliver_to_engine(*dyn, scope_is_active, from, kind, payload);
+}
+
+void Participant::ack_stale(ObjectId from, net::MsgKind kind,
+                            ActionInstanceId scope, std::uint32_t round) {
+  // Stale-round Exception / NestedCompleted senders still need their ACKs
+  // to reach Ready in the round they are stuck in (§4.2 "wait until all
+  // exception messages are handled"). Everything else is dropped.
+  if (kind == net::MsgKind::kException ||
+      kind == net::MsgKind::kNestedCompleted) {
+    send(from, net::MsgKind::kAck,
+         resolve::encode(resolve::AckMsg{scope, round, id()}));
+  }
+  runtime().simulator().counters().add("caa.stale_round");
+}
+
+void Participant::deliver_to_engine(Dyn& dyn, bool scope_is_active,
+                                    ObjectId from, net::MsgKind kind,
+                                    const net::Bytes& payload) {
+  (void)from;
+  resolve::ResolverCore& engine = *dyn.engine;
+  const bool trigger_branch =
+      !scope_is_active &&
+      engine.state() == resolve::ResolverCore::State::kNormal;
+  switch (kind) {
+    case net::MsgKind::kException: {
+      auto m = resolve::decode_exception(payload);
+      if (!m.is_ok()) return;
+      if (trigger_branch) {
+        engine.on_trigger_while_nested(m.value());
+      } else {
+        engine.on_exception(m.value());
+      }
+      return;
+    }
+    case net::MsgKind::kHaveNested: {
+      auto m = resolve::decode_have_nested(payload);
+      if (!m.is_ok()) return;
+      if (trigger_branch) {
+        engine.on_trigger_while_nested(m.value());
+      } else {
+        engine.on_have_nested(m.value());
+      }
+      return;
+    }
+    case net::MsgKind::kNestedCompleted: {
+      CAA_CHECK_MSG(!trigger_branch,
+                    "protocol violation: NestedCompleted cannot be the first "
+                    "message of a resolution (FIFO channels)");
+      auto m = resolve::decode_nested_completed(payload);
+      if (!m.is_ok()) return;
+      engine.on_nested_completed(m.value());
+      return;
+    }
+    case net::MsgKind::kAck: {
+      auto m = resolve::decode_ack(payload);
+      if (!m.is_ok()) return;
+      engine.on_ack(m.value());
+      return;
+    }
+    case net::MsgKind::kCommit: {
+      CAA_CHECK_MSG(!trigger_branch,
+                    "protocol violation: Commit cannot be the first message "
+                    "of a resolution");
+      auto m = resolve::decode_commit(payload);
+      if (!m.is_ok()) return;
+      engine.on_commit(m.value());
+      return;
+    }
+    default:
+      CAA_CHECK_MSG(false, "unexpected kind in deliver_to_engine");
+  }
+}
+
+void Participant::drain_future(ActionInstanceId scope) {
+  Dyn* dyn = find_dyn(scope);
+  if (dyn == nullptr) return;
+  std::vector<RawMsg> future = std::move(dyn->future);
+  dyn->future.clear();
+  for (auto& raw : future) {
+    route_resolution(raw.from, raw.kind, raw.payload);
+  }
+}
+
+void Participant::drain_pending(ActionInstanceId scope) {
+  auto it = pending_.find(scope);
+  if (it == pending_.end()) return;
+  std::vector<RawMsg> msgs = std::move(it->second);
+  pending_.erase(it);
+  for (auto& raw : msgs) {
+    on_message(raw.from, raw.kind, raw.payload);
+  }
+}
+
+void Participant::purge_pending_from(ObjectId peer) {
+  // §4.2 "clean up messages related to nested actions": peer is aborting all
+  // its nested actions, so its buffered messages scoped to actions we never
+  // entered are void.
+  for (auto& [scope, msgs] : pending_) {
+    std::erase_if(msgs, [peer](const RawMsg& m) { return m.from == peer; });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resolution plumbing
+// ---------------------------------------------------------------------------
+
+resolve::ResolverCore::Hooks Participant::make_hooks(ActionInstanceId scope) {
+  resolve::ResolverCore::Hooks hooks;
+  hooks.multicast = [this, scope](net::MsgKind kind, net::Bytes payload) {
+    Dyn* dyn = find_dyn(scope);
+    CAA_CHECK(dyn != nullptr);
+    multicast(*dyn->info, kind, payload);
+  };
+  hooks.send = [this](ObjectId to, net::MsgKind kind, net::Bytes payload) {
+    send(to, kind, std::move(payload));
+  };
+  hooks.abort_nested = [this, scope](std::function<void(ExceptionId)> done) {
+    abort_chain_until(scope, std::move(done));
+  };
+  hooks.start_handler = [this, scope](ExceptionId resolved, ObjectId) {
+    on_round_finished(scope, resolved);
+  };
+  hooks.purge_nested_from = [this](ObjectId peer) {
+    purge_pending_from(peer);
+  };
+  hooks.trace = [this](std::string_view event, std::string detail) {
+    trace(event, std::move(detail));
+  };
+  return hooks;
+}
+
+void Participant::multicast(const InstanceInfo& info, net::MsgKind kind,
+                            const net::Bytes& payload) {
+  for (ObjectId member : info.members) {
+    if (member == id()) continue;
+    send(member, kind, payload);  // copies payload per recipient
+  }
+}
+
+void Participant::on_round_finished(ActionInstanceId scope,
+                                    ExceptionId resolved) {
+  Dyn* dyn = find_dyn(scope);
+  CAA_CHECK(dyn != nullptr);
+  const std::uint32_t resolved_round = dyn->round;
+  ++dyn->round;  // subsequent messages of the old round become stale
+  dyn->handling = true;  // the handler takes over this participant's duties
+  // Replace the engine and run the handler from a fresh event: finish() is
+  // still on the stack of the old engine, which we must not destroy here.
+  schedule_after(0, [this, scope, resolved, resolved_round] {
+    Dyn* d = find_dyn(scope);
+    if (d == nullptr || d->aborting) return;  // aborted meanwhile
+    d->engine = make_engine(*d, scope);
+    d->done_sent = false;  // the handler takes over and completes anew
+    drain_future(scope);
+    invoke_handler(scope, resolved, resolved_round);
+  });
+}
+
+void Participant::invoke_handler(ActionInstanceId scope, ExceptionId resolved,
+                                 std::uint32_t resolved_round) {
+  Dyn* dyn = find_dyn(scope);
+  CAA_CHECK(dyn != nullptr);
+  run_guarded(scope, dyn->config.handler_dispatch_delay,
+              [this, scope, resolved, resolved_round] {
+    Dyn* d = find_dyn(scope);
+    CAA_CHECK(d != nullptr);
+    const ex::Handler& handler = d->config.handlers.get(resolved);
+    const ex::HandlerResult result = handler(resolved);
+    handled_.push_back(HandledRecord{scope, resolved_round, resolved, now()});
+    trace("handler ran",
+          d->info->decl->tree().name_of(resolved) +
+              (result.outcome == ex::HandlerOutcome::kSignal ? " -> signal"
+                                                             : " -> ok"));
+    if (d->config.on_handler) d->config.on_handler(resolved);
+    run_guarded(scope, result.duration, [this, scope, result] {
+      if (result.outcome == ex::HandlerOutcome::kRecovered) {
+        complete_internal(scope, true, ExceptionId::invalid());
+      } else {
+        complete_internal(scope, true, result.signal);
+      }
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Abortion of nested chains
+// ---------------------------------------------------------------------------
+
+void Participant::abort_chain_until(ActionInstanceId scope,
+                                    std::function<void(ExceptionId)> done) {
+  const auto target_depth = contexts_.depth_of(scope);
+  CAA_CHECK_MSG(target_depth.has_value(), "abort target not in stack");
+  // Mark everything strictly below the target as aborting: their
+  // resolutions are superseded (§3.3 point 4).
+  for (std::size_t depth = *target_depth + 1; depth < contexts_.size();
+       ++depth) {
+    dyn_.at(contexts_.at(depth).instance).aborting = true;
+  }
+  if (abort_chain_.has_value()) {
+    // An even more deeply scoped abortion was in progress; the new (outer)
+    // resolution supersedes it. Retarget: the old target's NestedCompleted
+    // will never be sent — its whole action is aborted instead.
+    CAA_CHECK_MSG(*target_depth <
+                      contexts_.depth_of(abort_chain_->target).value(),
+                  "abort retarget must be an outer action");
+    abort_chain_->target = scope;
+    abort_chain_->done = std::move(done);
+    return;  // the running chain keeps stepping, now towards `scope`
+  }
+  abort_chain_ = AbortChain{scope, std::move(done)};
+  abort_step();
+}
+
+void Participant::abort_step() {
+  CAA_CHECK(abort_chain_.has_value());
+  CAA_CHECK(in_action());
+  const ex::Context& ctx = contexts_.active();
+  CAA_CHECK_MSG(ctx.instance != abort_chain_->target,
+                "abort_step past target");
+  // Run this nested action's abortion handler (§4.1: abortion handlers run
+  // innermost-first; only they may run in an aborted action).
+  const ex::AbortResult result =
+      ctx.abortion_handler ? ctx.abortion_handler() : ex::AbortResult::none();
+  trace("abortion handler",
+        dyn_.at(ctx.instance).info->decl->name() +
+            (result.signal.valid() ? " signalling" : ""));
+  schedule_after(result.duration,
+                 [this, instance = ctx.instance, signal = result.signal] {
+    Dyn* dyn = find_dyn(instance);
+    CAA_CHECK(dyn != nullptr);
+    if (dyn->config.on_abort) dyn->config.on_abort();
+    aborts_.push_back(AbortRecord{instance, signal, now()});
+    pop_context(instance, /*dead=*/true);
+    if (!abort_chain_.has_value()) return;  // defensive; should not happen
+    if (in_action() && contexts_.active().instance == abort_chain_->target) {
+      // Only the exception signalled by the abortion handlers of the
+      // *directly* nested action may be raised in the container (§4.1).
+      auto done = std::move(abort_chain_->done);
+      abort_chain_.reset();
+      done(signal);
+      return;
+    }
+    abort_step();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Exit barrier
+// ---------------------------------------------------------------------------
+
+void Participant::complete_internal(ActionInstanceId scope, bool ok,
+                                    ExceptionId signal) {
+  Dyn* dyn = find_dyn(scope);
+  CAA_CHECK(dyn != nullptr);
+  if (dyn->engine->state() != resolve::ResolverCore::State::kNormal) {
+    // A new resolution started before this completion was reported; the new
+    // round's handler will complete instead.
+    runtime().simulator().counters().add(kCounterCompleteSuperseded);
+    return;
+  }
+  // Figure 2(b): the acceptance test guards EVERY attempt's completion —
+  // normal body completions and handler-driven ones alike.
+  if (ok && !signal.valid() && dyn->config.acceptance) {
+    ok = dyn->config.acceptance();
+  }
+  dyn->done_sent = true;
+  dyn->handling = false;  // handler (if any) has completed the action part
+  DoneMsg m{scope, dyn->round, id(), ok, signal};
+  dyn->last_done = m;  // kept for re-send on leader re-election
+  trace("done", std::string(ok ? "ok" : "acceptance-failed") +
+                    (signal.valid() ? " +signal" : ""));
+  const ObjectId leader = live_leader(*dyn);
+  if (leader == id()) {
+    on_done(m);
+  } else {
+    send(leader, net::MsgKind::kActionDone, encode(m));
+  }
+}
+
+void Participant::on_done_msg(ObjectId from, const net::Bytes& payload) {
+  (void)from;
+  auto m = decode_done(payload);
+  if (!m.is_ok()) return;
+  on_done(m.value());
+}
+
+void Participant::on_done(const DoneMsg& m) {
+  Dyn* dyn = find_dyn(m.scope);
+  CAA_CHECK(dyn != nullptr);
+  // We may receive Dones slightly before learning that the previous leader
+  // crashed (the sender learned first); store them, decide only when we
+  // believe we lead.
+  dyn->barrier[m.round][m.sender] = m;
+  if (live_leader(*dyn) == id()) maybe_decide(m.scope);
+}
+
+void Participant::maybe_decide(ActionInstanceId scope) {
+  Dyn* dyn = find_dyn(scope);
+  CAA_CHECK(dyn != nullptr);
+  if (dyn->aborting) return;  // abortion supersedes the exit barrier
+  if (live_leader(*dyn) != id()) return;
+  auto it = dyn->barrier.find(dyn->round);
+  if (it == dyn->barrier.end()) return;
+  // All LIVE members must have reported (crashed ones are waived).
+  for (ObjectId member : dyn->info->members) {
+    if (dyn->excluded.contains(member)) continue;
+    if (!it->second.contains(member)) return;
+  }
+  CAA_CHECK_MSG(dyn->engine->state() == resolve::ResolverCore::State::kNormal,
+                "exit barrier complete while a resolution is in progress");
+
+  bool all_ok = true;
+  std::vector<ExceptionId> signals;
+  for (const auto& [sender, done] : it->second) {
+    if (dyn->excluded.contains(sender)) continue;
+    all_ok = all_ok && done.ok;
+    if (done.signal.valid()) signals.push_back(done.signal);
+  }
+
+  LeaveMsg leave;
+  leave.scope = scope;
+  leave.round = dyn->round;
+  if (!all_ok) {
+    // Acceptance failure: backward recovery while attempts remain (§3.1 /
+    // Figure 2(b)), otherwise signal the configured failure exception.
+    if (dyn->attempt + 1 < dyn->config.max_attempts) {
+      leave.outcome = LeaveOutcome::kRestored;
+      leave.attempt = dyn->attempt + 1;
+    } else {
+      leave.outcome = LeaveOutcome::kSignalled;
+      leave.signal = dyn->config.failure_signal;
+    }
+  } else if (!signals.empty()) {
+    leave.outcome = LeaveOutcome::kSignalled;
+    if (dyn->info->parent.valid()) {
+      const ex::ExceptionTree& parent_tree =
+          manager_.info(dyn->info->parent).decl->tree();
+      leave.signal = parent_tree.resolve(signals);
+    } else {
+      leave.signal = signals.front();
+    }
+  } else {
+    leave.outcome = LeaveOutcome::kCommitted;
+  }
+  dyn->barrier.erase(dyn->barrier.begin(), std::next(it));
+
+  const net::Bytes payload = encode(leave);
+  multicast(*dyn->info, net::MsgKind::kActionLeave, payload);
+  apply_leave(leave);
+}
+
+void Participant::on_leave_msg(const net::Bytes& payload) {
+  auto m = decode_leave(payload);
+  if (!m.is_ok()) return;
+  apply_leave(m.value());
+}
+
+void Participant::apply_leave(const LeaveMsg& m) {
+  Dyn* dyn = find_dyn(m.scope);
+  if (dyn == nullptr || dyn->aborting) {
+    // The action is gone, or an outer resolution is aborting it right now —
+    // abortion supersedes the normal exit decision.
+    runtime().simulator().counters().add(kCounterDeadScopeDropped);
+    return;
+  }
+  CAA_CHECK_MSG(in_action() && contexts_.active().instance == m.scope,
+                "Leave for a non-active context");
+  const InstanceInfo& info = *dyn->info;
+  const bool leader = live_leader(*dyn) == id();
+
+  switch (m.outcome) {
+    case LeaveOutcome::kCommitted: {
+      if (leader && dyn->config.on_commit) dyn->config.on_commit();
+      if (dyn->config.on_leave) {
+        dyn->config.on_leave(m.outcome, ExceptionId::invalid());
+      }
+      trace("leave committed", info.decl->name());
+      pop_context(m.scope, /*dead=*/true);
+      return;
+    }
+    case LeaveOutcome::kSignalled: {
+      if (leader && dyn->config.on_abort) dyn->config.on_abort();
+      if (dyn->config.on_leave) dyn->config.on_leave(m.outcome, m.signal);
+      trace("leave signalled", info.decl->name());
+      const ActionInstanceId parent = info.parent;
+      pop_context(m.scope, /*dead=*/true);
+      if (!leader) return;
+      if (parent.valid() && m.signal.valid()) {
+        // The leader represents the completed-with-failure nested action by
+        // raising the signalled exception in the containing action (§3.1
+        // "signalled between nested actions").
+        Dyn* parent_dyn = find_dyn(parent);
+        CAA_CHECK_MSG(parent_dyn != nullptr,
+                      "leader left containing action before nested signal");
+        if (!parent_dyn->aborting &&
+            parent_dyn->engine->state() ==
+                resolve::ResolverCore::State::kNormal) {
+          parent_dyn->engine->raise(m.signal, "signalled by nested action");
+        } else {
+          runtime().simulator().counters().add(kCounterSignalDropped);
+        }
+      } else if (!parent.valid()) {
+        if (failure_sink_) failure_sink_(m.scope, m.signal);
+      }
+      return;
+    }
+    case LeaveOutcome::kRestored: {
+      if (leader && dyn->config.on_abort) dyn->config.on_abort();
+      if (dyn->config.restore_checkpoint) dyn->config.restore_checkpoint();
+      if (dyn->config.on_leave) {
+        dyn->config.on_leave(m.outcome, ExceptionId::invalid());
+      }
+      trace("restore attempt", std::to_string(m.attempt));
+      dyn->attempt = m.attempt;
+      dyn->done_sent = false;
+      dyn->handling = false;
+      dyn->last_done.reset();
+      ++dyn->round;  // a new attempt is a new protocol round
+      dyn->engine = make_engine(*dyn, m.scope);
+      drain_future(m.scope);
+      if (dyn->config.body) {
+        run_guarded(m.scope, 0, [this, scope = m.scope] {
+          Dyn* d = find_dyn(scope);
+          if (d != nullptr && d->config.body) d->config.body(d->attempt);
+        });
+      }
+      return;
+    }
+  }
+}
+
+void Participant::pop_context(ActionInstanceId scope, bool dead) {
+  CAA_CHECK(in_action() && contexts_.active().instance == scope);
+  contexts_.pop();
+  dyn_.erase(scope);
+  if (dead) dead_.insert(scope);
+  pending_.erase(scope);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<resolve::ResolverCore> Participant::make_engine(
+    Dyn& dyn, ActionInstanceId scope) {
+  auto engine = std::make_unique<resolve::ResolverCore>(
+      id(), dyn.info->members, &dyn.info->decl->tree(), scope, dyn.round,
+      make_hooks(scope), dyn.config.resolver_committee);
+  for (ObjectId member : dyn.info->members) {
+    if (crashed_.contains(member)) {
+      dyn.excluded.insert(member);
+      engine->exclude_member(member);
+    }
+  }
+  return engine;
+}
+
+ObjectId Participant::live_leader(const Dyn& dyn) const {
+  for (ObjectId member : dyn.info->members) {
+    if (!dyn.excluded.contains(member)) return member;
+  }
+  return dyn.info->leader();  // everyone crashed: degenerate, keep static
+}
+
+Participant::Dyn* Participant::find_dyn(ActionInstanceId scope) {
+  auto it = dyn_.find(scope);
+  return it == dyn_.end() ? nullptr : &it->second;
+}
+
+void Participant::notify_peer_crashed(ObjectId peer) {
+  if (peer == id()) return;
+  if (!crashed_.insert(peer).second) return;  // already known
+  purge_pending_from(peer);
+  trace("peer crashed", "O" + std::to_string(peer.value()));
+  for (std::size_t depth = 0; depth < contexts_.size(); ++depth) {
+    const ActionInstanceId instance = contexts_.at(depth).instance;
+    Dyn& dyn = dyn_.at(instance);
+    if (!dyn.info->is_member(peer) || dyn.excluded.contains(peer)) continue;
+    const ObjectId old_leader = live_leader(dyn);
+    dyn.excluded.insert(peer);
+    dyn.engine->exclude_member(peer);
+    const ObjectId new_leader = live_leader(dyn);
+    if (new_leader != old_leader && dyn.last_done.has_value() &&
+        dyn.last_done->round == dyn.round) {
+      // The exit-barrier leader died: re-send our Done to the successor
+      // (every live member does the same, so the successor re-collects the
+      // full barrier).
+      if (new_leader == id()) {
+        on_done(*dyn.last_done);
+      } else {
+        send(new_leader, net::MsgKind::kActionDone, encode(*dyn.last_done));
+      }
+    }
+    if (new_leader == id()) maybe_decide(instance);
+  }
+  // Forward recovery among survivors: raise the configured crash exception
+  // if this participant is still working in its active action.
+  if (!in_action()) return;
+  const ActionInstanceId active = contexts_.active().instance;
+  Dyn& adyn = dyn_.at(active);
+  if (adyn.config.crash_exception.valid() && adyn.info->is_member(peer) &&
+      !adyn.aborting && !adyn.done_sent && !adyn.handling &&
+      adyn.engine->state() == resolve::ResolverCore::State::kNormal) {
+    adyn.engine->raise(adyn.config.crash_exception,
+                       "peer O" + std::to_string(peer.value()) + " crashed");
+  } else if (adyn.config.crash_exception.valid() && !adyn.aborting &&
+             adyn.engine->state() ==
+                 resolve::ResolverCore::State::kSuspended &&
+             !adyn.engine->has_live_raiser()) {
+    // Every raiser we know of has crashed: no live object would ever be
+    // allowed to resolve, so this suspended survivor promotes itself
+    // (extension; see ResolverCore::raise_from_suspended).
+    adyn.engine->raise_from_suspended(adyn.config.crash_exception);
+  }
+}
+
+bool Participant::is_live(ActionInstanceId scope) const {
+  auto it = dyn_.find(scope);
+  return it != dyn_.end() && !it->second.aborting;
+}
+
+void Participant::run_guarded(ActionInstanceId scope, sim::Time delay,
+                              std::function<void()> fn) {
+  schedule_after(delay, [this, scope, fn = std::move(fn)] {
+    if (!is_live(scope)) return;  // the action was aborted meanwhile
+    fn();
+  });
+}
+
+void Participant::trace(std::string_view event, std::string detail) {
+  if (!attached()) return;
+  sim::TraceLog& log = runtime().trace();
+  if (!log.enabled()) return;
+  log.record(now(), "resolve", std::string(event), name(), std::move(detail));
+}
+
+}  // namespace caa::action

@@ -1,0 +1,267 @@
+// A CA-action participant: the paper's "participating object".
+//
+// A Participant is a distributed object that can enter (possibly nested) CA
+// action instances, raise exceptions, run the §4.2 resolution protocol with
+// its peers, abort nested action chains innermost-first via abortion
+// handlers, perform forward recovery (handlers) and backward recovery
+// (checkpoint restore + retry), and synchronize exit through a leader-based
+// barrier.
+//
+// Implementation notes relative to the paper's pseudo-code:
+//  * SA_i is `contexts_` (an ex::ContextStack); LE/LO/LP live inside one
+//    resolve::ResolverCore per context per resolution round.
+//  * Rounds: the paper's "wait until all exception messages are handled" and
+//    list-emptying are made precise by tagging every protocol message with a
+//    round number. Stale-round Exception/NestedCompleted messages are still
+//    acknowledged (their senders need the ACKs to reach Ready) but not
+//    recorded; future-round messages are buffered.
+//  * Belated participants: messages scoped to an instance this object has
+//    not entered are buffered and replayed on entry ("process messages
+//    having arrived"); HaveNested(O_j) purges buffered messages from O_j
+//    ("clean up messages related to nested actions"); aborted instances are
+//    tombstoned and their late messages dropped.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "caa/action_manager.h"
+#include "ex/context_stack.h"
+#include "resolve/resolver_core.h"
+#include "rt/managed_object.h"
+
+namespace caa::action {
+
+/// Per-entry configuration: how this participant behaves inside one action.
+struct EnterConfig {
+  /// Handlers for the action's declared exceptions. The paper requires a
+  /// handler for every declared exception (§3.3); enter() enforces it.
+  /// Use uniform_handlers() or HandlerTable::fill_defaults() to build.
+  ex::HandlerTable handlers;
+
+  /// Abortion handler (§4.1). Default: succeeds instantly, signals nothing.
+  ex::AbortionHandler abortion_handler;
+
+  /// Optional body, run (via a zero-delay event) on entry and again on each
+  /// backward-recovery attempt; receives the attempt number (0-based).
+  std::function<void(std::uint32_t attempt)> body;
+
+  /// Local acceptance test, evaluated at complete(); default: accept.
+  std::function<bool()> acceptance;
+
+  /// Backward recovery hooks (§2.2 conversation semantics).
+  std::function<void()> save_checkpoint;
+  std::function<void()> restore_checkpoint;
+
+  /// Failure exception signalled to the containing action when attempts are
+  /// exhausted after acceptance failures. Must belong to the *containing*
+  /// action's tree. Invalid + outermost => reported via the failure sink.
+  ExceptionId failure_signal;
+
+  /// Max attempts including the first (>= 1). Attempts beyond the first are
+  /// backward recovery retries ("alternates").
+  std::uint32_t max_attempts = 1;
+
+  /// Simulated time consumed before a resolved handler's body starts.
+  sim::Time handler_dispatch_delay = 0;
+
+  /// Observation hooks (tests, examples, benches).
+  std::function<void(ExceptionId resolved)> on_handler;
+  std::function<void(LeaveOutcome, ExceptionId signal)> on_leave;
+
+  /// Transaction integration: invoked on the leader when the instance
+  /// commits / is aborted-or-restored-or-signalled.
+  std::function<void()> on_commit;
+  std::function<void()> on_abort;
+
+  // ---- Crash-tolerance extension (fail-stop; §4.4) --------------------
+
+  /// Number of top-ranked live raisers that resolve and commit. 1 (the
+  /// default) is the paper's base algorithm; k > 1 tolerates k-1 resolver
+  /// crashes at a constant-factor message cost.
+  std::uint32_t resolver_committee = 1;
+
+  /// When valid: raised in this action if a member crashes while this
+  /// participant is still working — turning peer failure into forward
+  /// recovery among the survivors.
+  ExceptionId crash_exception;
+};
+
+/// Builds a handler table with `result` for every exception in `tree`.
+ex::HandlerTable uniform_handlers(const ex::ExceptionTree& tree,
+                                  ex::HandlerResult result);
+
+/// A record of one handled (resolved) exception, for assertions.
+struct HandledRecord {
+  ActionInstanceId instance;
+  std::uint32_t round = 0;  // round that was resolved
+  ExceptionId resolved;
+  sim::Time at = 0;
+};
+
+/// A record of one executed abortion handler.
+struct AbortRecord {
+  ActionInstanceId instance;
+  ExceptionId signalled;  // invalid if none
+  sim::Time at = 0;
+};
+
+class Participant : public rt::ManagedObject {
+ public:
+  explicit Participant(ActionManager& manager) : manager_(manager) {}
+
+  // ---- Scenario-facing API -------------------------------------------
+
+  /// Enters an action instance (asynchronous entry, §4.1). Returns false —
+  /// modelling a belated participant that "will never be able to enter" —
+  /// when a resolution or abortion is already in progress at this object.
+  bool enter(ActionInstanceId instance, EnterConfig config);
+
+  /// Raises a declared exception in the active action. If this object is no
+  /// longer Normal (already suspended/exceptional) the raise is superseded
+  /// and ignored, mirroring an interrupted application (counted under
+  /// caa.raise_superseded).
+  void raise(ExceptionId exception, std::string message = {});
+  void raise(std::string_view exception_name, std::string message = {});
+
+  /// Declares this participant's part of the active action finished.
+  /// `acceptance_ok` is AND-ed with the configured acceptance test. Ignored
+  /// (superseded) when a resolution is in progress.
+  void complete(bool acceptance_ok = true);
+
+  // ---- Introspection ----------------------------------------------------
+
+  [[nodiscard]] bool in_action() const { return !contexts_.empty(); }
+  [[nodiscard]] ActionInstanceId active_instance() const;
+  [[nodiscard]] std::size_t nesting_depth() const { return contexts_.size(); }
+  [[nodiscard]] resolve::ResolverCore::State resolver_state() const;
+
+  /// True when this participant has finished its part of the active action
+  /// and is waiting at the acceptance line (it can no longer raise).
+  [[nodiscard]] bool at_acceptance_line() const;
+  [[nodiscard]] std::uint32_t round_of(ActionInstanceId instance) const;
+  [[nodiscard]] std::uint32_t attempt_of(ActionInstanceId instance) const;
+
+  [[nodiscard]] const std::vector<HandledRecord>& handled() const {
+    return handled_;
+  }
+  [[nodiscard]] const std::vector<AbortRecord>& aborts() const {
+    return aborts_;
+  }
+
+  /// Invoked (on the leader) when an outermost action fails terminally.
+  void set_failure_sink(
+      std::function<void(ActionInstanceId, ExceptionId)> sink) {
+    failure_sink_ = std::move(sink);
+  }
+
+  /// Crash-tolerance extension: informs this participant that `peer` has
+  /// crashed (fail-stop). Typically driven by an rt::HeartbeatMonitor. The
+  /// peer stops counting towards ACKs, nested completions and exit
+  /// barriers; if it was the exit-barrier leader, leadership moves to the
+  /// next live member and pending Dones are re-sent; if crash_exception is
+  /// configured and this participant is still working, it is raised.
+  void notify_peer_crashed(ObjectId peer);
+
+  // ---- rt::ManagedObject --------------------------------------------------
+
+  void on_message(ObjectId from, net::MsgKind kind,
+                  const net::Bytes& payload) override;
+
+ private:
+  struct RawMsg {
+    ObjectId from;
+    net::MsgKind kind;
+    net::Bytes payload;
+  };
+
+  /// Dynamic per-context state (the static part lives in ex::Context).
+  struct Dyn {
+    const InstanceInfo* info = nullptr;
+    EnterConfig config;
+    std::unique_ptr<resolve::ResolverCore> engine;
+    std::uint32_t round = 0;
+    std::uint32_t attempt = 0;
+    bool aborting = false;   // part of an abort chain in progress
+    bool done_sent = false;  // waiting at the acceptance line (§2.2): this
+                             // participant's part of the attempt is finished
+                             // and it can no longer raise or re-complete
+    bool handling = false;   // a resolved handler has taken over this
+                             // participant's duties (termination model,
+                             // §3.1): no raises, entries or completions
+                             // from the superseded body until the handler
+                             // completes the action
+    std::set<ObjectId> excluded;       // crashed members (extension)
+    std::optional<DoneMsg> last_done;  // re-sent on leader re-election
+    std::vector<RawMsg> future;  // messages for rounds we have not reached
+    // Leader-only exit barrier: round -> sender -> Done.
+    std::map<std::uint32_t, std::map<ObjectId, DoneMsg>> barrier;
+  };
+
+  // Routing.
+  void route_resolution(ObjectId from, net::MsgKind kind,
+                        const net::Bytes& payload);
+  void deliver_to_engine(Dyn& dyn, bool scope_is_active, ObjectId from,
+                         net::MsgKind kind, const net::Bytes& payload);
+  void on_done_msg(ObjectId from, const net::Bytes& payload);
+  void on_leave_msg(const net::Bytes& payload);
+  void ack_stale(ObjectId from, net::MsgKind kind, ActionInstanceId scope,
+                 std::uint32_t round);
+  void drain_future(ActionInstanceId scope);
+  void drain_pending(ActionInstanceId scope);
+  void purge_pending_from(ObjectId peer);
+
+  // Resolution plumbing.
+  resolve::ResolverCore::Hooks make_hooks(ActionInstanceId scope);
+  void multicast(const InstanceInfo& info, net::MsgKind kind,
+                 const net::Bytes& payload);
+  void on_round_finished(ActionInstanceId scope, ExceptionId resolved);
+  void invoke_handler(ActionInstanceId scope, ExceptionId resolved,
+                      std::uint32_t resolved_round);
+
+  // Abortion of nested chains (innermost-first, §4.1). A running chain can
+  // be *retargeted* to an outer action when an outer resolution supersedes
+  // the one that started the abortion (§3.3 point 4).
+  struct AbortChain {
+    ActionInstanceId target;
+    std::function<void(ExceptionId)> done;
+  };
+  void abort_chain_until(ActionInstanceId scope,
+                         std::function<void(ExceptionId)> done);
+  void abort_step();
+
+  // Exit barrier.
+  void complete_internal(ActionInstanceId scope, bool ok, ExceptionId signal);
+  void on_done(const DoneMsg& m);
+  void maybe_decide(ActionInstanceId scope);
+  void apply_leave(const LeaveMsg& m);
+  void pop_context(ActionInstanceId scope, bool dead);
+
+  // Helpers.
+  [[nodiscard]] std::unique_ptr<resolve::ResolverCore> make_engine(
+      Dyn& dyn, ActionInstanceId scope);
+  [[nodiscard]] ObjectId live_leader(const Dyn& dyn) const;
+  [[nodiscard]] Dyn* find_dyn(ActionInstanceId scope);
+  [[nodiscard]] bool is_live(ActionInstanceId scope) const;
+  void run_guarded(ActionInstanceId scope, sim::Time delay,
+                   std::function<void()> fn);
+  void trace(std::string_view event, std::string detail = {});
+
+  ActionManager& manager_;
+  ex::ContextStack contexts_;
+  std::map<ActionInstanceId, Dyn> dyn_;
+  std::map<ActionInstanceId, std::vector<RawMsg>> pending_;  // belated
+  std::set<ActionInstanceId> dead_;
+  std::set<ObjectId> crashed_;  // peers known to have crashed (extension)
+  std::optional<AbortChain> abort_chain_;
+  std::vector<HandledRecord> handled_;
+  std::vector<AbortRecord> aborts_;
+  std::function<void(ActionInstanceId, ExceptionId)> failure_sink_;
+};
+
+}  // namespace caa::action

@@ -1,0 +1,85 @@
+#include "caa/world.h"
+
+#include "util/check.h"
+
+namespace caa {
+
+World::World(WorldConfig config)
+    : config_(config),
+      network_(simulator_, config.seed),
+      actions_(groups_) {
+  network_.set_default_link(config_.link);
+  trace_.enable(config_.trace);
+  CAA_CHECK_MSG(config_.link.drop_probability == 0.0 ||
+                    config_.reliable_transport,
+                "lossy links require the reliable transport");
+}
+
+World::~World() = default;
+
+NodeId World::add_node() {
+  const NodeId node(next_node_++);
+  network_.add_node(node);
+  std::unique_ptr<net::Transport> transport;
+  if (config_.reliable_transport) {
+    transport = std::make_unique<net::ReliableTransport>(network_, node,
+                                                         config_.reliable);
+  } else {
+    transport = std::make_unique<net::DirectTransport>(network_, node);
+  }
+  auto runtime = std::make_unique<rt::Runtime>(simulator_, directory_, node,
+                                               std::move(transport));
+  runtime->set_trace(&trace_);
+  runtimes_.push_back(std::move(runtime));
+  return node;
+}
+
+rt::Runtime& World::runtime(NodeId node) {
+  CAA_CHECK_MSG(node.value() < runtimes_.size(), "unknown node");
+  return *runtimes_[node.value()];
+}
+
+action::Participant& World::add_participant(const std::string& name) {
+  return add_participant(name, add_node());
+}
+
+action::Participant& World::add_participant(const std::string& name,
+                                            NodeId node) {
+  auto participant = std::make_unique<action::Participant>(actions_);
+  runtime(node).attach(*participant, name);
+  participant->set_failure_sink(
+      [this](ActionInstanceId instance, ExceptionId signal) {
+        failures_.push_back(Failure{instance, signal});
+      });
+  participants_.push_back(std::move(participant));
+  return *participants_.back();
+}
+
+ObjectId World::attach(rt::ManagedObject& object, std::string name,
+                       NodeId node) {
+  return runtime(node).attach(object, std::move(name));
+}
+
+void World::at(sim::Time t, std::function<void()> fn) {
+  simulator_.schedule_at(t, std::move(fn));
+}
+
+std::size_t World::run(std::size_t max_events) {
+  return simulator_.run_to_quiescence(max_events);
+}
+
+std::int64_t World::messages_of(net::MsgKind kind) const {
+  std::string name = "net.sent.";
+  name += net::kind_name(kind);
+  return simulator_.counters().get(name);
+}
+
+std::int64_t World::resolution_messages() const {
+  return messages_of(net::MsgKind::kException) +
+         messages_of(net::MsgKind::kHaveNested) +
+         messages_of(net::MsgKind::kNestedCompleted) +
+         messages_of(net::MsgKind::kAck) +
+         messages_of(net::MsgKind::kCommit);
+}
+
+}  // namespace caa

@@ -1,0 +1,50 @@
+#include "ex/context_stack.h"
+
+#include "util/check.h"
+
+namespace caa::ex {
+
+void ContextStack::push(Context context) {
+  CAA_CHECK_MSG(context.instance.valid(), "push(): invalid instance");
+  CAA_CHECK_MSG(context.tree != nullptr, "push(): missing exception tree");
+  CAA_CHECK_MSG(!contains(context.instance), "push(): re-entering instance");
+  contexts_.push_back(std::move(context));
+}
+
+Context ContextStack::pop() {
+  CAA_CHECK_MSG(!contexts_.empty(), "pop(): empty context stack");
+  Context top = std::move(contexts_.back());
+  contexts_.pop_back();
+  return top;
+}
+
+const Context& ContextStack::active() const {
+  CAA_CHECK_MSG(!contexts_.empty(), "active(): empty context stack");
+  return contexts_.back();
+}
+
+Context& ContextStack::active() {
+  CAA_CHECK_MSG(!contexts_.empty(), "active(): empty context stack");
+  return contexts_.back();
+}
+
+std::optional<std::size_t> ContextStack::depth_of(
+    ActionInstanceId instance) const {
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    if (contexts_[i].instance == instance) return i;
+  }
+  return std::nullopt;
+}
+
+bool ContextStack::nested_below(ActionInstanceId instance) const {
+  auto depth = depth_of(instance);
+  if (!depth.has_value()) return false;
+  return *depth + 1 < contexts_.size();
+}
+
+const Context& ContextStack::at(std::size_t depth) const {
+  CAA_CHECK_MSG(depth < contexts_.size(), "at(): bad depth");
+  return contexts_[depth];
+}
+
+}  // namespace caa::ex

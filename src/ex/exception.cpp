@@ -1,0 +1,19 @@
+#include "ex/exception.h"
+
+#include "ex/exception_tree.h"
+
+namespace caa::ex {
+
+/// Human-readable description, for traces and logs.
+std::string describe(const Exception& e, const ExceptionTree& tree) {
+  std::string out = tree.contains(e.id) ? tree.name_of(e.id) : "<unknown>";
+  out += " raised by O";
+  out += std::to_string(e.raised_by.value());
+  if (!e.message.empty()) {
+    out += ": ";
+    out += e.message;
+  }
+  return out;
+}
+
+}  // namespace caa::ex

@@ -1,0 +1,34 @@
+// Exception values.
+//
+// In the paper exceptions are classes arranged in a hierarchy (§3.2); at run
+// time what travels between objects is a compact description: which declared
+// exception class was raised, by whom, and in which action instance. The
+// class hierarchy itself lives in ExceptionTree.
+#pragma once
+
+#include <string>
+
+#include "util/ids.h"
+
+namespace caa::ex {
+
+class ExceptionTree;
+
+/// One raised exception occurrence — an entry of the LE list of §4.1.
+struct Exception {
+  ExceptionId id;                 // which declared exception class
+  ObjectId raised_by;             // the participating object that raised it
+  ActionInstanceId in_instance;   // the action instance it was raised in
+  std::string message;            // free-form diagnostic (not used by the
+                                  // protocol; carried for operators)
+
+  friend bool operator==(const Exception& a, const Exception& b) {
+    return a.id == b.id && a.raised_by == b.raised_by &&
+           a.in_instance == b.in_instance;
+  }
+};
+
+/// Human-readable description, for traces and logs.
+std::string describe(const Exception& e, const ExceptionTree& tree);
+
+}  // namespace caa::ex

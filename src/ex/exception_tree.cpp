@@ -1,0 +1,156 @@
+#include "ex/exception_tree.h"
+
+#include "util/check.h"
+
+namespace caa::ex {
+
+ExceptionTree::ExceptionTree(std::string_view root_name) {
+  const auto idx = names_.intern(root_name);
+  CAA_CHECK(idx == 0);
+  parents_.push_back(ExceptionId(0));  // root is its own parent
+  depths_.push_back(0);
+}
+
+ExceptionId ExceptionTree::declare(std::string_view name, ExceptionId parent) {
+  CAA_CHECK_MSG(!frozen_, "declare() on a frozen tree");
+  CAA_CHECK_MSG(contains(parent), "declare(): unknown parent");
+  CAA_CHECK_MSG(names_.find(name) == InternPool::kNotFound,
+                "declare(): duplicate exception name");
+  const auto idx = names_.intern(name);
+  CAA_CHECK(idx == parents_.size());
+  parents_.push_back(parent);
+  depths_.push_back(depths_[parent.value()] + 1);
+  return ExceptionId(idx);
+}
+
+ExceptionId ExceptionTree::declare(std::string_view name) {
+  return declare(name, root());
+}
+
+ExceptionId ExceptionTree::parent(ExceptionId id) const {
+  CAA_CHECK_MSG(contains(id), "parent(): unknown exception");
+  return parents_[id.value()];
+}
+
+std::uint32_t ExceptionTree::depth(ExceptionId id) const {
+  CAA_CHECK_MSG(contains(id), "depth(): unknown exception");
+  return depths_[id.value()];
+}
+
+const std::string& ExceptionTree::name_of(ExceptionId id) const {
+  CAA_CHECK_MSG(contains(id), "name_of(): unknown exception");
+  return names_.name_of(id.value());
+}
+
+ExceptionId ExceptionTree::find(std::string_view name) const {
+  const auto idx = names_.find(name);
+  if (idx == InternPool::kNotFound) return ExceptionId::invalid();
+  return ExceptionId(idx);
+}
+
+bool ExceptionTree::covers(ExceptionId ancestor, ExceptionId descendant) const {
+  CAA_CHECK_MSG(contains(ancestor) && contains(descendant),
+                "covers(): unknown exception");
+  ExceptionId cursor = descendant;
+  while (true) {
+    if (cursor == ancestor) return true;
+    if (cursor == root()) return false;
+    cursor = parents_[cursor.value()];
+  }
+}
+
+ExceptionId ExceptionTree::lca(ExceptionId a, ExceptionId b) const {
+  CAA_CHECK_MSG(contains(a) && contains(b), "lca(): unknown exception");
+  // Walk the deeper side up until depths match, then walk both up.
+  while (depth(a) > depth(b)) a = parents_[a.value()];
+  while (depth(b) > depth(a)) b = parents_[b.value()];
+  while (a != b) {
+    a = parents_[a.value()];
+    b = parents_[b.value()];
+  }
+  return a;
+}
+
+ExceptionId ExceptionTree::resolve(std::span<const ExceptionId> raised) const {
+  if (raised.empty()) return ExceptionId::invalid();
+  ExceptionId acc = raised.front();
+  for (std::size_t i = 1; i < raised.size(); ++i) {
+    acc = lca(acc, raised[i]);
+  }
+  return acc;
+}
+
+std::vector<ExceptionId> ExceptionTree::path_to_root(ExceptionId id) const {
+  CAA_CHECK_MSG(contains(id), "path_to_root(): unknown exception");
+  std::vector<ExceptionId> path;
+  ExceptionId cursor = id;
+  while (true) {
+    path.push_back(cursor);
+    if (cursor == root()) break;
+    cursor = parents_[cursor.value()];
+  }
+  return path;
+}
+
+std::uint64_t ExceptionTree::fingerprint() const {
+  // FNV-1a over (name, parent) pairs in declaration order.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (std::uint32_t i = 0; i < parents_.size(); ++i) {
+    for (char c : names_.name_of(i)) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    mix(parents_[i].value());
+  }
+  return h;
+}
+
+namespace shapes {
+
+ExceptionTree chain(std::size_t n) {
+  ExceptionTree tree;
+  ExceptionId parent = tree.root();
+  for (std::size_t i = 1; i <= n; ++i) {
+    // e1 is the highest (closest to the root); eN the lowest, matching the
+    // §3.3 example where raising e8 chains upward to e7, e6, ...
+    parent = tree.declare("e" + std::to_string(i), parent);
+  }
+  tree.freeze();
+  return tree;
+}
+
+ExceptionTree balanced_binary(std::size_t levels) {
+  ExceptionTree tree;
+  std::vector<ExceptionId> frontier{tree.root()};
+  std::size_t next_label = 1;
+  for (std::size_t level = 0; level < levels; ++level) {
+    std::vector<ExceptionId> next;
+    next.reserve(frontier.size() * 2);
+    for (ExceptionId p : frontier) {
+      next.push_back(tree.declare("b" + std::to_string(next_label++), p));
+      next.push_back(tree.declare("b" + std::to_string(next_label++), p));
+    }
+    frontier = std::move(next);
+  }
+  tree.freeze();
+  return tree;
+}
+
+ExceptionTree star(std::size_t n) {
+  ExceptionTree tree;
+  for (std::size_t i = 1; i <= n; ++i) {
+    tree.declare("s" + std::to_string(i));
+  }
+  tree.freeze();
+  return tree;
+}
+
+}  // namespace shapes
+
+}  // namespace caa::ex

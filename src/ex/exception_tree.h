@@ -1,0 +1,95 @@
+// The exception (resolution) tree of §3.2.
+//
+// All exceptions of a CA action are structured into a tree rooted at the
+// universal exception; a higher exception's handler is able to handle any
+// lower one. Resolving a set of concurrently raised exceptions means finding
+// the lowest exception that covers them all — the lowest common ancestor.
+//
+// Trees are declared statically (one per action declaration), are immutable
+// after freezing, and are shared by value-semantics handle by every
+// participant ("each participating object ... has the same resolution tree",
+// §4.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/intern.h"
+
+namespace caa::ex {
+
+class ExceptionTree {
+ public:
+  /// Creates a tree containing only the root, named `root_name`
+  /// (the paper's `universal_exception`).
+  explicit ExceptionTree(std::string_view root_name = "universal_exception");
+
+  /// Declares a new exception class under `parent`. Mirrors subclassing:
+  ///   class left_engine_exception : emergency_engine_loss_exception {}
+  /// Returns the new exception's id. Names must be unique.
+  ExceptionId declare(std::string_view name, ExceptionId parent);
+
+  /// Declares directly under the root.
+  ExceptionId declare(std::string_view name);
+
+  /// Freezes the tree; declare() afterwards is a contract violation.
+  /// Participants only ever see frozen trees.
+  void freeze() { frozen_ = true; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  [[nodiscard]] ExceptionId root() const { return ExceptionId(0); }
+  [[nodiscard]] std::size_t size() const { return parents_.size(); }
+  [[nodiscard]] bool contains(ExceptionId id) const {
+    return id.valid() && id.value() < parents_.size();
+  }
+
+  [[nodiscard]] ExceptionId parent(ExceptionId id) const;
+  [[nodiscard]] std::uint32_t depth(ExceptionId id) const;
+  [[nodiscard]] const std::string& name_of(ExceptionId id) const;
+
+  /// Id of a declared name, or ExceptionId::invalid().
+  [[nodiscard]] ExceptionId find(std::string_view name) const;
+
+  /// True iff `ancestor` covers `descendant` (ancestor-or-self on the path
+  /// to the root). The root covers everything.
+  [[nodiscard]] bool covers(ExceptionId ancestor, ExceptionId descendant) const;
+
+  /// The resolution operation of §3.2: the lowest exception whose handler
+  /// covers every exception in `raised`. For an empty set returns invalid.
+  [[nodiscard]] ExceptionId resolve(std::span<const ExceptionId> raised) const;
+
+  /// Lowest common ancestor of two exceptions.
+  [[nodiscard]] ExceptionId lca(ExceptionId a, ExceptionId b) const;
+
+  /// All ancestors of `id` from itself up to the root (inclusive).
+  [[nodiscard]] std::vector<ExceptionId> path_to_root(ExceptionId id) const;
+
+  /// Structural fingerprint (names + parent links). §4.1 requires every
+  /// participant of an action to hold "the same resolution tree"; in a real
+  /// deployment with separately compiled objects, entry-time fingerprint
+  /// comparison catches declaration drift.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+ private:
+  InternPool names_;
+  std::vector<ExceptionId> parents_;  // index = id; root's parent = itself
+  std::vector<std::uint32_t> depths_;
+  bool frozen_ = false;
+};
+
+/// Convenience builders for the tree shapes used in tests and benches.
+namespace shapes {
+/// A directed chain e1 -> e2 -> ... -> eN under the root (§3.3's adversarial
+/// shape for the CR algorithm).
+ExceptionTree chain(std::size_t n);
+/// A perfectly balanced binary tree with `levels` levels below the root.
+ExceptionTree balanced_binary(std::size_t levels);
+/// N leaves directly under the root.
+ExceptionTree star(std::size_t n);
+}  // namespace shapes
+
+}  // namespace caa::ex

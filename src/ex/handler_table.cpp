@@ -1,0 +1,46 @@
+#include "ex/handler_table.h"
+
+#include "util/check.h"
+
+namespace caa::ex {
+
+void HandlerTable::set(ExceptionId id, Handler handler) {
+  CAA_CHECK_MSG(id.valid(), "set(): invalid exception id");
+  CAA_CHECK_MSG(static_cast<bool>(handler), "set(): empty handler");
+  handlers_[id] = std::move(handler);
+}
+
+void HandlerTable::fill_defaults(const ExceptionTree& tree,
+                                 const Handler& handler) {
+  for (std::uint32_t i = 0; i < tree.size(); ++i) {
+    const ExceptionId id(i);
+    if (!handlers_.contains(id)) handlers_.emplace(id, handler);
+  }
+}
+
+bool HandlerTable::has(ExceptionId id) const { return handlers_.contains(id); }
+
+const Handler& HandlerTable::get(ExceptionId id) const {
+  auto it = handlers_.find(id);
+  CAA_CHECK_MSG(it != handlers_.end(), "no handler for exception");
+  return it->second;
+}
+
+ExceptionId HandlerTable::nearest_handled(const ExceptionTree& tree,
+                                          ExceptionId id) const {
+  ExceptionId cursor = id;
+  while (true) {
+    if (has(cursor)) return cursor;
+    if (cursor == tree.root()) return ExceptionId::invalid();
+    cursor = tree.parent(cursor);
+  }
+}
+
+bool HandlerTable::is_complete_for(const ExceptionTree& tree) const {
+  for (std::uint32_t i = 0; i < tree.size(); ++i) {
+    if (!handlers_.contains(ExceptionId(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace caa::ex

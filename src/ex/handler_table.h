@@ -1,0 +1,71 @@
+// Per-participant exception handler tables.
+//
+// §3.3: unlike the CR scheme, our model requires every participating object
+// to provide handlers for *all* exceptions declared in an action — this is
+// what eliminates the repeated re-raising ("third source" of exceptions) and
+// the domino effect. is_complete_for() enforces that requirement at action
+// entry. A reduced table (partial coverage) is still expressible because the
+// CR baseline needs it.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "ex/exception_tree.h"
+#include "sim/event_queue.h"
+
+namespace caa::ex {
+
+/// What a handler achieved, reported after it ran.
+enum class HandlerOutcome : std::uint8_t {
+  kRecovered,  // forward recovery succeeded; action can continue/complete
+  kSignal,     // recovery failed; signal `signal` to the containing action
+};
+
+struct HandlerResult {
+  HandlerOutcome outcome = HandlerOutcome::kRecovered;
+  ExceptionId signal;       // valid iff outcome == kSignal
+  sim::Time duration = 0;   // simulated execution time of the handler body
+
+  static HandlerResult recovered(sim::Time duration = 0) {
+    return HandlerResult{HandlerOutcome::kRecovered, ExceptionId::invalid(),
+                         duration};
+  }
+  static HandlerResult signalling(ExceptionId e, sim::Time duration = 0) {
+    return HandlerResult{HandlerOutcome::kSignal, e, duration};
+  }
+};
+
+/// A handler body: receives the resolved exception it is being invoked for.
+using Handler = std::function<HandlerResult(ExceptionId resolved)>;
+
+class HandlerTable {
+ public:
+  /// Installs `handler` for exception `id`, replacing any previous one.
+  void set(ExceptionId id, Handler handler);
+
+  /// Installs one handler for every exception in `tree` that has no handler
+  /// yet (the "default handler" mentioned in §3.3).
+  void fill_defaults(const ExceptionTree& tree, const Handler& handler);
+
+  [[nodiscard]] bool has(ExceptionId id) const;
+
+  /// Exact lookup; contract violation if absent (participants of an action
+  /// are validated up front with is_complete_for()).
+  [[nodiscard]] const Handler& get(ExceptionId id) const;
+
+  /// CR-style lookup: the nearest ancestor-or-self of `id` (per `tree`)
+  /// that has a handler; invalid id if none up to and including the root.
+  [[nodiscard]] ExceptionId nearest_handled(const ExceptionTree& tree,
+                                            ExceptionId id) const;
+
+  /// True iff every exception declared in `tree` has a handler.
+  [[nodiscard]] bool is_complete_for(const ExceptionTree& tree) const;
+
+  [[nodiscard]] std::size_t size() const { return handlers_.size(); }
+
+ private:
+  std::unordered_map<ExceptionId, Handler> handlers_;
+};
+
+}  // namespace caa::ex

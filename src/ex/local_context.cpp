@@ -1,0 +1,78 @@
+#include "ex/local_context.h"
+
+#include "util/check.h"
+
+namespace caa::ex {
+
+void LocalContextRunner::enter_context(std::string name, Model model) {
+  contexts_.push_back(Context{std::move(name), model, {}});
+}
+
+void LocalContextRunner::attach(ExceptionId exception, LocalHandler handler) {
+  CAA_CHECK_MSG(!contexts_.empty(), "attach(): no open context");
+  CAA_CHECK_MSG(tree_.contains(exception), "attach(): unknown exception");
+  CAA_CHECK_MSG(static_cast<bool>(handler), "attach(): empty handler");
+  contexts_.back().handlers.emplace_back(exception, std::move(handler));
+}
+
+void LocalContextRunner::leave_context() {
+  CAA_CHECK_MSG(!contexts_.empty(), "leave_context(): no open context");
+  contexts_.pop_back();
+}
+
+const std::string& LocalContextRunner::current() const {
+  CAA_CHECK_MSG(!contexts_.empty(), "current(): no open context");
+  return contexts_.back().name;
+}
+
+const std::pair<ExceptionId, LocalHandler>* LocalContextRunner::lookup(
+    const Context& context, ExceptionId exception) const {
+  // Exact and covering lookup: walk from the raised exception towards the
+  // root; the first ancestor with an attached handler wins (§2.1: "a higher
+  // exception has a handler which is intended to handle any lower level
+  // exception").
+  ExceptionId cursor = exception;
+  while (true) {
+    for (const auto& entry : context.handlers) {
+      if (entry.first == cursor) return &entry;
+    }
+    if (cursor == tree_.root()) return nullptr;
+    cursor = tree_.parent(cursor);
+  }
+}
+
+LocalContextRunner::RaiseResult LocalContextRunner::raise(
+    ExceptionId exception) {
+  CAA_CHECK_MSG(tree_.contains(exception), "raise(): unknown exception");
+  RaiseResult result;
+  while (!contexts_.empty()) {
+    Context& context = contexts_.back();
+    const auto* entry = lookup(context, exception);
+    if (entry != nullptr) {
+      const LocalOutcome outcome = entry->second(exception);
+      if (outcome == LocalOutcome::kHandled) {
+        result.handled = true;
+        result.context = context.name;
+        result.handler_for = entry->first;
+        if (context.model == Model::kResumption) {
+          // Resumption: the context survives; execution continues after
+          // the raise point.
+          result.resumed = true;
+        } else {
+          // Termination: the handler completes this block; the block is
+          // closed and control continues in the enclosing context.
+          result.unwound.push_back(context.name);
+          contexts_.pop_back();
+        }
+        return result;
+      }
+      // Handler ran but could not recover: propagate (§2.1 "or it is not
+      // able to recover the program").
+    }
+    result.unwound.push_back(context.name);
+    contexts_.pop_back();
+  }
+  return result;  // handled == false: the whole activity failed
+}
+
+}  // namespace caa::ex

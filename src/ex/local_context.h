@@ -1,0 +1,90 @@
+// Local (intra-object) exception contexts and propagation — the §2.1/§2.3
+// machinery that the distributed scheme builds upon.
+//
+// "Exception contexts (i.e. regions in which the same exceptions are
+// treated in the same way) have to be declared. Very often they are blocks
+// or procedure bodies. ... If the handler for the raised exception does not
+// exist in the context or it is not able to recover the program, then the
+// exception is propagated" — through the chain of nested blocks / calls.
+//
+// Supports both models of §2.1:
+//   * termination — the handler completes the block; execution continues
+//     after it (the model CA actions adhere to, §3.1);
+//   * resumption  — the handler repairs state and execution resumes at the
+//     operation following the raise point.
+//
+// This is a *local* runner: no messages, one object. The distributed layer
+// (caa::Participant) uses the same HandlerTable/ExceptionTree vocabulary.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ex/exception_tree.h"
+#include "ex/handler_table.h"
+
+namespace caa::ex {
+
+enum class Model : std::uint8_t { kTermination, kResumption };
+
+/// What a local handler decided.
+enum class LocalOutcome : std::uint8_t {
+  kHandled,     // recovered (terminates or resumes per the context's model)
+  kPropagate,   // could not recover: propagate to the enclosing context
+};
+
+using LocalHandler = std::function<LocalOutcome(ExceptionId raised)>;
+
+/// A stack of nested local exception contexts for one thread of control.
+class LocalContextRunner {
+ public:
+  explicit LocalContextRunner(const ExceptionTree& tree) : tree_(tree) {}
+
+  /// Enters a context (block / method body / object scope, §2.3).
+  /// `handlers` maps exception -> handler; lookup walks the tree upward
+  /// (a handler for an ancestor covers descendants).
+  void enter_context(std::string name, Model model = Model::kTermination);
+
+  /// Attaches a handler for `exception` to the CURRENT context.
+  void attach(ExceptionId exception, LocalHandler handler);
+
+  /// Leaves the current context normally.
+  void leave_context();
+
+  /// Result of raising locally.
+  struct RaiseResult {
+    bool handled = false;            // a handler recovered
+    bool resumed = false;            // true under the resumption model
+    std::string context;             // context whose handler ran
+    ExceptionId handler_for;         // the (possibly covering) handler key
+    std::vector<std::string> unwound;  // contexts terminated on the way
+  };
+
+  /// Raises `exception` in the current context; searches this context's
+  /// handlers (exact, then covering ancestors), then propagates outward,
+  /// terminating contexts on the way (termination model) until a handler
+  /// recovers. If nothing recovers, handled=false and ALL contexts are
+  /// unwound — the caller must treat it as a failure of the whole activity.
+  RaiseResult raise(ExceptionId exception);
+
+  [[nodiscard]] std::size_t depth() const { return contexts_.size(); }
+  [[nodiscard]] const std::string& current() const;
+
+ private:
+  struct Context {
+    std::string name;
+    Model model;
+    std::vector<std::pair<ExceptionId, LocalHandler>> handlers;
+  };
+
+  /// Best handler in `context` for `exception`: exact match or the nearest
+  /// covering ancestor attached there.
+  [[nodiscard]] const std::pair<ExceptionId, LocalHandler>* lookup(
+      const Context& context, ExceptionId exception) const;
+
+  const ExceptionTree& tree_;
+  std::vector<Context> contexts_;
+};
+
+}  // namespace caa::ex

@@ -1,0 +1,57 @@
+// Link parameterization: latency and fault models for point-to-point
+// channels.
+//
+// §2 of the paper: "the time of message passing is not negligible" and both
+// transient network errors and node crashes are in the fault model. Channels
+// therefore have configurable base latency, jitter, per-byte cost, and
+// probabilistic drop/duplicate faults, all driven by deterministic RNG.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace caa::net {
+
+struct LinkParams {
+  sim::Time latency_base = 100;    // ticks
+  sim::Time latency_jitter = 0;    // uniform [0, jitter]
+  sim::Time per_byte = 0;          // additional ticks per payload byte
+  double drop_probability = 0.0;   // transient loss
+  double duplicate_probability = 0.0;
+
+  /// A conventional LAN-ish profile used by most tests and benches.
+  static LinkParams lan() { return LinkParams{100, 20, 0, 0.0, 0.0}; }
+  /// A zero-jitter, loss-free profile for message-count benches: makes
+  /// traces fully deterministic irrespective of seeds.
+  static LinkParams ideal() { return LinkParams{100, 0, 0, 0.0, 0.0}; }
+  /// A lossy profile for exercising the reliable transport (E12).
+  static LinkParams lossy(double p) { return LinkParams{100, 20, 0, p, 0.0}; }
+};
+
+/// Per-ordered-pair channel state: enforces FIFO delivery by never
+/// scheduling a delivery earlier than the previously scheduled one.
+struct ChannelState {
+  LinkParams params;
+  Rng rng{0};
+  sim::Time last_delivery = 0;
+  bool partitioned = false;
+
+  /// Samples the delivery time for a packet of `bytes` sent at `now`,
+  /// advancing FIFO state.
+  sim::Time sample_delivery_time(sim::Time now, std::size_t bytes) {
+    sim::Time lat = params.latency_base;
+    if (params.latency_jitter > 0) {
+      lat += static_cast<sim::Time>(
+          rng.below(static_cast<std::uint64_t>(params.latency_jitter) + 1));
+    }
+    lat += params.per_byte * static_cast<sim::Time>(bytes);
+    sim::Time at = now + lat;
+    if (at < last_delivery) at = last_delivery;  // FIFO clamp
+    last_delivery = at;
+    return at;
+  }
+};
+
+}  // namespace caa::net

@@ -1,0 +1,37 @@
+#include "net/group.h"
+
+#include "util/check.h"
+
+namespace caa::net {
+
+GroupId GroupDirectory::create(std::vector<ObjectId> members) {
+  CAA_CHECK_MSG(!members.empty(), "empty group");
+  std::sort(members.begin(), members.end());
+  CAA_CHECK_MSG(std::adjacent_find(members.begin(), members.end()) ==
+                    members.end(),
+                "duplicate group member");
+  const GroupId id(next_id_++);
+  groups_.emplace(id, std::move(members));
+  return id;
+}
+
+void GroupDirectory::dissolve(GroupId group) {
+  CAA_CHECK_MSG(groups_.erase(group) == 1, "dissolving unknown group");
+}
+
+bool GroupDirectory::exists(GroupId group) const {
+  return groups_.contains(group);
+}
+
+const std::vector<ObjectId>& GroupDirectory::members(GroupId group) const {
+  auto it = groups_.find(group);
+  CAA_CHECK_MSG(it != groups_.end(), "unknown group");
+  return it->second;
+}
+
+bool GroupDirectory::is_member(GroupId group, ObjectId object) const {
+  const auto& m = members(group);
+  return std::binary_search(m.begin(), m.end(), object);
+}
+
+}  // namespace caa::net

@@ -1,0 +1,42 @@
+// Closed-group membership directory (§4.5).
+//
+// "Participating objects in a CA action could be treated as members of a
+// closed group which multicasts service messages to all members." The
+// directory records group membership; multicast itself is a loop of
+// point-to-point sends at the runtime layer (each counted individually, as
+// in the paper's analysis, which counts N-1 messages per multicast).
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace caa::net {
+
+class GroupDirectory {
+ public:
+  /// Creates a closed group over `members`. Members are stored sorted —
+  /// the total order of §4.1 that picks the resolving object.
+  GroupId create(std::vector<ObjectId> members);
+
+  /// Dissolves a group (e.g. when its CA action instance completes).
+  void dissolve(GroupId group);
+
+  [[nodiscard]] bool exists(GroupId group) const;
+
+  /// Sorted member list.
+  [[nodiscard]] const std::vector<ObjectId>& members(GroupId group) const;
+
+  [[nodiscard]] bool is_member(GroupId group, ObjectId object) const;
+
+  /// Number of live groups.
+  [[nodiscard]] std::size_t size() const { return groups_.size(); }
+
+ private:
+  std::unordered_map<GroupId, std::vector<ObjectId>> groups_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace caa::net

@@ -1,0 +1,57 @@
+#include "net/message.h"
+
+namespace caa::net {
+
+std::string_view kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kInvalid: return "Invalid";
+    case MsgKind::kTransportAck: return "TransportAck";
+    case MsgKind::kException: return "Exception";
+    case MsgKind::kHaveNested: return "HaveNested";
+    case MsgKind::kNestedCompleted: return "NestedCompleted";
+    case MsgKind::kAck: return "ACK";
+    case MsgKind::kCommit: return "Commit";
+    case MsgKind::kCrRaise: return "CrRaise";
+    case MsgKind::kCrCommit: return "CrCommit";
+    case MsgKind::kCrAck: return "CrAck";
+    case MsgKind::kArcheReport: return "ArcheReport";
+    case MsgKind::kArcheConcerted: return "ArcheConcerted";
+    case MsgKind::kCentralException: return "CentralException";
+    case MsgKind::kCentralFreeze: return "CentralFreeze";
+    case MsgKind::kCentralFrozenAck: return "CentralFrozenAck";
+    case MsgKind::kCentralCommit: return "CentralCommit";
+    case MsgKind::kActionJoin: return "ActionJoin";
+    case MsgKind::kActionJoinAck: return "ActionJoinAck";
+    case MsgKind::kActionDone: return "ActionDone";
+    case MsgKind::kActionLeave: return "ActionLeave";
+    case MsgKind::kActionAborted: return "ActionAborted";
+    case MsgKind::kTxnOpRequest: return "TxnOpRequest";
+    case MsgKind::kTxnOpReply: return "TxnOpReply";
+    case MsgKind::kTxnPrepare: return "TxnPrepare";
+    case MsgKind::kTxnVote: return "TxnVote";
+    case MsgKind::kTxnDecision: return "TxnDecision";
+    case MsgKind::kTxnDecisionAck: return "TxnDecisionAck";
+    case MsgKind::kHeartbeat: return "Heartbeat";
+    case MsgKind::kAppData: return "AppData";
+  }
+  return "Unknown";
+}
+
+bool is_resolution_kind(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kException:
+    case MsgKind::kHaveNested:
+    case MsgKind::kNestedCompleted:
+    case MsgKind::kAck:
+    case MsgKind::kCommit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_transport_kind(MsgKind kind) {
+  return kind == MsgKind::kTransportAck;
+}
+
+}  // namespace caa::net

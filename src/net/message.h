@@ -1,0 +1,104 @@
+// Packet and message-kind registry.
+//
+// The network layer moves opaque, serialized packets between objects; the
+// `kind` field classifies them so the accounting layer can reproduce the
+// paper's per-message-type counts (§4.4) without inspecting payloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/wire.h"
+#include "util/ids.h"
+
+namespace caa::net {
+
+/// A fully qualified object address: the node hosting it plus its object id.
+struct Address {
+  NodeId node;
+  ObjectId object;
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+};
+
+/// Message kinds. Grouped in bands per module so counter names stay tidy.
+/// Kinds 1..15 are transport-internal and excluded from protocol accounting.
+enum class MsgKind : std::uint16_t {
+  kInvalid = 0,
+
+  // Transport control (never counted as protocol messages).
+  kTransportAck = 1,
+
+  // Resolution protocol (§4.2) — the five messages of the paper.
+  kException = 100,
+  kHaveNested = 101,
+  kNestedCompleted = 102,
+  kAck = 103,
+  kCommit = 104,
+
+  // CR baseline protocol (§3.3 / [5]).
+  kCrRaise = 120,
+  kCrCommit = 121,
+  kCrAck = 122,
+
+  // Arche-style baseline.
+  kArcheReport = 130,
+  kArcheConcerted = 131,
+
+  // Centralized resolution strategy (§4.5 alternative).
+  kCentralException = 140,
+  kCentralFreeze = 141,
+  kCentralFrozenAck = 142,
+  kCentralCommit = 143,
+
+  // CA action management (entry/exit synchronization).
+  kActionJoin = 200,
+  kActionJoinAck = 201,
+  kActionDone = 202,
+  kActionLeave = 203,
+  kActionAborted = 204,
+
+  // Transactions on external atomic objects.
+  kTxnOpRequest = 300,
+  kTxnOpReply = 301,
+  kTxnPrepare = 302,
+  kTxnVote = 303,
+  kTxnDecision = 304,
+  kTxnDecisionAck = 305,
+
+  // Failure-detection extension.
+  kHeartbeat = 500,
+
+  // Application-level messages (examples, workloads).
+  kAppData = 1000,
+};
+
+/// Human-readable name of a kind (used as counter suffix).
+[[nodiscard]] std::string_view kind_name(MsgKind kind);
+
+/// True for the five messages of the paper's resolution algorithm; the
+/// benches count exactly these to reproduce §4.4.
+[[nodiscard]] bool is_resolution_kind(MsgKind kind);
+
+/// True for transport-internal control traffic.
+[[nodiscard]] bool is_transport_kind(MsgKind kind);
+
+/// The unit moved by the network.
+struct Packet {
+  Address src;
+  Address dst;
+  MsgKind kind = MsgKind::kInvalid;
+  Bytes payload;
+
+  // Transport metadata (reliable-link sequence numbers). Not part of the
+  // application payload; set and consumed by the transport.
+  std::uint64_t transport_seq = 0;
+
+  [[nodiscard]] std::size_t size_on_wire() const {
+    return payload.size() + 24;  // header estimate: addresses + kind + seq
+  }
+};
+
+}  // namespace caa::net

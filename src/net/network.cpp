@@ -1,0 +1,122 @@
+#include "net/network.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace caa::net {
+
+Network::Network(sim::Simulator& simulator, std::uint64_t seed)
+    : simulator_(simulator), seed_(seed) {}
+
+void Network::add_node(NodeId node) {
+  CAA_CHECK_MSG(node.valid(), "invalid node id");
+  auto [it, inserted] = nodes_.emplace(node, NodeState{});
+  CAA_CHECK_MSG(inserted, "node already registered");
+  (void)it;
+}
+
+bool Network::has_node(NodeId node) const { return nodes_.contains(node); }
+
+void Network::set_endpoint(NodeId node, Handler handler) {
+  auto it = nodes_.find(node);
+  CAA_CHECK_MSG(it != nodes_.end(), "set_endpoint: unknown node");
+  it->second.handler = std::move(handler);
+}
+
+void Network::set_link(NodeId src, NodeId dst, LinkParams params) {
+  channel(src, dst).params = params;
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  auto it = nodes_.find(node);
+  CAA_CHECK_MSG(it != nodes_.end(), "set_node_up: unknown node");
+  it->second.up = up;
+}
+
+bool Network::node_up(NodeId node) const {
+  auto it = nodes_.find(node);
+  CAA_CHECK_MSG(it != nodes_.end(), "node_up: unknown node");
+  return it->second.up;
+}
+
+void Network::set_partitioned(NodeId a, NodeId b, bool partitioned) {
+  channel(a, b).partitioned = partitioned;
+  channel(b, a).partitioned = partitioned;
+}
+
+ChannelState& Network::channel(NodeId src, NodeId dst) {
+  auto key = std::make_pair(src, dst);
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    ChannelState state;
+    state.params = default_params_;
+    // Seed deterministically from the pair so behaviour does not depend on
+    // channel creation order.
+    const std::uint64_t mix =
+        seed_ ^ (static_cast<std::uint64_t>(src.value()) << 32) ^
+        (static_cast<std::uint64_t>(dst.value()) + 0x9e3779b97f4a7c15ULL);
+    state.rng = Rng(mix);
+    it = channels_.emplace(key, std::move(state)).first;
+  }
+  return it->second;
+}
+
+void Network::count(const char* what, MsgKind kind, std::int64_t bytes) {
+  std::string name = "net.";
+  name += what;
+  name += '.';
+  name += kind_name(kind);
+  simulator_.counters().add(name);
+  if (bytes >= 0) simulator_.counters().add("net.bytes_sent", bytes);
+}
+
+void Network::send(Packet packet) {
+  CAA_CHECK_MSG(nodes_.contains(packet.src.node), "send: unknown src node");
+  CAA_CHECK_MSG(nodes_.contains(packet.dst.node), "send: unknown dst node");
+  const auto kind = packet.kind;
+  count("sent", kind, static_cast<std::int64_t>(packet.size_on_wire()));
+
+  if (!node_up(packet.src.node)) {
+    count("dropped", kind);
+    return;  // a crashed node cannot send
+  }
+
+  ChannelState& ch = channel(packet.src.node, packet.dst.node);
+  if (ch.partitioned || ch.rng.chance(ch.params.drop_probability)) {
+    count("dropped", kind);
+    return;
+  }
+
+  const bool duplicate = ch.rng.chance(ch.params.duplicate_probability);
+  const sim::Time at = ch.sample_delivery_time(simulator_.now(),
+                                               packet.size_on_wire());
+  if (duplicate) {
+    count("duplicated", kind);
+    Packet copy = packet;
+    const sim::Time at2 = ch.sample_delivery_time(simulator_.now(),
+                                                  copy.size_on_wire());
+    simulator_.schedule_at(at2, [this, p = std::move(copy)]() mutable {
+      deliver(std::move(p));
+    });
+  }
+  simulator_.schedule_at(at, [this, p = std::move(packet)]() mutable {
+    deliver(std::move(p));
+  });
+}
+
+void Network::deliver(Packet&& packet) {
+  auto it = nodes_.find(packet.dst.node);
+  CAA_CHECK(it != nodes_.end());
+  if (!it->second.up) {
+    count("dropped", packet.kind);
+    return;  // destination crashed while the packet was in flight
+  }
+  CAA_CHECK_MSG(static_cast<bool>(it->second.handler),
+                "deliver: node has no endpoint");
+  count("delivered", packet.kind);
+  ++delivered_total_;
+  it->second.handler(std::move(packet));
+}
+
+}  // namespace caa::net

@@ -1,0 +1,77 @@
+// The simulated network: nodes, FIFO channels, fault injection, accounting.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "net/channel.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace caa::net {
+
+/// Moves packets between node endpoints over per-pair FIFO channels with
+/// configurable latency and faults. All sends are asynchronous: the packet
+/// is delivered (or dropped) by a simulator event.
+///
+/// Accounting: counters in the simulator are updated per kind —
+///   net.sent.<Kind>, net.delivered.<Kind>, net.dropped.<Kind>,
+///   net.duplicated.<Kind>, net.bytes_sent.
+class Network {
+ public:
+  using Handler = std::function<void(Packet&&)>;
+
+  explicit Network(sim::Simulator& simulator, std::uint64_t seed = 42);
+
+  /// Registers a node. Nodes start up.
+  void add_node(NodeId node);
+  [[nodiscard]] bool has_node(NodeId node) const;
+
+  /// Installs the packet handler for a node (its transport endpoint).
+  void set_endpoint(NodeId node, Handler handler);
+
+  /// Default parameters for channels created lazily.
+  void set_default_link(LinkParams params) { default_params_ = params; }
+
+  /// Overrides parameters of one directed channel.
+  void set_link(NodeId src, NodeId dst, LinkParams params);
+
+  /// Crashes / restarts a node. Packets to or from a down node are dropped.
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const;
+
+  /// Cuts / heals both directions between two nodes.
+  void set_partitioned(NodeId a, NodeId b, bool partitioned);
+
+  /// Sends a packet. The source node must be up; delivery is scheduled per
+  /// the channel's latency model unless a fault drops the packet.
+  void send(Packet packet);
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+  /// Total packets delivered since construction (all kinds).
+  [[nodiscard]] std::int64_t delivered_total() const {
+    return delivered_total_;
+  }
+
+ private:
+  struct NodeState {
+    Handler handler;
+    bool up = true;
+  };
+
+  ChannelState& channel(NodeId src, NodeId dst);
+  void deliver(Packet&& packet);
+  void count(const char* what, MsgKind kind, std::int64_t bytes = -1);
+
+  sim::Simulator& simulator_;
+  std::uint64_t seed_;
+  LinkParams default_params_ = LinkParams::lan();
+  std::unordered_map<NodeId, NodeState> nodes_;
+  std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;
+  std::int64_t delivered_total_ = 0;
+};
+
+}  // namespace caa::net

@@ -1,0 +1,123 @@
+#include "net/reliable_link.h"
+
+#include "util/check.h"
+
+namespace caa::net {
+
+DirectTransport::DirectTransport(Network& network, NodeId node)
+    : network_(network), node_(node) {
+  network_.set_endpoint(node, [this](Packet&& p) {
+    CAA_CHECK_MSG(static_cast<bool>(handler_), "transport has no handler");
+    handler_(std::move(p));
+  });
+}
+
+void DirectTransport::send(Packet packet) {
+  CAA_CHECK_MSG(packet.src.node == node_, "send from foreign node");
+  network_.send(std::move(packet));
+}
+
+ReliableTransport::ReliableTransport(Network& network, NodeId node,
+                                     Options options)
+    : network_(network), node_(node), options_(options) {
+  network_.set_endpoint(node, [this](Packet&& p) { on_network(std::move(p)); });
+}
+
+ReliableTransport::~ReliableTransport() {
+  // Cancel all pending retransmission timers so no event fires into a dead
+  // object (the simulator may outlive this transport in tests).
+  for (auto& [dst, peer] : tx_) {
+    for (auto& [seq, pending] : peer.outstanding) {
+      if (pending.timer.valid()) {
+        network_.simulator().cancel(pending.timer);
+      }
+    }
+  }
+}
+
+void ReliableTransport::send(Packet packet) {
+  CAA_CHECK_MSG(packet.src.node == node_, "send from foreign node");
+  PeerTx& peer = tx_[packet.dst.node];
+  const std::uint64_t seq = peer.next_seq++;
+  packet.transport_seq = seq;
+  const NodeId dst = packet.dst.node;
+  peer.outstanding.emplace(seq, Pending{std::move(packet), EventId{}, 0});
+  transmit(dst, seq);
+}
+
+void ReliableTransport::transmit(NodeId dst, std::uint64_t seq) {
+  auto& peer = tx_[dst];
+  auto it = peer.outstanding.find(seq);
+  if (it == peer.outstanding.end()) return;  // already acked
+  network_.send(it->second.packet);          // copy stays in outstanding
+  arm_timer(dst, seq);
+}
+
+void ReliableTransport::arm_timer(NodeId dst, std::uint64_t seq) {
+  auto& peer = tx_[dst];
+  auto it = peer.outstanding.find(seq);
+  CAA_CHECK(it != peer.outstanding.end());
+  it->second.timer =
+      network_.simulator().schedule_after(options_.rto, [this, dst, seq] {
+        auto& p = tx_[dst];
+        auto pit = p.outstanding.find(seq);
+        if (pit == p.outstanding.end()) return;  // acked meanwhile
+        pit->second.timer = EventId{};
+        if (++pit->second.retries > options_.max_retries) {
+          network_.simulator().counters().add("net.reliable.gave_up");
+          p.outstanding.erase(pit);
+          return;
+        }
+        network_.simulator().counters().add("net.reliable.retransmit");
+        transmit(dst, seq);
+      });
+}
+
+void ReliableTransport::send_ack(const Packet& data) {
+  Packet ack;
+  ack.src = Address{node_, ObjectId::invalid()};
+  ack.dst = Address{data.src.node, ObjectId::invalid()};
+  ack.kind = MsgKind::kTransportAck;
+  WireWriter w;
+  w.u64(data.transport_seq);
+  ack.payload = std::move(w).take();
+  network_.send(std::move(ack));
+}
+
+void ReliableTransport::on_network(Packet&& packet) {
+  if (packet.kind == MsgKind::kTransportAck) {
+    WireReader r(packet.payload);
+    auto seq = r.u64();
+    if (!seq.is_ok()) return;  // malformed ack: ignore
+    auto& peer = tx_[packet.src.node];
+    auto it = peer.outstanding.find(seq.value());
+    if (it != peer.outstanding.end()) {
+      if (it->second.timer.valid()) {
+        network_.simulator().cancel(it->second.timer);
+      }
+      peer.outstanding.erase(it);
+    }
+    return;
+  }
+
+  // Data packet: ack it, dedup, release in order.
+  send_ack(packet);
+  PeerRx& peer = rx_[packet.src.node];
+  const std::uint64_t seq = packet.transport_seq;
+  if (seq < peer.expected) {
+    network_.simulator().counters().add("net.reliable.dup_dropped");
+    return;
+  }
+  peer.reorder.emplace(seq, std::move(packet));  // no-op if seq buffered
+  while (true) {
+    auto it = peer.reorder.find(peer.expected);
+    if (it == peer.reorder.end()) break;
+    Packet next = std::move(it->second);
+    peer.reorder.erase(it);
+    ++peer.expected;
+    CAA_CHECK_MSG(static_cast<bool>(handler_), "transport has no handler");
+    handler_(std::move(next));
+  }
+}
+
+}  // namespace caa::net

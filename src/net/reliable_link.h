@@ -1,0 +1,92 @@
+// Transport layer: per-node sending endpoints.
+//
+// DirectTransport assumes loss-free channels (the configuration used for the
+// paper's message-count benches: §4.4 counts protocol messages, not
+// transport retransmissions). ReliableTransport implements what §4.5 assumes
+// from the environment — reliable FIFO delivery over lossy links — with
+// per-peer sequence numbers, positive acks, retransmission timers, duplicate
+// suppression and in-order release.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "net/network.h"
+
+namespace caa::net {
+
+/// Interface between the object runtime and the network.
+class Transport {
+ public:
+  using Handler = std::function<void(Packet&&)>;
+
+  virtual ~Transport() = default;
+  virtual void send(Packet packet) = 0;
+  virtual void set_handler(Handler handler) = 0;
+};
+
+/// Pass-through transport for loss-free networks.
+class DirectTransport final : public Transport {
+ public:
+  DirectTransport(Network& network, NodeId node);
+  void send(Packet packet) override;
+  void set_handler(Handler handler) override { handler_ = std::move(handler); }
+
+ private:
+  Network& network_;
+  NodeId node_;
+  Handler handler_;
+};
+
+struct ReliableOptions {
+  sim::Time rto = 500;  // retransmission timeout, ticks
+  int max_retries = 30;
+};
+
+/// Stop-and-go reliable transport with a per-peer send window.
+///
+/// Guarantees delivered exactly-once, per-peer FIFO, as long as the channel
+/// loss is transient. After `max_retries` unacknowledged retransmissions the
+/// packet is abandoned and `net.reliable.gave_up` is counted — the upper
+/// layers treat that as a node failure.
+class ReliableTransport final : public Transport {
+ public:
+  using Options = ReliableOptions;
+
+  ReliableTransport(Network& network, NodeId node,
+                    Options options = Options());
+  ~ReliableTransport() override;
+
+  void send(Packet packet) override;
+  void set_handler(Handler handler) override { handler_ = std::move(handler); }
+
+ private:
+  struct Pending {
+    Packet packet;
+    EventId timer;
+    int retries = 0;
+  };
+  struct PeerTx {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, Pending> outstanding;
+  };
+  struct PeerRx {
+    std::uint64_t expected = 1;
+    std::map<std::uint64_t, Packet> reorder;
+  };
+
+  void on_network(Packet&& packet);
+  void transmit(NodeId dst, std::uint64_t seq);
+  void arm_timer(NodeId dst, std::uint64_t seq);
+  void send_ack(const Packet& data);
+
+  Network& network_;
+  NodeId node_;
+  Options options_;
+  Handler handler_;
+  std::unordered_map<NodeId, PeerTx> tx_;
+  std::unordered_map<NodeId, PeerRx> rx_;
+};
+
+}  // namespace caa::net

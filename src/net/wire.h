@@ -1,0 +1,75 @@
+// Binary wire format.
+//
+// Nodes in the paper's system model live in disjoint address spaces and
+// communicate only by messages (§2.1), so every protocol message in this
+// library is explicitly serialized to bytes and parsed on arrival — no
+// pointer ever crosses a (simulated) node boundary.
+//
+// Encoding: little-endian fixed-width integers, varint-free for simplicity;
+// strings and blobs are length-prefixed with u32.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace caa::net {
+
+using Bytes = std::vector<std::byte>;
+
+/// Appends primitive values to a byte buffer.
+class WireWriter {
+ public:
+  WireWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view v);
+  void blob(const Bytes& v);
+
+  [[nodiscard]] const Bytes& bytes() const& { return buffer_; }
+  [[nodiscard]] Bytes take() && { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Reads primitive values back out of a byte buffer; all reads are
+/// bounds-checked and report malformed input via Status (a remote node must
+/// never be able to crash us with a bad packet).
+class WireReader {
+ public:
+  explicit WireReader(const Bytes& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  WireReader(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int64_t> i64();
+  Result<bool> boolean();
+  Result<std::string> str();
+  Result<Bytes> blob();
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+
+ private:
+  Status need(std::size_t n);
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace caa::net

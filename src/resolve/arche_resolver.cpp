@@ -1,0 +1,61 @@
+#include "resolve/arche_resolver.h"
+
+#include "net/wire.h"
+#include "util/check.h"
+
+namespace caa::resolve {
+
+void ArcheCoordinator::configure(Config config) {
+  CAA_CHECK_MSG(config.tree != nullptr, "Arche coordinator needs a tree");
+  CAA_CHECK_MSG(!config.members.empty(), "Arche group needs members");
+  if (!config.resolution) {
+    const ex::ExceptionTree* tree = config.tree;
+    config.resolution = [tree](const std::vector<ExceptionId>& raised) {
+      return tree->resolve(raised);
+    };
+  }
+  config_ = std::move(config);
+}
+
+void ArcheCoordinator::on_message(ObjectId from, net::MsgKind kind,
+                                  const net::Bytes& payload) {
+  (void)from;
+  if (kind != net::MsgKind::kArcheReport) return;
+  net::WireReader r(payload);
+  auto exception = r.u32();
+  if (!exception.is_ok()) return;
+  const ExceptionId e(exception.value());
+  if (e.valid()) reported_.push_back(e);
+  ++reports_;
+  if (reports_ < config_.members.size()) return;
+
+  // All members reported: compute the concerted exception and reply.
+  concerted_ = reported_.empty() ? ExceptionId::invalid()
+                                 : config_.resolution(reported_);
+  done_ = true;
+  net::WireWriter w;
+  w.u32(concerted_.value());
+  const net::Bytes reply = std::move(w).take();
+  for (ObjectId member : config_.members) {
+    send(member, net::MsgKind::kArcheConcerted, reply);
+  }
+}
+
+void ArcheMember::finish(ExceptionId exception) {
+  CAA_CHECK_MSG(coordinator_.valid(), "member not configured");
+  net::WireWriter w;
+  w.u32(exception.value());
+  send(coordinator_, net::MsgKind::kArcheReport, std::move(w).take());
+}
+
+void ArcheMember::on_message(ObjectId from, net::MsgKind kind,
+                             const net::Bytes& payload) {
+  (void)from;
+  if (kind != net::MsgKind::kArcheConcerted) return;
+  net::WireReader r(payload);
+  auto exception = r.u32();
+  if (!exception.is_ok()) return;
+  concerted_ = ExceptionId(exception.value());
+}
+
+}  // namespace caa::resolve

@@ -1,0 +1,67 @@
+// Baseline: Arche-style exception resolution (§4.4, [12]).
+//
+// Arche resolves multiple exceptions propagated from several objects of the
+// same type through a *resolution function* evaluated at the point of a
+// multi-function call: every callee reports its exception (or none), the
+// caller computes one "concerted" exception and handles it. This maps to a
+// coordinator gathering one report per member and multicasting the result —
+// 2N messages, but structurally limited: it needs the synchronous
+// multi-call, cannot express nested actions, belated participants or
+// abortion, and is restricted to NVP-style groups (all members finish
+// together). The benches use it as the cheap-but-limited reference point.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ex/exception_tree.h"
+#include "rt/managed_object.h"
+
+namespace caa::resolve {
+
+/// The coordinator (the multi-function caller).
+class ArcheCoordinator : public rt::ManagedObject {
+ public:
+  /// `resolution` defaults to the LCA over the reported exceptions.
+  struct Config {
+    std::vector<ObjectId> members;
+    const ex::ExceptionTree* tree = nullptr;
+    std::function<ExceptionId(const std::vector<ExceptionId>&)> resolution;
+  };
+
+  void configure(Config config);
+
+  [[nodiscard]] ExceptionId concerted() const { return concerted_; }
+  [[nodiscard]] bool done() const { return done_; }
+
+  void on_message(ObjectId from, net::MsgKind kind,
+                  const net::Bytes& payload) override;
+
+ private:
+  Config config_;
+  std::vector<ExceptionId> reported_;
+  std::size_t reports_ = 0;
+  ExceptionId concerted_;
+  bool done_ = false;
+};
+
+/// A member of the multi-function call: reports its outcome at call end.
+class ArcheMember : public rt::ManagedObject {
+ public:
+  void configure(ObjectId coordinator) { coordinator_ = coordinator; }
+
+  /// Finishes the member's part of the call, optionally with an exception.
+  void finish(ExceptionId exception = ExceptionId::invalid());
+
+  [[nodiscard]] ExceptionId concerted() const { return concerted_; }
+
+  void on_message(ObjectId from, net::MsgKind kind,
+                  const net::Bytes& payload) override;
+
+ private:
+  ObjectId coordinator_;
+  ExceptionId concerted_;
+};
+
+}  // namespace caa::resolve

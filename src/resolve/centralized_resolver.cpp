@@ -1,0 +1,122 @@
+#include "resolve/centralized_resolver.h"
+
+#include <algorithm>
+
+#include "net/wire.h"
+#include "rt/runtime.h"
+#include "util/check.h"
+
+namespace caa::resolve {
+
+namespace {
+net::Bytes encode_exception(ExceptionId e) {
+  net::WireWriter w;
+  w.u32(e.value());
+  return std::move(w).take();
+}
+
+Result<ExceptionId> decode_exception_id(const net::Bytes& bytes) {
+  net::WireReader r(bytes);
+  auto v = r.u32();
+  if (!v.is_ok()) return v.status();
+  return ExceptionId(v.value());
+}
+}  // namespace
+
+void CentralizedParticipant::configure(Config config) {
+  CAA_CHECK_MSG(config.tree != nullptr, "centralized resolver needs a tree");
+  CAA_CHECK(std::is_sorted(config.members.begin(), config.members.end()));
+  CAA_CHECK(std::binary_search(config.members.begin(), config.members.end(),
+                               id()));
+  config_ = std::move(config);
+}
+
+void CentralizedParticipant::raise(ExceptionId exception) {
+  if (frozen_ || resolved_.valid()) {
+    runtime().simulator().counters().add("central.raise_superseded");
+    return;
+  }
+  CAA_CHECK(config_.tree->contains(exception));
+  if (is_manager()) {
+    manager_on_exception(id(), exception);
+  } else {
+    send(config_.members.front(), net::MsgKind::kCentralException,
+         encode_exception(exception));
+  }
+}
+
+void CentralizedParticipant::manager_on_exception(ObjectId raiser,
+                                                  ExceptionId exception) {
+  (void)raiser;
+  if (resolved_.valid()) return;  // a late exception after commit: dropped
+  collected_.push_back(exception);
+  if (!freeze_sent_) {
+    freeze_sent_ = true;
+    frozen_ = true;
+    for (ObjectId member : config_.members) {
+      if (member == id()) continue;
+      send(member, net::MsgKind::kCentralFreeze, net::Bytes{});
+    }
+  }
+  manager_maybe_commit();
+}
+
+void CentralizedParticipant::manager_on_frozen_ack(ObjectId from,
+                                                   ExceptionId pending) {
+  if (pending.valid()) collected_.push_back(pending);
+  acked_[from] = true;
+  manager_maybe_commit();
+}
+
+void CentralizedParticipant::manager_maybe_commit() {
+  if (!freeze_sent_ || resolved_.valid()) return;
+  for (ObjectId member : config_.members) {
+    if (member == id()) continue;
+    auto it = acked_.find(member);
+    if (it == acked_.end() || !it->second) return;
+  }
+  resolved_ = config_.tree->resolve(collected_);
+  const net::Bytes payload = encode_exception(resolved_);
+  for (ObjectId member : config_.members) {
+    if (member == id()) continue;
+    send(member, net::MsgKind::kCentralCommit, payload);
+  }
+}
+
+void CentralizedParticipant::on_message(ObjectId from, net::MsgKind kind,
+                                        const net::Bytes& payload) {
+  switch (kind) {
+    case net::MsgKind::kCentralException: {
+      CAA_CHECK_MSG(is_manager(), "Exception routed to a non-manager");
+      auto e = decode_exception_id(payload);
+      if (!e.is_ok()) return;
+      manager_on_exception(from, e.value());
+      return;
+    }
+    case net::MsgKind::kCentralFreeze: {
+      frozen_ = true;
+      // No exception can be pending here: a raise before the Freeze was
+      // already sent on the same FIFO channel and will be collected first.
+      send(config_.members.front(), net::MsgKind::kCentralFrozenAck,
+           encode_exception(ExceptionId::invalid()));
+      return;
+    }
+    case net::MsgKind::kCentralFrozenAck: {
+      CAA_CHECK_MSG(is_manager(), "FrozenAck routed to a non-manager");
+      auto e = decode_exception_id(payload);
+      if (!e.is_ok()) return;
+      manager_on_frozen_ack(from, e.value());
+      return;
+    }
+    case net::MsgKind::kCentralCommit: {
+      auto e = decode_exception_id(payload);
+      if (!e.is_ok()) return;
+      resolved_ = e.value();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace caa::resolve

@@ -1,0 +1,67 @@
+// Alternative strategy: CENTRALIZED exception resolution (§4.5).
+//
+// The paper notes that a meta-object implementation "would allow the
+// dynamic change of different resolution algorithms (e.g. centralised or
+// decentralised)". This is the centralized one, for flat actions: a fixed
+// manager object (the smallest participant id, by convention) collects
+// exceptions, freezes the group, resolves, and multicasts the result.
+//
+//   raiser -> manager:   Exception            (P messages)
+//   manager -> all:      Freeze               (N-1)
+//   all -> manager:      FrozenAck(+pending)  (N-1)
+//   manager -> all:      Commit               (N-1)
+//
+// Total ~ 3(N-1) + P: fewer messages than the decentralized algorithm's
+// (N-1)(2P+1), but the manager is a serial bottleneck and a single point
+// of failure, and latency is always >= 3 hops — the trade-off the
+// comparison bench quantifies.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ex/exception_tree.h"
+#include "rt/managed_object.h"
+
+namespace caa::resolve {
+
+class CentralizedParticipant : public rt::ManagedObject {
+ public:
+  struct Config {
+    std::vector<ObjectId> members;  // sorted, includes self
+    const ex::ExceptionTree* tree = nullptr;
+  };
+
+  void configure(Config config);
+
+  [[nodiscard]] bool is_manager() const {
+    return !config_.members.empty() && config_.members.front() == id();
+  }
+
+  /// Application-level raise (ignored once frozen/committed).
+  void raise(ExceptionId exception);
+
+  [[nodiscard]] ExceptionId resolved() const { return resolved_; }
+  [[nodiscard]] bool handled() const { return resolved_.valid(); }
+
+  void on_message(ObjectId from, net::MsgKind kind,
+                  const net::Bytes& payload) override;
+
+ private:
+  // Manager side.
+  void manager_on_exception(ObjectId raiser, ExceptionId exception);
+  void manager_on_frozen_ack(ObjectId from, ExceptionId pending);
+  void manager_maybe_commit();
+
+  Config config_;
+  // Shared state.
+  bool frozen_ = false;
+  ExceptionId resolved_;
+  // Manager state.
+  std::vector<ExceptionId> collected_;
+  std::map<ObjectId, bool> acked_;
+  bool freeze_sent_ = false;
+};
+
+}  // namespace caa::resolve

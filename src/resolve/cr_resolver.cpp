@@ -1,0 +1,129 @@
+#include "resolve/cr_resolver.h"
+
+#include <algorithm>
+
+#include "net/wire.h"
+#include "rt/runtime.h"
+#include "util/check.h"
+
+namespace caa::resolve {
+
+namespace {
+net::Bytes encode_raise(ObjectId origin, ExceptionId exception) {
+  net::WireWriter w;
+  w.u32(origin.value());
+  w.u32(exception.value());
+  return std::move(w).take();
+}
+
+net::Bytes encode_commit(ExceptionId resolved) {
+  net::WireWriter w;
+  w.u32(resolved.value());
+  return std::move(w).take();
+}
+}  // namespace
+
+void CrParticipant::configure(Config config) {
+  CAA_CHECK_MSG(config.tree != nullptr, "CR participant needs a tree");
+  CAA_CHECK_MSG(config.handled.contains(config.tree->root()),
+                "reduced tree must include the root (default handler)");
+  CAA_CHECK(std::is_sorted(config.members.begin(), config.members.end()));
+  config_ = std::move(config);
+}
+
+void CrParticipant::multicast(net::MsgKind kind, const net::Bytes& payload) {
+  for (ObjectId member : config_.members) {
+    if (member == id()) continue;
+    send(member, kind, payload);
+  }
+}
+
+void CrParticipant::raise(ExceptionId exception) { raise_internal(exception); }
+
+void CrParticipant::raise_internal(ExceptionId exception) {
+  if (committed_ || known_.contains(exception)) return;
+  known_.insert(exception);
+  raisers_.insert(id());
+  ++raises_sent_;
+  multicast(net::MsgKind::kCrRaise, encode_raise(id(), exception));
+  reconsider();
+  bump_timer();
+}
+
+void CrParticipant::reconsider() {
+  if (known_.empty() || committed_) return;
+  const std::vector<ExceptionId> ids(known_.begin(), known_.end());
+  const ExceptionId r = config_.tree->resolve(ids);
+  if (config_.handled.contains(r)) return;
+  // Third source of exceptions (§3.3): no handler for the resolved
+  // exception here — raise the nearest exception we can handle above it.
+  ExceptionId cursor = r;
+  while (!config_.handled.contains(cursor)) {
+    CAA_CHECK(cursor != config_.tree->root());
+    cursor = config_.tree->parent(cursor);
+  }
+  raise_internal(cursor);
+}
+
+void CrParticipant::bump_timer() {
+  if (timer_.valid()) cancel(timer_);
+  timer_ = schedule_after(config_.stability_delay, [this] {
+    timer_ = EventId{};
+    on_stable();
+  });
+}
+
+void CrParticipant::on_stable() {
+  if (committed_ || known_.empty()) return;
+  if (raisers_.empty() || *raisers_.rbegin() != id()) return;
+  const std::vector<ExceptionId> ids(known_.begin(), known_.end());
+  resolved_ = config_.tree->resolve(ids);
+  multicast(net::MsgKind::kCrCommit, encode_commit(resolved_));
+  committed_ = true;
+  ExceptionId h = resolved_;
+  while (!config_.handled.contains(h)) h = config_.tree->parent(h);
+  handler_ran_ = h;
+}
+
+void CrParticipant::on_message(ObjectId from, net::MsgKind kind,
+                               const net::Bytes& payload) {
+  switch (kind) {
+    case net::MsgKind::kCrRaise: {
+      net::WireReader r(payload);
+      auto origin = r.u32();
+      auto exception = r.u32();
+      if (!origin.is_ok() || !exception.is_ok()) return;
+      send(from, net::MsgKind::kCrAck, net::Bytes{});
+      if (committed_) return;
+      const ExceptionId e(exception.value());
+      raisers_.insert(ObjectId(origin.value()));
+      if (known_.insert(e).second) {
+        reconsider();
+        bump_timer();
+      }
+      return;
+    }
+    case net::MsgKind::kCrAck:
+      return;
+    case net::MsgKind::kCrCommit: {
+      net::WireReader r(payload);
+      auto resolved = r.u32();
+      if (!resolved.is_ok()) return;
+      if (committed_) return;
+      committed_ = true;
+      if (timer_.valid()) {
+        cancel(timer_);
+        timer_ = EventId{};
+      }
+      resolved_ = ExceptionId(resolved.value());
+      ExceptionId h = resolved_;
+      while (!config_.handled.contains(h)) h = config_.tree->parent(h);
+      handler_ran_ = h;
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace caa::resolve

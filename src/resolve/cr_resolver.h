@@ -1,0 +1,74 @@
+// Baseline: the Campbell–Randell 1986 exception-resolution algorithm, as
+// characterized in §3.3 and compared against in §4.4.
+//
+// Differences from the paper's new algorithm, reproduced faithfully here:
+//  * Each participant only has handlers for a *reduced* tree (a subset of
+//    the declared exceptions), not for all of them.
+//  * Third source of exceptions: a participant informed of an exception it
+//    has no handler for walks up the full tree to the nearest exception it
+//    CAN handle and raises that one too — which on adversarial (chain)
+//    trees with staggered handler sets produces the §3.3 "domino effect".
+//  * Every participant re-resolves after every raise, and raises are
+//    broadcast + individually acknowledged, giving O(N^3) messages in the
+//    worst case (each of N objects re-raises O(N) times, each raise costing
+//    O(N) messages).
+//  * Termination/commit uses a stability timeout: when no new exception has
+//    been learned for `stability_delay`, the largest-id raiser broadcasts
+//    CrCommit and every participant starts the handler nearest (in its
+//    reduced tree) to the resolved exception.
+//
+// The baseline only supports flat (non-nested) actions — nested abortion is
+// exactly what [5] left unspecified (§3.3) — which is all the comparison
+// benches need.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "ex/exception_tree.h"
+#include "rt/managed_object.h"
+
+namespace caa::resolve {
+
+class CrParticipant : public rt::ManagedObject {
+ public:
+  struct Config {
+    std::vector<ObjectId> members;       // sorted, includes self
+    const ex::ExceptionTree* tree = nullptr;
+    std::set<ExceptionId> handled;       // reduced tree (must include root)
+    sim::Time stability_delay = 2000;
+  };
+
+  void configure(Config config);
+
+  /// Application-level raise.
+  void raise(ExceptionId exception);
+
+  void on_message(ObjectId from, net::MsgKind kind,
+                  const net::Bytes& payload) override;
+
+  /// The exception whose handler ran here (invalid until commit).
+  [[nodiscard]] ExceptionId handler_ran() const { return handler_ran_; }
+  /// The globally resolved exception (invalid until commit).
+  [[nodiscard]] ExceptionId resolved() const { return resolved_; }
+  /// Number of raise broadcasts this object performed (incl. re-raises).
+  [[nodiscard]] int raises_sent() const { return raises_sent_; }
+
+ private:
+  void raise_internal(ExceptionId exception);
+  void reconsider();
+  void bump_timer();
+  void on_stable();
+  void multicast(net::MsgKind kind, const net::Bytes& payload);
+
+  Config config_;
+  std::set<ExceptionId> known_;
+  std::set<ObjectId> raisers_;
+  EventId timer_;
+  int raises_sent_ = 0;
+  ExceptionId handler_ran_;
+  ExceptionId resolved_;
+  bool committed_ = false;
+};
+
+}  // namespace caa::resolve

@@ -1,0 +1,77 @@
+// The five protocol messages of the paper's resolution algorithm (§4.1):
+//   Exception(A, O_i, E)        — raised E within action A
+//   HaveNested(O_i, A)          — O_i is inside an action nested in A and
+//                                 starts aborting it
+//   NestedCompleted(A, O_i, E)  — abortion finished; E optionally signalled
+//   ACK(O_i)                    — acknowledges an Exception/NestedCompleted
+//   Commit(E)                   — resolution result, from the chosen object
+//
+// Every message is scoped to one action *instance* so that messages of
+// aborted nested instances can be recognized and discarded, and carries a
+// *round* number — our clarification of the paper's "wait until all
+// exception messages are handled": within one action instance, resolution
+// rounds are numbered, stale-round messages are acknowledged but not
+// recorded, and future-round messages are buffered.
+#pragma once
+
+#include <cstdint>
+
+#include "net/message.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace caa::resolve {
+
+struct ExceptionMsg {
+  ActionInstanceId scope;
+  std::uint32_t round = 0;
+  ObjectId raiser;
+  ExceptionId exception;
+};
+
+struct HaveNestedMsg {
+  ActionInstanceId scope;
+  std::uint32_t round = 0;
+  ObjectId sender;
+};
+
+struct NestedCompletedMsg {
+  ActionInstanceId scope;
+  std::uint32_t round = 0;
+  ObjectId sender;
+  ExceptionId signalled;  // invalid() when the abortion signalled nothing
+};
+
+struct AckMsg {
+  ActionInstanceId scope;
+  std::uint32_t round = 0;
+  ObjectId sender;
+};
+
+struct CommitMsg {
+  ActionInstanceId scope;
+  std::uint32_t round = 0;
+  ObjectId resolver;
+  ExceptionId resolved;
+};
+
+net::Bytes encode(const ExceptionMsg& m);
+net::Bytes encode(const HaveNestedMsg& m);
+net::Bytes encode(const NestedCompletedMsg& m);
+net::Bytes encode(const AckMsg& m);
+net::Bytes encode(const CommitMsg& m);
+
+Result<ExceptionMsg> decode_exception(const net::Bytes& bytes);
+Result<HaveNestedMsg> decode_have_nested(const net::Bytes& bytes);
+Result<NestedCompletedMsg> decode_nested_completed(const net::Bytes& bytes);
+Result<AckMsg> decode_ack(const net::Bytes& bytes);
+Result<CommitMsg> decode_commit(const net::Bytes& bytes);
+
+/// Scope and round of any resolution-kind packet, without full decoding.
+struct ScopeRound {
+  ActionInstanceId scope;
+  std::uint32_t round = 0;
+};
+Result<ScopeRound> peek_scope_round(const net::Bytes& bytes);
+
+}  // namespace caa::resolve

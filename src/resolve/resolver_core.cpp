@@ -1,0 +1,341 @@
+#include "resolve/resolver_core.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace caa::resolve {
+
+std::string_view to_string(ResolverCore::State state) {
+  switch (state) {
+    case ResolverCore::State::kNormal: return "N";
+    case ResolverCore::State::kExceptional: return "X";
+    case ResolverCore::State::kSuspended: return "S";
+    case ResolverCore::State::kReady: return "R";
+    case ResolverCore::State::kAborting: return "A";
+    case ResolverCore::State::kHandling: return "H";
+  }
+  return "?";
+}
+
+ResolverCore::ResolverCore(ObjectId self, std::vector<ObjectId> members,
+                           const ex::ExceptionTree* tree,
+                           ActionInstanceId scope, std::uint32_t round,
+                           Hooks hooks, std::uint32_t committee)
+    : self_(self),
+      members_(std::move(members)),
+      tree_(tree),
+      scope_(scope),
+      round_(round),
+      hooks_(std::move(hooks)),
+      committee_(committee == 0 ? 1 : committee) {
+  CAA_CHECK_MSG(tree_ != nullptr, "resolver needs an exception tree");
+  CAA_CHECK_MSG(std::is_sorted(members_.begin(), members_.end()),
+                "members must be sorted (§4.1 ordering)");
+  CAA_CHECK_MSG(
+      std::binary_search(members_.begin(), members_.end(), self_),
+      "self must be a group member");
+}
+
+void ResolverCore::trace(std::string_view event, std::string detail) {
+  if (hooks_.trace) hooks_.trace(event, std::move(detail));
+}
+
+void ResolverCore::raise(ExceptionId exception, std::string message) {
+  CAA_CHECK_MSG(state_ == State::kNormal,
+                "raise() allowed only in the Normal state (one exception per "
+                "object per action, §4.1)");
+  CAA_CHECK_MSG(tree_->contains(exception),
+                "raise(): exception not declared in the action's tree");
+  state_ = State::kExceptional;
+  record_exception(exception, self_, std::move(message));
+  awaiting_acks_ = true;
+  trace("raise", tree_->name_of(exception));
+  hooks_.multicast(net::MsgKind::kException,
+                   encode(ExceptionMsg{scope_, round_, self_, exception}));
+  maybe_ready();  // degenerate single-member group resolves immediately
+}
+
+void ResolverCore::on_trigger_while_nested(
+    std::variant<ExceptionMsg, HaveNestedMsg> trigger) {
+  if (state_ == State::kAborting) {
+    // Already aborting for this scope: just queue the trigger message; it
+    // will be recorded/ACKed after abortion like any other.
+    std::visit([this](const auto& m) { queued_.push_back(m); }, trigger);
+    return;
+  }
+  CAA_CHECK_MSG(state_ == State::kNormal,
+                "nested trigger in a non-Normal outer context");
+  state_ = State::kAborting;
+  trace("state N->aborting");
+  hooks_.multicast(net::MsgKind::kHaveNested,
+                   encode(HaveNestedMsg{scope_, round_, self_}));
+  std::visit([this](const auto& m) { queued_.push_back(m); }, trigger);
+  hooks_.abort_nested([this](ExceptionId signalled) {
+    abort_finished(signalled);
+  });
+}
+
+void ResolverCore::abort_finished(ExceptionId signalled) {
+  CAA_CHECK(state_ == State::kAborting);
+  // §4.2: "empty LE_i, LO_i, LP_i" — state of any *nested* resolution was
+  // discarded with the nested contexts; this engine's own lists can only
+  // hold entries queued for this scope, which we are about to replay, so
+  // clearing here mirrors the pseudo-code.
+  le_.clear();
+  lo_.clear();
+  acks_.clear();
+  raisers_.clear();
+  awaiting_acks_ = true;  // NestedCompleted is acknowledged by every member
+  hooks_.multicast(
+      net::MsgKind::kNestedCompleted,
+      encode(NestedCompletedMsg{scope_, round_, self_, signalled}));
+  if (signalled.valid()) {
+    state_ = State::kExceptional;
+    record_exception(signalled, self_, "signalled by abortion handler");
+    trace("abort done, signalling", tree_->name_of(signalled));
+  } else {
+    state_ = State::kSuspended;
+    trace("abort done, nothing signalled");
+  }
+  // Replay messages that arrived during the abortion.
+  std::vector<AnyMsg> queued = std::move(queued_);
+  queued_.clear();
+  for (const auto& m : queued) process(m);
+  maybe_ready();
+}
+
+void ResolverCore::process(const AnyMsg& m) {
+  std::visit(
+      [this](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, ExceptionMsg>) {
+          handle_exception(msg);
+        } else if constexpr (std::is_same_v<T, HaveNestedMsg>) {
+          handle_have_nested(msg);
+        } else if constexpr (std::is_same_v<T, NestedCompletedMsg>) {
+          handle_nested_completed(msg);
+        } else if constexpr (std::is_same_v<T, AckMsg>) {
+          handle_ack(msg);
+        } else {
+          handle_commit(msg);
+        }
+      },
+      m);
+}
+
+void ResolverCore::on_exception(const ExceptionMsg& m) {
+  if (state_ == State::kAborting) {
+    queued_.push_back(m);
+    return;
+  }
+  handle_exception(m);
+}
+
+void ResolverCore::on_have_nested(const HaveNestedMsg& m) {
+  if (state_ == State::kAborting) {
+    queued_.push_back(m);
+    return;
+  }
+  handle_have_nested(m);
+}
+
+void ResolverCore::on_nested_completed(const NestedCompletedMsg& m) {
+  if (state_ == State::kAborting) {
+    queued_.push_back(m);
+    return;
+  }
+  handle_nested_completed(m);
+}
+
+void ResolverCore::on_ack(const AckMsg& m) {
+  if (state_ == State::kAborting) {
+    queued_.push_back(m);
+    return;
+  }
+  handle_ack(m);
+}
+
+void ResolverCore::on_commit(const CommitMsg& m) {
+  if (state_ == State::kAborting) {
+    queued_.push_back(m);
+    return;
+  }
+  handle_commit(m);
+}
+
+void ResolverCore::handle_exception(const ExceptionMsg& m) {
+  CAA_CHECK(m.scope == scope_ && m.round == round_);
+  CAA_CHECK_MSG(state_ != State::kHandling,
+                "router must not deliver into a finished round");
+  suspend_if_normal();
+  record_exception(m.exception, m.raiser);
+  send_ack(m.raiser);
+  maybe_ready();
+}
+
+void ResolverCore::handle_have_nested(const HaveNestedMsg& m) {
+  CAA_CHECK(m.scope == scope_ && m.round == round_);
+  suspend_if_normal();
+  // Not completed yet (unless NestedCompleted somehow already arrived, which
+  // FIFO channels rule out; emplace keeps an existing `true`).
+  lo_.emplace(m.sender, false);
+  if (hooks_.purge_nested_from) hooks_.purge_nested_from(m.sender);
+  trace("have_nested from", "O" + std::to_string(m.sender.value()));
+}
+
+void ResolverCore::handle_nested_completed(const NestedCompletedMsg& m) {
+  CAA_CHECK(m.scope == scope_ && m.round == round_);
+  suspend_if_normal();
+  lo_[m.sender] = true;
+  send_ack(m.sender);
+  if (m.signalled.valid()) {
+    record_exception(m.signalled, m.sender);
+  }
+  maybe_ready();
+}
+
+void ResolverCore::handle_ack(const AckMsg& m) {
+  CAA_CHECK(m.scope == scope_ && m.round == round_);
+  acks_.insert(m.sender);
+  maybe_ready();
+}
+
+void ResolverCore::handle_commit(const CommitMsg& m) {
+  CAA_CHECK(m.scope == scope_ && m.round == round_);
+  pending_commit_ = m;
+  if (state_ == State::kSuspended || state_ == State::kReady) {
+    finish(m);
+  }
+  // In kExceptional we hold the commit until Ready (all our ACKs in) so the
+  // round closes only when nobody still needs our bookkeeping.
+  maybe_ready();
+}
+
+void ResolverCore::record_exception(ExceptionId exception, ObjectId raiser,
+                                    std::string message) {
+  CAA_CHECK_MSG(tree_->contains(exception),
+                "exception not declared in this action's resolution tree");
+  if (raisers_.insert(raiser).second) {
+    le_.push_back(ex::Exception{exception, raiser, scope_, std::move(message)});
+  }
+}
+
+void ResolverCore::send_ack(ObjectId to) {
+  hooks_.send(to, net::MsgKind::kAck, encode(AckMsg{scope_, round_, self_}));
+}
+
+void ResolverCore::suspend_if_normal() {
+  if (state_ == State::kNormal) {
+    state_ = State::kSuspended;
+    trace("state N->S");
+  }
+}
+
+bool ResolverCore::all_acks_received() const {
+  for (ObjectId member : members_) {
+    if (member == self_) continue;
+    if (!acks_.contains(member) && !excluded_.contains(member)) return false;
+  }
+  return true;
+}
+
+bool ResolverCore::all_nested_completed() const {
+  return std::all_of(lo_.begin(), lo_.end(), [this](const auto& kv) {
+    return kv.second || excluded_.contains(kv.first);
+  });
+}
+
+bool ResolverCore::self_in_committee() const {
+  CAA_CHECK(!raisers_.empty());
+  // The `committee_` largest LIVE raisers resolve (§4.4 extension; with
+  // committee == 1 this is exactly the paper's "biggest number among all
+  // objects that raised exceptions").
+  std::uint32_t rank = 0;
+  for (auto it = raisers_.rbegin(); it != raisers_.rend(); ++it) {
+    if (excluded_.contains(*it)) continue;
+    if (*it == self_) return rank < committee_;
+    ++rank;
+    if (rank >= committee_) return false;
+  }
+  return false;  // self not a live raiser (cannot happen while in X)
+}
+
+bool ResolverCore::has_live_raiser() const {
+  for (ObjectId raiser : raisers_) {
+    if (!excluded_.contains(raiser)) return true;
+  }
+  return false;
+}
+
+void ResolverCore::raise_from_suspended(ExceptionId exception) {
+  CAA_CHECK_MSG(state_ == State::kSuspended,
+                "raise_from_suspended(): not Suspended");
+  CAA_CHECK_MSG(!has_live_raiser(),
+                "raise_from_suspended(): a live raiser still exists");
+  CAA_CHECK(tree_->contains(exception));
+  state_ = State::kExceptional;
+  record_exception(exception, self_, "raiser crashed; survivor promoted");
+  awaiting_acks_ = true;
+  trace("raise (promoted from S)", tree_->name_of(exception));
+  hooks_.multicast(net::MsgKind::kException,
+                   encode(ExceptionMsg{scope_, round_, self_, exception}));
+  maybe_ready();
+}
+
+void ResolverCore::exclude_member(ObjectId peer) {
+  if (peer == self_ ||
+      !std::binary_search(members_.begin(), members_.end(), peer)) {
+    return;
+  }
+  if (!excluded_.insert(peer).second) return;
+  trace("member excluded (crash)", "O" + std::to_string(peer.value()));
+  maybe_ready();
+}
+
+void ResolverCore::maybe_ready() {
+  if (state_ != State::kExceptional) {
+    // A Ready object with a buffered commit finishes as soon as possible.
+    if (state_ == State::kReady && pending_commit_) finish(*pending_commit_);
+    return;
+  }
+  if (!awaiting_acks_ || !all_acks_received() || !all_nested_completed()) {
+    return;
+  }
+  state_ = State::kReady;
+  trace("state X->R");
+  if (pending_commit_) {
+    finish(*pending_commit_);
+    return;
+  }
+  if (self_in_committee()) {
+    // §4.2: the object with the biggest number among the raisers resolves
+    // (generalized to the top-`committee_` live raisers, §4.4 extension).
+    std::vector<ExceptionId> ids;
+    ids.reserve(le_.size());
+    for (const auto& e : le_) ids.push_back(e.id);
+    const ExceptionId resolved = tree_->resolve(ids);
+    trace("resolving as chosen object", tree_->name_of(resolved));
+    hooks_.multicast(net::MsgKind::kCommit,
+                     encode(CommitMsg{scope_, round_, self_, resolved}));
+    finish(CommitMsg{scope_, round_, self_, resolved});
+  }
+}
+
+void ResolverCore::finish(const CommitMsg& m) {
+  CAA_CHECK(state_ != State::kHandling);
+  CAA_CHECK_MSG(state_ != State::kNormal,
+                "commit delivered to a Normal object");
+  state_ = State::kHandling;
+  resolved_ = m.resolved;
+  trace("commit", tree_->name_of(m.resolved) + " from O" +
+                      std::to_string(m.resolver.value()));
+  // §4.2: "empty LE_i, LO_i, LP_i; start handler for E".
+  le_.clear();
+  lo_.clear();
+  acks_.clear();
+  raisers_.clear();
+  hooks_.start_handler(m.resolved, m.resolver);
+}
+
+}  // namespace caa::resolve

@@ -1,0 +1,184 @@
+// The distributed exception-resolution state machine of §4.2 — the paper's
+// primary contribution — for ONE participant in ONE action instance during
+// ONE resolution round.
+//
+// The engine is pure protocol logic: all I/O happens through injected hooks
+// (multicast / send / abort-nested / start-handler), which makes it unit-
+// testable by feeding messages directly, and reusable over any transport.
+//
+// State mapping to the paper:
+//   kNormal      = N
+//   kExceptional = X  (an exception was raised here, or our abortion
+//                      handlers signalled one)
+//   kSuspended   = S  (we learned of an exception elsewhere)
+//   kReady       = R  (X + all ACKs received + all nested completions in)
+//   kAborting    —  transient sub-state of the paper's nested branch, while
+//                    abortion handlers of nested actions run (the paper's
+//                    pseudo-code treats abortion as one atomic step; with
+//                    real handler durations it is asynchronous)
+//   kHandling    —  terminal for the round: Commit processed, handler started
+//
+// Data mapping: le_ = LE_i, lo_ = LO_i, acks_ = LP_i. (SA_i, the context
+// stack, lives in caa::Participant, which owns one engine per context.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ex/exception.h"
+#include "ex/exception_tree.h"
+#include "resolve/messages.h"
+
+namespace caa::resolve {
+
+class ResolverCore {
+ public:
+  enum class State : std::uint8_t {
+    kNormal,
+    kExceptional,
+    kSuspended,
+    kReady,
+    kAborting,
+    kHandling,
+  };
+
+  struct Hooks {
+    /// Sends a protocol message to every group member except self.
+    std::function<void(net::MsgKind, net::Bytes)> multicast;
+    /// Sends a protocol message to one member.
+    std::function<void(ObjectId, net::MsgKind, net::Bytes)> send;
+    /// Aborts all actions nested below this scope (abortion handlers,
+    /// innermost first) and eventually calls done(signalled) with the one
+    /// exception the *directly* nested action's abortion handler signalled,
+    /// or invalid if none. Asynchronous: may complete after simulated time.
+    std::function<void(std::function<void(ExceptionId)> done)> abort_nested;
+    /// Starts this participant's handler for the resolved exception.
+    std::function<void(ExceptionId resolved, ObjectId resolver)> start_handler;
+    /// §4.2 "clean up messages related to nested actions": peer announced
+    /// HaveNested, so its buffered messages scoped to nested actions are
+    /// obsolete.
+    std::function<void(ObjectId peer)> purge_nested_from;
+    /// Optional trace callback (event, detail).
+    std::function<void(std::string_view, std::string)> trace;
+  };
+
+  /// `members` must be the sorted participant list of the action (G_A),
+  /// including `self` — the §4.1 total order.
+  ///
+  /// `committee` implements the paper's fault-tolerance extension ("the
+  /// algorithm can be easily extended to the use of a group of objects that
+  /// are responsible for performing resolution and producing the commit
+  /// messages", §4.4): the `committee` largest raisers each resolve and
+  /// multicast Commit. Every Ready raiser knows the complete LE set (FIFO +
+  /// suspension argument), so all commits carry the same resolved
+  /// exception; receivers apply the first and drop the duplicates as
+  /// stale. Cost: an extra (committee-1)(N-1) messages — a constant factor.
+  ResolverCore(ObjectId self, std::vector<ObjectId> members,
+               const ex::ExceptionTree* tree, ActionInstanceId scope,
+               std::uint32_t round, Hooks hooks, std::uint32_t committee = 1);
+
+  /// Crash-tolerance extension (fail-stop model): marks a group member as
+  /// crashed. The member no longer counts towards ACK completeness, its
+  /// pending nested completion is waived, and it is skipped when choosing
+  /// the resolving object(s). Exceptions it managed to send remain in LE.
+  void exclude_member(ObjectId peer);
+
+  /// Crash-tolerance extension: true iff some KNOWN raiser is still alive.
+  /// When false while Suspended, the round can never commit (no live
+  /// object is allowed to resolve) — a survivor must promote itself with
+  /// raise_from_suspended().
+  [[nodiscard]] bool has_live_raiser() const;
+
+  /// Crash-tolerance extension: raises `exception` from the Suspended
+  /// state. Only legal when every known raiser has been excluded; the
+  /// caller becomes a raiser so the resolution can complete among the
+  /// survivors.
+  void raise_from_suspended(ExceptionId exception);
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] std::uint32_t round() const { return round_; }
+  [[nodiscard]] ActionInstanceId scope() const { return scope_; }
+
+  /// The LE list (raised exceptions known so far).
+  [[nodiscard]] const std::vector<ex::Exception>& exceptions() const {
+    return le_;
+  }
+
+  /// Local raise. Precondition: state is Normal (an object whose
+  /// application code is suspended or already exceptional cannot raise —
+  /// §4.1 allows one exception per object per action).
+  void raise(ExceptionId exception, std::string message = {});
+
+  /// Called by the owner when a trigger message (Exception or HaveNested in
+  /// this scope) arrives while this participant's *active* action is nested
+  /// below this scope. Implements the paper's HaveNested branch. The trigger
+  /// itself is processed after abortion completes.
+  void on_trigger_while_nested(
+      std::variant<ExceptionMsg, HaveNestedMsg> trigger);
+
+  /// Message deliveries for this scope+round (router guarantees both match).
+  void on_exception(const ExceptionMsg& m);
+  void on_have_nested(const HaveNestedMsg& m);
+  void on_nested_completed(const NestedCompletedMsg& m);
+  void on_ack(const AckMsg& m);
+  void on_commit(const CommitMsg& m);
+
+  /// True once the round finished (handler started).
+  [[nodiscard]] bool finished() const { return state_ == State::kHandling; }
+
+  /// Resolution result, valid once finished().
+  [[nodiscard]] ExceptionId resolved() const { return resolved_; }
+
+ private:
+  using AnyMsg = std::variant<ExceptionMsg, HaveNestedMsg, NestedCompletedMsg,
+                              AckMsg, CommitMsg>;
+
+  void process(const AnyMsg& m);
+  void handle_exception(const ExceptionMsg& m);
+  void handle_have_nested(const HaveNestedMsg& m);
+  void handle_nested_completed(const NestedCompletedMsg& m);
+  void handle_ack(const AckMsg& m);
+  void handle_commit(const CommitMsg& m);
+
+  void abort_finished(ExceptionId signalled);
+  void record_exception(ExceptionId exception, ObjectId raiser,
+                        std::string message = {});
+  void send_ack(ObjectId to);
+  void suspend_if_normal();
+  void maybe_ready();
+  void finish(const CommitMsg& m);
+  void trace(std::string_view event, std::string detail = {});
+
+  [[nodiscard]] bool all_acks_received() const;
+  [[nodiscard]] bool all_nested_completed() const;
+  [[nodiscard]] bool self_in_committee() const;
+
+  ObjectId self_;
+  std::vector<ObjectId> members_;  // sorted, includes self
+  const ex::ExceptionTree* tree_;
+  ActionInstanceId scope_;
+  std::uint32_t round_;
+  Hooks hooks_;
+  std::uint32_t committee_ = 1;
+  std::set<ObjectId> excluded_;  // crashed members (extension)
+
+  State state_ = State::kNormal;
+  std::vector<ex::Exception> le_;        // LE_i
+  std::map<ObjectId, bool> lo_;          // LO_i: sender -> nested completed?
+  std::set<ObjectId> acks_;              // LP_i
+  std::set<ObjectId> raisers_;
+  bool awaiting_acks_ = false;  // we multicast Exception or NestedCompleted
+  std::optional<CommitMsg> pending_commit_;
+  std::vector<AnyMsg> queued_;  // messages deferred while kAborting
+  ExceptionId resolved_;
+};
+
+[[nodiscard]] std::string_view to_string(ResolverCore::State state);
+
+}  // namespace caa::resolve

@@ -1,0 +1,64 @@
+#include "rt/heartbeat.h"
+
+#include "rt/runtime.h"
+#include "util/check.h"
+
+namespace caa::rt {
+
+void HeartbeatMonitor::start(std::vector<ObjectId> peers, Config config) {
+  CAA_CHECK_MSG(!running_, "monitor already running");
+  CAA_CHECK_MSG(config.interval > 0 && config.timeout > config.interval,
+                "timeout must exceed the beat interval");
+  config_ = std::move(config);
+  peers_ = std::move(peers);
+  const sim::Time now_time = now();
+  for (ObjectId p : peers_) {
+    last_seen_[p] = now_time;  // grace period: assume alive at start
+    suspected_[p] = false;
+  }
+  running_ = true;
+  tick();
+}
+
+void HeartbeatMonitor::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (timer_.valid()) {
+    cancel(timer_);
+    timer_ = EventId{};
+  }
+}
+
+bool HeartbeatMonitor::suspects(ObjectId peer) const {
+  auto it = suspected_.find(peer);
+  return it != suspected_.end() && it->second;
+}
+
+void HeartbeatMonitor::tick() {
+  if (!running_) return;
+  for (ObjectId p : peers_) {
+    send(p, net::MsgKind::kHeartbeat, net::Bytes{});
+  }
+  const sim::Time now_time = now();
+  for (ObjectId p : peers_) {
+    if (suspected_[p]) continue;
+    if (now_time - last_seen_[p] > config_.timeout) {
+      suspected_[p] = true;
+      runtime().simulator().counters().add("rt.crash_suspicions");
+      if (config_.on_crash) config_.on_crash(p);
+    }
+  }
+  timer_ = schedule_after(config_.interval, [this] { tick(); });
+}
+
+void HeartbeatMonitor::on_message(ObjectId from, net::MsgKind kind,
+                                  const net::Bytes& payload) {
+  (void)payload;
+  if (kind != net::MsgKind::kHeartbeat) return;
+  last_seen_[from] = now();
+  // A previously suspected peer that speaks again stays suspected: the
+  // fail-stop model has no recovery; restarted nodes must rejoin with a
+  // fresh identity.
+}
+
+}  // namespace caa::rt

@@ -1,0 +1,54 @@
+// Heartbeat-based failure detector (crash-tolerance extension).
+//
+// §4.5 points at "group communication and a group membership service" as
+// the natural substrate; this is the membership half: one monitor per node
+// exchanges periodic heartbeats with its peers and reports a peer as
+// crashed once nothing has been heard for `timeout` ticks. Fail-stop is
+// assumed for the *extension* (the base algorithm needs no detector).
+//
+// The detector is timing-based and therefore unreliable in the
+// theoretical sense: a slow link can cause a false suspicion. Pick
+// timeout >> max round-trip for the configured link parameters.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "rt/managed_object.h"
+
+namespace caa::rt {
+
+class HeartbeatMonitor : public ManagedObject {
+ public:
+  struct Config {
+    sim::Time interval = 500;   // beat period
+    sim::Time timeout = 2000;   // silence threshold for suspicion
+    /// Called once per crashed peer, with the peer *monitor's* object id.
+    std::function<void(ObjectId peer)> on_crash;
+  };
+
+  /// Starts beating to / watching `peers` (other monitors' object ids).
+  /// The monitor keeps firing until stop() — callers using
+  /// run_to_quiescence() must stop all monitors first (or run_until()).
+  void start(std::vector<ObjectId> peers, Config config);
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool suspects(ObjectId peer) const;
+
+  void on_message(ObjectId from, net::MsgKind kind,
+                  const net::Bytes& payload) override;
+
+ private:
+  void tick();
+
+  Config config_;
+  std::vector<ObjectId> peers_;
+  std::map<ObjectId, sim::Time> last_seen_;
+  std::map<ObjectId, bool> suspected_;
+  EventId timer_;
+  bool running_ = false;
+};
+
+}  // namespace caa::rt

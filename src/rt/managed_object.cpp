@@ -1,0 +1,45 @@
+#include "rt/managed_object.h"
+
+#include "rt/runtime.h"
+#include "util/check.h"
+
+namespace caa::rt {
+
+ManagedObject::~ManagedObject() {
+  if (runtime_ != nullptr) {
+    runtime_->detach(id_);
+  }
+}
+
+const std::string& ManagedObject::name() const {
+  CAA_CHECK(attached());
+  return runtime_->directory().name_of(id_);
+}
+
+Runtime& ManagedObject::runtime() const {
+  CAA_CHECK(attached());
+  return *runtime_;
+}
+
+void ManagedObject::send(ObjectId to, net::MsgKind kind,
+                         net::Bytes payload) const {
+  CAA_CHECK(attached());
+  runtime_->send(id_, to, kind, std::move(payload));
+}
+
+EventId ManagedObject::schedule_after(sim::Time delay, sim::EventFn fn) const {
+  CAA_CHECK(attached());
+  return runtime_->simulator().schedule_after(delay, std::move(fn));
+}
+
+bool ManagedObject::cancel(EventId id) const {
+  CAA_CHECK(attached());
+  return runtime_->simulator().cancel(id);
+}
+
+sim::Time ManagedObject::now() const {
+  CAA_CHECK(attached());
+  return runtime_->simulator().now();
+}
+
+}  // namespace caa::rt

@@ -1,0 +1,50 @@
+// Base class for distributed objects hosted by a node runtime.
+#pragma once
+
+#include <string>
+
+#include "net/message.h"
+#include "sim/event_queue.h"
+#include "util/ids.h"
+
+namespace caa::rt {
+
+class Runtime;
+
+/// A distributed object: receives messages via its hosting Runtime and
+/// sends messages to other objects by id. Subclasses implement
+/// on_message(); all interaction is asynchronous message passing (§2).
+class ManagedObject {
+ public:
+  ManagedObject() = default;
+  ManagedObject(const ManagedObject&) = delete;
+  ManagedObject& operator=(const ManagedObject&) = delete;
+  virtual ~ManagedObject();
+
+  [[nodiscard]] ObjectId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const;
+  [[nodiscard]] Runtime& runtime() const;
+  [[nodiscard]] bool attached() const { return runtime_ != nullptr; }
+
+  /// Invoked by the runtime when a packet addressed to this object arrives.
+  virtual void on_message(ObjectId from, net::MsgKind kind,
+                          const net::Bytes& payload) = 0;
+
+ protected:
+  /// Sends `payload` to `to` (possibly on another node).
+  void send(ObjectId to, net::MsgKind kind, net::Bytes payload) const;
+
+  /// Schedules a local callback after `delay` virtual ticks (models local
+  /// computation time, e.g. a handler body).
+  EventId schedule_after(sim::Time delay, sim::EventFn fn) const;
+  bool cancel(EventId id) const;
+
+  [[nodiscard]] sim::Time now() const;
+
+ private:
+  friend class Runtime;
+  Runtime* runtime_ = nullptr;
+  ObjectId id_;
+};
+
+}  // namespace caa::rt

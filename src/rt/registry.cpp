@@ -1,0 +1,32 @@
+#include "rt/registry.h"
+
+#include "util/check.h"
+
+namespace caa::rt {
+
+ObjectId Directory::register_object(std::string name, NodeId node) {
+  CAA_CHECK_MSG(!find(name).valid(), "duplicate object name");
+  entries_.push_back(Entry{std::move(name), node});
+  return ObjectId(static_cast<std::uint32_t>(entries_.size() - 1));
+}
+
+net::Address Directory::address_of(ObjectId object) const {
+  CAA_CHECK_MSG(object.value() < entries_.size(), "unknown object id");
+  return net::Address{entries_[object.value()].node, object};
+}
+
+const std::string& Directory::name_of(ObjectId object) const {
+  CAA_CHECK_MSG(object.value() < entries_.size(), "unknown object id");
+  return entries_[object.value()].name;
+}
+
+ObjectId Directory::find(std::string_view name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) {
+      return ObjectId(static_cast<std::uint32_t>(i));
+    }
+  }
+  return ObjectId::invalid();
+}
+
+}  // namespace caa::rt

@@ -1,0 +1,68 @@
+#include "rt/runtime.h"
+
+#include "util/check.h"
+
+namespace caa::rt {
+
+Runtime::Runtime(sim::Simulator& simulator, Directory& directory, NodeId node,
+                 std::unique_ptr<net::Transport> transport)
+    : simulator_(simulator),
+      directory_(directory),
+      node_(node),
+      transport_(std::move(transport)),
+      trace_(&null_trace_) {
+  CAA_CHECK_MSG(transport_ != nullptr, "runtime needs a transport");
+  transport_->set_handler([this](net::Packet&& p) { dispatch(std::move(p)); });
+}
+
+ObjectId Runtime::attach(ManagedObject& object, std::string name) {
+  CAA_CHECK_MSG(!object.attached(), "object already attached");
+  const ObjectId id = directory_.register_object(std::move(name), node_);
+  object.runtime_ = this;
+  object.id_ = id;
+  locals_.emplace(id, &object);
+  return id;
+}
+
+void Runtime::detach(ObjectId id) {
+  auto it = locals_.find(id);
+  CAA_CHECK_MSG(it != locals_.end(), "detach: not a local object");
+  it->second->runtime_ = nullptr;
+  locals_.erase(it);
+}
+
+void Runtime::send(ObjectId from, ObjectId to, net::MsgKind kind,
+                   net::Bytes payload) {
+  CAA_CHECK_MSG(locals_.contains(from), "send: sender not local");
+  net::Packet packet;
+  packet.src = net::Address{node_, from};
+  packet.dst = directory_.address_of(to);
+  packet.kind = kind;
+  packet.payload = std::move(payload);
+  if (trace_->enabled()) {
+    trace_->record(simulator_.now(), "net",
+                   std::string("send ") + std::string(net::kind_name(kind)),
+                   directory_.name_of(from), "to " + directory_.name_of(to));
+  }
+  transport_->send(std::move(packet));
+}
+
+void Runtime::dispatch(net::Packet&& packet) {
+  CAA_CHECK_MSG(packet.dst.node == node_, "dispatch: foreign packet");
+  auto it = locals_.find(packet.dst.object);
+  if (it == locals_.end()) {
+    // The object was detached (or never existed here): count and drop.
+    simulator_.counters().add("rt.dropped_no_object");
+    return;
+  }
+  if (trace_->enabled()) {
+    trace_->record(simulator_.now(), "net",
+                   std::string("recv ") +
+                       std::string(net::kind_name(packet.kind)),
+                   directory_.name_of(packet.dst.object),
+                   "from " + directory_.name_of(packet.src.object));
+  }
+  it->second->on_message(packet.src.object, packet.kind, packet.payload);
+}
+
+}  // namespace caa::rt

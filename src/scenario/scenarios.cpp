@@ -1,0 +1,207 @@
+#include "scenario/scenarios.h"
+
+#include "util/check.h"
+
+namespace caa::scenario {
+
+using action::EnterConfig;
+using action::Participant;
+using action::uniform_handlers;
+
+RunStats collect_stats(World& world,
+                       const std::vector<Participant*>& objects,
+                       sim::Time raise_at) {
+  RunStats stats;
+  stats.exceptions = world.messages_of(net::MsgKind::kException);
+  stats.have_nested = world.messages_of(net::MsgKind::kHaveNested);
+  stats.nested_completed = world.messages_of(net::MsgKind::kNestedCompleted);
+  stats.acks = world.messages_of(net::MsgKind::kAck);
+  stats.commits = world.messages_of(net::MsgKind::kCommit);
+  stats.messages = world.resolution_messages();
+  stats.all_handled = true;
+  sim::Time last = raise_at;
+  for (const Participant* o : objects) {
+    if (o->handled().empty()) {
+      stats.all_handled = false;
+    } else {
+      last = std::max(last, o->handled().back().at);
+    }
+  }
+  stats.resolution_latency = last - raise_at;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+
+FlatScenario::FlatScenario(FlatOptions options)
+    : options_(options), world_(options.world) {
+  const int n = options_.participants;
+  CAA_CHECK_MSG(options_.raisers + options_.nested <= n,
+                "FlatScenario: P + Q must not exceed N");
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < n; ++i) {
+    objects_.push_back(&world_.add_participant("O" + std::to_string(i + 1)));
+    ids.push_back(objects_.back()->id());
+  }
+  decl_ = &world_.actions().declare(
+      "A", ex::shapes::star(static_cast<std::size_t>(n)));
+  instance_ = &world_.actions().create_instance(*decl_, ids);
+  for (auto* o : objects_) {
+    EnterConfig config;
+    config.handlers = uniform_handlers(
+        decl_->tree(),
+        ex::HandlerResult::recovered(options_.handler_duration));
+    config.resolver_committee = options_.committee;
+    const sim::Time abort_duration = options_.abort_duration;
+    config.abortion_handler = [abort_duration] {
+      return ex::AbortResult::none(abort_duration);
+    };
+    CAA_CHECK(o->enter(instance_->instance, config));
+  }
+  for (int i = n - options_.nested; i < n; ++i) {
+    const auto& nd = world_.actions().declare("N" + std::to_string(i),
+                                              ex::shapes::star(1));
+    const auto& ni = world_.actions().create_instance(
+        nd, {objects_[i]->id()}, instance_->instance);
+    EnterConfig config;
+    config.handlers =
+        uniform_handlers(nd.tree(), ex::HandlerResult::recovered());
+    const sim::Time abort_duration = options_.abort_duration;
+    config.abortion_handler = [abort_duration] {
+      return ex::AbortResult::none(abort_duration);
+    };
+    CAA_CHECK(objects_[i]->enter(ni.instance, config));
+  }
+  world_.at(options_.raise_at, [this] {
+    for (int i = 0; i < options_.raisers; ++i) {
+      objects_[i]->raise("s" + std::to_string(i + 1));
+    }
+  });
+}
+
+RunStats FlatScenario::run() {
+  world_.run();
+  return collect_stats(world_, objects_, options_.raise_at);
+}
+
+// ---------------------------------------------------------------------------
+
+NestedChainScenario::NestedChainScenario(NestedChainOptions options)
+    : options_(options), world_(options.world) {
+  const int n = options_.participants;
+  CAA_CHECK_MSG(n >= 2, "NestedChainScenario needs >= 2 participants");
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < n; ++i) {
+    objects_.push_back(&world_.add_participant("O" + std::to_string(i + 1)));
+    ids.push_back(objects_.back()->id());
+  }
+  const auto& outer_decl =
+      world_.actions().declare("A0", ex::shapes::star(1));
+  const auto& outer = world_.actions().create_instance(outer_decl, ids);
+  for (auto* o : objects_) {
+    EnterConfig config;
+    config.handlers =
+        uniform_handlers(outer_decl.tree(), ex::HandlerResult::recovered());
+    CAA_CHECK(o->enter(outer.instance, config));
+  }
+  const action::InstanceInfo* parent = &outer;
+  std::vector<ObjectId> nested_ids(ids.begin() + 1, ids.end());
+  for (int level = 1; level <= options_.depth; ++level) {
+    const auto& decl = world_.actions().declare("A" + std::to_string(level),
+                                                ex::shapes::star(1));
+    const auto& inst =
+        world_.actions().create_instance(decl, nested_ids, parent->instance);
+    for (int i = 1; i < n; ++i) {
+      EnterConfig config;
+      config.handlers =
+          uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
+      const sim::Time abort_duration = options_.abort_duration;
+      config.abortion_handler = [abort_duration] {
+        return ex::AbortResult::none(abort_duration);
+      };
+      CAA_CHECK(objects_[i]->enter(inst.instance, config));
+    }
+    parent = &inst;
+  }
+  world_.at(options_.raise_at, [this] { objects_[0]->raise("s1"); });
+}
+
+RunStats NestedChainScenario::run() {
+  world_.run();
+  return collect_stats(world_, objects_, options_.raise_at);
+}
+
+// ---------------------------------------------------------------------------
+
+Figure4Scenario::Figure4Scenario(Figure4Options options)
+    : options_(options), world_(options.world) {
+  for (int i = 0; i < 4; ++i) {
+    objects_.push_back(&world_.add_participant("O" + std::to_string(i + 1)));
+  }
+  ex::ExceptionTree t1;
+  const auto combo = t1.declare("combo_exception");
+  t1.declare("E1", combo);
+  t1.declare("E3", combo);
+  d1_ = &world_.actions().declare("A1", std::move(t1));
+  ex::ExceptionTree t2;
+  t2.declare("A2_fail");
+  const auto& d2 = world_.actions().declare("A2", std::move(t2));
+  ex::ExceptionTree t3;
+  t3.declare("E2");
+  const auto& d3 = world_.actions().declare("A3", std::move(t3));
+
+  a1_ = &world_.actions().create_instance(
+      *d1_, {objects_[0]->id(), objects_[1]->id(), objects_[2]->id(),
+             objects_[3]->id()});
+  a2_ = &world_.actions().create_instance(
+      d2, {objects_[1]->id(), objects_[2]->id(), objects_[3]->id()},
+      a1_->instance);
+  a3_ = &world_.actions().create_instance(
+      d3, {objects_[1]->id(), objects_[2]->id()}, a2_->instance);
+
+  auto plain = [&](const action::ActionDecl& d) {
+    EnterConfig c;
+    c.handlers = uniform_handlers(d.tree(), ex::HandlerResult::recovered());
+    return c;
+  };
+  for (auto* o : objects_) CAA_CHECK(o->enter(a1_->instance, plain(*d1_)));
+  auto o2_a2 = plain(d2);
+  const ExceptionId e3 = d1_->tree().find("E3");
+  const sim::Time abort_duration = options_.abort_duration;
+  o2_a2.abortion_handler = [e3, abort_duration] {
+    return ex::AbortResult::signalling(e3, abort_duration);
+  };
+  CAA_CHECK(objects_[1]->enter(a2_->instance, o2_a2));
+  CAA_CHECK(objects_[2]->enter(a2_->instance, plain(d2)));
+  CAA_CHECK(objects_[3]->enter(a2_->instance, plain(d2)));
+  CAA_CHECK(objects_[1]->enter(a3_->instance, plain(d3)));
+
+  world_.at(options_.raise_at, [this] {
+    objects_[0]->raise("E1");
+    objects_[1]->raise("E2");
+  });
+}
+
+Figure4Scenario::Outcome Figure4Scenario::run() {
+  Outcome outcome;
+  bool refused = false;
+  const auto& d3 = *world_.actions().info(a3_->instance).decl;
+  world_.at(options_.belated_entry_at, [this, &refused, &d3] {
+    EnterConfig c;
+    c.handlers = uniform_handlers(d3.tree(), ex::HandlerResult::recovered());
+    refused = !objects_[2]->enter(a3_->instance, c);
+  });
+  world_.run();
+  outcome.stats = collect_stats(world_, objects_, options_.raise_at);
+  outcome.belated_entry_refused = refused;
+  if (!objects_[0]->handled().empty()) {
+    outcome.resolved = objects_[0]->handled().back().resolved;
+  }
+  const auto& aborts = objects_[1]->aborts();
+  outcome.o2_aborted_innermost_first =
+      aborts.size() == 2 && aborts[0].instance == a3_->instance &&
+      aborts[1].instance == a2_->instance;
+  return outcome;
+}
+
+}  // namespace caa::scenario

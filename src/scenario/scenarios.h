@@ -1,0 +1,140 @@
+// Canonical experiment scenarios, as a reusable library.
+//
+// The paper's analysis and examples use a small set of standard
+// constructions; benches, tests and downstream experiments share them from
+// here instead of re-building worlds by hand:
+//
+//   FlatScenario       — N participants in one action; P raise
+//                        simultaneously; Q sit in singleton nested actions
+//                        (the §4.4 counting configuration).
+//   NestedChainScenario— N objects, N-1 of them inside a depth-D chain of
+//                        nested actions; the remaining object raises in the
+//                        outermost action (Figures 3-ish / E8).
+//   Figure4Scenario    — the paper's §4.3 Example 2 exactly: A1 ⊃ A2 ⊃ A3,
+//                        a belated participant, an abortion handler that
+//                        signals E3, concurrent E1/E2 raises.
+#pragma once
+
+#include <memory>
+
+#include "caa/world.h"
+
+namespace caa::scenario {
+
+/// Aggregated outcome of a scenario run.
+struct RunStats {
+  std::int64_t messages = 0;  // total resolution-protocol messages
+  std::int64_t exceptions = 0;
+  std::int64_t have_nested = 0;
+  std::int64_t nested_completed = 0;
+  std::int64_t acks = 0;
+  std::int64_t commits = 0;
+  sim::Time resolution_latency = 0;  // raise -> last handler start
+  bool all_handled = false;          // every participant ran a handler
+};
+
+// ---------------------------------------------------------------------------
+
+struct FlatOptions {
+  int participants = 3;      // N
+  int raisers = 1;           // P: objects 1..P raise distinct leaves
+  int nested = 0;            // Q: the last Q objects get singleton nested
+                             // actions (requires P + Q <= N)
+  sim::Time raise_at = 1000;
+  sim::Time abort_duration = 0;
+  sim::Time handler_duration = 0;
+  std::uint32_t committee = 1;
+  WorldConfig world;
+};
+
+class FlatScenario {
+ public:
+  explicit FlatScenario(FlatOptions options);
+
+  /// Runs to quiescence and reports the §4.4 accounting.
+  RunStats run();
+
+  [[nodiscard]] World& world() { return world_; }
+  [[nodiscard]] const std::vector<action::Participant*>& objects() const {
+    return objects_;
+  }
+  [[nodiscard]] const action::InstanceInfo& instance() const {
+    return *instance_;
+  }
+  [[nodiscard]] const action::ActionDecl& decl() const { return *decl_; }
+
+ private:
+  FlatOptions options_;
+  World world_;
+  std::vector<action::Participant*> objects_;
+  const action::ActionDecl* decl_ = nullptr;
+  const action::InstanceInfo* instance_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+
+struct NestedChainOptions {
+  int participants = 4;  // N (object 0 raises; 1..N-1 descend the chain)
+  int depth = 2;         // D nested levels
+  sim::Time raise_at = 1000;
+  sim::Time abort_duration = 0;
+  WorldConfig world;
+};
+
+class NestedChainScenario {
+ public:
+  explicit NestedChainScenario(NestedChainOptions options);
+  RunStats run();
+
+  [[nodiscard]] World& world() { return world_; }
+  [[nodiscard]] const std::vector<action::Participant*>& objects() const {
+    return objects_;
+  }
+
+ private:
+  NestedChainOptions options_;
+  World world_;
+  std::vector<action::Participant*> objects_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// §4.3 Example 2 / Figure 4, parameterized only by timing knobs.
+struct Figure4Options {
+  sim::Time raise_at = 1000;          // concurrent E1 (O1/A1) and E2 (O2/A3)
+  sim::Time belated_entry_at = 1150;  // O3's doomed attempt to enter A3
+  sim::Time abort_duration = 20;
+  WorldConfig world;
+};
+
+class Figure4Scenario {
+ public:
+  explicit Figure4Scenario(Figure4Options options);
+
+  struct Outcome {
+    RunStats stats;
+    bool belated_entry_refused = false;
+    ExceptionId resolved;             // what A1 resolved to
+    bool o2_aborted_innermost_first = false;
+  };
+  Outcome run();
+
+  [[nodiscard]] World& world() { return world_; }
+  [[nodiscard]] action::Participant& o(int i) { return *objects_.at(i); }
+
+ private:
+  Figure4Options options_;
+  World world_;
+  std::vector<action::Participant*> objects_;
+  const action::ActionDecl* d1_ = nullptr;
+  const action::InstanceInfo* a1_ = nullptr;
+  const action::InstanceInfo* a2_ = nullptr;
+  const action::InstanceInfo* a3_ = nullptr;
+};
+
+/// Collects RunStats from a finished world + participant set.
+RunStats collect_stats(World& world,
+                       const std::vector<action::Participant*>& objects,
+                       sim::Time raise_at);
+
+}  // namespace caa::scenario

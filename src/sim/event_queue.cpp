@@ -1,0 +1,55 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace caa::sim {
+
+EventId EventQueue::schedule(Time at, EventFn fn) {
+  const std::uint64_t seq = next_seq_++;
+  const EventId id(seq);
+  heap_.push(Entry{at, seq, id});
+  functions_.emplace(seq, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = functions_.find(id.value());
+  if (it == functions_.end()) return false;
+  functions_.erase(it);
+  cancelled_.insert(id.value());
+  CAA_CHECK(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_front() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled_front();
+  CAA_CHECK_MSG(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_front();
+  CAA_CHECK_MSG(!heap_.empty(), "pop() on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = functions_.find(top.seq);
+  CAA_CHECK(it != functions_.end());
+  Fired fired{top.time, top.id, std::move(it->second)};
+  functions_.erase(it);
+  CAA_CHECK(live_count_ > 0);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace caa::sim

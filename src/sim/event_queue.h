@@ -1,0 +1,71 @@
+// Priority queue of timestamped events with stable tie-breaking and O(log n)
+// cancellation.
+//
+// Determinism contract: two events scheduled for the same virtual time fire
+// in scheduling order (sequence numbers break ties). This is what makes every
+// protocol trace in tests and benches exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace caa::sim {
+
+/// Virtual time in integral ticks. The library treats one tick as one
+/// microsecond by convention; nothing depends on the unit.
+using Time = std::int64_t;
+
+/// The closure type fired when an event comes due.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`. Returns an id usable with cancel().
+  EventId schedule(Time at, EventFn fn);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled. Cancellation is lazy: the heap entry is skipped on pop.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; only valid when !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Pops the earliest live event. Only valid when !empty().
+  struct Fired {
+    Time time;
+    EventId id;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventId id;
+    // Heap of smallest time first; among equal times, smallest seq first.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_front() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_map<std::uint64_t, EventFn> functions_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace caa::sim

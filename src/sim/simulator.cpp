@@ -1,0 +1,50 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+
+namespace caa::sim {
+
+Simulator::Simulator() {
+  logger_.set_time_source([this] { return now_; });
+}
+
+EventId Simulator::schedule_after(Time delay, EventFn fn) {
+  CAA_CHECK_MSG(delay >= 0, "negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Time at, EventFn fn) {
+  CAA_CHECK_MSG(at >= now_, "scheduling into the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  CAA_CHECK(fired.time >= now_);
+  now_ = fired.time;
+  fired.fn();
+  return true;
+}
+
+std::size_t Simulator::run_to_quiescence(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (step()) {
+    ++fired;
+    CAA_CHECK_MSG(fired < max_events,
+                  "simulation did not quiesce (livelock?)");
+  }
+  return fired;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+    ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+}  // namespace caa::sim

@@ -1,0 +1,63 @@
+// The discrete-event simulator driving the whole system.
+//
+// Substitution note (DESIGN.md §2): the paper assumes a real network of
+// workstations; every claim it makes is about message counts, orderings and
+// protocol states. A deterministic simulator preserves those properties while
+// making them observable and reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/counters.h"
+#include "util/log.h"
+
+namespace caa::sim {
+
+class Simulator {
+ public:
+  Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` after `delay` ticks (>= 0).
+  EventId schedule_after(Time delay, EventFn fn);
+
+  /// Schedules `fn` at absolute virtual time `at` (>= now()).
+  EventId schedule_at(Time at, EventFn fn);
+
+  /// Cancels a pending event. Returns false if already fired/cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Fires the next event. Returns false when no events remain.
+  bool step();
+
+  /// Runs until the queue is empty (quiescence). Returns events fired.
+  /// `max_events` bounds runaway protocols; hitting the bound is a CHECK
+  /// failure since it means a livelock in a supposedly quiescent system.
+  std::size_t run_to_quiescence(std::size_t max_events = 50'000'000);
+
+  /// Runs events with time <= deadline; clock ends at deadline (or later if
+  /// already past). Returns events fired.
+  std::size_t run_until(Time deadline);
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Global counters (message accounting, protocol stats).
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+
+  /// Logger wired to the virtual clock.
+  Logger& logger() { return logger_; }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+  Counters counters_;
+  Logger logger_;
+};
+
+}  // namespace caa::sim

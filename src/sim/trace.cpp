@@ -1,0 +1,46 @@
+#include "sim/trace.h"
+
+namespace caa::sim {
+
+std::string TraceRecord::to_string() const {
+  std::string out = "@" + std::to_string(time) + " [" + category + "] " +
+                    subject + ": " + event;
+  if (!detail.empty()) {
+    out += " (" + detail + ")";
+  }
+  return out;
+}
+
+void TraceLog::record(Time time, std::string category, std::string event,
+                      std::string subject, std::string detail) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{time, std::move(category), std::move(event),
+                                 std::move(subject), std::move(detail)});
+}
+
+std::vector<TraceRecord> TraceLog::filter(std::string_view category) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.category == category) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t TraceLog::count_event(std::string_view event) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.event == event) ++n;
+  }
+  return n;
+}
+
+std::string TraceLog::to_string() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += r.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace caa::sim

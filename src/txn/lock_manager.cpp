@@ -1,0 +1,149 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace caa::txn {
+
+bool LockManager::compatible(const LockState& state, TxnId txn, TxnId top,
+                             LockMode mode) {
+  for (const Holder& h : state.holders) {
+    if (h.txn == txn) continue;     // own holding: upgrade handled by caller
+    if (h.top == top) continue;     // same top-level family: no conflict
+    if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LockOutcome LockManager::acquire(const std::string& name, TxnId txn,
+                                 TxnId top, LockMode mode) {
+  CAA_CHECK(txn.valid() && top.valid());
+  LockState& state = locks_[name];
+
+  // Re-acquisition / upgrade check.
+  for (Holder& h : state.holders) {
+    if (h.txn != txn) continue;
+    if (h.mode == LockMode::kExclusive || mode == LockMode::kShared) {
+      return LockOutcome::kGranted;  // already sufficient
+    }
+    // Shared -> exclusive upgrade: legal if no other conflicting holder.
+    if (compatible(state, txn, top, LockMode::kExclusive)) {
+      h.mode = LockMode::kExclusive;
+      return LockOutcome::kGranted;
+    }
+    // Upgrade conflicts follow the same wait-die rule as fresh acquires.
+    break;
+  }
+
+  if (compatible(state, txn, top, mode) && state.queue.empty()) {
+    grant(state, name, txn, top, mode, /*wake=*/false);
+    return LockOutcome::kGranted;
+  }
+
+  // Wait-die: wait only if this requester's family is older (smaller top id)
+  // than EVERY conflicting holder's family; otherwise die.
+  for (const Holder& h : state.holders) {
+    if (h.txn == txn || h.top == top) continue;
+    const bool conflicts =
+        mode == LockMode::kExclusive || h.mode == LockMode::kExclusive;
+    if (conflicts && !(top < h.top)) {
+      return LockOutcome::kDied;
+    }
+  }
+  state.queue.push_back(Waiter{txn, top, mode});
+  return LockOutcome::kQueued;
+}
+
+void LockManager::grant(LockState& state, const std::string& name, TxnId txn,
+                        TxnId top, LockMode mode, bool wake) {
+  // Merge with an existing holding (possible on upgrades through the queue).
+  for (Holder& h : state.holders) {
+    if (h.txn == txn) {
+      if (mode == LockMode::kExclusive) h.mode = LockMode::kExclusive;
+      if (wake) wake_(name, txn, mode);
+      return;
+    }
+  }
+  state.holders.push_back(Holder{txn, top, mode});
+  if (wake) wake_(name, txn, mode);
+}
+
+void LockManager::pump(const std::string& name, LockState& state) {
+  while (!state.queue.empty()) {
+    const Waiter w = state.queue.front();
+    if (!compatible(state, w.txn, w.top, w.mode)) break;
+    state.queue.pop_front();
+    grant(state, name, w.txn, w.top, w.mode, /*wake=*/true);
+  }
+}
+
+void LockManager::release_all(TxnId txn) {
+  for (auto& [name, state] : locks_) {
+    std::erase_if(state.holders,
+                  [txn](const Holder& h) { return h.txn == txn; });
+    pump(name, state);
+  }
+}
+
+void LockManager::transfer(TxnId child, TxnId parent) {
+  for (auto& [name, state] : locks_) {
+    Holder* parent_holding = nullptr;
+    bool child_had = false;
+    LockMode child_mode = LockMode::kShared;
+    for (Holder& h : state.holders) {
+      if (h.txn == parent) parent_holding = &h;
+      if (h.txn == child) {
+        child_had = true;
+        child_mode = h.mode;
+      }
+    }
+    if (!child_had) continue;
+    if (parent_holding != nullptr) {
+      if (child_mode == LockMode::kExclusive) {
+        parent_holding->mode = LockMode::kExclusive;
+      }
+      std::erase_if(state.holders,
+                    [child](const Holder& h) { return h.txn == child; });
+    } else {
+      for (Holder& h : state.holders) {
+        if (h.txn == child) h.txn = parent;  // top stays the family's top
+      }
+    }
+  }
+}
+
+void LockManager::cancel_waiting(TxnId txn) {
+  for (auto& [name, state] : locks_) {
+    std::erase_if(state.queue,
+                  [txn](const Waiter& w) { return w.txn == txn; });
+    pump(name, state);
+  }
+}
+
+bool LockManager::holds(const std::string& name, TxnId txn,
+                        LockMode mode) const {
+  auto it = locks_.find(name);
+  if (it == locks_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn == txn &&
+        (h.mode == LockMode::kExclusive || mode == LockMode::kShared)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t LockManager::held_count(TxnId txn) const {
+  std::size_t n = 0;
+  for (const auto& [name, state] : locks_) {
+    for (const Holder& h : state.holders) {
+      if (h.txn == txn) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace caa::txn

@@ -1,0 +1,93 @@
+// Strict two-phase locking with wait-die deadlock prevention, for the
+// external atomic objects of §3/§3.1.
+//
+// "Objects that are external to the CA action and can be shared with other
+// actions and objects concurrently must be atomic and individually
+// responsible for their own integrity" — each atomic-object host runs one
+// LockManager over its local objects. Wait-die uses the total order on
+// transaction ids ("older" = smaller id): an older requester waits, a
+// younger one dies (its transaction aborts and may retry), so no deadlock
+// can form even across hosts.
+//
+// Nested transactions hold locks on behalf of their top-level ancestor for
+// conflict purposes; on child commit the locks are transferred to the
+// parent (lock inheritance, Moss-style).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace caa::txn {
+
+enum class LockMode : std::uint8_t { kShared, kExclusive };
+
+/// Result of an acquire attempt.
+enum class LockOutcome : std::uint8_t {
+  kGranted,  // lock held now
+  kQueued,   // requester is older than a conflicting holder: waits FIFO
+  kDied,     // requester is younger: wait-die victim, must abort
+};
+
+class LockManager {
+ public:
+  /// Invoked when a queued request is finally granted.
+  using WakeFn =
+      std::function<void(const std::string& name, TxnId txn, LockMode mode)>;
+
+  explicit LockManager(WakeFn wake) : wake_(std::move(wake)) {}
+
+  /// Tries to take `name` in `mode` for `txn` whose top-level ancestor is
+  /// `top`. Re-acquisition and shared->exclusive upgrade are handled.
+  LockOutcome acquire(const std::string& name, TxnId txn, TxnId top,
+                      LockMode mode);
+
+  /// Releases every lock held by `txn`, waking queued compatible requests.
+  void release_all(TxnId txn);
+
+  /// Transfers all locks of `child` to `parent` (child commit). The
+  /// parent's top-level ancestor is unchanged by construction.
+  void transfer(TxnId child, TxnId parent);
+
+  /// Drops a queued (waiting) request, e.g. when its transaction aborts.
+  void cancel_waiting(TxnId txn);
+
+  [[nodiscard]] bool holds(const std::string& name, TxnId txn,
+                           LockMode mode) const;
+  [[nodiscard]] std::size_t held_count(TxnId txn) const;
+
+ private:
+  struct Holder {
+    TxnId txn;
+    TxnId top;
+    LockMode mode;
+  };
+  struct Waiter {
+    TxnId txn;
+    TxnId top;
+    LockMode mode;
+  };
+  struct LockState {
+    std::vector<Holder> holders;
+    std::deque<Waiter> queue;
+  };
+
+  /// True if (txn,mode) is compatible with current holders (ignoring txn's
+  /// own holdings and holdings of the same top-level family).
+  [[nodiscard]] static bool compatible(const LockState& state, TxnId txn,
+                                       TxnId top, LockMode mode);
+  void grant(LockState& state, const std::string& name, TxnId txn, TxnId top,
+             LockMode mode, bool wake);
+  void pump(const std::string& name, LockState& state);
+
+  WakeFn wake_;
+  std::map<std::string, LockState> locks_;
+};
+
+}  // namespace caa::txn

@@ -1,0 +1,126 @@
+#include "txn/transaction.h"
+
+#include "net/wire.h"
+
+namespace caa::txn {
+
+net::Bytes encode(const TxnOpRequest& m) {
+  net::WireWriter w;
+  w.u64(m.request_id);
+  w.u64(m.txn.value());
+  w.u64(m.top.value());
+  w.u64(m.parent.value());
+  w.u8(static_cast<std::uint8_t>(m.op));
+  w.str(m.object);
+  w.i64(m.value);
+  return std::move(w).take();
+}
+
+net::Bytes encode(const TxnOpReply& m) {
+  net::WireWriter w;
+  w.u64(m.request_id);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.i64(m.value);
+  return std::move(w).take();
+}
+
+net::Bytes encode(const TxnPrepare& m) {
+  net::WireWriter w;
+  w.u64(m.txn.value());
+  return std::move(w).take();
+}
+
+net::Bytes encode(const TxnVote& m) {
+  net::WireWriter w;
+  w.u64(m.txn.value());
+  w.boolean(m.yes);
+  return std::move(w).take();
+}
+
+net::Bytes encode(const TxnDecision& m) {
+  net::WireWriter w;
+  w.u64(m.txn.value());
+  w.boolean(m.commit);
+  return std::move(w).take();
+}
+
+net::Bytes encode(const TxnDecisionAck& m) {
+  net::WireWriter w;
+  w.u64(m.txn.value());
+  return std::move(w).take();
+}
+
+Result<TxnOpRequest> decode_op_request(const net::Bytes& bytes) {
+  net::WireReader r(bytes);
+  auto request_id = r.u64();
+  if (!request_id.is_ok()) return request_id.status();
+  auto txn = r.u64();
+  if (!txn.is_ok()) return txn.status();
+  auto top = r.u64();
+  if (!top.is_ok()) return top.status();
+  auto parent = r.u64();
+  if (!parent.is_ok()) return parent.status();
+  auto op = r.u8();
+  if (!op.is_ok()) return op.status();
+  if (op.value() > static_cast<std::uint8_t>(TxnOp::kCommitChild)) {
+    return Status::invalid_argument("bad txn op");
+  }
+  auto object = r.str();
+  if (!object.is_ok()) return object.status();
+  auto value = r.i64();
+  if (!value.is_ok()) return value.status();
+  return TxnOpRequest{request_id.value(), TxnId(txn.value()),
+                      TxnId(top.value()),  TxnId(parent.value()),
+                      static_cast<TxnOp>(op.value()),
+                      std::move(object.value()), value.value()};
+}
+
+Result<TxnOpReply> decode_op_reply(const net::Bytes& bytes) {
+  net::WireReader r(bytes);
+  auto request_id = r.u64();
+  if (!request_id.is_ok()) return request_id.status();
+  auto status = r.u8();
+  if (!status.is_ok()) return status.status();
+  if (status.value() > static_cast<std::uint8_t>(TxnReplyStatus::kExists)) {
+    return Status::invalid_argument("bad txn reply status");
+  }
+  auto value = r.i64();
+  if (!value.is_ok()) return value.status();
+  return TxnOpReply{request_id.value(),
+                    static_cast<TxnReplyStatus>(status.value()),
+                    value.value()};
+}
+
+Result<TxnPrepare> decode_prepare(const net::Bytes& bytes) {
+  net::WireReader r(bytes);
+  auto txn = r.u64();
+  if (!txn.is_ok()) return txn.status();
+  return TxnPrepare{TxnId(txn.value())};
+}
+
+Result<TxnVote> decode_vote(const net::Bytes& bytes) {
+  net::WireReader r(bytes);
+  auto txn = r.u64();
+  if (!txn.is_ok()) return txn.status();
+  auto yes = r.boolean();
+  if (!yes.is_ok()) return yes.status();
+  return TxnVote{TxnId(txn.value()), yes.value()};
+}
+
+Result<TxnDecision> decode_decision(const net::Bytes& bytes) {
+  net::WireReader r(bytes);
+  auto txn = r.u64();
+  if (!txn.is_ok()) return txn.status();
+  auto commit = r.boolean();
+  if (!commit.is_ok()) return commit.status();
+  return TxnDecision{TxnId(txn.value()), commit.value()};
+}
+
+Result<TxnDecisionAck> decode_decision_ack(const net::Bytes& bytes) {
+  net::WireReader r(bytes);
+  auto txn = r.u64();
+  if (!txn.is_ok()) return txn.status();
+  return TxnDecisionAck{TxnId(txn.value())};
+}
+
+}  // namespace caa::txn

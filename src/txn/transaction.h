@@ -1,0 +1,91 @@
+// Transaction wire protocol: ids, operations and messages.
+//
+// Transactions give CA actions their "associated transaction" (§3.1): all
+// accesses to external atomic objects from within an action run under a
+// transaction that is started when the action (attempt) starts, committed
+// when it passes its acceptance test, and aborted on abortion/backward
+// recovery — the explicit start/commit/abort triple of Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/message.h"
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace caa::txn {
+
+/// Transaction ids embed the coordinating client and a local sequence
+/// number: (client_object_id << 32) | seq. The resulting total order is the
+/// age order used by wait-die (§ lock_manager.h): smaller id == older.
+[[nodiscard]] constexpr TxnId make_txn_id(ObjectId client,
+                                          std::uint32_t seq) {
+  return TxnId((static_cast<std::uint64_t>(client.value()) << 32) | seq);
+}
+
+enum class TxnOp : std::uint8_t {
+  kRead = 0,        // shared lock, returns value
+  kWrite = 1,       // exclusive lock, sets value
+  kAdd = 2,         // exclusive lock, increments value, returns new value
+  kCreate = 3,      // exclusive lock, creates object with initial value
+  kAbort = 4,       // abort this transaction at this host
+  kCommitChild = 5, // merge a nested transaction into its parent
+};
+
+enum class TxnReplyStatus : std::uint8_t {
+  kOk = 0,
+  kConflict = 1,   // wait-die victim: transaction must abort
+  kNotFound = 2,   // unknown object
+  kExists = 3,     // create of an existing object
+};
+
+struct TxnOpRequest {
+  std::uint64_t request_id = 0;
+  TxnId txn;
+  TxnId top;     // top-level ancestor (wait-die age)
+  TxnId parent;  // for kCommitChild: the parent to merge into
+  TxnOp op = TxnOp::kRead;
+  std::string object;
+  std::int64_t value = 0;
+};
+
+struct TxnOpReply {
+  std::uint64_t request_id = 0;
+  TxnReplyStatus status = TxnReplyStatus::kOk;
+  std::int64_t value = 0;
+};
+
+struct TxnPrepare {
+  TxnId txn;
+};
+
+struct TxnVote {
+  TxnId txn;
+  bool yes = true;
+};
+
+struct TxnDecision {
+  TxnId txn;
+  bool commit = true;
+};
+
+struct TxnDecisionAck {
+  TxnId txn;
+};
+
+net::Bytes encode(const TxnOpRequest& m);
+net::Bytes encode(const TxnOpReply& m);
+net::Bytes encode(const TxnPrepare& m);
+net::Bytes encode(const TxnVote& m);
+net::Bytes encode(const TxnDecision& m);
+net::Bytes encode(const TxnDecisionAck& m);
+
+Result<TxnOpRequest> decode_op_request(const net::Bytes& bytes);
+Result<TxnOpReply> decode_op_reply(const net::Bytes& bytes);
+Result<TxnPrepare> decode_prepare(const net::Bytes& bytes);
+Result<TxnVote> decode_vote(const net::Bytes& bytes);
+Result<TxnDecision> decode_decision(const net::Bytes& bytes);
+Result<TxnDecisionAck> decode_decision_ack(const net::Bytes& bytes);
+
+}  // namespace caa::txn

@@ -1,0 +1,28 @@
+// Contract-checking macros.
+//
+// CAA_CHECK fires in all build types: protocol invariants of the resolution
+// algorithm are cheap relative to simulated message passing, and a silent
+// invariant violation in a fault-tolerance library is worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace caa::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg && *msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+}  // namespace caa::detail
+
+#define CAA_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) ::caa::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CAA_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) ::caa::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,47 @@
+#include "util/counters.h"
+
+namespace caa {
+
+void Counters::add(std::string_view name, std::int64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::int64_t Counters::get(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Counters::reset() { counters_.clear(); }
+
+void Counters::reset(std::string_view name) {
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    counters_.erase(it);
+  }
+}
+
+std::int64_t Counters::sum_prefix(std::string_view prefix) const {
+  std::int64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second;
+  }
+  return total;
+}
+
+std::string Counters::to_string() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace caa

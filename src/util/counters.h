@@ -1,0 +1,39 @@
+// Named monotonic counters for protocol accounting.
+//
+// The paper's evaluation (§4.4) is a message-count analysis; the benchmark
+// harness reproduces it by counting protocol messages by kind. Counters give
+// every module a uniform, allocation-light way to report such figures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace caa {
+
+/// A registry of named int64 counters. Deterministic iteration order (map)
+/// so test and bench output is stable.
+class Counters {
+ public:
+  void add(std::string_view name, std::int64_t delta = 1);
+  [[nodiscard]] std::int64_t get(std::string_view name) const;
+  void reset();
+  void reset(std::string_view name);
+
+  /// Sum of all counters whose name starts with `prefix`.
+  [[nodiscard]] std::int64_t sum_prefix(std::string_view prefix) const;
+
+  [[nodiscard]] const std::map<std::string, std::int64_t, std::less<>>& all()
+      const {
+    return counters_;
+  }
+
+  /// Render as "name=value" lines, for debugging and bench output.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+};
+
+}  // namespace caa

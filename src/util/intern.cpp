@@ -1,0 +1,26 @@
+#include "util/intern.h"
+
+#include "util/check.h"
+
+namespace caa {
+
+std::uint32_t InternPool::intern(std::string_view name) {
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
+  CAA_CHECK_MSG(names_.size() < kNotFound, "intern pool exhausted");
+  names_.emplace_back(name);
+  const auto id = static_cast<std::uint32_t>(names_.size() - 1);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::uint32_t InternPool::find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+const std::string& InternPool::name_of(std::uint32_t id) const {
+  CAA_CHECK_MSG(id < names_.size(), "unknown interned id");
+  return names_[id];
+}
+
+}  // namespace caa

@@ -1,0 +1,41 @@
+// String interning for exception names and other symbolic identifiers.
+//
+// Exception classes in the paper are named types arranged in a hierarchy
+// (§3.2). We intern their names once and pass small integer ids over the
+// wire, which keeps protocol messages compact and comparisons O(1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace caa {
+
+/// An append-only bidirectional map string <-> dense index.
+/// Not thread-safe by design: each simulated world owns its own pools
+/// (Core Guidelines CP.3 — minimize shared writable data).
+class InternPool {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  std::uint32_t intern(std::string_view name);
+
+  /// Returns the id for `name` or `kNotFound` if never interned.
+  [[nodiscard]] std::uint32_t find(std::string_view name) const;
+
+  /// Returns the string for an id previously returned by intern().
+  [[nodiscard]] const std::string& name_of(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  static constexpr std::uint32_t kNotFound = 0xFFFFFFFFu;
+
+ private:
+  // deque: element addresses are stable across growth, so the string_view
+  // keys below (which alias the stored strings) never dangle.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace caa

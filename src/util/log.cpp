@@ -1,0 +1,46 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace caa {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view line) {
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(to_string(level).size()),
+                 to_string(level).data(), static_cast<int>(line.size()),
+                 line.data());
+  };
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, std::string_view module,
+                 std::string_view message) {
+  if (!enabled(level)) return;
+  std::string line;
+  if (time_source_) {
+    line += "@t=";
+    line += std::to_string(time_source_());
+    line += ' ';
+  }
+  line += '[';
+  line += module;
+  line += "] ";
+  line += message;
+  sink_(level, line);
+}
+
+}  // namespace caa

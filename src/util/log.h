@@ -1,0 +1,73 @@
+// Minimal leveled logger.
+//
+// Logging in a discrete-event simulation must carry the *virtual* time, not
+// wall-clock time, so the logger accepts an optional time source. Output is
+// line-buffered to a sink; tests install a capturing sink.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace caa {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// A logger instance. Each World owns one; modules hold references.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view line)>;
+  using TimeSource = std::function<std::int64_t()>;
+
+  Logger();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replace the output sink (default: stderr).
+  void set_sink(Sink sink);
+
+  /// Install a virtual-clock source; logged lines are prefixed with "@t=...".
+  void set_time_source(TimeSource source) { time_source_ = std::move(source); }
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, std::string_view module, std::string_view message);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  TimeSource time_source_;
+};
+
+/// Stream-style helper: CAA_LOG(logger, kDebug, "net") << "sent " << n;
+class LogLine {
+ public:
+  LogLine(Logger& logger, LogLevel level, std::string_view module)
+      : logger_(logger), level_(level), module_(module) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { logger_.log(level_, module_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Logger& logger_;
+  LogLevel level_;
+  std::string_view module_;
+  std::ostringstream stream_;
+};
+
+#define CAA_LOG(logger, level, module)            \
+  if (!(logger).enabled(level)) {                 \
+  } else                                          \
+    ::caa::LogLine(logger, level, module)
+
+}  // namespace caa

@@ -1,0 +1,78 @@
+// Small summary-statistics accumulator (mean / stddev / percentiles).
+//
+// Used by the benches to quantify the paper's *predictability* argument
+// (§2.2: aborting a nested action is "more predictable" than waiting for
+// it): predictability is variance and tail percentiles, not just means.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace caa {
+
+class Samples {
+ public:
+  void add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+
+  [[nodiscard]] double mean() const {
+    CAA_CHECK(!values_.empty());
+    double sum = 0;
+    for (double v : values_) sum += v;
+    return sum / static_cast<double>(values_.size());
+  }
+
+  [[nodiscard]] double stddev() const {
+    CAA_CHECK(!values_.empty());
+    const double m = mean();
+    double acc = 0;
+    for (double v : values_) acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values_.size()));
+  }
+
+  [[nodiscard]] double min() const {
+    CAA_CHECK(!values_.empty());
+    return *std::min_element(values_.begin(), values_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    CAA_CHECK(!values_.empty());
+    return *std::max_element(values_.begin(), values_.end());
+  }
+
+  /// Percentile by nearest-rank (p in [0, 100]).
+  [[nodiscard]] double percentile(double p) const {
+    CAA_CHECK(!values_.empty());
+    CAA_CHECK(p >= 0.0 && p <= 100.0);
+    ensure_sorted();
+    if (p <= 0.0) return values_.front();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values_.size())));
+    return values_[std::min(rank == 0 ? 0 : rank - 1, values_.size() - 1)];
+  }
+
+  void clear() {
+    values_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace caa

@@ -1,0 +1,162 @@
+// Tests of the comparison baselines: the CR (Campbell–Randell 1986)
+// algorithm including the §3.3 domino effect, and the Arche-style
+// resolution function.
+#include <gtest/gtest.h>
+
+#include "caa/world.h"
+#include "resolve/arche_resolver.h"
+#include "resolve/cr_resolver.h"
+
+namespace caa::resolve {
+namespace {
+
+struct CrWorld {
+  World world;
+  std::vector<std::unique_ptr<CrParticipant>> objects;
+  std::vector<ObjectId> ids;
+  ex::ExceptionTree tree{ex::ExceptionTree("root")};
+
+  void build(std::size_t n, ex::ExceptionTree t,
+             std::function<std::set<ExceptionId>(std::size_t)> handled_for) {
+    tree = std::move(t);
+    for (std::size_t i = 0; i < n; ++i) {
+      objects.push_back(std::make_unique<CrParticipant>());
+      const NodeId node = world.add_node();
+      world.attach(*objects.back(), "C" + std::to_string(i + 1), node);
+      ids.push_back(objects.back()->id());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      CrParticipant::Config config;
+      config.members = ids;
+      config.tree = &tree;
+      config.handled = handled_for(i);
+      config.handled.insert(tree.root());
+      objects[i]->configure(std::move(config));
+    }
+  }
+};
+
+TEST(CrBaseline, SingleRaiseFullHandlers) {
+  // With full handler sets the CR algorithm behaves like a broadcast +
+  // commit: no re-raising.
+  CrWorld cw;
+  ex::ExceptionTree tree = ex::shapes::star(3);
+  cw.build(3, std::move(tree), [&](std::size_t) {
+    std::set<ExceptionId> all;
+    for (std::uint32_t i = 0; i < cw.tree.size(); ++i) all.insert(ExceptionId(i));
+    return all;
+  });
+  const ExceptionId s1 = cw.tree.find("s1");
+  cw.world.at(1000, [&] { cw.objects[0]->raise(s1); });
+  cw.world.run();
+  for (auto& o : cw.objects) {
+    EXPECT_EQ(o->resolved(), s1);
+    EXPECT_EQ(o->handler_ran(), s1);
+  }
+  EXPECT_EQ(cw.objects[0]->raises_sent(), 1);
+}
+
+TEST(CrBaseline, DominoEffectOnChainTree) {
+  // §3.3: chain tree e1 -> ... -> e8; O1 handles odd exceptions, O2 handles
+  // even ones. O2 raises e8; O1 must raise e7, which makes O2 raise e6, and
+  // so on until e1/the root is reached.
+  CrWorld cw;
+  cw.build(2, ex::shapes::chain(8), [&](std::size_t i) {
+    std::set<ExceptionId> handled;
+    for (int k = 1; k <= 8; ++k) {
+      const bool odd = (k % 2) == 1;
+      if ((i == 0 && odd) || (i == 1 && !odd)) {
+        handled.insert(cw.tree.find("e" + std::to_string(k)));
+      }
+    }
+    return handled;
+  });
+  const ExceptionId e8 = cw.tree.find("e8");
+  cw.world.at(1000, [&] { cw.objects[1]->raise(e8); });
+  cw.world.run();
+
+  // The domino climbed the entire chain: "any exception will always lead to
+  // further exceptions until the root of the exception tree is reached"
+  // (§3.3). O2 raised e8, e6, e4, e2 and finally the root (5 raises, since
+  // it has no handler for e1); O1 raised e7, e5, e3, e1 (4 raises).
+  EXPECT_EQ(cw.objects[1]->raises_sent(), 5);
+  EXPECT_EQ(cw.objects[0]->raises_sent(), 4);
+  EXPECT_EQ(cw.objects[0]->resolved(), cw.tree.root());
+  EXPECT_EQ(cw.objects[1]->resolved(), cw.tree.root());
+  EXPECT_EQ(cw.objects[0]->handler_ran(), cw.tree.root());
+  EXPECT_EQ(cw.objects[1]->handler_ran(), cw.tree.root());
+}
+
+TEST(CrBaseline, StaggeredHandlersScaleCubically) {
+  // The adversarial configuration used by the E5 bench: N objects, chain of
+  // depth N^2, object i handling levels congruent to i mod N. Resolution
+  // climbs the chain in ~N rounds of ~N simultaneous re-raises, so each
+  // object re-raises O(N) times => O(N^2) raises => O(N^3) messages, versus
+  // the new algorithm's O(N^2).
+  auto run_for = [](std::size_t n) {
+    CrWorld cw;
+    const std::size_t depth = n * n;
+    cw.build(n, ex::shapes::chain(depth), [&](std::size_t i) {
+      std::set<ExceptionId> handled;
+      for (std::size_t k = 1; k <= depth; ++k) {
+        if (k % n == i) {
+          handled.insert(cw.tree.find("e" + std::to_string(k)));
+        }
+      }
+      return handled;
+    });
+    cw.world.at(1000, [&] {
+      for (auto& o : cw.objects) {
+        o->raise(cw.tree.find("e" + std::to_string(depth)));
+      }
+    });
+    cw.world.run();
+    return cw.world.messages_of(net::MsgKind::kCrRaise) +
+           cw.world.messages_of(net::MsgKind::kCrAck) +
+           cw.world.messages_of(net::MsgKind::kCrCommit);
+  };
+  const auto m4 = run_for(4);
+  const auto m8 = run_for(8);
+  // Doubling N should inflate messages by ~8x for a cubic algorithm; allow
+  // slack but require clearly super-quadratic growth (> 5x).
+  EXPECT_GT(m8, 5 * m4) << "m4=" << m4 << " m8=" << m8;
+}
+
+TEST(ArcheBaseline, ConcertedExceptionFromReports) {
+  World w;
+  ArcheCoordinator coordinator;
+  ArcheMember m1, m2, m3;
+  ex::ExceptionTree tree;
+  const auto parent = tree.declare("engine_loss");
+  const auto left = tree.declare("left", parent);
+  const auto right = tree.declare("right", parent);
+  tree.freeze();
+
+  const NodeId n0 = w.add_node();
+  w.attach(coordinator, "coord", n0);
+  for (auto* m : {&m1, &m2, &m3}) {
+    w.attach(*m, "m" + std::to_string(m == &m1 ? 1 : (m == &m2 ? 2 : 3)),
+             w.add_node());
+  }
+  ArcheCoordinator::Config config;
+  config.members = {m1.id(), m2.id(), m3.id()};
+  config.tree = &tree;
+  coordinator.configure(std::move(config));
+  for (auto* m : {&m1, &m2, &m3}) m->configure(coordinator.id());
+
+  w.at(1000, [&] { m1.finish(left); });
+  w.at(1100, [&] { m2.finish(right); });
+  w.at(1200, [&] { m3.finish(); });  // no exception
+  w.run();
+
+  EXPECT_TRUE(coordinator.done());
+  EXPECT_EQ(coordinator.concerted(), parent);
+  EXPECT_EQ(m1.concerted(), parent);
+  EXPECT_EQ(m3.concerted(), parent);
+  // 2N messages: N reports + N concerted replies.
+  EXPECT_EQ(w.messages_of(net::MsgKind::kArcheReport), 3);
+  EXPECT_EQ(w.messages_of(net::MsgKind::kArcheConcerted), 3);
+}
+
+}  // namespace
+}  // namespace caa::resolve

@@ -1,0 +1,371 @@
+// Property-based tests: randomized scenarios (seeded, deterministic) that
+// check the DESIGN.md §5.3 invariants over many protocol interleavings:
+//
+//   Agreement      — all participants that handle a given (instance, round)
+//                    handle the SAME resolved exception.
+//   Coverage       — the resolved exception covers every exception
+//                    successfully raised in that (instance, round).
+//   Innermost-first— abortion records per participant go from deeper to
+//                    shallower nesting.
+//   Quiescence     — the simulation always drains; no livelock.
+//   Accounting     — fault-free runs exchange zero resolution messages;
+//                    flat runs match the §4.4 formula exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "caa/world.h"
+#include "util/rng.h"
+
+namespace caa {
+namespace {
+
+using action::EnterConfig;
+using action::Participant;
+using action::uniform_handlers;
+
+struct RaiseRecord {
+  ActionInstanceId instance;
+  std::uint32_t round;
+  ExceptionId exception;
+};
+
+struct Scenario {
+  World world;
+  std::vector<Participant*> objects;
+  std::map<ActionInstanceId, const action::ActionDecl*> decls;
+  std::map<ActionInstanceId, std::size_t> depth_of;
+  std::vector<RaiseRecord> raises;
+
+  /// Records and performs a raise only if it would be effective.
+  void try_raise(Participant& p, ExceptionId e) {
+    if (!p.in_action()) return;
+    if (p.at_acceptance_line()) return;
+    if (p.resolver_state() != resolve::ResolverCore::State::kNormal) return;
+    const ActionInstanceId scope = p.active_instance();
+    raises.push_back(RaiseRecord{scope, p.round_of(scope), e});
+    p.raise(e);
+  }
+
+  void check_agreement_and_coverage() const {
+    // (instance, round) -> resolved exception seen.
+    std::map<std::pair<ActionInstanceId, std::uint32_t>, ExceptionId> seen;
+    for (const Participant* o : objects) {
+      for (const auto& h : o->handled()) {
+        const auto key = std::make_pair(h.instance, h.round);
+        auto [it, inserted] = seen.emplace(key, h.resolved);
+        if (!inserted) {
+          ASSERT_EQ(it->second, h.resolved)
+              << "agreement violated in instance " << h.instance.value()
+              << " round " << h.round;
+        }
+      }
+    }
+    for (const RaiseRecord& r : raises) {
+      auto it = seen.find(std::make_pair(r.instance, r.round));
+      if (it == seen.end()) continue;  // round superseded by outer abort
+      const auto& tree = decls.at(r.instance)->tree();
+      EXPECT_TRUE(tree.covers(it->second, r.exception))
+          << "resolved " << tree.name_of(it->second) << " does not cover "
+          << tree.name_of(r.exception);
+    }
+  }
+
+  void check_innermost_first() const {
+    for (const Participant* o : objects) {
+      std::size_t last_depth = SIZE_MAX;
+      for (const auto& a : o->aborts()) {
+        const std::size_t d = depth_of.at(a.instance);
+        EXPECT_LT(d, last_depth == SIZE_MAX ? SIZE_MAX : last_depth + 1)
+            << "abortion order not innermost-first at " << o->name();
+        EXPECT_LT(d, last_depth)
+            << "abortion order not innermost-first at " << o->name();
+        last_depth = d;
+      }
+    }
+  }
+};
+
+ex::ExceptionTree random_tree(Rng& rng, int min_size = 3) {
+  ex::ExceptionTree tree;
+  const int extra = static_cast<int>(rng.below(5)) + min_size;
+  std::vector<ExceptionId> nodes{tree.root()};
+  for (int i = 0; i < extra; ++i) {
+    const ExceptionId parent = nodes[rng.below(nodes.size())];
+    nodes.push_back(tree.declare("x" + std::to_string(i), parent));
+  }
+  tree.freeze();
+  return tree;
+}
+
+ExceptionId random_exception(Rng& rng, const ex::ExceptionTree& tree) {
+  // Any declared exception except (usually) the root.
+  if (tree.size() == 1) return tree.root();
+  return ExceptionId(1 + static_cast<std::uint32_t>(rng.below(tree.size() - 1)));
+}
+
+class PropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySweep, SafeTimingsFullCompletion) {
+  // Entries happen strictly before any raise can propagate, so nobody is
+  // belated; handlers recover; every participant must leave every action.
+  Rng rng(GetParam());
+  Scenario s;
+  const int n = 2 + static_cast<int>(rng.below(6));  // 2..7 participants
+
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < n; ++i) {
+    s.objects.push_back(
+        &s.world.add_participant("O" + std::to_string(i + 1)));
+    ids.push_back(s.objects.back()->id());
+  }
+  const auto& outer_decl =
+      s.world.actions().declare("A_outer", random_tree(rng));
+  const auto& outer = s.world.actions().create_instance(outer_decl, ids);
+  s.decls[outer.instance] = &outer_decl;
+  s.depth_of[outer.instance] = 0;
+
+  auto config_for = [&](const action::ActionDecl& decl,
+                        const ex::ExceptionTree* parent_tree) {
+    EnterConfig config;
+    config.handlers = uniform_handlers(
+        decl.tree(), ex::HandlerResult::recovered(rng.below(300)));
+    config.handler_dispatch_delay = static_cast<sim::Time>(rng.below(100));
+    if (parent_tree != nullptr && rng.chance(0.5)) {
+      const ExceptionId signal = random_exception(rng, *parent_tree);
+      const sim::Time duration = static_cast<sim::Time>(rng.below(200));
+      config.abortion_handler = [signal, duration] {
+        return ex::AbortResult::signalling(signal, duration);
+      };
+    } else {
+      const sim::Time duration = static_cast<sim::Time>(rng.below(200));
+      config.abortion_handler = [duration] {
+        return ex::AbortResult::none(duration);
+      };
+    }
+    return config;
+  };
+
+  for (auto* o : s.objects) {
+    ASSERT_TRUE(o->enter(outer.instance, config_for(outer_decl, nullptr)));
+  }
+
+  // A random chain of nested actions over shrinking member subsets.
+  const action::InstanceInfo* parent = &outer;
+  std::vector<Participant*> members = s.objects;
+  const int levels = static_cast<int>(rng.below(3));  // 0..2 nested levels
+  for (int level = 0; level < levels && members.size() > 1; ++level) {
+    // Random subset: keep each member with p=0.7, at least one.
+    std::vector<Participant*> next;
+    for (auto* m : members) {
+      if (rng.chance(0.7)) next.push_back(m);
+    }
+    if (next.empty()) next.push_back(members[rng.below(members.size())]);
+    std::vector<ObjectId> next_ids;
+    for (auto* m : next) next_ids.push_back(m->id());
+    const auto& decl = s.world.actions().declare(
+        "A_nested_" + std::to_string(level), random_tree(rng));
+    const auto& inst =
+        s.world.actions().create_instance(decl, next_ids, parent->instance);
+    s.decls[inst.instance] = &decl;
+    s.depth_of[inst.instance] = static_cast<std::size_t>(level) + 1;
+    const auto& parent_tree = s.decls.at(parent->instance)->tree();
+    for (auto* m : next) {
+      ASSERT_TRUE(m->enter(inst.instance, config_for(decl, &parent_tree)));
+    }
+    parent = &inst;
+    members = std::move(next);
+  }
+
+  // Raises: 1..3 random (object, time) pairs, against the active action.
+  const int raise_count = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < raise_count; ++i) {
+    Participant* p = s.objects[rng.below(s.objects.size())];
+    const sim::Time t = 1000 + static_cast<sim::Time>(rng.below(2500));
+    s.world.at(t, [&s, p] {
+      if (!p->in_action()) return;
+      const auto& tree = s.decls.at(p->active_instance())->tree();
+      Rng local(p->id().value() * 7919 + 13);
+      s.try_raise(*p, random_exception(local, tree));
+    });
+  }
+
+  // Completion pushes: every object tries to complete its active action
+  // periodically until it has left everything.
+  for (auto* o : s.objects) {
+    for (sim::Time t = 6000; t <= 40000; t += 1500) {
+      s.world.at(t, [o] {
+        if (o->in_action() &&
+            o->resolver_state() == resolve::ResolverCore::State::kNormal) {
+          o->complete();
+        }
+      });
+    }
+  }
+
+  s.world.run();
+
+  for (auto* o : s.objects) {
+    EXPECT_FALSE(o->in_action())
+        << o->name() << " stuck (seed " << GetParam() << ")";
+  }
+  s.check_agreement_and_coverage();
+  s.check_innermost_first();
+  EXPECT_TRUE(s.world.failures().empty());
+}
+
+TEST_P(PropertySweep, ChaoticTimingsStructuralInvariants) {
+  // Entries, raises and completions all overlap: belated participants and
+  // superseded resolutions happen. We assert the structural invariants and
+  // quiescence, not full completion.
+  Rng rng(GetParam() ^ 0xfeedface);
+  Scenario s;
+  const int n = 2 + static_cast<int>(rng.below(5));
+
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < n; ++i) {
+    s.objects.push_back(
+        &s.world.add_participant("O" + std::to_string(i + 1)));
+    ids.push_back(s.objects.back()->id());
+  }
+  const auto& outer_decl =
+      s.world.actions().declare("A_outer", random_tree(rng));
+  const auto& outer = s.world.actions().create_instance(outer_decl, ids);
+  s.decls[outer.instance] = &outer_decl;
+  s.depth_of[outer.instance] = 0;
+
+  auto make_config = [&](const action::ActionDecl& decl) {
+    EnterConfig config;
+    config.handlers = uniform_handlers(
+        decl.tree(), ex::HandlerResult::recovered(rng.below(300)));
+    const sim::Time duration = static_cast<sim::Time>(rng.below(400));
+    config.abortion_handler = [duration] {
+      return ex::AbortResult::none(duration);
+    };
+    return config;
+  };
+
+  for (auto* o : s.objects) {
+    ASSERT_TRUE(o->enter(outer.instance, make_config(outer_decl)));
+  }
+
+  // Nested chain whose entries are *scheduled*, racing the raises. A real
+  // object enters actions in program order, so each participant's deeper
+  // entry is scheduled strictly after its previous one.
+  const action::InstanceInfo* parent = &outer;
+  std::vector<Participant*> members = s.objects;
+  std::map<Participant*, sim::Time> last_entry;
+  for (auto* m : s.objects) last_entry[m] = 0;
+  const int levels = static_cast<int>(rng.below(3));
+  for (int level = 0; level < levels && members.size() > 1; ++level) {
+    std::vector<Participant*> next;
+    for (auto* m : members) {
+      if (rng.chance(0.7)) next.push_back(m);
+    }
+    if (next.empty()) next.push_back(members[rng.below(members.size())]);
+    std::vector<ObjectId> next_ids;
+    for (auto* m : next) next_ids.push_back(m->id());
+    const auto& decl = s.world.actions().declare(
+        "A_nested_" + std::to_string(level), random_tree(rng));
+    const auto& inst =
+        s.world.actions().create_instance(decl, next_ids, parent->instance);
+    s.decls[inst.instance] = &decl;
+    s.depth_of[inst.instance] = static_cast<std::size_t>(level) + 1;
+    const ActionInstanceId parent_instance = parent->instance;
+    for (auto* m : next) {
+      const sim::Time t =
+          last_entry[m] + 1 + static_cast<sim::Time>(rng.below(2000));
+      last_entry[m] = t;
+      auto config = make_config(decl);
+      const ActionInstanceId target = inst.instance;
+      s.world.at(t, [m, target, parent_instance, config] {
+        // Enter only from the expected parent context (program order); a
+        // participant that never made it into the parent (belated there)
+        // never attempts the child either.
+        if (!m->in_action() || m->active_instance() != parent_instance) {
+          return;
+        }
+        (void)m->enter(target, config);  // may still be refused: belated
+      });
+    }
+    parent = &inst;
+    members = std::move(next);
+  }
+
+  const int raise_count = 1 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < raise_count; ++i) {
+    Participant* p = s.objects[rng.below(s.objects.size())];
+    const sim::Time t = 600 + static_cast<sim::Time>(rng.below(3000));
+    const std::uint64_t salt = rng.next();
+    s.world.at(t, [&s, p, salt] {
+      if (!p->in_action()) return;
+      const auto& tree = s.decls.at(p->active_instance())->tree();
+      Rng local(salt);
+      s.try_raise(*p, random_exception(local, tree));
+    });
+  }
+
+  for (auto* o : s.objects) {
+    for (sim::Time t = 8000; t <= 60000; t += 2000) {
+      s.world.at(t, [o] {
+        if (o->in_action() &&
+            o->resolver_state() == resolve::ResolverCore::State::kNormal) {
+          o->complete();
+        }
+      });
+    }
+  }
+
+  const std::size_t fired = s.world.run();
+  EXPECT_GT(fired, 0u);
+  s.check_agreement_and_coverage();
+  s.check_innermost_first();
+}
+
+TEST_P(PropertySweep, FlatFormulaExact) {
+  // §4.4 general formula on flat actions with Q=0: total resolution
+  // messages == (N-1)(2P+1) when P objects raise simultaneously.
+  Rng rng(GetParam() * 31 + 7);
+  const int n = 2 + static_cast<int>(rng.below(9));       // 2..10
+  const int p = 1 + static_cast<int>(rng.below(n));       // 1..N
+  World w;
+  std::vector<Participant*> objects;
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < n; ++i) {
+    objects.push_back(&w.add_participant("O" + std::to_string(i + 1)));
+    ids.push_back(objects.back()->id());
+  }
+  const auto& decl = w.actions().declare(
+      "A", ex::shapes::star(static_cast<std::size_t>(n)));
+  const auto& inst = w.actions().create_instance(decl, ids);
+  for (auto* o : objects) {
+    EnterConfig config;
+    config.handlers =
+        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
+    ASSERT_TRUE(o->enter(inst.instance, config));
+  }
+  // P distinct raisers, all at the same instant (before any propagation).
+  std::vector<int> raisers(n);
+  for (int i = 0; i < n; ++i) raisers[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(raisers[i], raisers[rng.below(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  w.at(1000, [&] {
+    for (int i = 0; i < p; ++i) {
+      objects[raisers[i]]->raise("s" + std::to_string(raisers[i] + 1));
+    }
+  });
+  w.run();
+  EXPECT_EQ(w.resolution_messages(), (n - 1) * (2 * p + 1))
+      << "N=" << n << " P=" << p;
+  for (auto* o : objects) {
+    ASSERT_EQ(o->handled().size(), 1u);
+    EXPECT_FALSE(o->in_action());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Range<std::uint64_t>(1, 301));
+
+}  // namespace
+}  // namespace caa

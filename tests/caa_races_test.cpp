@@ -1,0 +1,228 @@
+// Deterministic race tests: asymmetric per-link latencies steer messages
+// into the protocol's subtle windows — the commit that overtakes an
+// exception, ACKs owed after a round closed, future-round buffering after
+// backward recovery, and multiple resolution rounds in one instance.
+#include <gtest/gtest.h>
+
+#include "caa/world.h"
+
+namespace caa {
+namespace {
+
+using action::EnterConfig;
+using action::Participant;
+using action::uniform_handlers;
+
+ex::ExceptionTree tree3() {
+  ex::ExceptionTree t;
+  const auto parent = t.declare("both");
+  t.declare("ea", parent);
+  t.declare("eb", parent);
+  t.freeze();
+  return t;
+}
+
+NodeId node_of(World& w, const Participant& p) {
+  return w.directory().address_of(p.id()).node;
+}
+
+TEST(CaaRaces, CommitOvertakesSlowExceptionAtSuspendedObject) {
+  // O1 and O2 raise concurrently. The link O1 -> O3 is very slow, so O3
+  // receives O2's Commit BEFORE O1's Exception. O3 (suspended by O2's
+  // exception) must start the handler on Commit, and still ACK O1's
+  // late-but-same-round Exception afterwards so O1 can reach Ready and
+  // finish the round (the §4.2 "wait until all exception messages are
+  // handled" clause, made precise by rounds).
+  World w;
+  auto& o1 = w.add_participant("O1");
+  auto& o2 = w.add_participant("O2");
+  auto& o3 = w.add_participant("O3");
+  // Default links are 100 ticks; O1 -> O3 takes 5000.
+  net::LinkParams slow;
+  slow.latency_base = 5000;
+  w.network().set_link(node_of(w, o1), node_of(w, o3), slow);
+
+  const auto& decl = w.actions().declare("A", tree3());
+  const auto& inst =
+      w.actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
+  for (auto* o : {&o1, &o2, &o3}) {
+    EnterConfig config;
+    config.handlers =
+        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
+    ASSERT_TRUE(o->enter(inst.instance, config));
+  }
+  w.at(1000, [&] {
+    o1.raise("ea");
+    o2.raise("eb");
+  });
+  w.run();
+
+  const ExceptionId both = decl.tree().find("both");
+  for (auto* o : {&o1, &o2, &o3}) {
+    ASSERT_EQ(o->handled().size(), 1u) << o->name();
+    EXPECT_EQ(o->handled()[0].resolved, both) << o->name();
+    EXPECT_FALSE(o->in_action()) << o->name();
+  }
+  // O3 must have ACKed the stale-round Exception after its round closed.
+  EXPECT_GE(w.counters().get("caa.stale_round"), 1);
+}
+
+TEST(CaaRaces, RaiserHoldsForeignCommitUntilReady) {
+  // Same topology; additionally the O3 -> O1 link is slow, so O1 receives
+  // O2's Commit while still waiting for O3's ACK. O1 must hold the commit
+  // until Ready instead of finishing with dangling bookkeeping.
+  World w;
+  auto& o1 = w.add_participant("O1");
+  auto& o2 = w.add_participant("O2");
+  auto& o3 = w.add_participant("O3");
+  net::LinkParams slow;
+  slow.latency_base = 4000;
+  w.network().set_link(node_of(w, o3), node_of(w, o1), slow);
+
+  const auto& decl = w.actions().declare("A", tree3());
+  const auto& inst =
+      w.actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
+  for (auto* o : {&o1, &o2, &o3}) {
+    EnterConfig config;
+    config.handlers =
+        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
+    ASSERT_TRUE(o->enter(inst.instance, config));
+  }
+  w.at(1000, [&] {
+    o1.raise("ea");
+    o2.raise("eb");
+  });
+  w.run();
+
+  for (auto* o : {&o1, &o2, &o3}) {
+    ASSERT_EQ(o->handled().size(), 1u) << o->name();
+    EXPECT_EQ(o->handled()[0].resolved, decl.tree().find("both"))
+        << o->name();
+    EXPECT_FALSE(o->in_action()) << o->name();
+  }
+}
+
+TEST(CaaRaces, SecondRoundAfterRestoreRaisesCleanly) {
+  // Attempt 0 fails its acceptance test (backward recovery); attempt 1's
+  // body raises an exception: the resolution runs in a *later round* of
+  // the same action instance and must not be confused by attempt-0 state.
+  World w;
+  auto& o1 = w.add_participant("O1");
+  auto& o2 = w.add_participant("O2");
+  const auto& decl = w.actions().declare("A", tree3());
+  const auto& inst = w.actions().create_instance(decl, {o1.id(), o2.id()});
+
+  auto config_for = [&](Participant& p, bool raiser) {
+    EnterConfig config;
+    config.handlers =
+        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
+    config.max_attempts = 2;
+    config.body = [&p, raiser](std::uint32_t attempt) {
+      if (attempt == 0) {
+        p.complete(/*acceptance_ok=*/false);
+      } else if (raiser) {
+        p.raise("ea", "attempt-1 failure");
+      } else {
+        p.complete(true);
+      }
+    };
+    return config;
+  };
+  ASSERT_TRUE(o1.enter(inst.instance, config_for(o1, true)));
+  ASSERT_TRUE(o2.enter(inst.instance, config_for(o2, false)));
+  w.run();
+
+  ASSERT_EQ(o1.handled().size(), 1u);
+  ASSERT_EQ(o2.handled().size(), 1u);
+  // The resolution round is >= 1 (round 0 ended with the Restore).
+  EXPECT_GE(o1.handled()[0].round, 1u);
+  EXPECT_EQ(o1.handled()[0].resolved, decl.tree().find("ea"));
+  EXPECT_FALSE(o1.in_action());
+  EXPECT_FALSE(o2.in_action());
+  EXPECT_TRUE(w.failures().empty());
+}
+
+TEST(CaaRaces, TwoSequentialResolutionsInOneInstance) {
+  // Round 0 resolves; backward recovery then gives the bodies another run
+  // which raises again: two handled records per participant, with
+  // increasing rounds, same instance.
+  World w;
+  auto& o1 = w.add_participant("O1");
+  auto& o2 = w.add_participant("O2");
+  const auto& decl = w.actions().declare("A", tree3());
+  const auto& inst = w.actions().create_instance(decl, {o1.id(), o2.id()});
+
+  // Handlers "recover" but the recovered completion fails acceptance on
+  // attempt 0, forcing a Restore after the first resolution; the attempt-1
+  // body raises the second exception, whose handler completes cleanly.
+  int phase = 0;
+  auto config_for = [&](Participant& p, bool raiser) {
+    EnterConfig config;
+    config.handlers.fill_defaults(decl.tree(), [&phase](ExceptionId) {
+      ++phase;
+      return ex::HandlerResult::recovered();
+    });
+    config.max_attempts = 2;
+    config.acceptance = [&p, &config] {
+      (void)config;
+      return p.attempt_of(p.active_instance()) > 0;
+    };
+    config.body = [&p, raiser](std::uint32_t attempt) {
+      if (raiser) {
+        p.raise(attempt == 0 ? "ea" : "eb");
+      }
+      // Non-raisers simply wait; the handler completes for them.
+    };
+    return config;
+  };
+  ASSERT_TRUE(o1.enter(inst.instance, config_for(o1, true)));
+  ASSERT_TRUE(o2.enter(inst.instance, config_for(o2, false)));
+  w.run();
+
+  ASSERT_EQ(o1.handled().size(), 2u);
+  ASSERT_EQ(o2.handled().size(), 2u);
+  EXPECT_EQ(o1.handled()[0].resolved, decl.tree().find("ea"));
+  EXPECT_EQ(o1.handled()[1].resolved, decl.tree().find("eb"));
+  EXPECT_LT(o1.handled()[0].round, o1.handled()[1].round);
+  EXPECT_EQ(o1.handled()[0].instance, o1.handled()[1].instance);
+  EXPECT_FALSE(o1.in_action());
+  EXPECT_FALSE(o2.in_action());
+}
+
+TEST(CaaRaces, SlowHaveNestedStillBlocksResolver) {
+  // O2 is nested; its HaveNested to the raiser O1 is fast but its
+  // NestedCompleted is delayed by a slow abortion handler. O1 must not
+  // commit before the NestedCompleted arrives.
+  World w;
+  auto& o1 = w.add_participant("O1");
+  auto& o2 = w.add_participant("O2");
+  const auto& d1 = w.actions().declare("A1", tree3());
+  const auto& d2 = w.actions().declare("A2", ex::shapes::star(1));
+  const auto& a1 = w.actions().create_instance(d1, {o1.id(), o2.id()});
+  const auto& a2 =
+      w.actions().create_instance(d2, {o2.id()}, a1.instance);
+
+  EnterConfig c1;
+  c1.handlers = uniform_handlers(d1.tree(), ex::HandlerResult::recovered());
+  ASSERT_TRUE(o1.enter(a1.instance, c1));
+  EnterConfig c2 = c1;
+  ASSERT_TRUE(o2.enter(a1.instance, c2));
+  EnterConfig c3;
+  c3.handlers = uniform_handlers(d2.tree(), ex::HandlerResult::recovered());
+  c3.abortion_handler = [] { return ex::AbortResult::none(3000); };
+  ASSERT_TRUE(o2.enter(a2.instance, c3));
+
+  w.at(1000, [&] { o1.raise("ea"); });
+  w.run();
+
+  ASSERT_EQ(o1.handled().size(), 1u);
+  // Timeline: Exception (100) + abortion (3000) + NestedCompleted+ACK
+  // (100) + Commit... the handler cannot have started before ~4200.
+  EXPECT_GT(o1.handled()[0].at, static_cast<sim::Time>(4000));
+  ASSERT_EQ(o2.aborts().size(), 1u);
+  EXPECT_FALSE(o1.in_action());
+  EXPECT_FALSE(o2.in_action());
+}
+
+}  // namespace
+}  // namespace caa

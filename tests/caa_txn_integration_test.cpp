@@ -1,0 +1,211 @@
+// Integration of CA actions with the transaction substrate (§3.1):
+// "a subset of these participating objects may further enter a nested CA
+// action, which has all properties of a nested transaction in the terms of
+// atomic objects" — nested actions run nested transactions; nested commit
+// merges into the parent; abortion of the nested action (by an outer
+// resolution) aborts the nested transaction and undoes its writes; forward
+// recovery repairs and commits; the whole family is undone if the outer
+// action fails.
+#include <gtest/gtest.h>
+
+#include "caa/world.h"
+#include "txn/atomic_object.h"
+#include "txn/txn_manager.h"
+
+namespace caa {
+namespace {
+
+using action::EnterConfig;
+using action::Participant;
+using action::uniform_handlers;
+
+struct Fixture {
+  World world;
+  Participant* o1 = nullptr;
+  Participant* o2 = nullptr;
+  txn::AtomicObjectHost host;
+  txn::TxnClient client;
+
+  Fixture() {
+    o1 = &world.add_participant("O1");
+    o2 = &world.add_participant("O2");
+    world.attach(host, "store", world.add_node());
+    world.attach(client, "txncli", world.add_node());
+    host.put_initial("x", 10);
+    host.put_initial("y", 20);
+  }
+};
+
+TEST(CaaTxn, NestedActionRunsNestedTransaction) {
+  // Outer action writes x under the parent transaction; a nested action
+  // writes y under a child transaction and completes normally (merge);
+  // outer commit publishes both.
+  Fixture f;
+  const auto& d1 = f.world.actions().declare("Outer", ex::shapes::star(1));
+  const auto& d2 = f.world.actions().declare("Inner", ex::shapes::star(1));
+  const auto& a1 =
+      f.world.actions().create_instance(d1, {f.o1->id(), f.o2->id()});
+  const auto& a2 = f.world.actions().create_instance(
+      d2, {f.o1->id(), f.o2->id()}, a1.instance);
+
+  TxnId parent, child;
+
+  EnterConfig outer1;
+  outer1.handlers = uniform_handlers(d1.tree(),
+                                     ex::HandlerResult::recovered());
+  outer1.on_commit = [&] { f.client.commit(parent, [](Status) {}); };
+  outer1.on_abort = [&] {
+    if (f.client.active(parent)) f.client.abort(parent, [](Status) {});
+  };
+  EnterConfig outer2 = outer1;
+  outer2.on_commit = nullptr;
+  outer2.on_abort = nullptr;
+
+  ASSERT_TRUE(f.o1->enter(a1.instance, outer1));
+  ASSERT_TRUE(f.o2->enter(a1.instance, outer2));
+
+  f.world.at(100, [&] {
+    parent = f.client.begin();
+    f.client.write(parent, f.host.id(), "x", 11, [](Status) {});
+  });
+
+  // Enter the nested action at t=500 with a child transaction.
+  EnterConfig inner1;
+  inner1.handlers = uniform_handlers(d2.tree(),
+                                     ex::HandlerResult::recovered());
+  inner1.on_commit = [&] { f.client.commit(child, [](Status) {}); };
+  inner1.on_abort = [&] {
+    if (f.client.active(child)) f.client.abort(child, [](Status) {});
+  };
+  EnterConfig inner2;
+  inner2.handlers = uniform_handlers(d2.tree(),
+                                     ex::HandlerResult::recovered());
+  f.world.at(500, [&] {
+    ASSERT_TRUE(f.o1->enter(a2.instance, inner1));
+    ASSERT_TRUE(f.o2->enter(a2.instance, inner2));
+    child = f.client.begin(parent);
+    f.client.write(child, f.host.id(), "y", 21, [](Status) {});
+  });
+  // Nested completes normally; then outer completes.
+  f.world.at(2000, [&] {
+    f.o1->complete();
+    f.o2->complete();
+  });
+  f.world.at(5000, [&] {
+    f.o1->complete();
+    f.o2->complete();
+  });
+  f.world.run();
+
+  EXPECT_EQ(f.host.peek("x"), 11);
+  EXPECT_EQ(f.host.peek("y"), 21);
+  EXPECT_FALSE(f.o1->in_action());
+  EXPECT_EQ(f.client.commits(), 2);  // child merge + parent 2PC
+}
+
+TEST(CaaTxn, OuterExceptionAbortsNestedActionAndItsTransaction) {
+  // O2 sits in a nested action with a child transaction that has already
+  // written y. O1 raises in the outer action: the nested action is aborted
+  // (abortion handler aborts the child txn), the outer handler repairs x,
+  // and the outer commit publishes only the repaired state.
+  Fixture f;
+  const auto& d1 = f.world.actions().declare("Outer", ex::shapes::star(1));
+  const auto& d2 = f.world.actions().declare("Inner", ex::shapes::star(1));
+  const auto& a1 =
+      f.world.actions().create_instance(d1, {f.o1->id(), f.o2->id()});
+  const auto& a2 =
+      f.world.actions().create_instance(d2, {f.o2->id()}, a1.instance);
+
+  TxnId parent, child;
+  bool child_began = false;
+
+  EnterConfig outer1;
+  outer1.handlers = uniform_handlers(d1.tree(),
+                                     ex::HandlerResult::recovered(2000));
+  outer1.handlers.set(d1.tree().find("s1"), [&](ExceptionId) {
+    // Forward recovery: repair x under the PARENT transaction.
+    f.client.write(parent, f.host.id(), "x", 99, [](Status) {});
+    return ex::HandlerResult::recovered(2000);
+  });
+  outer1.on_commit = [&] { f.client.commit(parent, [](Status) {}); };
+  ASSERT_TRUE(f.o1->enter(a1.instance, outer1));
+
+  EnterConfig outer2;
+  outer2.handlers = uniform_handlers(d1.tree(),
+                                     ex::HandlerResult::recovered(2000));
+  ASSERT_TRUE(f.o2->enter(a1.instance, outer2));
+
+  EnterConfig inner;
+  inner.handlers = uniform_handlers(d2.tree(),
+                                    ex::HandlerResult::recovered());
+  inner.abortion_handler = [&] {
+    // §3.1: abortion handlers are responsible for telling the transaction
+    // system to abort the nested operations on atomic objects.
+    if (child_began && f.client.active(child)) {
+      f.client.abort(child, [](Status) {});
+    }
+    return ex::AbortResult::none(100);
+  };
+  f.world.at(100, [&] {
+    parent = f.client.begin();
+    ASSERT_TRUE(f.o2->enter(a2.instance, inner));
+    child = f.client.begin(parent);
+    child_began = true;
+    f.client.write(child, f.host.id(), "y", 777, [](Status) {});
+  });
+  // Give the child's write time to land, then raise in the outer action.
+  f.world.at(1500, [&] { f.o1->raise("s1"); });
+  f.world.run();
+
+  EXPECT_EQ(f.host.peek("x"), 99);  // repaired and committed
+  EXPECT_EQ(f.host.peek("y"), 20);  // nested write undone with the child txn
+  ASSERT_EQ(f.o2->aborts().size(), 1u);
+  EXPECT_EQ(f.o2->aborts()[0].instance, a2.instance);
+  EXPECT_FALSE(f.o1->in_action());
+  EXPECT_FALSE(f.o2->in_action());
+}
+
+TEST(CaaTxn, OuterFailureUndoesWholeTransactionFamily) {
+  // The outer action's handlers cannot recover: they signal failure. The
+  // whole transaction family (parent + merged child writes) is aborted and
+  // the atomic objects return to their initial state.
+  Fixture f;
+  const auto& d1 = f.world.actions().declare("Outer", ex::shapes::star(1));
+  const auto& a1 =
+      f.world.actions().create_instance(d1, {f.o1->id(), f.o2->id()});
+  TxnId parent;
+
+  auto config = [&](bool leader) {
+    EnterConfig c;
+    c.handlers = uniform_handlers(
+        d1.tree(), ex::HandlerResult::signalling(d1.tree().root(), 100));
+    if (leader) {
+      c.on_abort = [&] {
+        if (f.client.active(parent)) f.client.abort(parent, [](Status) {});
+      };
+    }
+    return c;
+  };
+  ASSERT_TRUE(f.o1->enter(a1.instance, config(true)));
+  ASSERT_TRUE(f.o2->enter(a1.instance, config(false)));
+
+  f.world.at(100, [&] {
+    parent = f.client.begin();
+    f.client.write(parent, f.host.id(), "x", 555, [](Status) {});
+    const TxnId child = f.client.begin(parent);
+    f.client.write(child, f.host.id(), "y", 666, [&, child](Status) {
+      f.client.commit(child, [](Status) {});  // merged into parent
+    });
+  });
+  f.world.at(2000, [&] { f.o2->raise("s1"); });
+  f.world.run();
+
+  // Action failed; parent txn aborted; merged child write also undone.
+  ASSERT_EQ(f.world.failures().size(), 1u);
+  EXPECT_EQ(f.host.peek("x"), 10);
+  EXPECT_EQ(f.host.peek("y"), 20);
+  EXPECT_FALSE(f.host.has_locks(parent));
+}
+
+}  // namespace
+}  // namespace caa

@@ -1,0 +1,102 @@
+// Tests of the centralized resolution strategy (§4.5 alternative).
+#include <gtest/gtest.h>
+
+#include "caa/world.h"
+#include "resolve/centralized_resolver.h"
+
+namespace caa::resolve {
+namespace {
+
+struct CentralWorld {
+  World world;
+  std::vector<std::unique_ptr<CentralizedParticipant>> objects;
+  std::vector<ObjectId> ids;
+  ex::ExceptionTree tree{ex::ExceptionTree("root")};
+
+  void build(int n, ex::ExceptionTree t) {
+    tree = std::move(t);
+    for (int i = 0; i < n; ++i) {
+      objects.push_back(std::make_unique<CentralizedParticipant>());
+      world.attach(*objects.back(), "Z" + std::to_string(i + 1),
+                   world.add_node());
+      ids.push_back(objects.back()->id());
+    }
+    for (auto& o : objects) {
+      CentralizedParticipant::Config config;
+      config.members = ids;
+      config.tree = &tree;
+      o->configure(std::move(config));
+    }
+  }
+
+  std::int64_t messages() const {
+    return world.messages_of(net::MsgKind::kCentralException) +
+           world.messages_of(net::MsgKind::kCentralFreeze) +
+           world.messages_of(net::MsgKind::kCentralFrozenAck) +
+           world.messages_of(net::MsgKind::kCentralCommit);
+  }
+};
+
+TEST(Centralized, SingleRaiseResolves) {
+  CentralWorld cw;
+  cw.build(4, ex::shapes::star(4));
+  EXPECT_TRUE(cw.objects[0]->is_manager());
+  EXPECT_FALSE(cw.objects[1]->is_manager());
+  cw.world.at(1000, [&] { cw.objects[2]->raise(cw.tree.find("s3")); });
+  cw.world.run();
+  for (auto& o : cw.objects) {
+    EXPECT_EQ(o->resolved(), cw.tree.find("s3"));
+  }
+  // 1 Exception + 3 Freeze + 3 FrozenAck + 3 Commit = 10 = 3(N-1) + P.
+  EXPECT_EQ(cw.messages(), 10);
+}
+
+TEST(Centralized, ConcurrentRaisesResolveToLca) {
+  CentralWorld cw;
+  ex::ExceptionTree t;
+  const auto parent = t.declare("engine");
+  const auto left = t.declare("left", parent);
+  const auto right = t.declare("right", parent);
+  t.freeze();
+  cw.build(3, std::move(t));
+  cw.world.at(1000, [&] {
+    cw.objects[1]->raise(left);
+    cw.objects[2]->raise(right);
+  });
+  cw.world.run();
+  for (auto& o : cw.objects) {
+    EXPECT_EQ(o->resolved(), parent);
+  }
+  // 2 Exceptions + 2(N-1) control + (N-1) commits = 2 + 4 + 2... and the
+  // formula 3(N-1)+P = 6+2 = 8.
+  EXPECT_EQ(cw.messages(), 8);
+}
+
+TEST(Centralized, ManagerItselfCanRaise) {
+  CentralWorld cw;
+  cw.build(3, ex::shapes::star(3));
+  cw.world.at(1000, [&] { cw.objects[0]->raise(cw.tree.find("s1")); });
+  cw.world.run();
+  for (auto& o : cw.objects) {
+    EXPECT_EQ(o->resolved(), cw.tree.find("s1"));
+  }
+  // Manager raise is local: 0 Exceptions on the wire; 3(N-1) control.
+  EXPECT_EQ(cw.messages(), 6);
+}
+
+TEST(Centralized, RaiseAfterFreezeIsSuperseded) {
+  CentralWorld cw;
+  cw.build(3, ex::shapes::star(3));
+  cw.world.at(1000, [&] { cw.objects[1]->raise(cw.tree.find("s2")); });
+  // Raise at a time when the Freeze (manager at node 0) has certainly
+  // arrived at object 2 but the commit may not have: the raise is dropped.
+  cw.world.at(1500, [&] { cw.objects[2]->raise(cw.tree.find("s3")); });
+  cw.world.run();
+  for (auto& o : cw.objects) {
+    EXPECT_EQ(o->resolved(), cw.tree.find("s2"));
+  }
+  EXPECT_EQ(cw.world.counters().get("central.raise_superseded"), 1);
+}
+
+}  // namespace
+}  // namespace caa::resolve

@@ -1,0 +1,110 @@
+// Property sweep for the crash-tolerance extension: random crash times
+// injected into resolution scenarios. Invariants: the simulation always
+// quiesces, no internal CHECK fires, survivors that handled a given round
+// agree on the resolved exception, and with a committee >= 2 the survivors
+// always finish the action even if the designated resolver dies.
+#include <gtest/gtest.h>
+
+#include "caa/world.h"
+#include "util/rng.h"
+
+namespace caa {
+namespace {
+
+using action::EnterConfig;
+using action::Participant;
+using action::uniform_handlers;
+
+class CrashSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrashSweep, RandomCrashDuringResolution) {
+  Rng rng(GetParam() * 1337 + 5);
+  const int n = 3 + static_cast<int>(rng.below(4));  // 3..6
+  World w;
+  std::vector<Participant*> objects;
+  std::vector<ObjectId> ids;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n; ++i) {
+    const NodeId node = w.add_node();
+    nodes.push_back(node);
+    objects.push_back(&w.add_participant("O" + std::to_string(i + 1), node));
+    ids.push_back(objects.back()->id());
+  }
+  ex::ExceptionTree tree;
+  const auto cover = tree.declare("cover");
+  tree.declare("ea", cover);
+  tree.declare("eb", cover);
+  tree.declare("peer_crash");
+  const auto& decl = w.actions().declare("A", std::move(tree));
+  const auto& inst = w.actions().create_instance(decl, ids);
+  for (auto* o : objects) {
+    EnterConfig config;
+    config.handlers = uniform_handlers(
+        decl.tree(), ex::HandlerResult::recovered(rng.below(300)));
+    config.resolver_committee = 2;
+    config.crash_exception = decl.tree().find("peer_crash");
+    ASSERT_TRUE(o->enter(inst.instance, config));
+  }
+  // 1-2 raisers at random times.
+  const int raisers = 1 + static_cast<int>(rng.below(2));
+  for (int i = 0; i < raisers; ++i) {
+    Participant* p = objects[rng.below(objects.size())];
+    const sim::Time t = 1000 + static_cast<sim::Time>(rng.below(500));
+    const bool which = rng.chance(0.5);
+    w.at(t, [p, which] {
+      if (!p->in_action()) return;
+      if (p->at_acceptance_line()) return;
+      if (p->resolver_state() != resolve::ResolverCore::State::kNormal) {
+        return;
+      }
+      p->raise(which ? "ea" : "eb");
+    });
+  }
+  // One victim crashes at a random point around the resolution window.
+  const int victim = static_cast<int>(rng.below(objects.size()));
+  const sim::Time crash_at = 900 + static_cast<sim::Time>(rng.below(1200));
+  w.at(crash_at, [&, victim] {
+    w.network().set_node_up(nodes[victim], false);
+    for (int i = 0; i < n; ++i) {
+      if (i == victim) continue;
+      objects[i]->notify_peer_crashed(objects[victim]->id());
+    }
+  });
+  // Survivors that are still idle eventually complete.
+  for (auto* o : objects) {
+    for (sim::Time t = 6000; t <= 30000; t += 2000) {
+      w.at(t, [o] {
+        if (o->in_action() && !o->at_acceptance_line() &&
+            o->resolver_state() == resolve::ResolverCore::State::kNormal) {
+          o->complete();
+        }
+      });
+    }
+  }
+  w.run();
+
+  // Survivors all finished the action.
+  for (int i = 0; i < n; ++i) {
+    if (i == victim) continue;
+    EXPECT_FALSE(objects[i]->in_action())
+        << objects[i]->name() << " stuck, seed " << GetParam();
+  }
+  // Agreement among survivors per round.
+  std::map<std::uint32_t, ExceptionId> seen;
+  for (int i = 0; i < n; ++i) {
+    if (i == victim) continue;
+    for (const auto& h : objects[i]->handled()) {
+      auto [it, inserted] = seen.emplace(h.round, h.resolved);
+      if (!inserted) {
+        EXPECT_EQ(it->second, h.resolved)
+            << "survivor disagreement, seed " << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashSweep,
+                         ::testing::Range<std::uint64_t>(1, 81));
+
+}  // namespace
+}  // namespace caa

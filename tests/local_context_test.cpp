@@ -1,0 +1,122 @@
+// Tests of the local exception contexts (§2.1/§2.3): termination vs
+// resumption, covering handlers, propagation chains.
+#include <gtest/gtest.h>
+
+#include "ex/local_context.h"
+
+namespace caa::ex {
+namespace {
+
+struct Fx {
+  ExceptionTree tree;
+  ExceptionId io, io_read, io_write, app;
+
+  Fx() {
+    io = tree.declare("io_error");
+    io_read = tree.declare("io_read_error", io);
+    io_write = tree.declare("io_write_error", io);
+    app = tree.declare("app_error");
+    tree.freeze();
+  }
+};
+
+TEST(LocalContext, TerminationHandlerClosesBlock) {
+  Fx f;
+  LocalContextRunner r(f.tree);
+  r.enter_context("main");
+  r.enter_context("read_file");
+  r.attach(f.io_read, [](ExceptionId) { return LocalOutcome::kHandled; });
+
+  const auto result = r.raise(f.io_read);
+  EXPECT_TRUE(result.handled);
+  EXPECT_FALSE(result.resumed);
+  EXPECT_EQ(result.context, "read_file");
+  // Termination model: the handled block is gone; main survives.
+  EXPECT_EQ(r.depth(), 1u);
+  EXPECT_EQ(r.current(), "main");
+}
+
+TEST(LocalContext, ResumptionKeepsBlockOpen) {
+  Fx f;
+  LocalContextRunner r(f.tree);
+  r.enter_context("driver", Model::kResumption);
+  r.attach(f.io, [](ExceptionId) { return LocalOutcome::kHandled; });
+
+  const auto result = r.raise(f.io_write);
+  EXPECT_TRUE(result.handled);
+  EXPECT_TRUE(result.resumed);
+  EXPECT_EQ(r.depth(), 1u);  // the context survived
+  EXPECT_EQ(r.current(), "driver");
+}
+
+TEST(LocalContext, CoveringHandlerCatchesDescendants) {
+  Fx f;
+  LocalContextRunner r(f.tree);
+  r.enter_context("outer");
+  r.attach(f.io, [](ExceptionId) { return LocalOutcome::kHandled; });
+  const auto result = r.raise(f.io_read);
+  EXPECT_TRUE(result.handled);
+  EXPECT_EQ(result.handler_for, f.io);
+}
+
+TEST(LocalContext, PropagatesThroughUnhandledContexts) {
+  Fx f;
+  LocalContextRunner r(f.tree);
+  r.enter_context("main");
+  r.attach(f.io, [](ExceptionId) { return LocalOutcome::kHandled; });
+  r.enter_context("parse");
+  r.enter_context("read");
+
+  const auto result = r.raise(f.io_read);
+  EXPECT_TRUE(result.handled);
+  EXPECT_EQ(result.context, "main");
+  // The inner blocks were terminated on the way out, then main itself was
+  // closed by its (termination-model) handler.
+  EXPECT_EQ(result.unwound,
+            (std::vector<std::string>{"read", "parse", "main"}));
+  EXPECT_EQ(r.depth(), 0u);
+}
+
+TEST(LocalContext, HandlerMayDeclineAndPropagate) {
+  Fx f;
+  LocalContextRunner r(f.tree);
+  int attempts = 0;
+  r.enter_context("outer");
+  r.attach(f.io, [&](ExceptionId) {
+    ++attempts;
+    return LocalOutcome::kHandled;
+  });
+  r.enter_context("inner");
+  r.attach(f.io_read, [&](ExceptionId) {
+    ++attempts;
+    return LocalOutcome::kPropagate;  // "not able to recover"
+  });
+  const auto result = r.raise(f.io_read);
+  EXPECT_TRUE(result.handled);
+  EXPECT_EQ(result.context, "outer");
+  EXPECT_EQ(attempts, 2);
+}
+
+TEST(LocalContext, UnhandledUnwindsEverything) {
+  Fx f;
+  LocalContextRunner r(f.tree);
+  r.enter_context("a");
+  r.enter_context("b");
+  const auto result = r.raise(f.app);
+  EXPECT_FALSE(result.handled);
+  EXPECT_EQ(result.unwound, (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(r.depth(), 0u);
+}
+
+TEST(LocalContext, ExactHandlerBeatsCoveringOne) {
+  Fx f;
+  LocalContextRunner r(f.tree);
+  r.enter_context("c");
+  r.attach(f.io, [](ExceptionId) { return LocalOutcome::kHandled; });
+  r.attach(f.io_read, [](ExceptionId) { return LocalOutcome::kHandled; });
+  const auto result = r.raise(f.io_read);
+  EXPECT_EQ(result.handler_for, f.io_read);
+}
+
+}  // namespace
+}  // namespace caa::ex

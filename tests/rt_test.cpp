@@ -1,0 +1,161 @@
+// Unit tests of the object runtime: directory, attach/detach, message
+// dispatch, timers, World facade.
+#include <gtest/gtest.h>
+
+#include "caa/world.h"
+#include "rt/managed_object.h"
+#include "rt/runtime.h"
+
+namespace caa::rt {
+namespace {
+
+class Echo final : public ManagedObject {
+ public:
+  void on_message(ObjectId from, net::MsgKind kind,
+                  const net::Bytes& payload) override {
+    ++received_;
+    last_from_ = from;
+    if (kind == net::MsgKind::kAppData && echo_) {
+      send(from, net::MsgKind::kAppData, payload);
+    }
+  }
+  int received_ = 0;
+  ObjectId last_from_;
+  bool echo_ = false;
+};
+
+TEST(Directory, RegisterAndResolve) {
+  Directory d;
+  const ObjectId a = d.register_object("alpha", NodeId(0));
+  const ObjectId b = d.register_object("beta", NodeId(1));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.address_of(a).node, NodeId(0));
+  EXPECT_EQ(d.address_of(b).object, b);
+  EXPECT_EQ(d.name_of(a), "alpha");
+  EXPECT_EQ(d.find("beta"), b);
+  EXPECT_FALSE(d.find("gamma").valid());
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Directory, IdsFollowRegistrationOrder) {
+  // The §4.1 participant ordering comes from registration order.
+  Directory d;
+  const ObjectId first = d.register_object("x", NodeId(0));
+  const ObjectId second = d.register_object("y", NodeId(0));
+  EXPECT_LT(first, second);
+}
+
+TEST(Runtime, SendAndDispatchAcrossNodes) {
+  World w;
+  Echo a, b;
+  const NodeId n1 = w.add_node(), n2 = w.add_node();
+  w.attach(a, "a", n1);
+  w.attach(b, "b", n2);
+  b.echo_ = true;
+
+  w.at(0, [&] {
+    w.runtime(n1).send(a.id(), b.id(), net::MsgKind::kAppData, net::Bytes{});
+  });
+  w.run();
+  EXPECT_EQ(b.received_, 1);
+  EXPECT_EQ(b.last_from_, a.id());
+  EXPECT_EQ(a.received_, 1);  // echo came back
+  EXPECT_EQ(a.last_from_, b.id());
+}
+
+TEST(Runtime, SameNodeObjectsStillUseMessages) {
+  World w;
+  Echo a, b;
+  const NodeId n = w.add_node();
+  w.attach(a, "a", n);
+  w.attach(b, "b", n);
+  w.at(0, [&] {
+    w.runtime(n).send(a.id(), b.id(), net::MsgKind::kAppData, net::Bytes{});
+  });
+  w.run();
+  EXPECT_EQ(b.received_, 1);
+  // Loopback still went through the network (counted).
+  EXPECT_EQ(w.messages_of(net::MsgKind::kAppData), 1);
+}
+
+TEST(Runtime, DetachedObjectDropsMessages) {
+  World w;
+  Echo a;
+  auto b = std::make_unique<Echo>();
+  const NodeId n1 = w.add_node(), n2 = w.add_node();
+  w.attach(a, "a", n1);
+  w.attach(*b, "b", n2);
+  const ObjectId bid = b->id();
+  b.reset();  // destructor detaches
+  w.at(0, [&] {
+    w.runtime(n1).send(a.id(), bid, net::MsgKind::kAppData, net::Bytes{});
+  });
+  w.run();
+  EXPECT_EQ(w.counters().get("rt.dropped_no_object"), 1);
+}
+
+TEST(Runtime, TimersFireAndCancel) {
+  World w;
+  Echo a;
+  w.attach(a, "a", w.add_node());
+  int fired = 0;
+  EventId keep, cancelled;
+  w.at(0, [&] {
+    keep = w.simulator().schedule_after(100, [&] { ++fired; });
+    cancelled = w.simulator().schedule_after(100, [&] { ++fired; });
+    w.simulator().cancel(cancelled);
+  });
+  w.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(World, ParticipantsGetFreshNodesByDefault) {
+  World w;
+  auto& p1 = w.add_participant("P1");
+  auto& p2 = w.add_participant("P2");
+  EXPECT_NE(w.directory().address_of(p1.id()).node,
+            w.directory().address_of(p2.id()).node);
+}
+
+TEST(World, FailureSinkCollects) {
+  World w;
+  auto& p1 = w.add_participant("P1");
+  auto& p2 = w.add_participant("P2");
+  const auto& decl = w.actions().declare("A", ex::shapes::star(1));
+  const auto& inst = w.actions().create_instance(decl, {p1.id(), p2.id()});
+  action::EnterConfig config;
+  config.handlers = action::uniform_handlers(
+      decl.tree(), ex::HandlerResult::signalling(decl.tree().root()));
+  // signalling from an outermost action reaches the failure sink
+  ASSERT_TRUE(p1.enter(inst.instance, config));
+  ASSERT_TRUE(p2.enter(inst.instance, config));
+  w.at(100, [&] { p1.raise("s1"); });
+  w.run();
+  ASSERT_EQ(w.failures().size(), 1u);
+  EXPECT_EQ(w.failures()[0].instance, inst.instance);
+}
+
+TEST(World, ResolutionMessageAccounting) {
+  World w;
+  auto& p1 = w.add_participant("P1");
+  auto& p2 = w.add_participant("P2");
+  const auto& decl = w.actions().declare("A", ex::shapes::star(1));
+  const auto& inst = w.actions().create_instance(decl, {p1.id(), p2.id()});
+  action::EnterConfig config;
+  config.handlers = action::uniform_handlers(
+      decl.tree(), ex::HandlerResult::recovered());
+  ASSERT_TRUE(p1.enter(inst.instance, config));
+  ASSERT_TRUE(p2.enter(inst.instance, config));
+  w.at(100, [&] { p1.raise("s1"); });
+  w.run();
+  EXPECT_EQ(w.resolution_messages(),
+            w.messages_of(net::MsgKind::kException) +
+                w.messages_of(net::MsgKind::kHaveNested) +
+                w.messages_of(net::MsgKind::kNestedCompleted) +
+                w.messages_of(net::MsgKind::kAck) +
+                w.messages_of(net::MsgKind::kCommit));
+  EXPECT_EQ(w.resolution_messages(), 3);
+}
+
+}  // namespace
+}  // namespace caa::rt

@@ -1,0 +1,102 @@
+// Tests of the scenario library: the canonical constructions must
+// reproduce the paper's numbers through the public API.
+#include <gtest/gtest.h>
+
+#include "scenario/scenarios.h"
+
+namespace caa::scenario {
+namespace {
+
+TEST(FlatScenario, MatchesGeneralFormula) {
+  for (const auto& [n, p, q] : {std::tuple{3, 1, 0}, std::tuple{5, 2, 2},
+                                std::tuple{8, 3, 4}, std::tuple{6, 6, 0}}) {
+    FlatOptions options;
+    options.participants = n;
+    options.raisers = p;
+    options.nested = q;
+    FlatScenario s(options);
+    const RunStats stats = s.run();
+    EXPECT_EQ(stats.messages, (n - 1) * (2 * p + 3 * q + 1))
+        << "N=" << n << " P=" << p << " Q=" << q;
+    EXPECT_TRUE(stats.all_handled);
+  }
+}
+
+TEST(FlatScenario, NoRaisersNoMessages) {
+  FlatOptions options;
+  options.participants = 4;
+  options.raisers = 0;
+  FlatScenario s(options);
+  const RunStats stats = s.run();
+  EXPECT_EQ(stats.messages, 0);
+  EXPECT_FALSE(stats.all_handled);
+}
+
+TEST(FlatScenario, CommitteeAddsConstantFactor) {
+  auto run = [](std::uint32_t c) {
+    FlatOptions options;
+    options.participants = 6;
+    options.raisers = 3;
+    options.committee = c;
+    FlatScenario s(options);
+    return s.run().commits;
+  };
+  EXPECT_EQ(run(1), 5);
+  EXPECT_EQ(run(3), 15);
+}
+
+TEST(NestedChainScenario, MessagesIndependentOfDepth) {
+  std::int64_t previous = -1;
+  for (int depth : {1, 3, 5}) {
+    NestedChainOptions options;
+    options.participants = 5;
+    options.depth = depth;
+    NestedChainScenario s(options);
+    const RunStats stats = s.run();
+    EXPECT_TRUE(stats.all_handled);
+    if (previous >= 0) EXPECT_EQ(stats.messages, previous);
+    previous = stats.messages;
+  }
+  // Q = N-1, P = 1: (N-1)(2+3(N-1)+1) = 4 * 15 = 60.
+  EXPECT_EQ(previous, 60);
+}
+
+TEST(NestedChainScenario, LatencyGrowsWithAbortCost) {
+  auto latency = [](sim::Time abort_cost) {
+    NestedChainOptions options;
+    options.participants = 3;
+    options.depth = 4;
+    options.abort_duration = abort_cost;
+    NestedChainScenario s(options);
+    return s.run().resolution_latency;
+  };
+  EXPECT_GT(latency(500), latency(0));
+}
+
+TEST(Figure4Scenario, ReproducesThePaperOutcomes) {
+  Figure4Scenario s{Figure4Options{}};
+  const auto outcome = s.run();
+  EXPECT_TRUE(outcome.stats.all_handled);
+  EXPECT_TRUE(outcome.belated_entry_refused);
+  EXPECT_TRUE(outcome.o2_aborted_innermost_first);
+  EXPECT_EQ(outcome.stats.messages, 37);  // see EXPERIMENTS.md E4 caveat
+  EXPECT_EQ(outcome.stats.exceptions, 4);
+  EXPECT_EQ(outcome.stats.have_nested, 9);
+  EXPECT_EQ(outcome.stats.nested_completed, 9);
+  EXPECT_EQ(outcome.stats.acks, 12);
+  EXPECT_EQ(outcome.stats.commits, 3);
+}
+
+TEST(Figure4Scenario, WorksOverLossyLinks) {
+  Figure4Options options;
+  options.world.link = net::LinkParams::lossy(0.2);
+  options.world.reliable_transport = true;
+  options.world.seed = 77;
+  Figure4Scenario s{options};
+  const auto outcome = s.run();
+  EXPECT_TRUE(outcome.stats.all_handled);
+  EXPECT_TRUE(outcome.o2_aborted_innermost_first);
+}
+
+}  // namespace
+}  // namespace caa::scenario

@@ -1,0 +1,113 @@
+// Property sweep for the transaction substrate: several concurrent clients
+// run randomized transfer transactions (with wait-die conflicts and
+// retries) over atomic accounts spread across hosts. Invariants: the total
+// balance is conserved, every transaction family releases all its locks,
+// and the system quiesces.
+#include <gtest/gtest.h>
+
+#include "caa/world.h"
+#include "txn/atomic_object.h"
+#include "txn/txn_manager.h"
+#include "util/rng.h"
+
+namespace caa::txn {
+namespace {
+
+class TxnSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TxnSweep, ConcurrentTransfersConserveBalance) {
+  Rng rng(GetParam() * 7 + 3);
+  WorldConfig wc;
+  wc.seed = GetParam();
+  World w(wc);
+  constexpr int kHosts = 2;
+  constexpr int kAccounts = 4;  // per host
+  constexpr int kClients = 3;
+  constexpr std::int64_t kInitial = 1000;
+
+  std::vector<std::unique_ptr<AtomicObjectHost>> hosts;
+  for (int h = 0; h < kHosts; ++h) {
+    hosts.push_back(std::make_unique<AtomicObjectHost>());
+    w.attach(*hosts.back(), "host" + std::to_string(h), w.add_node());
+    for (int a = 0; a < kAccounts; ++a) {
+      hosts.back()->put_initial("acct" + std::to_string(a), kInitial);
+    }
+  }
+  std::vector<std::unique_ptr<TxnClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<TxnClient>());
+    w.attach(*clients.back(), "cli" + std::to_string(c), w.add_node());
+  }
+
+  // Each client performs `kOps` transfers; conflicts abort + retry later.
+  constexpr int kOps = 6;
+  int completed = 0;
+  std::function<void(int, int, std::uint64_t)> run_transfer =
+      [&](int client, int remaining, std::uint64_t salt) {
+    if (remaining == 0) {
+      ++completed;
+      return;
+    }
+    Rng local(salt);
+    TxnClient& c = *clients[client];
+    const int h1 = static_cast<int>(local.below(kHosts));
+    const int h2 = static_cast<int>(local.below(kHosts));
+    const std::string a1 = "acct" + std::to_string(local.below(kAccounts));
+    std::string a2 = "acct" + std::to_string(local.below(kAccounts));
+    if (h1 == h2 && a1 == a2) a2 = "acct" + std::to_string((local.below(3)));
+    const std::int64_t amount = 1 + static_cast<std::int64_t>(local.below(50));
+
+    const TxnId txn = c.begin();
+    auto retry = [&, client, remaining, salt](TxnId dead) {
+      clients[client]->abort(dead, [&, client, remaining, salt](Status) {
+        w.simulator().schedule_after(
+            500 + (salt % 700),
+            [&, client, remaining, salt] {
+              run_transfer(client, remaining, salt * 6364136223846793005ULL + 1);
+            });
+      });
+    };
+    c.add(txn, hosts[h1]->id(), a1, -amount,
+          [&, txn, h2, a2, amount, client, remaining, salt, retry](auto r) {
+      if (!r.is_ok()) {
+        retry(txn);
+        return;
+      }
+      clients[client]->add(txn, hosts[h2]->id(), a2, amount,
+                           [&, txn, client, remaining, salt, retry](auto r2) {
+        if (!r2.is_ok()) {
+          retry(txn);
+          return;
+        }
+        clients[client]->commit(txn, [&, client, remaining, salt](Status s) {
+          ASSERT_TRUE(s.is_ok());
+          run_transfer(client, remaining - 1,
+                       salt * 2862933555777941757ULL + 3037000493ULL);
+        });
+      });
+    });
+  };
+  for (int c = 0; c < kClients; ++c) {
+    const std::uint64_t salt = rng.next();
+    w.at(100 + 37 * c, [&, c, salt] { run_transfer(c, kOps, salt); });
+  }
+  w.run();
+
+  EXPECT_EQ(completed, kClients);
+  std::int64_t total = 0;
+  for (auto& host : hosts) {
+    for (int a = 0; a < kAccounts; ++a) {
+      const auto v = host->peek("acct" + std::to_string(a));
+      ASSERT_TRUE(v.has_value());
+      total += *v;
+    }
+  }
+  EXPECT_EQ(total, kHosts * kAccounts * kInitial)
+      << "balance not conserved, seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnSweep,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace caa::txn

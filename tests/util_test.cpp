@@ -1,0 +1,194 @@
+// Unit tests for util: strong ids, status/result, RNG, interning, counters,
+// logging.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/counters.h"
+#include "util/ids.h"
+#include "util/intern.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace caa {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  ObjectId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, ObjectId::invalid());
+}
+
+TEST(StrongId, OrderingAndEquality) {
+  const ObjectId a(1), b(2), c(1);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_GT(b, a);
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ObjectId, NodeId>);
+  static_assert(!std::is_same_v<ActionId, ActionInstanceId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::set<ObjectId> ids{ObjectId(3), ObjectId(1), ObjectId(2)};
+  EXPECT_EQ(ids.size(), 3u);
+  std::unordered_map<ObjectId, int> map;
+  map[ObjectId(7)] = 42;
+  EXPECT_EQ(map.at(ObjectId(7)), 42);
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s = Status::conflict("lock contention");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kConflict);
+  EXPECT_EQ(s.message(), "lock contention");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::not_found("nope");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(InternPool, RoundTrips) {
+  InternPool pool;
+  const auto a = pool.intern("alpha");
+  const auto b = pool.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.intern("alpha"), a);
+  EXPECT_EQ(pool.name_of(a), "alpha");
+  EXPECT_EQ(pool.find("beta"), b);
+  EXPECT_EQ(pool.find("gamma"), InternPool::kNotFound);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(InternPool, ManyStringsStableLookups) {
+  InternPool pool;
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(pool.intern("name_" + std::to_string(i)));
+  }
+  // Growth must not invalidate earlier keys (deque-backed storage).
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(pool.find("name_" + std::to_string(i)), ids[i]);
+  }
+}
+
+TEST(Counters, AddGetReset) {
+  Counters c;
+  c.add("x");
+  c.add("x", 4);
+  EXPECT_EQ(c.get("x"), 5);
+  EXPECT_EQ(c.get("missing"), 0);
+  c.reset("x");
+  EXPECT_EQ(c.get("x"), 0);
+}
+
+TEST(Counters, SumPrefix) {
+  Counters c;
+  c.add("net.sent.Exception", 3);
+  c.add("net.sent.ACK", 2);
+  c.add("net.dropped.ACK", 9);
+  EXPECT_EQ(c.sum_prefix("net.sent."), 5);
+  EXPECT_EQ(c.sum_prefix("net."), 14);
+  EXPECT_EQ(c.sum_prefix("zzz"), 0);
+}
+
+TEST(Logger, RespectsLevelAndSink) {
+  Logger logger;
+  std::vector<std::string> lines;
+  logger.set_sink([&](LogLevel, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  logger.set_level(LogLevel::kInfo);
+  CAA_LOG(logger, LogLevel::kDebug, "test") << "hidden";
+  CAA_LOG(logger, LogLevel::kInfo, "test") << "shown " << 42;
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("shown 42"), std::string::npos);
+  EXPECT_NE(lines[0].find("[test]"), std::string::npos);
+}
+
+TEST(Logger, TimeSourcePrefix) {
+  Logger logger;
+  std::string captured;
+  logger.set_sink(
+      [&](LogLevel, std::string_view line) { captured = std::string(line); });
+  logger.set_level(LogLevel::kTrace);
+  logger.set_time_source([] { return std::int64_t{777}; });
+  logger.log(LogLevel::kWarn, "mod", "msg");
+  EXPECT_NE(captured.find("@t=777"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caa

@@ -1,0 +1,95 @@
+// Robustness sweep: every protocol decoder fed deterministic pseudo-random
+// byte soup and truncations of valid messages. No decode may crash or
+// return success on garbage lengths; this backs the rule that "a remote
+// node must never be able to crash us with a bad packet".
+#include <gtest/gtest.h>
+
+#include "caa/action_instance.h"
+#include "resolve/messages.h"
+#include "txn/transaction.h"
+#include "util/rng.h"
+
+namespace caa {
+namespace {
+
+net::Bytes random_bytes(Rng& rng, std::size_t n) {
+  net::Bytes b(n);
+  for (auto& x : b) x = static_cast<std::byte>(rng.below(256));
+  return b;
+}
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzz, AllDecodersSurviveGarbage) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto n = static_cast<std::size_t>(rng.below(64));
+    const net::Bytes b = random_bytes(rng, n);
+    // None of these may crash; results may be ok or error.
+    (void)resolve::decode_exception(b);
+    (void)resolve::decode_have_nested(b);
+    (void)resolve::decode_nested_completed(b);
+    (void)resolve::decode_ack(b);
+    (void)resolve::decode_commit(b);
+    (void)resolve::peek_scope_round(b);
+    (void)action::decode_done(b);
+    (void)action::decode_leave(b);
+    (void)txn::decode_op_request(b);
+    (void)txn::decode_op_reply(b);
+    (void)txn::decode_prepare(b);
+    (void)txn::decode_vote(b);
+    (void)txn::decode_decision(b);
+    (void)txn::decode_decision_ack(b);
+  }
+}
+
+TEST_P(WireFuzz, TruncationsOfValidMessagesFailCleanly) {
+  Rng rng(GetParam() ^ 0xdead);
+  const net::Bytes full = resolve::encode(resolve::NestedCompletedMsg{
+      ActionInstanceId(rng.next()), static_cast<std::uint32_t>(rng.below(10)),
+      ObjectId(static_cast<std::uint32_t>(rng.below(100))),
+      ExceptionId(static_cast<std::uint32_t>(rng.below(100)))});
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    net::Bytes truncated(full.begin(),
+                         full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(resolve::decode_nested_completed(truncated).is_ok());
+  }
+  // The full message decodes.
+  EXPECT_TRUE(resolve::decode_nested_completed(full).is_ok());
+
+  const net::Bytes op = txn::encode(txn::TxnOpRequest{
+      1, TxnId(2), TxnId(2), TxnId::invalid(), txn::TxnOp::kWrite, "xy", 7});
+  for (std::size_t cut = 0; cut < op.size(); ++cut) {
+    net::Bytes truncated(op.begin(),
+                         op.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(txn::decode_op_request(truncated).is_ok());
+  }
+  EXPECT_TRUE(txn::decode_op_request(op).is_ok());
+}
+
+TEST(WireFuzzFixed, BadEnumValuesRejected) {
+  // A TxnOpRequest with op byte out of range.
+  net::WireWriter w;
+  w.u64(1);
+  w.u64(2);
+  w.u64(2);
+  w.u64(0);
+  w.u8(250);  // invalid op
+  w.str("x");
+  w.i64(0);
+  EXPECT_FALSE(txn::decode_op_request(std::move(w).take()).is_ok());
+
+  net::WireWriter w2;  // LeaveMsg with outcome 9
+  w2.u64(1);
+  w2.u32(0);
+  w2.u8(9);
+  w2.u32(0);
+  w2.u32(0);
+  EXPECT_FALSE(action::decode_leave(std::move(w2).take()).is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace caa
