@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cr_comparison.dir/bench_cr_comparison.cpp.o"
+  "CMakeFiles/bench_cr_comparison.dir/bench_cr_comparison.cpp.o.d"
+  "bench_cr_comparison"
+  "bench_cr_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cr_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exception_tree.dir/bench_exception_tree.cpp.o"
+  "CMakeFiles/bench_exception_tree.dir/bench_exception_tree.cpp.o.d"
+  "bench_exception_tree"
+  "bench_exception_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exception_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_general_formula.dir/bench_general_formula.cpp.o"
+  "CMakeFiles/bench_general_formula.dir/bench_general_formula.cpp.o.d"
+  "bench_general_formula"
+  "bench_general_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_general_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_comm.dir/bench_group_comm.cpp.o"
+  "CMakeFiles/bench_group_comm.dir/bench_group_comm.cpp.o.d"
+  "bench_group_comm"
+  "bench_group_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_abort.dir/bench_nested_abort.cpp.o"
+  "CMakeFiles/bench_nested_abort.dir/bench_nested_abort.cpp.o.d"
+  "bench_nested_abort"
+  "bench_nested_abort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_abort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_strategies.dir/bench_recovery_strategies.cpp.o"
+  "CMakeFiles/bench_recovery_strategies.dir/bench_recovery_strategies.cpp.o.d"
+  "bench_recovery_strategies"
+  "bench_recovery_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aircraft_engines.dir/aircraft_engines.cpp.o"
+  "CMakeFiles/aircraft_engines.dir/aircraft_engines.cpp.o.d"
+  "aircraft_engines"
+  "aircraft_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aircraft_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

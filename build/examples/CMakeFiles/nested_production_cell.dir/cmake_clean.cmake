@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_production_cell.dir/nested_production_cell.cpp.o"
+  "CMakeFiles/nested_production_cell.dir/nested_production_cell.cpp.o.d"
+  "nested_production_cell"
+  "nested_production_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_production_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundant_controllers.dir/redundant_controllers.cpp.o"
+  "CMakeFiles/redundant_controllers.dir/redundant_controllers.cpp.o.d"
+  "redundant_controllers"
+  "redundant_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundant_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/caa/action_decl.cpp" "src/CMakeFiles/caactions.dir/caa/action_decl.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/caa/action_decl.cpp.o.d"
+  "/root/repo/src/caa/action_instance.cpp" "src/CMakeFiles/caactions.dir/caa/action_instance.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/caa/action_instance.cpp.o.d"
+  "/root/repo/src/caa/action_manager.cpp" "src/CMakeFiles/caactions.dir/caa/action_manager.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/caa/action_manager.cpp.o.d"
+  "/root/repo/src/caa/participant.cpp" "src/CMakeFiles/caactions.dir/caa/participant.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/caa/participant.cpp.o.d"
+  "/root/repo/src/caa/world.cpp" "src/CMakeFiles/caactions.dir/caa/world.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/caa/world.cpp.o.d"
+  "/root/repo/src/ex/context_stack.cpp" "src/CMakeFiles/caactions.dir/ex/context_stack.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/ex/context_stack.cpp.o.d"
+  "/root/repo/src/ex/exception.cpp" "src/CMakeFiles/caactions.dir/ex/exception.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/ex/exception.cpp.o.d"
+  "/root/repo/src/ex/exception_tree.cpp" "src/CMakeFiles/caactions.dir/ex/exception_tree.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/ex/exception_tree.cpp.o.d"
+  "/root/repo/src/ex/handler_table.cpp" "src/CMakeFiles/caactions.dir/ex/handler_table.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/ex/handler_table.cpp.o.d"
+  "/root/repo/src/ex/local_context.cpp" "src/CMakeFiles/caactions.dir/ex/local_context.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/ex/local_context.cpp.o.d"
+  "/root/repo/src/net/group.cpp" "src/CMakeFiles/caactions.dir/net/group.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/net/group.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/caactions.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/caactions.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/reliable_link.cpp" "src/CMakeFiles/caactions.dir/net/reliable_link.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/net/reliable_link.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/CMakeFiles/caactions.dir/net/wire.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/net/wire.cpp.o.d"
+  "/root/repo/src/resolve/arche_resolver.cpp" "src/CMakeFiles/caactions.dir/resolve/arche_resolver.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/resolve/arche_resolver.cpp.o.d"
+  "/root/repo/src/resolve/centralized_resolver.cpp" "src/CMakeFiles/caactions.dir/resolve/centralized_resolver.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/resolve/centralized_resolver.cpp.o.d"
+  "/root/repo/src/resolve/cr_resolver.cpp" "src/CMakeFiles/caactions.dir/resolve/cr_resolver.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/resolve/cr_resolver.cpp.o.d"
+  "/root/repo/src/resolve/messages.cpp" "src/CMakeFiles/caactions.dir/resolve/messages.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/resolve/messages.cpp.o.d"
+  "/root/repo/src/resolve/resolver_core.cpp" "src/CMakeFiles/caactions.dir/resolve/resolver_core.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/resolve/resolver_core.cpp.o.d"
+  "/root/repo/src/rt/heartbeat.cpp" "src/CMakeFiles/caactions.dir/rt/heartbeat.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/rt/heartbeat.cpp.o.d"
+  "/root/repo/src/rt/managed_object.cpp" "src/CMakeFiles/caactions.dir/rt/managed_object.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/rt/managed_object.cpp.o.d"
+  "/root/repo/src/rt/registry.cpp" "src/CMakeFiles/caactions.dir/rt/registry.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/rt/registry.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/CMakeFiles/caactions.dir/rt/runtime.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/rt/runtime.cpp.o.d"
+  "/root/repo/src/scenario/scenarios.cpp" "src/CMakeFiles/caactions.dir/scenario/scenarios.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/scenario/scenarios.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/caactions.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/caactions.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/caactions.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/txn/atomic_object.cpp" "src/CMakeFiles/caactions.dir/txn/atomic_object.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/txn/atomic_object.cpp.o.d"
+  "/root/repo/src/txn/lock_manager.cpp" "src/CMakeFiles/caactions.dir/txn/lock_manager.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/txn/lock_manager.cpp.o.d"
+  "/root/repo/src/txn/transaction.cpp" "src/CMakeFiles/caactions.dir/txn/transaction.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/txn/transaction.cpp.o.d"
+  "/root/repo/src/txn/txn_manager.cpp" "src/CMakeFiles/caactions.dir/txn/txn_manager.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/txn/txn_manager.cpp.o.d"
+  "/root/repo/src/util/counters.cpp" "src/CMakeFiles/caactions.dir/util/counters.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/util/counters.cpp.o.d"
+  "/root/repo/src/util/intern.cpp" "src/CMakeFiles/caactions.dir/util/intern.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/util/intern.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/caactions.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/caactions.dir/util/log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

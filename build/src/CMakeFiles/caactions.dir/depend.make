@@ -1,0 +1,2 @@
+# Empty dependencies file for caactions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caa_basic_test.dir/caa_basic_test.cpp.o"
+  "CMakeFiles/caa_basic_test.dir/caa_basic_test.cpp.o.d"
+  "caa_basic_test"
+  "caa_basic_test.pdb"
+  "caa_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caa_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

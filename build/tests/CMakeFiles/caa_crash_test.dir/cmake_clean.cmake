@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caa_crash_test.dir/caa_crash_test.cpp.o"
+  "CMakeFiles/caa_crash_test.dir/caa_crash_test.cpp.o.d"
+  "caa_crash_test"
+  "caa_crash_test.pdb"
+  "caa_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caa_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caa_lossy_test.dir/caa_lossy_test.cpp.o"
+  "CMakeFiles/caa_lossy_test.dir/caa_lossy_test.cpp.o.d"
+  "caa_lossy_test"
+  "caa_lossy_test.pdb"
+  "caa_lossy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caa_lossy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caa_nested_test.dir/caa_nested_test.cpp.o"
+  "CMakeFiles/caa_nested_test.dir/caa_nested_test.cpp.o.d"
+  "caa_nested_test"
+  "caa_nested_test.pdb"
+  "caa_nested_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caa_nested_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

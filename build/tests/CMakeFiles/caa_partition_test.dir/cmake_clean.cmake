@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caa_partition_test.dir/caa_partition_test.cpp.o"
+  "CMakeFiles/caa_partition_test.dir/caa_partition_test.cpp.o.d"
+  "caa_partition_test"
+  "caa_partition_test.pdb"
+  "caa_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caa_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

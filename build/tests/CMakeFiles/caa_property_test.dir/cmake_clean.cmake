@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caa_property_test.dir/caa_property_test.cpp.o"
+  "CMakeFiles/caa_property_test.dir/caa_property_test.cpp.o.d"
+  "caa_property_test"
+  "caa_property_test.pdb"
+  "caa_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caa_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caa_races_test.dir/caa_races_test.cpp.o"
+  "CMakeFiles/caa_races_test.dir/caa_races_test.cpp.o.d"
+  "caa_races_test"
+  "caa_races_test.pdb"
+  "caa_races_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caa_races_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caa_txn_integration_test.dir/caa_txn_integration_test.cpp.o"
+  "CMakeFiles/caa_txn_integration_test.dir/caa_txn_integration_test.cpp.o.d"
+  "caa_txn_integration_test"
+  "caa_txn_integration_test.pdb"
+  "caa_txn_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caa_txn_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centralized_test.dir/centralized_test.cpp.o"
+  "CMakeFiles/centralized_test.dir/centralized_test.cpp.o.d"
+  "centralized_test"
+  "centralized_test.pdb"
+  "centralized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centralized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex_test.dir/ex_test.cpp.o"
+  "CMakeFiles/ex_test.dir/ex_test.cpp.o.d"
+  "ex_test"
+  "ex_test.pdb"
+  "ex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

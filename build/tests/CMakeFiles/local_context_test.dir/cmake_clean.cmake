@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_context_test.dir/local_context_test.cpp.o"
+  "CMakeFiles/local_context_test.dir/local_context_test.cpp.o.d"
+  "local_context_test"
+  "local_context_test.pdb"
+  "local_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_core_test.dir/resolver_core_test.cpp.o"
+  "CMakeFiles/resolver_core_test.dir/resolver_core_test.cpp.o.d"
+  "resolver_core_test"
+  "resolver_core_test.pdb"
+  "resolver_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

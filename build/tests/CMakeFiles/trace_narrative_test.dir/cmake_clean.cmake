@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_narrative_test.dir/trace_narrative_test.cpp.o"
+  "CMakeFiles/trace_narrative_test.dir/trace_narrative_test.cpp.o.d"
+  "trace_narrative_test"
+  "trace_narrative_test.pdb"
+  "trace_narrative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_narrative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

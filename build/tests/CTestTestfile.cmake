@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/caa_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/caa_nested_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/ex_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_core_test[1]_include.cmake")
+include("/root/repo/build/tests/caa_property_test[1]_include.cmake")
+include("/root/repo/build/tests/caa_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/caa_lossy_test[1]_include.cmake")
+include("/root/repo/build/tests/centralized_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_narrative_test[1]_include.cmake")
+include("/root/repo/build/tests/caa_txn_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/local_context_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/caa_races_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_property_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_property_test[1]_include.cmake")
+include("/root/repo/build/tests/caa_partition_test[1]_include.cmake")
