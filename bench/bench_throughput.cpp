@@ -1,0 +1,199 @@
+// Simulator-core throughput: events/sec and protocol messages/sec.
+//
+// Unlike the §4.4 benches (which reproduce paper *claims*), this bench
+// tracks the *implementation*: how fast the event loop, network accounting
+// and resolution machinery execute. It sweeps the flat and nested-chain
+// scenarios across N and emits BENCH_throughput.json so successive PRs
+// record a perf trajectory.
+//
+// The `checksum` field fingerprints the run's observable behaviour (all
+// counters + final virtual time + events fired). An optimization PR must
+// leave every checksum unchanged: same protocol, faster core.
+//
+// Usage: bench_throughput [--json PATH] [--only SUBSTR] [--reps K]
+//   --json PATH    where to write the JSON document (default
+//                  ./BENCH_throughput.json)
+//   --only SUBSTR  run only configs whose name contains SUBSTR (profiling
+//                  aid; the JSON then covers just those configs)
+//   --reps K       repetitions per config (default 3; min wall time wins)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "perf_json.h"
+#include "util/hash.h"
+
+namespace caa::bench {
+namespace {
+
+struct Config {
+  std::string name;    // e.g. "flat_n256"
+  std::string family;  // "flat" | "nested"
+  int participants;
+};
+
+struct Measurement {
+  std::int64_t events = 0;
+  std::int64_t messages = 0;  // total packets sent (all kinds)
+  sim::Time sim_time = 0;
+  double wall_ms = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+/// One full scenario run; wall time covers only the event loop.
+Measurement run_once(const Config& config) {
+  using Clock = std::chrono::steady_clock;
+  Measurement m;
+  if (config.family == "flat") {
+    scenario::FlatOptions options;
+    options.participants = config.participants;
+    options.raisers = 2;
+    scenario::FlatScenario s(options);
+    const auto start = Clock::now();
+    m.events = static_cast<std::int64_t>(s.world().run());
+    m.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
+                    .count();
+    m.sim_time = s.world().simulator().now();
+    m.messages = s.world().counters().sum_prefix("net.sent.");
+    m.checksum = fnv1a64(s.world().counters().to_string());
+  } else {
+    scenario::NestedChainOptions options;
+    options.participants = config.participants;
+    options.depth = 3;
+    scenario::NestedChainScenario s(options);
+    const auto start = Clock::now();
+    m.events = static_cast<std::int64_t>(s.world().run());
+    m.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
+                    .count();
+    m.sim_time = s.world().simulator().now();
+    m.messages = s.world().counters().sum_prefix("net.sent.");
+    m.checksum = fnv1a64(s.world().counters().to_string());
+  }
+  m.checksum = fnv1a64_mix(m.checksum, static_cast<std::uint64_t>(m.sim_time));
+  m.checksum = fnv1a64_mix(m.checksum, static_cast<std::uint64_t>(m.events));
+  return m;
+}
+
+}  // namespace
+}  // namespace caa::bench
+
+int main(int argc, char** argv) {
+  using namespace caa;
+  using namespace caa::bench;
+
+  std::string json_path = "BENCH_throughput.json";
+  std::string only;
+  int repetitions = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      repetitions = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "bench_throughput: unknown argument '%s'\n"
+                   "usage: bench_throughput [--json PATH] [--only SUBSTR] "
+                   "[--reps K]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  std::vector<Config> configs;
+  for (const int n : {64, 128, 256, 512, 1024}) {
+    configs.push_back({"flat_n" + std::to_string(n), "flat", n});
+  }
+  for (const int n : {64, 128, 256, 512, 1024}) {
+    configs.push_back({"nested_n" + std::to_string(n), "nested", n});
+  }
+  if (!only.empty()) {
+    std::erase_if(configs, [&](const Config& c) {
+      return c.name.find(only) == std::string::npos;
+    });
+    if (configs.empty()) {
+      std::fprintf(stderr,
+                   "bench_throughput: --only '%s' matches no config\n",
+                   only.c_str());
+      return 2;
+    }
+  }
+
+  header("Simulator-core throughput (flat: P=2 raisers; nested: depth 3)");
+  std::printf("%-14s %10s %10s %12s %12s %10s  %s\n", "config", "events",
+              "msgs", "events/s", "msgs/s", "wall ms", "checksum");
+
+  const int kRepetitions = repetitions;
+  Json results = Json::array();
+  bool checksums_stable = true;
+  for (const Config& config : configs) {
+    Measurement best;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      Measurement m = run_once(config);
+      if (rep == 0) {
+        best = m;
+      } else {
+        // Identical work every repetition, or the bench itself is broken.
+        if (m.checksum != best.checksum || m.events != best.events) {
+          checksums_stable = false;
+        }
+        if (m.wall_ms < best.wall_ms) best = m;
+      }
+    }
+    const double events_per_sec = best.wall_ms > 0.0
+                                      ? 1e3 * static_cast<double>(best.events) /
+                                            best.wall_ms
+                                      : 0.0;
+    const double messages_per_sec =
+        best.wall_ms > 0.0
+            ? 1e3 * static_cast<double>(best.messages) / best.wall_ms
+            : 0.0;
+    const std::string checksum = hex_digest(best.checksum);
+    std::printf("%-14s %10lld %10lld %12.0f %12.0f %10.3f  %s\n",
+                config.name.c_str(), static_cast<long long>(best.events),
+                static_cast<long long>(best.messages), events_per_sec,
+                messages_per_sec, best.wall_ms, checksum.c_str());
+
+    results.push(
+        Json::object()
+            .set("bench", Json::str("bench_throughput"))
+            .set("config", Json::str(config.name))
+            .set("family", Json::str(config.family))
+            .set("participants", Json::num(std::int64_t{config.participants}))
+            .set("events", Json::num(best.events))
+            .set("events_per_sec", Json::num(events_per_sec))
+            .set("messages", Json::num(best.messages))
+            .set("messages_per_sec", Json::num(messages_per_sec))
+            .set("wall_ms", Json::num(best.wall_ms))
+            .set("sim_time", Json::num(static_cast<std::int64_t>(best.sim_time)))
+            .set("checksum", Json::str(checksum)));
+  }
+
+  if (!checksums_stable) {
+    std::fprintf(stderr,
+                 "bench_throughput: nondeterministic run detected — "
+                 "checksums differ across repetitions\n");
+    return 1;
+  }
+
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  Json doc = Json::object()
+                 .set("bench", Json::str("bench_throughput"))
+                 .set("schema_version", Json::num(std::int64_t{1}))
+                 .set("build_type", Json::str(build_type))
+                 .set("repetitions", Json::num(std::int64_t{kRepetitions}))
+                 .set("results", std::move(results));
+  if (!doc.write_file(json_path)) return 1;
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

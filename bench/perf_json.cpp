@@ -1,0 +1,163 @@
+#include "perf_json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace caa::bench {
+
+Json Json::object() { return Json(Kind::kObject); }
+Json Json::array() { return Json(Kind::kArray); }
+
+Json Json::str(std::string value) {
+  Json j(Kind::kString);
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::num(double value) {
+  Json j(Kind::kDouble);
+  j.double_ = value;
+  return j;
+}
+
+Json Json::num(std::int64_t value) {
+  Json j(Kind::kInt);
+  j.int_ = value;
+  return j;
+}
+
+Json Json::boolean(bool value) {
+  Json j(Kind::kBool);
+  j.bool_ = value;
+  return j;
+}
+
+Json& Json::set(std::string key, Json value) {
+  CAA_CHECK_MSG(kind_ == Kind::kObject, "set() on non-object JSON value");
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  CAA_CHECK_MSG(kind_ == Kind::kArray, "push() on non-array JSON value");
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void render_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+void Json::render(std::string& out, int depth) const {
+  switch (kind_) {
+    case Kind::kString:
+      render_string(out, string_);
+      break;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRId64, int_);
+      out += buf;
+      break;
+    }
+    case Kind::kDouble: {
+      char buf[40];
+      if (std::isfinite(double_)) {
+        // Fixed precision keeps diffs readable; rates don't need 17 digits.
+        std::snprintf(buf, sizeof(buf), "%.3f", double_);
+      } else {
+        std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan
+      }
+      out += buf;
+      break;
+    }
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        indent(out, depth + 1);
+        render_string(out, members_[i].first);
+        out += ": ";
+        members_[i].second.render(out, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      indent(out, depth);
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        indent(out, depth + 1);
+        elements_[i].render(out, depth + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += '\n';
+      }
+      indent(out, depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  render(out, 0);
+  out += '\n';
+  return out;
+}
+
+bool Json::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_json: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string text = dump();
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "perf_json: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace caa::bench

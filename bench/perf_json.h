@@ -1,0 +1,56 @@
+// Machine-readable benchmark output.
+//
+// Benches print human tables, but the perf *trajectory* across PRs needs a
+// stable machine format: each bench can emit a `BENCH_<name>.json` at the
+// repo root via this tiny JSON builder. No external JSON dependency — the
+// values we emit (objects, arrays, strings, numbers) cover everything the
+// harness needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace caa::bench {
+
+/// A write-only JSON value. Build with the static constructors, compose
+/// with set()/push(), render with dump(). Object keys keep insertion order
+/// so emitted files diff cleanly across runs.
+class Json {
+ public:
+  static Json object();
+  static Json array();
+  static Json str(std::string value);
+  static Json num(double value);
+  static Json num(std::int64_t value);
+  static Json boolean(bool value);
+
+  /// Adds a member to an object; CHECK-fails on non-objects.
+  Json& set(std::string key, Json value);
+  /// Appends an element to an array; CHECK-fails on non-arrays.
+  Json& push(Json value);
+
+  /// Renders with two-space indentation and a trailing newline.
+  [[nodiscard]] std::string dump() const;
+
+  /// dump() to a file; returns false (and prints to stderr) on I/O error.
+  bool write_file(const std::string& path) const;
+
+ private:
+  enum class Kind { kObject, kArray, kString, kDouble, kInt, kBool };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+  void render(std::string& out, int depth) const;
+
+  Kind kind_;
+  std::string string_;
+  double double_ = 0.0;
+  std::int64_t int_ = 0;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+}  // namespace caa::bench

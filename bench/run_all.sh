@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds the release preset, runs every bench, and collects JSON output at
+# the repo root. The printed tables plus BENCH_*.json ARE the reproduction
+# and perf record (summarized in EXPERIMENTS.md).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="$ROOT/build-release"
+
+cmake --preset release -S "$ROOT"
+cmake --build --preset release -j"$(nproc)" --target \
+  bench_msg_complexity bench_general_formula bench_cr_comparison \
+  bench_nested_abort bench_recovery_strategies bench_nested_resolution \
+  bench_exception_tree bench_group_comm bench_ablation_committee \
+  bench_strategy_comparison bench_throughput
+
+for bench in "$BUILD"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  case "$(basename "$bench")" in
+    bench_throughput)
+      "$bench" --json "$ROOT/BENCH_throughput.json"
+      ;;
+    *)
+      "$bench"
+      ;;
+  esac
+done
+
+echo
+echo "JSON perf records at: $ROOT/BENCH_*.json"

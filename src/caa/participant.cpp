@@ -4,23 +4,33 @@
 
 #include "rt/runtime.h"
 #include "util/check.h"
+#include "util/counters.h"
 
 namespace caa::action {
 
 namespace {
-constexpr std::string_view kCounterRaiseSuperseded = "caa.raise_superseded";
-constexpr std::string_view kCounterCompleteSuperseded =
-    "caa.complete_superseded";
-constexpr std::string_view kCounterDeadScopeDropped = "caa.dead_scope_dropped";
-constexpr std::string_view kCounterAbortingDropped = "caa.aborting_dropped";
-constexpr std::string_view kCounterSignalDropped =
-    "caa.signal_dropped_resolution_in_progress";
+// Accounting handles, interned once per process (hot on the message paths).
+const CounterId kCounterRaiseSuperseded = CounterId::of("caa.raise_superseded");
+const CounterId kCounterCompleteSuperseded =
+    CounterId::of("caa.complete_superseded");
+const CounterId kCounterDeadScopeDropped =
+    CounterId::of("caa.dead_scope_dropped");
+const CounterId kCounterAbortingDropped = CounterId::of("caa.aborting_dropped");
+const CounterId kCounterSignalDropped =
+    CounterId::of("caa.signal_dropped_resolution_in_progress");
+const CounterId kCounterEnterRefusedDead =
+    CounterId::of("caa.enter_refused_dead");
+const CounterId kCounterEnterRefusedExceptional =
+    CounterId::of("caa.enter_refused_exceptional");
+const CounterId kCounterUnhandledKind = CounterId::of("caa.unhandled_kind");
+const CounterId kCounterStaleRound = CounterId::of("caa.stale_round");
 }  // namespace
 
 ex::HandlerTable uniform_handlers(const ex::ExceptionTree& tree,
                                   ex::HandlerResult result) {
+  (void)tree;  // coverage is tree-independent with a default handler
   ex::HandlerTable table;
-  table.fill_defaults(tree, [result](ExceptionId) { return result; });
+  table.set_default([result](ExceptionId) { return result; });
   return table;
 }
 
@@ -34,7 +44,7 @@ bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
   if (dead_.contains(instance)) {
     // The instance was aborted before we managed to enter: we are the
     // paper's belated participant that "will never be able to" enter.
-    runtime().simulator().counters().add("caa.enter_refused_dead");
+    runtime().simulator().counters().add(kCounterEnterRefusedDead);
     return false;
   }
   if (info.parent.valid() &&
@@ -45,7 +55,7 @@ bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
     CAA_CHECK_MSG(dead_.contains(info.parent),
                   "enter(): containing action neither active nor aborted — "
                   "scenario bug");
-    runtime().simulator().counters().add("caa.enter_refused_dead");
+    runtime().simulator().counters().add(kCounterEnterRefusedDead);
     return false;
   }
   if (!contexts_.empty()) {
@@ -57,7 +67,7 @@ bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
       // Resolution/abortion in progress in the containing action, or this
       // participant already finished its part of it: entry is impossible
       // now (belated participant).
-      runtime().simulator().counters().add("caa.enter_refused_exceptional");
+      runtime().simulator().counters().add(kCounterEnterRefusedExceptional);
       return false;
     }
   } else {
@@ -206,7 +216,7 @@ void Participant::on_message(ObjectId from, net::MsgKind kind,
       return;
     }
     default:
-      runtime().simulator().counters().add("caa.unhandled_kind");
+      runtime().simulator().counters().add(kCounterUnhandledKind);
       return;
   }
 }
@@ -258,7 +268,7 @@ void Participant::ack_stale(ObjectId from, net::MsgKind kind,
     send(from, net::MsgKind::kAck,
          resolve::encode(resolve::AckMsg{scope, round, id()}));
   }
-  runtime().simulator().counters().add("caa.stale_round");
+  runtime().simulator().counters().add(kCounterStaleRound);
 }
 
 void Participant::deliver_to_engine(Dyn& dyn, bool scope_is_active,
@@ -373,6 +383,9 @@ resolve::ResolverCore::Hooks Participant::make_hooks(ActionInstanceId scope) {
   };
   hooks.trace = [this](std::string_view event, std::string detail) {
     trace(event, std::move(detail));
+  };
+  hooks.trace_enabled = [this] {
+    return attached() && runtime().trace().enabled();
   };
   return hooks;
 }
@@ -550,9 +563,16 @@ void Participant::maybe_decide(ActionInstanceId scope) {
   auto it = dyn->barrier.find(dyn->round);
   if (it == dyn->barrier.end()) return;
   // All LIVE members must have reported (crashed ones are waived).
-  for (ObjectId member : dyn->info->members) {
-    if (dyn->excluded.contains(member)) continue;
-    if (!it->second.contains(member)) return;
+  if (dyn->excluded.empty()) {
+    // Fault-free fast path: senders are distinct members, so a full barrier
+    // is a size check. The leader runs this on every Done arrival; scanning
+    // the member list each time made the exit barrier O(N^2) per round.
+    if (it->second.size() < dyn->info->members.size()) return;
+  } else {
+    for (ObjectId member : dyn->info->members) {
+      if (dyn->excluded.contains(member)) continue;
+      if (!it->second.contains(member)) return;
+    }
   }
   CAA_CHECK_MSG(dyn->engine->state() == resolve::ResolverCore::State::kNormal,
                 "exit barrier complete while a resolution is in progress");

@@ -69,9 +69,7 @@ std::size_t World::run(std::size_t max_events) {
 }
 
 std::int64_t World::messages_of(net::MsgKind kind) const {
-  std::string name = "net.sent.";
-  name += net::kind_name(kind);
-  return simulator_.counters().get(name);
+  return simulator_.counters().get(net::kind_counters(kind).sent);
 }
 
 std::int64_t World::resolution_messages() const {

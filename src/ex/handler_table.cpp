@@ -18,12 +18,20 @@ void HandlerTable::fill_defaults(const ExceptionTree& tree,
   }
 }
 
-bool HandlerTable::has(ExceptionId id) const { return handlers_.contains(id); }
+void HandlerTable::set_default(Handler handler) {
+  CAA_CHECK_MSG(static_cast<bool>(handler), "set_default(): empty handler");
+  default_ = std::move(handler);
+}
+
+bool HandlerTable::has(ExceptionId id) const {
+  return handlers_.contains(id) || static_cast<bool>(default_);
+}
 
 const Handler& HandlerTable::get(ExceptionId id) const {
   auto it = handlers_.find(id);
-  CAA_CHECK_MSG(it != handlers_.end(), "no handler for exception");
-  return it->second;
+  if (it != handlers_.end()) return it->second;
+  CAA_CHECK_MSG(static_cast<bool>(default_), "no handler for exception");
+  return default_;
 }
 
 ExceptionId HandlerTable::nearest_handled(const ExceptionTree& tree,
@@ -37,6 +45,7 @@ ExceptionId HandlerTable::nearest_handled(const ExceptionTree& tree,
 }
 
 bool HandlerTable::is_complete_for(const ExceptionTree& tree) const {
+  if (default_) return true;
   for (std::uint32_t i = 0; i < tree.size(); ++i) {
     if (!handlers_.contains(ExceptionId(i))) return false;
   }

@@ -45,8 +45,17 @@ class HandlerTable {
   void set(ExceptionId id, Handler handler);
 
   /// Installs one handler for every exception in `tree` that has no handler
-  /// yet (the "default handler" mentioned in §3.3).
+  /// yet (the "default handler" mentioned in §3.3). Materializes one map
+  /// entry per exception; prefer set_default() when the same handler should
+  /// back the whole tree.
   void fill_defaults(const ExceptionTree& tree, const Handler& handler);
+
+  /// Installs `handler` as the fallback for every exception without an
+  /// explicit set() entry. Equivalent coverage to fill_defaults() over any
+  /// tree, but stored as a single callable — a uniform table costs one
+  /// std::function instead of one map node per declared exception, which
+  /// keeps per-participant table copies and teardown O(overrides).
+  void set_default(Handler handler);
 
   [[nodiscard]] bool has(ExceptionId id) const;
 
@@ -62,10 +71,13 @@ class HandlerTable {
   /// True iff every exception declared in `tree` has a handler.
   [[nodiscard]] bool is_complete_for(const ExceptionTree& tree) const;
 
+  /// Number of explicit set()/fill_defaults() entries; a set_default()
+  /// fallback is not counted.
   [[nodiscard]] std::size_t size() const { return handlers_.size(); }
 
  private:
   std::unordered_map<ExceptionId, Handler> handlers_;
+  Handler default_;  // fallback when no explicit entry exists
 };
 
 }  // namespace caa::ex

@@ -1,5 +1,10 @@
 #include "net/message.h"
 
+#include <array>
+#include <string>
+
+#include "util/check.h"
+
 namespace caa::net {
 
 std::string_view kind_name(MsgKind kind) {
@@ -52,6 +57,22 @@ bool is_resolution_kind(MsgKind kind) {
 
 bool is_transport_kind(MsgKind kind) {
   return kind == MsgKind::kTransportAck;
+}
+
+const KindCounters& kind_counters(MsgKind kind) {
+  // Direct-indexed by the enum value; kAppData = 1000 is the largest kind.
+  static std::array<KindCounters, 1025> table;
+  const auto index = static_cast<std::size_t>(kind);
+  CAA_CHECK_MSG(index < table.size(), "kind_counters: unknown kind");
+  KindCounters& entry = table[index];
+  if (!entry.sent.valid()) {  // first touch of this kind: intern the names
+    const std::string suffix(kind_name(kind));
+    entry.sent = CounterId::of("net.sent." + suffix);
+    entry.delivered = CounterId::of("net.delivered." + suffix);
+    entry.dropped = CounterId::of("net.dropped." + suffix);
+    entry.duplicated = CounterId::of("net.duplicated." + suffix);
+  }
+  return entry;
 }
 
 }  // namespace caa::net

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "net/wire.h"
+#include "util/counters.h"
 #include "util/ids.h"
 
 namespace caa::net {
@@ -84,6 +85,18 @@ enum class MsgKind : std::uint16_t {
 
 /// True for transport-internal control traffic.
 [[nodiscard]] bool is_transport_kind(MsgKind kind);
+
+/// Interned counter handles for one message kind's accounting
+/// ("net.sent.<Kind>" etc.). Resolved once per kind per process, so the
+/// per-packet accounting in Network is a dense increment, not a string
+/// build + map lookup.
+struct KindCounters {
+  CounterId sent;
+  CounterId delivered;
+  CounterId dropped;
+  CounterId duplicated;
+};
+[[nodiscard]] const KindCounters& kind_counters(MsgKind kind);
 
 /// The unit moved by the network.
 struct Packet {

@@ -1,27 +1,48 @@
 #include "net/network.h"
 
-#include <string>
-
 #include "util/check.h"
 
 namespace caa::net {
+namespace {
+
+CounterId bytes_sent_id() {
+  static const CounterId id = CounterId::of("net.bytes_sent");
+  return id;
+}
+
+}  // namespace
 
 Network::Network(sim::Simulator& simulator, std::uint64_t seed)
     : simulator_(simulator), seed_(seed) {}
 
-void Network::add_node(NodeId node) {
-  CAA_CHECK_MSG(node.valid(), "invalid node id");
-  auto [it, inserted] = nodes_.emplace(node, NodeState{});
-  CAA_CHECK_MSG(inserted, "node already registered");
-  (void)it;
+Network::NodeState* Network::node_state(NodeId node) {
+  if (!node.valid() || node.value() >= nodes_.size()) return nullptr;
+  NodeState& state = nodes_[node.value()];
+  return state.registered ? &state : nullptr;
 }
 
-bool Network::has_node(NodeId node) const { return nodes_.contains(node); }
+const Network::NodeState* Network::node_state(NodeId node) const {
+  if (!node.valid() || node.value() >= nodes_.size()) return nullptr;
+  const NodeState& state = nodes_[node.value()];
+  return state.registered ? &state : nullptr;
+}
+
+void Network::add_node(NodeId node) {
+  CAA_CHECK_MSG(node.valid(), "invalid node id");
+  if (node.value() >= nodes_.size()) nodes_.resize(node.value() + 1);
+  NodeState& state = nodes_[node.value()];
+  CAA_CHECK_MSG(!state.registered, "node already registered");
+  state.registered = true;
+}
+
+bool Network::has_node(NodeId node) const {
+  return node_state(node) != nullptr;
+}
 
 void Network::set_endpoint(NodeId node, Handler handler) {
-  auto it = nodes_.find(node);
-  CAA_CHECK_MSG(it != nodes_.end(), "set_endpoint: unknown node");
-  it->second.handler = std::move(handler);
+  NodeState* state = node_state(node);
+  CAA_CHECK_MSG(state != nullptr, "set_endpoint: unknown node");
+  state->handler = std::move(handler);
 }
 
 void Network::set_link(NodeId src, NodeId dst, LinkParams params) {
@@ -29,15 +50,15 @@ void Network::set_link(NodeId src, NodeId dst, LinkParams params) {
 }
 
 void Network::set_node_up(NodeId node, bool up) {
-  auto it = nodes_.find(node);
-  CAA_CHECK_MSG(it != nodes_.end(), "set_node_up: unknown node");
-  it->second.up = up;
+  NodeState* state = node_state(node);
+  CAA_CHECK_MSG(state != nullptr, "set_node_up: unknown node");
+  state->up = up;
 }
 
 bool Network::node_up(NodeId node) const {
-  auto it = nodes_.find(node);
-  CAA_CHECK_MSG(it != nodes_.end(), "node_up: unknown node");
-  return it->second.up;
+  const NodeState* state = node_state(node);
+  CAA_CHECK_MSG(state != nullptr, "node_up: unknown node");
+  return state->up;
 }
 
 void Network::set_partitioned(NodeId a, NodeId b, bool partitioned) {
@@ -46,10 +67,25 @@ void Network::set_partitioned(NodeId a, NodeId b, bool partitioned) {
 }
 
 ChannelState& Network::channel(NodeId src, NodeId dst) {
-  auto key = std::make_pair(src, dst);
-  auto it = channels_.find(key);
-  if (it == channels_.end()) {
-    ChannelState state;
+  const std::size_t s = src.value();
+  const std::size_t d = dst.value();
+  if (s >= channels_.size()) {
+    channels_.resize(s + 1);
+    channels_init_.resize(s + 1);
+  }
+  std::vector<ChannelState>& row = channels_[s];
+  std::vector<bool>& init = channels_init_[s];
+  if (d >= row.size()) {
+    // Plain d+1 growth: capacity still doubles under the hood, and sparse
+    // traffic patterns (a flat action's ACKs all target one raiser) only pay
+    // for the destinations a row actually reaches — eagerly sizing rows to
+    // the node count would construct N states per source up front.
+    row.resize(d + 1);
+    init.resize(d + 1, false);
+  }
+  ChannelState& state = row[d];
+  if (!init[d]) [[unlikely]] {
+    init[d] = true;
     state.params = default_params_;
     // Seed deterministically from the pair so behaviour does not depend on
     // channel creation order.
@@ -57,34 +93,31 @@ ChannelState& Network::channel(NodeId src, NodeId dst) {
         seed_ ^ (static_cast<std::uint64_t>(src.value()) << 32) ^
         (static_cast<std::uint64_t>(dst.value()) + 0x9e3779b97f4a7c15ULL);
     state.rng = Rng(mix);
-    it = channels_.emplace(key, std::move(state)).first;
   }
-  return it->second;
+  return state;
 }
 
-void Network::count(const char* what, MsgKind kind, std::int64_t bytes) {
-  std::string name = "net.";
-  name += what;
-  name += '.';
-  name += kind_name(kind);
-  simulator_.counters().add(name);
-  if (bytes >= 0) simulator_.counters().add("net.bytes_sent", bytes);
+void Network::count(CounterId id, std::int64_t bytes) {
+  simulator_.counters().add(id);
+  if (bytes >= 0) simulator_.counters().add(bytes_sent_id(), bytes);
 }
 
 void Network::send(Packet packet) {
-  CAA_CHECK_MSG(nodes_.contains(packet.src.node), "send: unknown src node");
-  CAA_CHECK_MSG(nodes_.contains(packet.dst.node), "send: unknown dst node");
-  const auto kind = packet.kind;
-  count("sent", kind, static_cast<std::int64_t>(packet.size_on_wire()));
+  const NodeState* src = node_state(packet.src.node);
+  CAA_CHECK_MSG(src != nullptr, "send: unknown src node");
+  CAA_CHECK_MSG(node_state(packet.dst.node) != nullptr,
+                "send: unknown dst node");
+  const KindCounters& kc = kind_counters(packet.kind);
+  count(kc.sent, static_cast<std::int64_t>(packet.size_on_wire()));
 
-  if (!node_up(packet.src.node)) {
-    count("dropped", kind);
+  if (!src->up) {
+    count(kc.dropped);
     return;  // a crashed node cannot send
   }
 
   ChannelState& ch = channel(packet.src.node, packet.dst.node);
   if (ch.partitioned || ch.rng.chance(ch.params.drop_probability)) {
-    count("dropped", kind);
+    count(kc.dropped);
     return;
   }
 
@@ -92,7 +125,7 @@ void Network::send(Packet packet) {
   const sim::Time at = ch.sample_delivery_time(simulator_.now(),
                                                packet.size_on_wire());
   if (duplicate) {
-    count("duplicated", kind);
+    count(kc.duplicated);
     Packet copy = packet;
     const sim::Time at2 = ch.sample_delivery_time(simulator_.now(),
                                                   copy.size_on_wire());
@@ -106,17 +139,18 @@ void Network::send(Packet packet) {
 }
 
 void Network::deliver(Packet&& packet) {
-  auto it = nodes_.find(packet.dst.node);
-  CAA_CHECK(it != nodes_.end());
-  if (!it->second.up) {
-    count("dropped", packet.kind);
+  NodeState* dst = node_state(packet.dst.node);
+  CAA_CHECK(dst != nullptr);
+  const KindCounters& kc = kind_counters(packet.kind);
+  if (!dst->up) {
+    count(kc.dropped);
     return;  // destination crashed while the packet was in flight
   }
-  CAA_CHECK_MSG(static_cast<bool>(it->second.handler),
+  CAA_CHECK_MSG(static_cast<bool>(dst->handler),
                 "deliver: node has no endpoint");
-  count("delivered", packet.kind);
+  count(kc.delivered);
   ++delivered_total_;
-  it->second.handler(std::move(packet));
+  dst->handler(std::move(packet));
 }
 
 }  // namespace caa::net

@@ -3,6 +3,14 @@
 #include "util/check.h"
 
 namespace caa::net {
+namespace {
+
+// Interned once; the retransmission path runs per lost packet.
+const CounterId kGaveUp = CounterId::of("net.reliable.gave_up");
+const CounterId kRetransmit = CounterId::of("net.reliable.retransmit");
+const CounterId kDupDropped = CounterId::of("net.reliable.dup_dropped");
+
+}  // namespace
 
 DirectTransport::DirectTransport(Network& network, NodeId node)
     : network_(network), node_(node) {
@@ -64,11 +72,11 @@ void ReliableTransport::arm_timer(NodeId dst, std::uint64_t seq) {
         if (pit == p.outstanding.end()) return;  // acked meanwhile
         pit->second.timer = EventId{};
         if (++pit->second.retries > options_.max_retries) {
-          network_.simulator().counters().add("net.reliable.gave_up");
+          network_.simulator().counters().add(kGaveUp);
           p.outstanding.erase(pit);
           return;
         }
-        network_.simulator().counters().add("net.reliable.retransmit");
+        network_.simulator().counters().add(kRetransmit);
         transmit(dst, seq);
       });
 }
@@ -105,7 +113,7 @@ void ReliableTransport::on_network(Packet&& packet) {
   PeerRx& peer = rx_[packet.src.node];
   const std::uint64_t seq = packet.transport_seq;
   if (seq < peer.expected) {
-    network_.simulator().counters().add("net.reliable.dup_dropped");
+    network_.simulator().counters().add(kDupDropped);
     return;
   }
   peer.reorder.emplace(seq, std::move(packet));  // no-op if seq buffered

@@ -7,6 +7,11 @@
 #include "util/check.h"
 
 namespace caa::resolve {
+namespace {
+const caa::CounterId kRaiseSuperseded =
+    caa::CounterId::of("central.raise_superseded");
+}  // namespace
+
 
 namespace {
 net::Bytes encode_exception(ExceptionId e) {
@@ -33,7 +38,7 @@ void CentralizedParticipant::configure(Config config) {
 
 void CentralizedParticipant::raise(ExceptionId exception) {
   if (frozen_ || resolved_.valid()) {
-    runtime().simulator().counters().add("central.raise_superseded");
+    runtime().simulator().counters().add(kRaiseSuperseded);
     return;
   }
   CAA_CHECK(config_.tree->contains(exception));

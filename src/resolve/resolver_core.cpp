@@ -35,10 +35,35 @@ ResolverCore::ResolverCore(ObjectId self, std::vector<ObjectId> members,
   CAA_CHECK_MSG(
       std::binary_search(members_.begin(), members_.end(), self_),
       "self must be a group member");
+  lo_state_.assign(members_.size(), kLoAbsent);
+  acked_.assign(members_.size(), 0);
+  members_contiguous_ =
+      members_.back().value() - members_.front().value() == members_.size() - 1;
+}
+
+std::size_t ResolverCore::member_rank(ObjectId member) const {
+  // Scenario builders hand out consecutive object ids, so the common case is
+  // a contiguous sorted group where rank is a subtraction.
+  if (members_contiguous_) {
+    const std::size_t rank = member.value() - members_.front().value();
+    CAA_CHECK_MSG(member.value() >= members_.front().value() &&
+                      rank < members_.size(),
+                  "sender is not a group member");
+    return rank;
+  }
+  const auto it = std::lower_bound(members_.begin(), members_.end(), member);
+  CAA_CHECK_MSG(it != members_.end() && *it == member,
+                "sender is not a group member");
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+bool ResolverCore::tracing() const {
+  if (!hooks_.trace) return false;
+  return !hooks_.trace_enabled || hooks_.trace_enabled();
 }
 
 void ResolverCore::trace(std::string_view event, std::string detail) {
-  if (hooks_.trace) hooks_.trace(event, std::move(detail));
+  if (tracing()) hooks_.trace(event, std::move(detail));
 }
 
 void ResolverCore::raise(ExceptionId exception, std::string message) {
@@ -83,8 +108,10 @@ void ResolverCore::abort_finished(ExceptionId signalled) {
   // hold entries queued for this scope, which we are about to replay, so
   // clearing here mirrors the pseudo-code.
   le_.clear();
-  lo_.clear();
-  acks_.clear();
+  std::fill(lo_state_.begin(), lo_state_.end(), kLoAbsent);
+  std::fill(acked_.begin(), acked_.end(), std::uint8_t{0});
+  acks_live_ = 0;
+  lo_pending_ = 0;
   raisers_.clear();
   awaiting_acks_ = true;  // NestedCompleted is acknowledged by every member
   hooks_.multicast(
@@ -178,16 +205,25 @@ void ResolverCore::handle_have_nested(const HaveNestedMsg& m) {
   CAA_CHECK(m.scope == scope_ && m.round == round_);
   suspend_if_normal();
   // Not completed yet (unless NestedCompleted somehow already arrived, which
-  // FIFO channels rule out; emplace keeps an existing `true`).
-  lo_.emplace(m.sender, false);
+  // FIFO channels rule out; a kLoCompleted entry stays completed).
+  if (std::uint8_t& lo = lo_state_[member_rank(m.sender)]; lo == kLoAbsent) {
+    lo = kLoPending;
+    if (!excluded_.contains(m.sender)) ++lo_pending_;
+  }
   if (hooks_.purge_nested_from) hooks_.purge_nested_from(m.sender);
-  trace("have_nested from", "O" + std::to_string(m.sender.value()));
+  if (tracing()) {
+    trace("have_nested from", "O" + std::to_string(m.sender.value()));
+  }
 }
 
 void ResolverCore::handle_nested_completed(const NestedCompletedMsg& m) {
   CAA_CHECK(m.scope == scope_ && m.round == round_);
   suspend_if_normal();
-  lo_[m.sender] = true;
+  if (std::uint8_t& lo = lo_state_[member_rank(m.sender)];
+      lo != kLoCompleted) {
+    if (lo == kLoPending && !excluded_.contains(m.sender)) --lo_pending_;
+    lo = kLoCompleted;
+  }
   send_ack(m.sender);
   if (m.signalled.valid()) {
     record_exception(m.signalled, m.sender);
@@ -197,7 +233,10 @@ void ResolverCore::handle_nested_completed(const NestedCompletedMsg& m) {
 
 void ResolverCore::handle_ack(const AckMsg& m) {
   CAA_CHECK(m.scope == scope_ && m.round == round_);
-  acks_.insert(m.sender);
+  if (std::uint8_t& acked = acked_[member_rank(m.sender)]; acked == 0) {
+    acked = 1;
+    if (m.sender != self_ && !excluded_.contains(m.sender)) ++acks_live_;
+  }
   maybe_ready();
 }
 
@@ -233,18 +272,12 @@ void ResolverCore::suspend_if_normal() {
 }
 
 bool ResolverCore::all_acks_received() const {
-  for (ObjectId member : members_) {
-    if (member == self_) continue;
-    if (!acks_.contains(member) && !excluded_.contains(member)) return false;
-  }
-  return true;
+  // excluded_ never holds self (exclude_member filters it), so the live
+  // member count needing ACKs is members-1 minus the excluded.
+  return acks_live_ >= members_.size() - 1 - excluded_.size();
 }
 
-bool ResolverCore::all_nested_completed() const {
-  return std::all_of(lo_.begin(), lo_.end(), [this](const auto& kv) {
-    return kv.second || excluded_.contains(kv.first);
-  });
-}
+bool ResolverCore::all_nested_completed() const { return lo_pending_ == 0; }
 
 bool ResolverCore::self_in_committee() const {
   CAA_CHECK(!raisers_.empty());
@@ -289,6 +322,9 @@ void ResolverCore::exclude_member(ObjectId peer) {
     return;
   }
   if (!excluded_.insert(peer).second) return;
+  const std::size_t rank = member_rank(peer);
+  if (acked_[rank] != 0) --acks_live_;  // now counted via excluded_
+  if (lo_state_[rank] == kLoPending) --lo_pending_;
   trace("member excluded (crash)", "O" + std::to_string(peer.value()));
   maybe_ready();
 }
@@ -328,12 +364,16 @@ void ResolverCore::finish(const CommitMsg& m) {
                 "commit delivered to a Normal object");
   state_ = State::kHandling;
   resolved_ = m.resolved;
-  trace("commit", tree_->name_of(m.resolved) + " from O" +
-                      std::to_string(m.resolver.value()));
+  if (tracing()) {
+    trace("commit", tree_->name_of(m.resolved) + " from O" +
+                        std::to_string(m.resolver.value()));
+  }
   // §4.2: "empty LE_i, LO_i, LP_i; start handler for E".
   le_.clear();
-  lo_.clear();
-  acks_.clear();
+  std::fill(lo_state_.begin(), lo_state_.end(), kLoAbsent);
+  std::fill(acked_.begin(), acked_.end(), std::uint8_t{0});
+  acks_live_ = 0;
+  lo_pending_ = 0;
   raisers_.clear();
   hooks_.start_handler(m.resolved, m.resolver);
 }

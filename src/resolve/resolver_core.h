@@ -18,13 +18,16 @@
 //                    real handler durations it is asynchronous)
 //   kHandling    —  terminal for the round: Commit processed, handler started
 //
-// Data mapping: le_ = LE_i, lo_ = LO_i, acks_ = LP_i. (SA_i, the context
-// stack, lives in caa::Participant, which owns one engine per context.)
+// Data mapping: le_ = LE_i, lo_state_ = LO_i, acked_ = LP_i. (SA_i, the
+// context stack, lives in caa::Participant, which owns one engine per
+// context.) LO_i and LP_i are keyed by member rank in the sorted group list
+// rather than stored as node-based containers: the protocol touches them
+// once per incoming message, and a byte-per-member array costs a binary
+// search instead of a rb-tree allocation on that path.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <set>
 #include <string>
@@ -66,6 +69,11 @@ class ResolverCore {
     std::function<void(ObjectId peer)> purge_nested_from;
     /// Optional trace callback (event, detail).
     std::function<void(std::string_view, std::string)> trace;
+    /// Optional cheap probe: is tracing actually recording right now? The
+    /// engine consults it before building detail strings on per-message
+    /// paths, so an installed-but-disabled trace sink costs nothing. When
+    /// unset, an installed `trace` callback counts as enabled.
+    std::function<bool()> trace_enabled;
   };
 
   /// `members` must be the sorted participant list of the action (G_A),
@@ -153,11 +161,16 @@ class ResolverCore {
   void suspend_if_normal();
   void maybe_ready();
   void finish(const CommitMsg& m);
+  [[nodiscard]] bool tracing() const;
   void trace(std::string_view event, std::string detail = {});
 
   [[nodiscard]] bool all_acks_received() const;
   [[nodiscard]] bool all_nested_completed() const;
   [[nodiscard]] bool self_in_committee() const;
+
+  /// Index of `member` in the sorted members_ list; contract violation if
+  /// the id is not a group member (the router only delivers group traffic).
+  [[nodiscard]] std::size_t member_rank(ObjectId member) const;
 
   ObjectId self_;
   std::vector<ObjectId> members_;  // sorted, includes self
@@ -166,12 +179,23 @@ class ResolverCore {
   std::uint32_t round_;
   Hooks hooks_;
   std::uint32_t committee_ = 1;
+  bool members_contiguous_ = false;  // ids consecutive: rank by subtraction
   std::set<ObjectId> excluded_;  // crashed members (extension)
+
+  // LO_i entry lifecycle, indexed by member rank.
+  enum : std::uint8_t { kLoAbsent = 0, kLoPending = 1, kLoCompleted = 2 };
 
   State state_ = State::kNormal;
   std::vector<ex::Exception> le_;        // LE_i
-  std::map<ObjectId, bool> lo_;          // LO_i: sender -> nested completed?
-  std::set<ObjectId> acks_;              // LP_i
+  std::vector<std::uint8_t> lo_state_;   // LO_i: per-rank kLo* state
+  std::vector<std::uint8_t> acked_;      // LP_i: per-rank "ACK received"
+  // Maintained tallies so completeness checks are O(1). maybe_ready() runs
+  // per incoming message; rescanning the member list there made large flat
+  // groups quadratic in N (a raiser awaiting N-1 ACKs paid an O(N) scan per
+  // ACK). acks_live_ counts distinct non-excluded ACK senders; lo_pending_
+  // counts LO entries that are neither completed nor excluded.
+  std::size_t acks_live_ = 0;
+  std::size_t lo_pending_ = 0;
   std::set<ObjectId> raisers_;
   bool awaiting_acks_ = false;  // we multicast Exception or NestedCompleted
   std::optional<CommitMsg> pending_commit_;

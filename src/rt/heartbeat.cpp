@@ -4,6 +4,10 @@
 #include "util/check.h"
 
 namespace caa::rt {
+namespace {
+const caa::CounterId kCrashSuspicions = caa::CounterId::of("rt.crash_suspicions");
+}  // namespace
+
 
 void HeartbeatMonitor::start(std::vector<ObjectId> peers, Config config) {
   CAA_CHECK_MSG(!running_, "monitor already running");
@@ -44,7 +48,7 @@ void HeartbeatMonitor::tick() {
     if (suspected_[p]) continue;
     if (now_time - last_seen_[p] > config_.timeout) {
       suspected_[p] = true;
-      runtime().simulator().counters().add("rt.crash_suspicions");
+      runtime().simulator().counters().add(kCrashSuspicions);
       if (config_.on_crash) config_.on_crash(p);
     }
   }

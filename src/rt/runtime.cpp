@@ -3,6 +3,10 @@
 #include "util/check.h"
 
 namespace caa::rt {
+namespace {
+const caa::CounterId kDroppedNoObject = caa::CounterId::of("rt.dropped_no_object");
+}  // namespace
+
 
 Runtime::Runtime(sim::Simulator& simulator, Directory& directory, NodeId node,
                  std::unique_ptr<net::Transport> transport)
@@ -15,25 +19,36 @@ Runtime::Runtime(sim::Simulator& simulator, Directory& directory, NodeId node,
   transport_->set_handler([this](net::Packet&& p) { dispatch(std::move(p)); });
 }
 
+ManagedObject* Runtime::local(ObjectId id) const {
+  for (const auto& [local_id, object] : locals_) {
+    if (local_id == id) return object;
+  }
+  return nullptr;
+}
+
 ObjectId Runtime::attach(ManagedObject& object, std::string name) {
   CAA_CHECK_MSG(!object.attached(), "object already attached");
   const ObjectId id = directory_.register_object(std::move(name), node_);
   object.runtime_ = this;
   object.id_ = id;
-  locals_.emplace(id, &object);
+  locals_.emplace_back(id, &object);
   return id;
 }
 
 void Runtime::detach(ObjectId id) {
-  auto it = locals_.find(id);
-  CAA_CHECK_MSG(it != locals_.end(), "detach: not a local object");
-  it->second->runtime_ = nullptr;
-  locals_.erase(it);
+  for (auto it = locals_.begin(); it != locals_.end(); ++it) {
+    if (it->first == id) {
+      it->second->runtime_ = nullptr;
+      locals_.erase(it);
+      return;
+    }
+  }
+  CAA_CHECK_MSG(false, "detach: not a local object");
 }
 
 void Runtime::send(ObjectId from, ObjectId to, net::MsgKind kind,
                    net::Bytes payload) {
-  CAA_CHECK_MSG(locals_.contains(from), "send: sender not local");
+  CAA_CHECK_MSG(local(from) != nullptr, "send: sender not local");
   net::Packet packet;
   packet.src = net::Address{node_, from};
   packet.dst = directory_.address_of(to);
@@ -49,10 +64,10 @@ void Runtime::send(ObjectId from, ObjectId to, net::MsgKind kind,
 
 void Runtime::dispatch(net::Packet&& packet) {
   CAA_CHECK_MSG(packet.dst.node == node_, "dispatch: foreign packet");
-  auto it = locals_.find(packet.dst.object);
-  if (it == locals_.end()) {
+  ManagedObject* object = local(packet.dst.object);
+  if (object == nullptr) {
     // The object was detached (or never existed here): count and drop.
-    simulator_.counters().add("rt.dropped_no_object");
+    simulator_.counters().add(kDroppedNoObject);
     return;
   }
   if (trace_->enabled()) {
@@ -62,7 +77,7 @@ void Runtime::dispatch(net::Packet&& packet) {
                    directory_.name_of(packet.dst.object),
                    "from " + directory_.name_of(packet.src.object));
   }
-  it->second->on_message(packet.src.object, packet.kind, packet.payload);
+  object->on_message(packet.src.object, packet.kind, packet.payload);
 }
 
 }  // namespace caa::rt

@@ -6,7 +6,8 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/reliable_link.h"
 #include "rt/managed_object.h"
@@ -46,12 +47,15 @@ class Runtime {
 
  private:
   void dispatch(net::Packet&& packet);
+  [[nodiscard]] ManagedObject* local(ObjectId id) const;
 
   sim::Simulator& simulator_;
   Directory& directory_;
   NodeId node_;
   std::unique_ptr<net::Transport> transport_;
-  std::unordered_map<ObjectId, ManagedObject*> locals_;
+  // A node hosts a handful of objects, and every inbound packet resolves
+  // its destination here: a linear scan over a small vector beats hashing.
+  std::vector<std::pair<ObjectId, ManagedObject*>> locals_;
   sim::TraceLog* trace_ = nullptr;
   sim::TraceLog null_trace_;
 };

@@ -1,0 +1,136 @@
+// A small-buffer-optimized, move-only callable for simulator events.
+//
+// The event loop fires tens of millions of closures per sweep; with
+// std::function every schedule() paid a heap allocation for any capture
+// beyond two words. EventFn stores captures up to kInlineSize bytes inline
+// (sized so a packet-delivery lambda — Network* + Packet — fits) and only
+// falls back to the heap for larger captures. Move-only: events fire once,
+// so copyability buys nothing and would forbid move-only captures.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace caa::sim {
+
+class EventFn {
+ public:
+  /// Inline capture budget. A delivery lambda captures a Network* plus a
+  /// Packet (two addresses, kind, a vector payload, a transport seq) —
+  /// 64 bytes covers it with room for one extra word.
+  static constexpr std::size_t kInlineSize = 64;
+
+  EventFn() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor) — drop-in for
+                     // std::function at every schedule() call site.
+    using Callable = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Callable) <= kInlineSize &&
+                  alignof(Callable) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Callable>) {
+      ::new (static_cast<void*>(storage_)) Callable(std::forward<F>(fn));
+      ops_ = &inline_ops<Callable>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Callable*(new Callable(std::forward<F>(fn)));
+      ops_ = &heap_ops<Callable>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(std::move(other)); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() {
+    CAA_CHECK_MSG(ops_ != nullptr, "firing an empty EventFn");
+    ops_->invoke(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// True when the capture lives in the inline buffer (no allocation).
+  /// Exposed so tests can pin down the no-allocation guarantee.
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs into dst's raw storage and destroys src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Callable>
+  static constexpr Ops inline_ops = {
+      [](void* storage) { (*std::launder(static_cast<Callable*>(storage)))(); },
+      [](void* dst, void* src) noexcept {
+        auto* from = std::launder(static_cast<Callable*>(src));
+        ::new (dst) Callable(std::move(*from));
+        from->~Callable();
+      },
+      [](void* storage) noexcept {
+        std::launder(static_cast<Callable*>(storage))->~Callable();
+      },
+      /*inline_storage=*/true,
+  };
+
+  template <typename Callable>
+  static constexpr Ops heap_ops = {
+      [](void* storage) {
+        (**std::launder(static_cast<Callable**>(storage)))();
+      },
+      // The stored pointer is trivially destructible; relocation copies it
+      // and destruction only frees the pointee.
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Callable*(*std::launder(static_cast<Callable**>(src)));
+      },
+      [](void* storage) noexcept {
+        delete *std::launder(static_cast<Callable**>(storage));
+      },
+      /*inline_storage=*/false,
+  };
+
+  void move_from(EventFn&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace caa::sim

@@ -1,5 +1,7 @@
 #include "sim/trace.h"
 
+#include "util/hash.h"
+
 namespace caa::sim {
 
 std::string TraceRecord::to_string() const {
@@ -32,6 +34,15 @@ std::size_t TraceLog::count_event(std::string_view event) const {
     if (r.event == event) ++n;
   }
   return n;
+}
+
+std::uint64_t TraceLog::fingerprint() const {
+  std::uint64_t h = kFnv1a64Offset;
+  for (const auto& r : records_) {
+    h = fnv1a64(r.to_string(), h);
+    h = fnv1a64("\n", h);
+  }
+  return h;
 }
 
 std::string TraceLog::to_string() const {

@@ -46,6 +46,11 @@ class TraceLog {
 
   [[nodiscard]] std::string to_string() const;
 
+  /// 64-bit FNV-1a digest over all records. Tests pin golden fingerprints
+  /// of the paper's §4.3 example traces so optimization PRs can prove the
+  /// protocol narrative is byte-identical.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
  private:
   bool enabled_ = false;
   std::vector<TraceRecord> records_;

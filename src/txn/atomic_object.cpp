@@ -6,6 +6,13 @@
 #include "util/check.h"
 
 namespace caa::txn {
+namespace {
+const caa::CounterId kUnhandledKind = caa::CounterId::of("txn.unhandled_kind");
+const caa::CounterId kWaits = caa::CounterId::of("txn.waits");
+const caa::CounterId kWaitDieVictims =
+    caa::CounterId::of("txn.wait_die_victims");
+}  // namespace
+
 
 AtomicObjectHost::AtomicObjectHost()
     : locks_([this](const std::string& name, TxnId txn, LockMode mode) {
@@ -55,7 +62,7 @@ void AtomicObjectHost::on_message(ObjectId from, net::MsgKind kind,
       return;
     }
     default:
-      runtime().simulator().counters().add("txn.unhandled_kind");
+      runtime().simulator().counters().add(kUnhandledKind);
       return;
   }
 }
@@ -86,10 +93,10 @@ void AtomicObjectHost::handle_op(ObjectId from, const TxnOpRequest& request) {
       return;
     case LockOutcome::kQueued:
       parked_[request.txn].push_back(Parked{from, request});
-      runtime().simulator().counters().add("txn.waits");
+      runtime().simulator().counters().add(kWaits);
       return;
     case LockOutcome::kDied:
-      runtime().simulator().counters().add("txn.wait_die_victims");
+      runtime().simulator().counters().add(kWaitDieVictims);
       reply(from, request.request_id, TxnReplyStatus::kConflict);
       return;
   }

@@ -4,6 +4,11 @@
 #include "util/check.h"
 
 namespace caa::txn {
+namespace {
+const caa::CounterId kClientUnhandledKind =
+    caa::CounterId::of("txn.client_unhandled_kind");
+}  // namespace
+
 
 TxnId TxnClient::begin(TxnId parent) {
   const TxnId txn = make_txn_id(id(), next_seq_++);
@@ -262,7 +267,7 @@ void TxnClient::on_message(ObjectId from, net::MsgKind kind,
       return;
     }
     default:
-      runtime().simulator().counters().add("txn.client_unhandled_kind");
+      runtime().simulator().counters().add(kClientUnhandledKind);
       return;
   }
 }

@@ -1,41 +1,62 @@
 #include "util/counters.h"
 
+#include "util/check.h"
+#include "util/intern.h"
+
 namespace caa {
 
-void Counters::add(std::string_view name, std::int64_t delta) {
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    counters_.emplace(std::string(name), delta);
-  } else {
-    it->second += delta;
-  }
+namespace {
+
+/// The process-wide name registry. Function-local static so CounterId::of
+/// is safe from namespace-scope initializers in any translation unit.
+InternPool& registry() {
+  static InternPool pool;
+  return pool;
+}
+
+}  // namespace
+
+CounterId CounterId::of(std::string_view name) {
+  return CounterId(registry().intern(name));
+}
+
+std::string_view CounterId::name() const {
+  CAA_CHECK_MSG(valid(), "name() on invalid CounterId");
+  return registry().name_of(index_);
 }
 
 std::int64_t Counters::get(std::string_view name) const {
-  auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  const std::uint32_t index = registry().find(name);
+  if (index == InternPool::kNotFound) return 0;
+  return get(CounterId(index));
 }
 
-void Counters::reset() { counters_.clear(); }
-
 void Counters::reset(std::string_view name) {
-  if (auto it = counters_.find(name); it != counters_.end()) {
-    counters_.erase(it);
-  }
+  const std::uint32_t index = registry().find(name);
+  if (index != InternPool::kNotFound) reset(CounterId(index));
 }
 
 std::int64_t Counters::sum_prefix(std::string_view prefix) const {
   std::int64_t total = 0;
-  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    total += it->second;
+  for (std::uint32_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] != 0 && registry().name_of(i).starts_with(prefix)) {
+      total += values_[i];
+    }
   }
   return total;
 }
 
+std::map<std::string, std::int64_t, std::less<>> Counters::all() const {
+  std::map<std::string, std::int64_t, std::less<>> out;
+  for (std::uint32_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] != 0) out.emplace(registry().name_of(i), values_[i]);
+  }
+  return out;
+}
+
 std::string Counters::to_string() const {
   std::string out;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : all()) {
     out += name;
     out += '=';
     out += std::to_string(value);

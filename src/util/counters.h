@@ -3,37 +3,86 @@
 // The paper's evaluation (§4.4) is a message-count analysis; the benchmark
 // harness reproduces it by counting protocol messages by kind. Counters give
 // every module a uniform, allocation-light way to report such figures.
+//
+// Hot paths intern the name once into a CounterId (process-wide registry)
+// and then increment a dense vector slot — no hashing, no string compare,
+// no allocation per protocol message. The string overloads remain as a
+// convenience/compatibility layer for tests and cold paths; both views of
+// a counter observe the same value.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace caa {
 
-/// A registry of named int64 counters. Deterministic iteration order (map)
-/// so test and bench output is stable.
+/// A dense handle to a counter *name*. Ids are process-wide (one append-only
+/// registry shared by all Counters instances, matching how all simulated
+/// worlds share one set of metric names); values stay per-Counters. Resolve
+/// once at module-init or first use, then add() costs one vector increment.
+/// Like the rest of the library, the registry is single-thread only (CP.3).
+class CounterId {
+ public:
+  constexpr CounterId() = default;
+
+  /// Interns `name`, returning its stable id. Idempotent.
+  static CounterId of(std::string_view name);
+
+  [[nodiscard]] constexpr bool valid() const { return index_ != kInvalid; }
+  [[nodiscard]] constexpr std::uint32_t index() const { return index_; }
+  /// The interned name; id must be valid.
+  [[nodiscard]] std::string_view name() const;
+
+  friend constexpr bool operator==(CounterId, CounterId) = default;
+
+ private:
+  friend class Counters;
+  constexpr explicit CounterId(std::uint32_t index) : index_(index) {}
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  std::uint32_t index_ = kInvalid;
+};
+
+/// A registry of named int64 counters with deterministic (name-sorted)
+/// rendering so test and bench output is stable.
 class Counters {
  public:
-  void add(std::string_view name, std::int64_t delta = 1);
+  // ---- Hot path: interned handles -----------------------------------
+  void add(CounterId id, std::int64_t delta = 1) {
+    if (id.index() >= values_.size()) values_.resize(id.index() + 1, 0);
+    values_[id.index()] += delta;
+  }
+  [[nodiscard]] std::int64_t get(CounterId id) const {
+    return id.index() < values_.size() ? values_[id.index()] : 0;
+  }
+  void reset(CounterId id) {
+    if (id.index() < values_.size()) values_[id.index()] = 0;
+  }
+
+  // ---- Compatibility: string names ----------------------------------
+  void add(std::string_view name, std::int64_t delta = 1) {
+    add(CounterId::of(name), delta);
+  }
   [[nodiscard]] std::int64_t get(std::string_view name) const;
-  void reset();
   void reset(std::string_view name);
+
+  void reset() { values_.assign(values_.size(), 0); }
 
   /// Sum of all counters whose name starts with `prefix`.
   [[nodiscard]] std::int64_t sum_prefix(std::string_view prefix) const;
 
-  [[nodiscard]] const std::map<std::string, std::int64_t, std::less<>>& all()
-      const {
-    return counters_;
-  }
+  /// Snapshot of all non-zero counters, sorted by name.
+  [[nodiscard]] std::map<std::string, std::int64_t, std::less<>> all() const;
 
-  /// Render as "name=value" lines, for debugging and bench output.
+  /// Render as sorted "name=value" lines (non-zero counters only), for
+  /// debugging, bench output and run fingerprints.
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::map<std::string, std::int64_t, std::less<>> counters_;
+  // Indexed by CounterId; grown lazily on first touch of an id.
+  std::vector<std::int64_t> values_;
 };
 
 }  // namespace caa

@@ -181,6 +181,31 @@ TEST(HandlerTable, FillDefaultsKeepsSpecificHandlers) {
             HandlerOutcome::kRecovered);
 }
 
+TEST(HandlerTable, DefaultHandlerCoversWholeTree) {
+  ExceptionTree tree = shapes::star(5);
+  HandlerTable table;
+  table.set_default([](ExceptionId) { return HandlerResult::recovered(); });
+  EXPECT_TRUE(table.is_complete_for(tree));
+  EXPECT_TRUE(table.has(tree.find("s3")));
+  // Only explicit entries count towards size(); the fallback is one callable.
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.get(tree.find("s2"))(tree.find("s2")).outcome,
+            HandlerOutcome::kRecovered);
+}
+
+TEST(HandlerTable, ExplicitEntryOverridesDefault) {
+  ExceptionTree tree = shapes::star(2);
+  HandlerTable table;
+  table.set_default([](ExceptionId) { return HandlerResult::recovered(); });
+  table.set(tree.find("s1"), [](ExceptionId) {
+    return HandlerResult::signalling(ExceptionId(0));
+  });
+  EXPECT_EQ(table.get(tree.find("s1"))(tree.find("s1")).outcome,
+            HandlerOutcome::kSignal);
+  EXPECT_EQ(table.get(tree.find("s2"))(tree.find("s2")).outcome,
+            HandlerOutcome::kRecovered);
+}
+
 TEST(HandlerTable, NearestHandledWalksAncestors) {
   ExceptionTree tree = shapes::chain(4);
   HandlerTable table;

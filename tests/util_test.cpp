@@ -165,6 +165,58 @@ TEST(Counters, SumPrefix) {
   EXPECT_EQ(c.sum_prefix("zzz"), 0);
 }
 
+TEST(Counters, InternedAndStringApisObserveTheSameValue) {
+  Counters c;
+  const CounterId id = CounterId::of("roundtrip.x");
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.name(), "roundtrip.x");
+  EXPECT_EQ(CounterId::of("roundtrip.x"), id) << "interning must be stable";
+
+  c.add(id, 3);
+  c.add("roundtrip.x", 4);  // string path lands on the same slot
+  EXPECT_EQ(c.get(id), 7);
+  EXPECT_EQ(c.get("roundtrip.x"), 7);
+
+  c.reset("roundtrip.x");
+  EXPECT_EQ(c.get(id), 0);
+  c.add(id, 2);
+  c.reset(id);
+  EXPECT_EQ(c.get("roundtrip.x"), 0);
+}
+
+TEST(Counters, InternedIdsAreIndependentAcrossInstances) {
+  const CounterId id = CounterId::of("roundtrip.independent");
+  Counters a;
+  Counters b;
+  a.add(id, 5);
+  EXPECT_EQ(a.get(id), 5);
+  EXPECT_EQ(b.get(id), 0) << "values are per-Counters, names per-process";
+}
+
+TEST(Counters, SumPrefixWorksOverInternedNames) {
+  Counters c;
+  c.add(CounterId::of("intp.sent.A"), 3);
+  c.add(CounterId::of("intp.sent.B"), 4);
+  c.add("intp.dropped.A", 9);
+  EXPECT_EQ(c.sum_prefix("intp.sent."), 7);
+  EXPECT_EQ(c.sum_prefix("intp."), 16);
+  // Mixed lookups: string get over an id-added counter and vice versa.
+  EXPECT_EQ(c.get("intp.sent.A"), 3);
+  EXPECT_EQ(c.get(CounterId::of("intp.dropped.A")), 9);
+}
+
+TEST(Counters, ToStringIsSortedAndSkipsZeroes) {
+  Counters c;
+  c.add("zz.last", 1);
+  c.add("aa.first", 2);
+  c.add("mm.zeroed", 5);
+  c.reset("mm.zeroed");
+  EXPECT_EQ(c.to_string(), "aa.first=2\nzz.last=1\n");
+  const auto all = c.all();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all.at("aa.first"), 2);
+}
+
 TEST(Logger, RespectsLevelAndSink) {
   Logger logger;
   std::vector<std::string> lines;
