@@ -35,10 +35,10 @@ Out run(int n, int p, std::uint32_t committee) {
       "A", ex::shapes::star(static_cast<std::size_t>(n)));
   const auto& inst = w.actions().create_instance(decl, ids);
   for (auto* o : objects) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-    config.resolver_committee = committee;
+    const EnterConfig config =
+        EnterConfig::with(
+            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))
+            .committee(committee);
     if (!o->enter(inst.instance, config)) std::abort();
   }
   const sim::Time raise_at = 1000;
@@ -49,8 +49,8 @@ Out run(int n, int p, std::uint32_t committee) {
   });
   w.run();
   Out out;
-  out.messages = w.resolution_messages();
-  out.commits = w.messages_of(net::MsgKind::kCommit);
+  out.messages = w.metrics().resolution_messages();
+  out.commits = w.metrics().sent(net::MsgKind::kCommit);
   sim::Time last = raise_at;
   for (auto* o : objects) {
     for (const auto& h : o->handled()) last = std::max(last, h.at);

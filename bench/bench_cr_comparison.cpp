@@ -59,9 +59,9 @@ std::int64_t run_cr(int n, bool adversarial) {
     }
   });
   w.run();
-  return w.messages_of(net::MsgKind::kCrRaise) +
-         w.messages_of(net::MsgKind::kCrAck) +
-         w.messages_of(net::MsgKind::kCrCommit);
+  const obs::Metrics& m = w.metrics();
+  return m.sent(net::MsgKind::kCrRaise) + m.sent(net::MsgKind::kCrAck) +
+         m.sent(net::MsgKind::kCrCommit);
 }
 
 std::int64_t run_arche(int n) {
@@ -87,8 +87,8 @@ std::int64_t run_arche(int n) {
     }
   });
   w.run();
-  return w.messages_of(net::MsgKind::kArcheReport) +
-         w.messages_of(net::MsgKind::kArcheConcerted);
+  return w.metrics().sent(net::MsgKind::kArcheReport) +
+         w.metrics().sent(net::MsgKind::kArcheConcerted);
 }
 
 double slope(double x0, double y0, double x1, double y1) {

@@ -61,8 +61,8 @@ int main() {
     sender.multicast(members, 1);
     w.run();
     std::printf("%6d %10lld %14lld %18lld\n", n,
-                static_cast<long long>(w.messages_of(net::MsgKind::kAppData)),
-                static_cast<long long>(w.counters().get("net.bytes_sent")),
+                static_cast<long long>(w.metrics().sent(net::MsgKind::kAppData)),
+                static_cast<long long>(w.metrics().value("net.bytes_sent")),
                 static_cast<long long>(w.simulator().now() - start));
   }
 
@@ -84,7 +84,7 @@ int main() {
     w.run();
     std::printf("%8.2f %12d %14lld %12lld\n", loss, sink.received(),
                 static_cast<long long>(
-                    w.counters().get("net.reliable.retransmit")),
+                    w.metrics().value("net.reliable.retransmit")),
                 static_cast<long long>(w.simulator().now() - start));
   }
   std::printf("=> exactly-once FIFO delivery survives heavy transient loss; "

@@ -42,18 +42,17 @@ struct NestedScenario {
     nested = &world.actions().create_instance(
         *nested_decl, {objects[1]->id(), objects[2]->id()}, outer->instance);
     for (auto* o : objects) {
-      EnterConfig config;
-      config.handlers = uniform_handlers(outer_decl->tree(),
-                                         ex::HandlerResult::recovered());
+      const EnterConfig config = EnterConfig::with(uniform_handlers(
+          outer_decl->tree(), ex::HandlerResult::recovered()));
       if (!o->enter(outer->instance, config)) std::abort();
     }
     for (int i = 1; i < 3; ++i) {
-      EnterConfig config;
-      config.handlers = uniform_handlers(nested_decl->tree(),
-                                         ex::HandlerResult::recovered());
-      config.abortion_handler = [abort_duration] {
-        return ex::AbortResult::none(abort_duration);
-      };
+      const EnterConfig config =
+          EnterConfig::with(uniform_handlers(nested_decl->tree(),
+                                             ex::HandlerResult::recovered()))
+              .abortion([abort_duration] {
+                return ex::AbortResult::none(abort_duration);
+              });
       if (!objects[i]->enter(nested->instance, config)) std::abort();
     }
   }

@@ -34,9 +34,8 @@ Outcome run_depth(int n, int depth, sim::Time abort_duration) {
   const auto& outer_decl = w.actions().declare("A0", ex::shapes::star(1));
   const auto& outer = w.actions().create_instance(outer_decl, ids);
   for (auto* o : objects) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(outer_decl.tree(), ex::HandlerResult::recovered());
+    const EnterConfig config = EnterConfig::with(uniform_handlers(
+        outer_decl.tree(), ex::HandlerResult::recovered()));
     if (!o->enter(outer.instance, config)) std::abort();
   }
   // Objects 1..N-1 descend a chain of nested actions; object 0 stays at the
@@ -49,12 +48,12 @@ Outcome run_depth(int n, int depth, sim::Time abort_duration) {
     const auto& inst =
         w.actions().create_instance(decl, nested_ids, parent->instance);
     for (int i = 1; i < n; ++i) {
-      EnterConfig config;
-      config.handlers =
-          uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-      config.abortion_handler = [abort_duration] {
-        return ex::AbortResult::none(abort_duration);
-      };
+      const EnterConfig config =
+          EnterConfig::with(
+              uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))
+              .abortion([abort_duration] {
+                return ex::AbortResult::none(abort_duration);
+              });
       if (!objects[i]->enter(inst.instance, config)) std::abort();
     }
     parent = &inst;
@@ -64,7 +63,7 @@ Outcome run_depth(int n, int depth, sim::Time abort_duration) {
   w.run();
 
   Outcome out;
-  out.messages = w.resolution_messages();
+  out.messages = w.metrics().resolution_messages();
   sim::Time last = raise_at;
   for (auto* o : objects) {
     for (const auto& h : o->handled()) last = std::max(last, h.at);

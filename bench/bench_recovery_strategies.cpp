@@ -53,21 +53,20 @@ TrialResult run_trial(bool forward, bool fault, std::uint64_t seed) {
   // Leader body: under a fresh transaction per attempt, move 100 from A to
   // B; a fault either raises (forward) or fails the acceptance test
   // (backward).
-  EnterConfig c1;
-  c1.max_attempts = 4;
   bool acceptance_ok = true;
-  c1.handlers = uniform_handlers(
+  ex::HandlerTable c1_handlers = uniform_handlers(
       decl.tree(), ex::HandlerResult::recovered(/*duration=*/1500));
   if (forward) {
     // The handler repairs the atomic objects into the intended new state
     // (fire-and-forget writes complete well within the handler duration).
-    c1.handlers.set(decl.tree().find("s1"), [&](ExceptionId) {
+    c1_handlers.set(decl.tree().find("s1"), [&](ExceptionId) {
       client.write(current_txn, host_a.id(), "acctA", 900, [](Status) {});
       client.write(current_txn, host_b.id(), "acctB", 100, [](Status) {});
       return ex::HandlerResult::recovered(/*duration=*/1500);
     });
   }
-  c1.body = [&, forward, fault](std::uint32_t attempt) {
+  auto c1_builder = EnterConfig::with(std::move(c1_handlers)).retries(4);
+  c1_builder.body([&, forward, fault](std::uint32_t attempt) {
     current_txn = client.begin();
     const bool faulty = fault && attempt == 0;
     client.add(current_txn, host_a.id(), "acctA", -100,
@@ -90,15 +89,19 @@ TrialResult run_trial(bool forward, bool fault, std::uint64_t seed) {
         }
       });
     });
-  };
-  c1.on_commit = [&] { client.commit(current_txn, [](Status) {}); };
-  c1.on_abort = [&] {
-    if (client.active(current_txn)) client.abort(current_txn, [](Status) {});
-  };
-  EnterConfig c2;
-  c2.handlers = uniform_handlers(
-      decl.tree(), ex::HandlerResult::recovered(/*duration=*/1500));
-  c2.body = [&o2](std::uint32_t) { o2.complete(); };
+  });
+  const EnterConfig c1 =
+      std::move(c1_builder)
+          .on_commit([&] { client.commit(current_txn, [](Status) {}); })
+          .on_abort([&] {
+            if (client.active(current_txn)) {
+              client.abort(current_txn, [](Status) {});
+            }
+          });
+  const EnterConfig c2 =
+      EnterConfig::with(uniform_handlers(
+          decl.tree(), ex::HandlerResult::recovered(/*duration=*/1500)))
+          .body([&o2](std::uint32_t) { o2.complete(); });
 
   const sim::Time start = w.simulator().now();
   if (!o1.enter(inst.instance, c1)) std::abort();

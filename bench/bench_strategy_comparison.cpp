@@ -45,10 +45,11 @@ Out run_central(int n, int p) {
   });
   w.run();
   Out out;
-  out.messages = w.messages_of(net::MsgKind::kCentralException) +
-                 w.messages_of(net::MsgKind::kCentralFreeze) +
-                 w.messages_of(net::MsgKind::kCentralFrozenAck) +
-                 w.messages_of(net::MsgKind::kCentralCommit);
+  const obs::Metrics& m = w.metrics();
+  out.messages = m.sent(net::MsgKind::kCentralException) +
+                 m.sent(net::MsgKind::kCentralFreeze) +
+                 m.sent(net::MsgKind::kCentralFrozenAck) +
+                 m.sent(net::MsgKind::kCentralCommit);
   out.latency = w.simulator().now() - raise_at;
   for (auto& o : objects) {
     if (!o->resolved().valid()) std::abort();

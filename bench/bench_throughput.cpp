@@ -43,6 +43,7 @@ struct Measurement {
   sim::Time sim_time = 0;
   double wall_ms = 0.0;
   std::uint64_t checksum = 0;
+  obs::MetricsSnapshot snapshot;  // folded into the JSON as "metrics"
 };
 
 /// One full scenario run; wall time covers only the event loop.
@@ -59,8 +60,9 @@ Measurement run_once(const Config& config) {
     m.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
                     .count();
     m.sim_time = s.world().simulator().now();
-    m.messages = s.world().counters().sum_prefix("net.sent.");
-    m.checksum = fnv1a64(s.world().counters().to_string());
+    m.messages = s.world().metrics().total_sent();
+    m.checksum = fnv1a64(s.world().metrics().counters().to_string());
+    m.snapshot = s.world().metrics().snapshot();
   } else {
     scenario::NestedChainOptions options;
     options.participants = config.participants;
@@ -71,8 +73,9 @@ Measurement run_once(const Config& config) {
     m.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
                     .count();
     m.sim_time = s.world().simulator().now();
-    m.messages = s.world().counters().sum_prefix("net.sent.");
-    m.checksum = fnv1a64(s.world().counters().to_string());
+    m.messages = s.world().metrics().total_sent();
+    m.checksum = fnv1a64(s.world().metrics().counters().to_string());
+    m.snapshot = s.world().metrics().snapshot();
   }
   m.checksum = fnv1a64_mix(m.checksum, static_cast<std::uint64_t>(m.sim_time));
   m.checksum = fnv1a64_mix(m.checksum, static_cast<std::uint64_t>(m.events));
@@ -160,6 +163,12 @@ int main(int argc, char** argv) {
                 static_cast<long long>(best.messages), events_per_sec,
                 messages_per_sec, best.wall_ms, checksum.c_str());
 
+    // The full counter snapshot rides along so downstream tooling can diff
+    // behaviour between runs without re-deriving it from the checksum.
+    Json metrics = Json::object();
+    for (const auto& [name, value] : best.snapshot.counters) {
+      metrics.set(name, Json::num(value));
+    }
     results.push(
         Json::object()
             .set("bench", Json::str("bench_throughput"))
@@ -172,7 +181,8 @@ int main(int argc, char** argv) {
             .set("messages_per_sec", Json::num(messages_per_sec))
             .set("wall_ms", Json::num(best.wall_ms))
             .set("sim_time", Json::num(static_cast<std::int64_t>(best.sim_time)))
-            .set("checksum", Json::str(checksum)));
+            .set("checksum", Json::str(checksum))
+            .set("metrics", std::move(metrics)));
   }
 
   if (!checksums_stable) {

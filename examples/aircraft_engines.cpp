@@ -47,29 +47,31 @@ int main() {
 
   auto enter = [&](action::Participant& p, const char* who,
                    EngineState* engine) {
-    EnterConfig config;
     // Specific handlers: losing ONE engine is survivable — trim thrust on
     // the other side; losing BOTH engages glide mode everywhere.
-    config.handlers.set(left_loss, [&, who, engine](ExceptionId) {
+    ex::HandlerTable handlers;
+    handlers.set(left_loss, [&, who, engine](ExceptionId) {
       if (engine == &right_state) engine->thrust = 1.2;  // compensate
       std::printf("  %s: single-engine procedure (left out)\n", who);
       return ex::HandlerResult::recovered(300);
     });
-    config.handlers.set(right_loss, [&, who, engine](ExceptionId) {
+    handlers.set(right_loss, [&, who, engine](ExceptionId) {
       if (engine == &left_state) engine->thrust = 1.2;
       std::printf("  %s: single-engine procedure (right out)\n", who);
       return ex::HandlerResult::recovered(300);
     });
-    config.handlers.set(emergency, [&, who](ExceptionId) {
+    handlers.set(emergency, [&, who](ExceptionId) {
       glide_mode = true;
       std::printf("  %s: TOTAL ENGINE LOSS — glide procedure\n", who);
       return ex::HandlerResult::recovered(500);
     });
-    config.handlers.fill_defaults(decl.tree(), [who](ExceptionId) {
+    handlers.fill_defaults(decl.tree(), [who](ExceptionId) {
       std::printf("  %s: generic emergency handler\n", who);
       return ex::HandlerResult::recovered(100);
     });
-    if (!p.enter(flight.instance, config)) std::abort();
+    if (!p.enter(flight.instance, EnterConfig::with(std::move(handlers)))) {
+      std::abort();
+    }
   };
   enter(left, "left_engine", &left_state);
   enter(right, "right_engine", &right_state);
@@ -94,6 +96,6 @@ int main() {
               "— the resolution tree caught the real fault)\n",
               glide_mode ? "YES" : "no");
   std::printf("resolution messages: %lld\n",
-              static_cast<long long>(world.resolution_messages()));
+              static_cast<long long>(world.metrics().resolution_messages()));
   return 0;
 }

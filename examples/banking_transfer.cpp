@@ -44,12 +44,10 @@ void run(bool forward) {
       world.actions().create_instance(decl, {teller.id(), auditor.id()});
 
   TxnId txn;
-  EnterConfig teller_config;
-  teller_config.max_attempts = 3;
-  teller_config.handlers =
+  ex::HandlerTable teller_handlers =
       uniform_handlers(decl.tree(), ex::HandlerResult::recovered(1500));
   if (forward) {
-    teller_config.handlers.set(
+    teller_handlers.set(
         decl.tree().find("misposted_transfer"), [&](ExceptionId) {
           std::printf("  teller: handler repairs the mis-posted amounts "
                       "in-place\n");
@@ -58,46 +56,50 @@ void run(bool forward) {
           return ex::HandlerResult::recovered(1500);
         });
   }
-  teller_config.body = [&, forward](std::uint32_t attempt) {
-    std::printf("  teller: attempt %u — transfer 100 alice -> bob under a "
-                "fresh transaction\n", attempt);
-    txn = client.begin();
-    const bool faulty = attempt == 0;  // first attempt mis-posts
-    client.add(txn, branch_a.id(), "alice", -100, [&, faulty](auto r) {
-      if (!r.is_ok()) return;
-      client.add(txn, branch_b.id(), "bob", faulty ? 10 : 100,
-                 [&, faulty](auto r2) {
-        if (!r2.is_ok()) return;
-        if (faulty && forward) {
-          std::printf("  teller: detects the mis-post, raises "
-                      "misposted_transfer\n");
-          teller.raise("misposted_transfer");
-        } else if (faulty) {
-          std::printf("  teller: acceptance test fails -> backward "
-                      "recovery\n");
-          teller.complete(false);
-        } else {
-          teller.complete(true);
-        }
-      });
-    });
-  };
-  teller_config.on_commit = [&] {
-    std::printf("  action committed -> transaction commits (2PC)\n");
-    client.commit(txn, [](Status) {});
-  };
-  teller_config.on_abort = [&] {
-    if (client.active(txn)) {
-      std::printf("  attempt failed -> transaction aborts, before-images "
-                  "restored\n");
-      client.abort(txn, [](Status) {});
-    }
-  };
+  const EnterConfig teller_config =
+      EnterConfig::with(std::move(teller_handlers))
+          .retries(3)
+          .body([&, forward](std::uint32_t attempt) {
+            std::printf("  teller: attempt %u — transfer 100 alice -> bob "
+                        "under a fresh transaction\n", attempt);
+            txn = client.begin();
+            const bool faulty = attempt == 0;  // first attempt mis-posts
+            client.add(txn, branch_a.id(), "alice", -100,
+                       [&, faulty](auto r) {
+              if (!r.is_ok()) return;
+              client.add(txn, branch_b.id(), "bob", faulty ? 10 : 100,
+                         [&, faulty](auto r2) {
+                if (!r2.is_ok()) return;
+                if (faulty && forward) {
+                  std::printf("  teller: detects the mis-post, raises "
+                              "misposted_transfer\n");
+                  teller.raise("misposted_transfer");
+                } else if (faulty) {
+                  std::printf("  teller: acceptance test fails -> backward "
+                              "recovery\n");
+                  teller.complete(false);
+                } else {
+                  teller.complete(true);
+                }
+              });
+            });
+          })
+          .on_commit([&] {
+            std::printf("  action committed -> transaction commits (2PC)\n");
+            client.commit(txn, [](Status) {});
+          })
+          .on_abort([&] {
+            if (client.active(txn)) {
+              std::printf("  attempt failed -> transaction aborts, "
+                          "before-images restored\n");
+              client.abort(txn, [](Status) {});
+            }
+          });
 
-  EnterConfig auditor_config;
-  auditor_config.handlers =
-      uniform_handlers(decl.tree(), ex::HandlerResult::recovered(1500));
-  auditor_config.body = [&auditor](std::uint32_t) { auditor.complete(); };
+  const EnterConfig auditor_config =
+      EnterConfig::with(
+          uniform_handlers(decl.tree(), ex::HandlerResult::recovered(1500)))
+          .body([&auditor](std::uint32_t) { auditor.complete(); });
 
   teller.enter(inst.instance, teller_config);
   auditor.enter(inst.instance, auditor_config);

@@ -52,14 +52,13 @@ int main() {
                                       a2.instance);
 
   auto a1_config = [&](const char* who) {
-    EnterConfig config;
-    config.handlers = uniform_handlers(d1.tree(),
-                                       ex::HandlerResult::recovered(400));
-    config.on_handler = [who, &d1](ExceptionId resolved) {
-      std::printf("  %s: A1 handler for '%s'\n", who,
-                  d1.tree().name_of(resolved).c_str());
-    };
-    return config;
+    return EnterConfig::with(
+               uniform_handlers(d1.tree(), ex::HandlerResult::recovered(400)))
+        .on_handler([who, &d1](ExceptionId resolved) {
+          std::printf("  %s: A1 handler for '%s'\n", who,
+                      d1.tree().name_of(resolved).c_str());
+        })
+        .build();
   };
   supervisor.enter(a1.instance, a1_config("supervisor"));
   robot.enter(a1.instance, a1_config("robot"));
@@ -67,30 +66,28 @@ int main() {
   belt.enter(a1.instance, a1_config("belt"));
 
   auto a2_config = [&](const char* who, bool signals_jam) {
-    EnterConfig config;
-    config.handlers = uniform_handlers(d2.tree(),
-                                       ex::HandlerResult::recovered(100));
-    config.abortion_handler = [who, signals_jam, jam] {
-      std::printf("  %s: aborting A2 hand-off%s\n", who,
-                  signals_jam ? " -> signalling jam_exception" : "");
-      return signals_jam ? ex::AbortResult::signalling(jam, 150)
-                         : ex::AbortResult::none(150);
-    };
-    return config;
+    return EnterConfig::with(
+               uniform_handlers(d2.tree(), ex::HandlerResult::recovered(100)))
+        .abortion([who, signals_jam, jam] {
+          std::printf("  %s: aborting A2 hand-off%s\n", who,
+                      signals_jam ? " -> signalling jam_exception" : "");
+          return signals_jam ? ex::AbortResult::signalling(jam, 150)
+                             : ex::AbortResult::none(150);
+        })
+        .build();
   };
   robot.enter(a2.instance, a2_config("robot", /*signals_jam=*/true));
   press.enter(a2.instance, a2_config("press", false));
   belt.enter(a2.instance, a2_config("belt", false));
 
   auto a3_config = [&](const char* who) {
-    EnterConfig config;
-    config.handlers = uniform_handlers(d3.tree(),
-                                       ex::HandlerResult::recovered(100));
-    config.abortion_handler = [who] {
-      std::printf("  %s: aborting A3 grip alignment\n", who);
-      return ex::AbortResult::none(100);
-    };
-    return config;
+    return EnterConfig::with(
+               uniform_handlers(d3.tree(), ex::HandlerResult::recovered(100)))
+        .abortion([who] {
+          std::printf("  %s: aborting A3 grip alignment\n", who);
+          return ex::AbortResult::none(100);
+        })
+        .build();
   };
   robot.enter(a3.instance, a3_config("robot"));
   // The press is belated for A3: it only tries to enter after the faults.
@@ -115,7 +112,7 @@ int main() {
   }
   std::printf("(innermost first)\n");
   std::printf("resolution messages: %lld\n",
-              static_cast<long long>(world.resolution_messages()));
+              static_cast<long long>(world.metrics().resolution_messages()));
   std::printf("everyone clear of all actions: %s\n",
               (!supervisor.in_action() && !robot.in_action() &&
                !press.in_action() && !belt.in_action())

@@ -14,7 +14,9 @@ using action::EnterConfig;
 using action::uniform_handlers;
 
 int main() {
-  World world;
+  WorldConfig wc;
+  wc.observe = true;  // record spans + per-round tables for the report below
+  World world(wc);
 
   // One participating object per node — a genuinely distributed action.
   auto& o1 = world.add_participant("O1");
@@ -34,14 +36,13 @@ int main() {
   // Every participant installs a handler for EVERY declared exception
   // (the paper's completeness requirement, §3.3).
   auto config_for = [&](const char* who) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(decl.tree(), ex::HandlerResult::recovered(200));
-    config.on_handler = [who, &decl](ExceptionId resolved) {
-      std::printf("  %s: handling '%s'\n", who,
-                  decl.tree().name_of(resolved).c_str());
-    };
-    return config;
+    return EnterConfig::with(
+               uniform_handlers(decl.tree(), ex::HandlerResult::recovered(200)))
+        .on_handler([who, &decl](ExceptionId resolved) {
+          std::printf("  %s: handling '%s'\n", who,
+                      decl.tree().name_of(resolved).c_str());
+        })
+        .build();
   };
   o1.enter(a1.instance, config_for("O1"));
   o2.enter(a1.instance, config_for("O2"));
@@ -61,11 +62,18 @@ int main() {
 
   std::printf("\nresolution messages exchanged: %lld "
               "(paper formula (N-1)(2P+1) = %d)\n",
-              static_cast<long long>(world.resolution_messages()),
+              static_cast<long long>(world.metrics().resolution_messages()),
               (3 - 1) * (2 * 2 + 1));
   std::printf("all objects left the action: %s\n",
               (!o1.in_action() && !o2.in_action() && !o3.in_action())
                   ? "yes"
                   : "no");
+
+  // The observability layer saw the whole run: per-round protocol tables
+  // (the §4.4 accounting) and a Chrome-trace timeline of spans.
+  std::printf("\n%s", world.run_report().c_str());
+  if (world.write_chrome_trace("quickstart_trace.json")) {
+    std::printf("\nwrote quickstart_trace.json — open in chrome://tracing\n");
+  }
   return 0;
 }

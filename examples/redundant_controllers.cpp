@@ -43,18 +43,20 @@ int main() {
 
   bool degraded = false;
   for (int i = 0; i < kN; ++i) {
-    EnterConfig config;
-    config.handlers.set(crash, [&, i](ExceptionId) {
+    ex::HandlerTable handlers;
+    handlers.set(crash, [&, i](ExceptionId) {
       std::printf("  ctrl%d: entering degraded mode (load redistributed)\n",
                   i + 1);
       degraded = true;
       return ex::HandlerResult::recovered(300);
     });
-    config.handlers.fill_defaults(decl.tree(), [](ExceptionId) {
+    handlers.fill_defaults(decl.tree(), [](ExceptionId) {
       return ex::HandlerResult::recovered(100);
     });
-    config.crash_exception = crash;
-    config.resolver_committee = 2;  // tolerate loss of the chosen resolver
+    const EnterConfig config =
+        EnterConfig::with(std::move(handlers))
+            .on_peer_crash(crash)
+            .committee(2);  // tolerate loss of the chosen resolver
     if (!controllers[i]->enter(inst.instance, config)) std::abort();
   }
 
@@ -95,8 +97,8 @@ int main() {
   }
   std::printf("survivors that completed the action: %d/3\n", cleared);
   std::printf("resolution messages: %lld (crash suspicion count: %lld)\n",
-              static_cast<long long>(world.resolution_messages()),
+              static_cast<long long>(world.metrics().resolution_messages()),
               static_cast<long long>(
-                  world.counters().get("rt.crash_suspicions")));
+                  world.metrics().value("rt.crash_suspicions")));
   return 0;
 }

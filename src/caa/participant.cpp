@@ -78,6 +78,11 @@ bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
   CAA_CHECK_MSG(config.handlers.is_complete_for(info.decl->tree()),
                 "enter(): participant must have handlers for ALL declared "
                 "exceptions (§3.3)");
+  CAA_CHECK_MSG(config.max_attempts >= 1,
+                "enter(): max_attempts must be >= 1 (the first attempt "
+                "counts)");
+  CAA_CHECK_MSG(config.resolver_committee >= 1,
+                "enter(): resolver committee needs at least one member");
   if (!config.abortion_handler) {
     config.abortion_handler = [] { return ex::AbortResult::none(); };
   }
@@ -100,6 +105,11 @@ bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
 
   dyn.engine = make_engine(dyn, instance);
   trace("enter", info.decl->name());
+  if (obs::Observability* o = observing()) {
+    dyn.action_span =
+        o->tracer().begin(id().value(), "action", info.decl->name(),
+                          "instance " + std::to_string(instance.value()));
+  }
 
   drain_pending(instance);  // §4.2 "process messages having arrived"
 
@@ -267,6 +277,11 @@ void Participant::ack_stale(ObjectId from, net::MsgKind kind,
       kind == net::MsgKind::kNestedCompleted) {
     send(from, net::MsgKind::kAck,
          resolve::encode(resolve::AckMsg{scope, round, id()}));
+    if (obs::Observability* o = observing()) {
+      // The engine of `round` is gone; tabulate its stale ACK here so the
+      // per-round table still accounts for every protocol send.
+      o->metrics().note_protocol_send(scope, round, net::MsgKind::kAck, 1);
+    }
   }
   runtime().simulator().counters().add(kCounterStaleRound);
 }
@@ -387,6 +402,10 @@ resolve::ResolverCore::Hooks Participant::make_hooks(ActionInstanceId scope) {
   hooks.trace_enabled = [this] {
     return attached() && runtime().trace().enabled();
   };
+  if (attached()) {
+    hooks.obs = &runtime().simulator().obs();
+    hooks.obs_track = id().value();
+  }
   return hooks;
 }
 
@@ -410,6 +429,14 @@ void Participant::on_round_finished(ActionInstanceId scope,
   schedule_after(0, [this, scope, resolved, resolved_round] {
     Dyn* d = find_dyn(scope);
     if (d == nullptr || d->aborting) return;  // aborted meanwhile
+    if (d->barrier_span.valid() || d->handler_span.valid()) {
+      // The resolution superseded an acceptance-line wait / running handler.
+      obs::Tracer& tracer = runtime().simulator().obs().tracer();
+      tracer.end_args(d->handler_span, "superseded");
+      tracer.end_args(d->barrier_span, "superseded");
+      d->handler_span = obs::SpanId::invalid();
+      d->barrier_span = obs::SpanId::invalid();
+    }
     d->engine = make_engine(*d, scope);
     d->done_sent = false;  // the handler takes over and completes anew
     drain_future(scope);
@@ -426,6 +453,13 @@ void Participant::invoke_handler(ActionInstanceId scope, ExceptionId resolved,
     Dyn* d = find_dyn(scope);
     CAA_CHECK(d != nullptr);
     const ex::Handler& handler = d->config.handlers.get(resolved);
+    obs::SpanId span = obs::SpanId::invalid();
+    if (obs::Observability* o = observing()) {
+      span = o->tracer().begin(
+          id().value(), "handler",
+          "handle " + d->info->decl->tree().name_of(resolved));
+      d->handler_span = span;
+    }
     const ex::HandlerResult result = handler(resolved);
     handled_.push_back(HandledRecord{scope, resolved_round, resolved, now()});
     trace("handler ran",
@@ -433,7 +467,13 @@ void Participant::invoke_handler(ActionInstanceId scope, ExceptionId resolved,
               (result.outcome == ex::HandlerOutcome::kSignal ? " -> signal"
                                                              : " -> ok"));
     if (d->config.on_handler) d->config.on_handler(resolved);
-    run_guarded(scope, result.duration, [this, scope, result] {
+    run_guarded(scope, result.duration, [this, scope, result, span] {
+      Dyn* inner = find_dyn(scope);
+      if (inner != nullptr && span.valid() && inner->handler_span == span) {
+        // Still ours (a superseding resolution would have closed it).
+        runtime().simulator().obs().tracer().end(span);
+        inner->handler_span = obs::SpanId::invalid();
+      }
       if (result.outcome == ex::HandlerOutcome::kRecovered) {
         complete_internal(scope, true, ExceptionId::invalid());
       } else {
@@ -485,12 +525,25 @@ void Participant::abort_step() {
   trace("abortion handler",
         dyn_.at(ctx.instance).info->decl->name() +
             (result.signal.valid() ? " signalling" : ""));
+  obs::SpanId abort_span = obs::SpanId::invalid();
+  if (obs::Observability* o = observing()) {
+    abort_span = o->tracer().begin(
+        id().value(), "abort",
+        "abort " + dyn_.at(ctx.instance).info->decl->name(),
+        result.signal.valid() ? "signalling" : std::string());
+  }
   schedule_after(result.duration,
-                 [this, instance = ctx.instance, signal = result.signal] {
+                 [this, instance = ctx.instance, signal = result.signal,
+                  abort_span] {
     Dyn* dyn = find_dyn(instance);
     CAA_CHECK(dyn != nullptr);
     if (dyn->config.on_abort) dyn->config.on_abort();
     aborts_.push_back(AbortRecord{instance, signal, now()});
+    if (abort_span.valid()) {
+      obs::Tracer& tracer = runtime().simulator().obs().tracer();
+      tracer.end(abort_span);
+      tracer.end_args(dyn->action_span, "aborted");
+    }
     pop_context(instance, /*dead=*/true);
     if (!abort_chain_.has_value()) return;  // defensive; should not happen
     if (in_action() && contexts_.active().instance == abort_chain_->target) {
@@ -530,6 +583,11 @@ void Participant::complete_internal(ActionInstanceId scope, bool ok,
   dyn->last_done = m;  // kept for re-send on leader re-election
   trace("done", std::string(ok ? "ok" : "acceptance-failed") +
                     (signal.valid() ? " +signal" : ""));
+  if (obs::Observability* o = observing()) {
+    dyn->barrier_span = o->tracer().begin(
+        id().value(), "barrier", "barrier r" + std::to_string(dyn->round),
+        ok ? std::string() : "acceptance failed");
+  }
   const ObjectId leader = live_leader(*dyn);
   if (leader == id()) {
     on_done(m);
@@ -643,6 +701,11 @@ void Participant::apply_leave(const LeaveMsg& m) {
         dyn->config.on_leave(m.outcome, ExceptionId::invalid());
       }
       trace("leave committed", info.decl->name());
+      if (dyn->action_span.valid()) {
+        obs::Tracer& tracer = runtime().simulator().obs().tracer();
+        tracer.end(dyn->barrier_span);
+        tracer.end_args(dyn->action_span, "committed");
+      }
       pop_context(m.scope, /*dead=*/true);
       return;
     }
@@ -650,6 +713,11 @@ void Participant::apply_leave(const LeaveMsg& m) {
       if (leader && dyn->config.on_abort) dyn->config.on_abort();
       if (dyn->config.on_leave) dyn->config.on_leave(m.outcome, m.signal);
       trace("leave signalled", info.decl->name());
+      if (dyn->action_span.valid()) {
+        obs::Tracer& tracer = runtime().simulator().obs().tracer();
+        tracer.end(dyn->barrier_span);
+        tracer.end_args(dyn->action_span, "signalled");
+      }
       const ActionInstanceId parent = info.parent;
       pop_context(m.scope, /*dead=*/true);
       if (!leader) return;
@@ -679,6 +747,15 @@ void Participant::apply_leave(const LeaveMsg& m) {
         dyn->config.on_leave(m.outcome, ExceptionId::invalid());
       }
       trace("restore attempt", std::to_string(m.attempt));
+      if (dyn->barrier_span.valid()) {
+        obs::Tracer& tracer = runtime().simulator().obs().tracer();
+        tracer.end_args(dyn->barrier_span, "restored");
+        dyn->barrier_span = obs::SpanId::invalid();
+      }
+      if (obs::Observability* o = observing()) {
+        o->tracer().instant(id().value(), "action", "restore",
+                            "attempt " + std::to_string(m.attempt));
+      }
       dyn->attempt = m.attempt;
       dyn->done_sent = false;
       dyn->handling = false;
@@ -699,6 +776,17 @@ void Participant::apply_leave(const LeaveMsg& m) {
 
 void Participant::pop_context(ActionInstanceId scope, bool dead) {
   CAA_CHECK(in_action() && contexts_.active().instance == scope);
+  if (Dyn* dyn = find_dyn(scope);
+      dyn != nullptr &&
+      (dyn->action_span.valid() || dyn->barrier_span.valid() ||
+       dyn->handler_span.valid())) {
+    // Close LIFO (handler/barrier nest inside the action span). The engine's
+    // round span, if still open, closes in ~ResolverCore at dyn_.erase.
+    obs::Tracer& tracer = runtime().simulator().obs().tracer();
+    tracer.end(dyn->handler_span);
+    tracer.end(dyn->barrier_span);
+    tracer.end(dyn->action_span);
+  }
   contexts_.pop();
   dyn_.erase(scope);
   if (dead) dead_.insert(scope);
@@ -800,6 +888,12 @@ void Participant::trace(std::string_view event, std::string detail) {
   sim::TraceLog& log = runtime().trace();
   if (!log.enabled()) return;
   log.record(now(), "resolve", std::string(event), name(), std::move(detail));
+}
+
+obs::Observability* Participant::observing() const {
+  if (!attached()) return nullptr;
+  obs::Observability& o = runtime().simulator().obs();
+  return o.enabled() ? &o : nullptr;
 }
 
 }  // namespace caa::action

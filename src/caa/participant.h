@@ -90,7 +90,91 @@ struct EnterConfig {
   /// participant is still working — turning peer failure into forward
   /// recovery among the survivors.
   ExceptionId crash_exception;
+
+  class Builder;
+  /// Starts a fluent build from the mandatory handler table:
+  ///   EnterConfig::with(handlers).body(...).acceptance(...).retries(3, f)
+  /// The result converts to EnterConfig wherever one is expected; invalid
+  /// combinations are rejected by enter()'s validation.
+  static Builder with(ex::HandlerTable handlers);
 };
+
+/// Chainable constructor for EnterConfig. Every method sets one field and
+/// returns the builder, so entry configuration reads as one expression
+/// instead of a 12-field aggregate fill.
+class EnterConfig::Builder {
+ public:
+  explicit Builder(ex::HandlerTable handlers) {
+    config_.handlers = std::move(handlers);
+  }
+
+  Builder& abortion(ex::AbortionHandler handler) {
+    config_.abortion_handler = std::move(handler);
+    return *this;
+  }
+  Builder& body(std::function<void(std::uint32_t attempt)> fn) {
+    config_.body = std::move(fn);
+    return *this;
+  }
+  Builder& acceptance(std::function<bool()> test) {
+    config_.acceptance = std::move(test);
+    return *this;
+  }
+  Builder& checkpoints(std::function<void()> save,
+                       std::function<void()> restore) {
+    config_.save_checkpoint = std::move(save);
+    config_.restore_checkpoint = std::move(restore);
+    return *this;
+  }
+  /// Backward recovery: `attempts` tries in total (>= 1); when exhausted,
+  /// `failure_signal` (if valid) is signalled to the containing action.
+  Builder& retries(std::uint32_t attempts,
+                   ExceptionId failure_signal = ExceptionId::invalid()) {
+    config_.max_attempts = attempts;
+    config_.failure_signal = failure_signal;
+    return *this;
+  }
+  Builder& handler_delay(sim::Time delay) {
+    config_.handler_dispatch_delay = delay;
+    return *this;
+  }
+  Builder& on_handler(std::function<void(ExceptionId)> fn) {
+    config_.on_handler = std::move(fn);
+    return *this;
+  }
+  Builder& on_leave(std::function<void(LeaveOutcome, ExceptionId)> fn) {
+    config_.on_leave = std::move(fn);
+    return *this;
+  }
+  Builder& on_commit(std::function<void()> fn) {
+    config_.on_commit = std::move(fn);
+    return *this;
+  }
+  Builder& on_abort(std::function<void()> fn) {
+    config_.on_abort = std::move(fn);
+    return *this;
+  }
+  Builder& committee(std::uint32_t resolvers) {
+    config_.resolver_committee = resolvers;
+    return *this;
+  }
+  Builder& on_peer_crash(ExceptionId exception) {
+    config_.crash_exception = exception;
+    return *this;
+  }
+
+  [[nodiscard]] EnterConfig build() const& { return config_; }
+  [[nodiscard]] EnterConfig build() && { return std::move(config_); }
+  operator EnterConfig() const& { return config_; }        // NOLINT
+  operator EnterConfig() && { return std::move(config_); }  // NOLINT
+
+ private:
+  EnterConfig config_;
+};
+
+inline EnterConfig::Builder EnterConfig::with(ex::HandlerTable handlers) {
+  return Builder(std::move(handlers));
+}
 
 /// Builds a handler table with `result` for every exception in `tree`.
 ex::HandlerTable uniform_handlers(const ex::ExceptionTree& tree,
@@ -198,6 +282,12 @@ class Participant : public rt::ManagedObject {
                              // completes the action
     std::set<ObjectId> excluded;       // crashed members (extension)
     std::optional<DoneMsg> last_done;  // re-sent on leader re-election
+    // Structured-trace spans (valid only while observability is enabled):
+    // the action's lifetime at this participant, the acceptance-line wait,
+    // and the currently running resolved handler.
+    obs::SpanId action_span = obs::SpanId::invalid();
+    obs::SpanId barrier_span = obs::SpanId::invalid();
+    obs::SpanId handler_span = obs::SpanId::invalid();
     std::vector<RawMsg> future;  // messages for rounds we have not reached
     // Leader-only exit barrier: round -> sender -> Done.
     std::map<std::uint32_t, std::map<ObjectId, DoneMsg>> barrier;
@@ -251,6 +341,9 @@ class Participant : public rt::ManagedObject {
   void run_guarded(ActionInstanceId scope, sim::Time delay,
                    std::function<void()> fn);
   void trace(std::string_view event, std::string detail = {});
+  /// The observability hub when attached AND enabled, else nullptr — the
+  /// one branch every instrumentation site pays.
+  [[nodiscard]] obs::Observability* observing() const;
 
   ActionManager& manager_;
   ex::ContextStack contexts_;

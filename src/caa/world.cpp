@@ -1,5 +1,7 @@
 #include "caa/world.h"
 
+#include "obs/chrome_trace.h"
+#include "obs/report.h"
 #include "util/check.h"
 
 namespace caa {
@@ -10,6 +12,7 @@ World::World(WorldConfig config)
       actions_(groups_) {
   network_.set_default_link(config_.link);
   trace_.enable(config_.trace);
+  simulator_.obs().set_enabled(config_.observe);
   CAA_CHECK_MSG(config_.link.drop_probability == 0.0 ||
                     config_.reliable_transport,
                 "lossy links require the reliable transport");
@@ -52,12 +55,20 @@ action::Participant& World::add_participant(const std::string& name,
         failures_.push_back(Failure{instance, signal});
       });
   participants_.push_back(std::move(participant));
+  if (simulator_.obs().enabled()) {
+    simulator_.obs().tracer().set_track_name(
+        participants_.back()->id().value(), name);
+  }
   return *participants_.back();
 }
 
 ObjectId World::attach(rt::ManagedObject& object, std::string name,
                        NodeId node) {
-  return runtime(node).attach(object, std::move(name));
+  const ObjectId oid = runtime(node).attach(object, name);
+  if (simulator_.obs().enabled()) {
+    simulator_.obs().tracer().set_track_name(oid.value(), std::move(name));
+  }
+  return oid;
 }
 
 void World::at(sim::Time t, std::function<void()> fn) {
@@ -68,16 +79,21 @@ std::size_t World::run(std::size_t max_events) {
   return simulator_.run_to_quiescence(max_events);
 }
 
-std::int64_t World::messages_of(net::MsgKind kind) const {
-  return simulator_.counters().get(net::kind_counters(kind).sent);
+std::string World::chrome_trace() const {
+  return obs::chrome_trace_json(simulator_.obs().tracer());
 }
 
-std::int64_t World::resolution_messages() const {
-  return messages_of(net::MsgKind::kException) +
-         messages_of(net::MsgKind::kHaveNested) +
-         messages_of(net::MsgKind::kNestedCompleted) +
-         messages_of(net::MsgKind::kAck) +
-         messages_of(net::MsgKind::kCommit);
+bool World::write_chrome_trace(const std::string& path) const {
+  return obs::write_chrome_trace(simulator_.obs().tracer(), path);
+}
+
+std::string World::run_report() const {
+  return obs::run_report(
+      metrics(), [this](ActionInstanceId instance) -> std::string {
+        if (!actions_.known(instance)) return {};
+        return actions_.info(instance).decl->name() + " #" +
+               std::to_string(instance.value());
+      });
 }
 
 }  // namespace caa

@@ -36,8 +36,12 @@ struct WorldConfig {
   /// Required when `link` has non-zero loss.
   bool reliable_transport = false;
   net::ReliableTransport::Options reliable;
-  /// Record protocol traces (tests assert on them).
+  /// Record flat protocol narratives in trace() (tests assert on them).
   bool trace = false;
+  /// Enable structured observability: spans (action / round / abort /
+  /// barrier / txn), per-round protocol tallies, histograms. Off by
+  /// default — disabled runs record nothing and pay one branch per site.
+  bool observe = false;
 };
 
 class World {
@@ -53,7 +57,37 @@ class World {
   [[nodiscard]] net::GroupDirectory& groups() { return groups_; }
   [[nodiscard]] action::ActionManager& actions() { return actions_; }
   [[nodiscard]] sim::TraceLog& trace() { return trace_; }
-  [[nodiscard]] Counters& counters() { return simulator_.counters(); }
+
+  // ---- Observability / accounting -------------------------------------
+  // One facade for everything measured: message tallies by kind, typed
+  // counters, histograms, per-action per-round protocol tables (§4.4),
+  // structured spans, and the exporters over them.
+
+  [[nodiscard]] obs::Metrics& metrics() { return simulator_.obs().metrics(); }
+  [[nodiscard]] const obs::Metrics& metrics() const {
+    return simulator_.obs().metrics();
+  }
+  [[nodiscard]] obs::Observability& observability() {
+    return simulator_.obs();
+  }
+  [[nodiscard]] obs::Tracer& tracer() { return simulator_.obs().tracer(); }
+
+  /// Chrome trace-event JSON of every span/instant recorded so far; load in
+  /// chrome://tracing or Perfetto. Deterministic for a given seed.
+  [[nodiscard]] std::string chrome_trace() const;
+  /// Writes chrome_trace() to `path`. Returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Plain-text per-action, per-round protocol message report (the §4.4
+  /// tables for this run), with action names resolved.
+  [[nodiscard]] std::string run_report() const;
+
+  // ---- Deprecated accounting shims (one PR; use metrics()) ------------
+
+  [[deprecated("use metrics().counters()")]] [[nodiscard]] Counters&
+  counters() {
+    return simulator_.counters();
+  }
 
   /// Creates a fresh node (own address space) with its runtime.
   NodeId add_node();
@@ -74,15 +108,17 @@ class World {
   /// Runs the simulation to quiescence; returns events fired.
   std::size_t run(std::size_t max_events = 50'000'000);
 
-  // ---- Accounting (reproduces §4.4) ----------------------------------
+  /// Messages sent with `kind` since construction.
+  [[deprecated("use metrics().sent(kind)")]] [[nodiscard]] std::int64_t
+  messages_of(net::MsgKind kind) const {
+    return metrics().sent(kind);
+  }
 
-  /// Messages sent with `kind` since construction (or last counter reset).
-  [[nodiscard]] std::int64_t messages_of(net::MsgKind kind) const;
-
-  /// Total resolution-protocol messages: Exception + HaveNested +
-  /// NestedCompleted + ACK + Commit. This is exactly the quantity of the
-  /// paper's §4.4 analysis.
-  [[nodiscard]] std::int64_t resolution_messages() const;
+  /// Total resolution-protocol messages (the §4.4 quantity).
+  [[deprecated("use metrics().resolution_messages()")]] [[nodiscard]]
+  std::int64_t resolution_messages() const {
+    return metrics().resolution_messages();
+  }
 
   // ---- Failure reporting ----------------------------------------------
 

@@ -13,7 +13,10 @@ CounterId bytes_sent_id() {
 }  // namespace
 
 Network::Network(sim::Simulator& simulator, std::uint64_t seed)
-    : simulator_(simulator), seed_(seed) {}
+    : simulator_(simulator),
+      seed_(seed),
+      delay_hist_(simulator.obs().metrics().histogram("net.delivery_delay")),
+      bytes_hist_(simulator.obs().metrics().histogram("net.packet_bytes")) {}
 
 Network::NodeState* Network::node_state(NodeId node) {
   if (!node.valid() || node.value() >= nodes_.size()) return nullptr;
@@ -124,6 +127,13 @@ void Network::send(Packet packet) {
   const bool duplicate = ch.rng.chance(ch.params.duplicate_probability);
   const sim::Time at = ch.sample_delivery_time(simulator_.now(),
                                                packet.size_on_wire());
+  if (obs::Observability& o = simulator_.obs(); o.enabled()) {
+    // The channel knows the delivery time at send; sampling here avoids
+    // carrying a send timestamp in every in-flight packet.
+    o.metrics().record(delay_hist_, at - simulator_.now());
+    o.metrics().record(bytes_hist_,
+                       static_cast<std::int64_t>(packet.size_on_wire()));
+  }
   if (duplicate) {
     count(kc.duplicated);
     Packet copy = packet;

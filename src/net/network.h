@@ -71,6 +71,9 @@ class Network {
 
   sim::Simulator& simulator_;
   std::uint64_t seed_;
+  // Interned once at construction; recorded only while observability is on.
+  obs::HistogramId delay_hist_;
+  obs::HistogramId bytes_hist_;
   LinkParams default_params_ = LinkParams::lan();
   // Direct-indexed by node id (Worlds assign dense sequential ids); every
   // packet probes src and dst state, so this was three hash lookups per

@@ -1,0 +1,116 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace caa::obs {
+namespace {
+
+void append_escaped(std::ostringstream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void field(std::ostringstream& out, const char* key, std::string_view value) {
+  out << "\"" << key << "\":\"";
+  append_escaped(out, value);
+  out << "\"";
+}
+
+void maybe_args(std::ostringstream& out, std::string_view args) {
+  if (args.empty()) return;
+  out << ",\"args\":{";
+  field(out, "detail", args);
+  out << "}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  for (const auto& [track, name] : tracer.track_names()) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << track
+        << ",\"name\":\"thread_name\",\"args\":{";
+    field(out, "name", name);
+    out << "}}";
+  }
+
+  const sim::Time horizon = tracer.last_time();
+  std::size_t index = 0;
+  for (const auto& span : tracer.spans()) {
+    const sim::Time end = span.end >= 0 ? span.end : horizon;
+    sep();
+    if (span.async) {
+      // b/e pair: async spans need not nest within the track's sync stack.
+      out << "{\"ph\":\"b\",\"pid\":1,\"tid\":" << span.track
+          << ",\"id\":" << index << ",\"ts\":" << span.begin << ",";
+      field(out, "cat", span.category);
+      out << ",";
+      field(out, "name", span.name);
+      maybe_args(out, span.args);
+      out << "},\n{\"ph\":\"e\",\"pid\":1,\"tid\":" << span.track
+          << ",\"id\":" << index << ",\"ts\":" << end << ",";
+      field(out, "cat", span.category);
+      out << ",";
+      field(out, "name", span.name);
+      out << "}";
+    } else {
+      out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << span.track
+          << ",\"ts\":" << span.begin << ",\"dur\":" << end - span.begin
+          << ",";
+      field(out, "cat", span.category);
+      out << ",";
+      field(out, "name", span.name);
+      maybe_args(out, span.args);
+      out << "}";
+    }
+    ++index;
+  }
+
+  for (const auto& instant : tracer.instants()) {
+    sep();
+    out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << instant.track
+        << ",\"ts\":" << instant.at << ",\"s\":\"t\",";
+    field(out, "cat", instant.category);
+    out << ",";
+    field(out, "name", instant.name);
+    maybe_args(out, instant.args);
+    out << "}";
+  }
+
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out.str();
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json(tracer);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace caa::obs

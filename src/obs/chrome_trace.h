@@ -1,0 +1,28 @@
+// Chrome trace-event JSON export of a Tracer log.
+//
+// The output loads directly in chrome://tracing and Perfetto: one process
+// (pid 1), one "thread" per track (participant object), named via "M"
+// thread_name metadata records. Sync spans become "X" complete events with
+// virtual-microsecond ts/dur; async spans (transactions) become "b"/"e"
+// pairs keyed by span index; instants become "i" events.
+//
+// The export is deterministic: records are emitted in creation order (begin
+// times are monotone under the simulator's clock), no wall-clock times or
+// pointers appear, and spans still open at export time are clamped to the
+// last virtual time the tracer saw — so the same seed yields a byte-stable
+// file (the golden-trace test pins this).
+#pragma once
+
+#include <string>
+
+#include "obs/tracer.h"
+
+namespace caa::obs {
+
+/// Renders the tracer's records as a Chrome trace-event JSON document.
+[[nodiscard]] std::string chrome_trace_json(const Tracer& tracer);
+
+/// Writes chrome_trace_json() to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace caa::obs

@@ -1,0 +1,55 @@
+// The observability hub: one Tracer + one Metrics per simulated world.
+//
+// Owned by sim::Simulator so every layer that can reach the simulator
+// (Network, Runtime → Participant, TxnClient) reaches observability the
+// same way, without new plumbing through constructors.
+//
+// Cost contract (the reason this type exists): all span/instant/table
+// recording in hot paths is guarded by `if (obs.enabled())` — an inlined
+// load of one bool. Compiling with -DCAA_OBS_DISABLED turns enabled() into
+// `constexpr false`, letting the optimizer delete every instrumentation
+// site outright. Counter increments are NOT guarded: they define the
+// behaviour checksum and must be identical whether observability is on or
+// off (the zero-drift test pins this).
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace caa::obs {
+
+class Observability {
+ public:
+  /// True when structured tracing / per-round tabulation should record.
+  [[nodiscard]] bool enabled() const {
+#ifdef CAA_OBS_DISABLED
+    return false;
+#else
+    return enabled_;
+#endif
+  }
+
+  void set_enabled([[maybe_unused]] bool on) {
+#ifndef CAA_OBS_DISABLED
+    enabled_ = on;
+#endif
+    tracer_.set_enabled(enabled());
+  }
+
+  /// Points the tracer at the simulator's virtual clock storage.
+  void bind_clock(const sim::Time* now) { tracer_.bind_clock(now); }
+
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+ private:
+#ifndef CAA_OBS_DISABLED
+  bool enabled_ = false;
+#endif
+  Tracer tracer_;
+  Metrics metrics_;
+};
+
+}  // namespace caa::obs

@@ -1,0 +1,68 @@
+#include "obs/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace caa::obs {
+namespace {
+
+void row(std::ostringstream& out, std::string_view label, std::int64_t exc,
+         std::int64_t have, std::int64_t done, std::int64_t ack,
+         std::int64_t commit) {
+  out << "  " << std::left << std::setw(10) << label << std::right
+      << std::setw(10) << exc << std::setw(12) << have << std::setw(17)
+      << done << std::setw(6) << ack << std::setw(8) << commit
+      << std::setw(8) << exc + have + done + ack + commit << "\n";
+}
+
+}  // namespace
+
+std::string run_report(const Metrics& metrics,
+                       const ActionNameFn& action_name) {
+  std::ostringstream out;
+  out << "=== run report ===\n";
+  out << "resolution messages sent: " << metrics.resolution_messages()
+      << " (exception=" << metrics.sent(net::MsgKind::kException)
+      << " have_nested=" << metrics.sent(net::MsgKind::kHaveNested)
+      << " nested_completed=" << metrics.sent(net::MsgKind::kNestedCompleted)
+      << " ack=" << metrics.sent(net::MsgKind::kAck)
+      << " commit=" << metrics.sent(net::MsgKind::kCommit) << ")\n";
+
+  for (const ActionInstanceId scope : metrics.observed_actions()) {
+    const auto* rounds = metrics.rounds_of(scope);
+    if (rounds == nullptr || rounds->empty()) continue;
+    std::string name;
+    if (action_name) name = action_name(scope);
+    if (name.empty()) name = "instance " + std::to_string(scope.value());
+    out << "\naction " << name << ":\n";
+    out << "  " << std::left << std::setw(10) << "round" << std::right
+        << std::setw(10) << "Exception" << std::setw(12) << "HaveNested"
+        << std::setw(17) << "NestedCompleted" << std::setw(6) << "ACK"
+        << std::setw(8) << "Commit" << std::setw(8) << "total" << "\n";
+    RoundCounts sum;
+    for (std::size_t r = 0; r < rounds->size(); ++r) {
+      const RoundCounts& rc = (*rounds)[r];
+      if (rc.total() == 0) continue;
+      row(out, "r" + std::to_string(r), rc.exception, rc.have_nested,
+          rc.nested_completed, rc.ack, rc.commit);
+      sum.exception += rc.exception;
+      sum.have_nested += rc.have_nested;
+      sum.nested_completed += rc.nested_completed;
+      sum.ack += rc.ack;
+      sum.commit += rc.commit;
+    }
+    row(out, "total", sum.exception, sum.have_nested, sum.nested_completed,
+        sum.ack, sum.commit);
+  }
+
+  if (!metrics.histogram_names().empty()) {
+    out << "\nhistograms:\n";
+    for (const auto& [name, id] : metrics.histogram_names()) {
+      out << "  " << name << ": " << metrics.histogram_data(id).to_string()
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace caa::obs

@@ -1,0 +1,28 @@
+// Plain-text run report: the §4.4 message-count tables, per run.
+//
+// The paper evaluates the resolution protocol by the number of messages each
+// scenario costs — `(N-1)(2P+1)` for a flat action with P simultaneous
+// raisers, `(N-1)(2P+3Q+1)` with Q nested singleton actions. The run report
+// renders what an *actual* run sent, tabulated per action instance and per
+// resolution round by protocol message kind, so a scenario can be checked
+// against its closed form (and the obs_report_test does exactly that).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace caa::obs {
+
+/// Maps an action instance to a display name; return "" to fall back to the
+/// numeric id. World wires this to its ActionManager.
+using ActionNameFn = std::function<std::string(ActionInstanceId)>;
+
+/// Renders per-action, per-round protocol message counts plus kind totals
+/// and any recorded histograms. Empty-ish when observability was disabled
+/// (the per-round tables only fill while enabled).
+[[nodiscard]] std::string run_report(const Metrics& metrics,
+                                     const ActionNameFn& action_name = {});
+
+}  // namespace caa::obs

@@ -1,0 +1,72 @@
+#include "obs/tracer.h"
+
+namespace caa::obs {
+
+void Tracer::set_track_name(TrackId track, std::string name) {
+  track_names_.emplace(track, std::move(name));
+}
+
+SpanId Tracer::begin_impl(TrackId track, bool async, std::string_view category,
+                          std::string name, std::string args) {
+  if (!enabled_) return SpanId::invalid();
+  Span span;
+  span.begin = now();
+  span.track = track;
+  span.async = async;
+  span.category = std::string(category);
+  span.name = std::move(name);
+  span.args = std::move(args);
+  last_time_ = std::max(last_time_, span.begin);
+  spans_.push_back(std::move(span));
+  return SpanId(static_cast<SpanId::rep_type>(spans_.size() - 1));
+}
+
+SpanId Tracer::begin(TrackId track, std::string_view category,
+                     std::string name, std::string args) {
+  return begin_impl(track, /*async=*/false, category, std::move(name),
+                    std::move(args));
+}
+
+SpanId Tracer::begin_async(TrackId track, std::string_view category,
+                           std::string name, std::string args) {
+  return begin_impl(track, /*async=*/true, category, std::move(name),
+                    std::move(args));
+}
+
+void Tracer::end(SpanId id) {
+  if (!id.valid() || id.value() >= spans_.size()) return;
+  Span& span = spans_[id.value()];
+  if (span.end >= 0) return;  // already closed (e.g. superseded barrier)
+  span.end = now();
+  last_time_ = std::max(last_time_, span.end);
+}
+
+void Tracer::end_args(SpanId id, std::string args) {
+  if (!id.valid() || id.value() >= spans_.size()) return;
+  Span& span = spans_[id.value()];
+  if (span.end >= 0) return;
+  span.args = std::move(args);
+  span.end = now();
+  last_time_ = std::max(last_time_, span.end);
+}
+
+void Tracer::instant(TrackId track, std::string_view category,
+                     std::string name, std::string args) {
+  if (!enabled_) return;
+  Instant i;
+  i.at = now();
+  i.track = track;
+  i.category = std::string(category);
+  i.name = std::move(name);
+  i.args = std::move(args);
+  last_time_ = std::max(last_time_, i.at);
+  instants_.push_back(std::move(i));
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  instants_.clear();
+  last_time_ = clock_ ? *clock_ : 0;
+}
+
+}  // namespace caa::obs

@@ -41,6 +41,12 @@ ResolverCore::ResolverCore(ObjectId self, std::vector<ObjectId> members,
       members_.back().value() - members_.front().value() == members_.size() - 1;
 }
 
+ResolverCore::~ResolverCore() {
+  if (round_span_.valid() && hooks_.obs != nullptr) {
+    hooks_.obs->tracer().end_args(round_span_, "superseded");
+  }
+}
+
 std::size_t ResolverCore::member_rank(ObjectId member) const {
   // Scenario builders hand out consecutive object ids, so the common case is
   // a contiguous sorted group where rank is a subtraction.
@@ -66,6 +72,22 @@ void ResolverCore::trace(std::string_view event, std::string detail) {
   if (tracing()) hooks_.trace(event, std::move(detail));
 }
 
+void ResolverCore::note_send(net::MsgKind kind, std::int64_t n) {
+  if (hooks_.obs != nullptr && hooks_.obs->enabled()) {
+    hooks_.obs->metrics().note_protocol_send(scope_, round_, kind, n);
+  }
+}
+
+void ResolverCore::begin_round_span() {
+  if (hooks_.obs != nullptr && hooks_.obs->enabled() &&
+      !round_span_.valid()) {
+    // Async: an outer action's round outlives nested action spans on this
+    // track when the round aborts them (Figure 4), so it cannot stack-nest.
+    round_span_ = hooks_.obs->tracer().begin_async(
+        hooks_.obs_track, "round", "round " + std::to_string(round_));
+  }
+}
+
 void ResolverCore::raise(ExceptionId exception, std::string message) {
   CAA_CHECK_MSG(state_ == State::kNormal,
                 "raise() allowed only in the Normal state (one exception per "
@@ -73,11 +95,14 @@ void ResolverCore::raise(ExceptionId exception, std::string message) {
   CAA_CHECK_MSG(tree_->contains(exception),
                 "raise(): exception not declared in the action's tree");
   state_ = State::kExceptional;
+  begin_round_span();
   record_exception(exception, self_, std::move(message));
   awaiting_acks_ = true;
   trace("raise", tree_->name_of(exception));
   hooks_.multicast(net::MsgKind::kException,
                    encode(ExceptionMsg{scope_, round_, self_, exception}));
+  note_send(net::MsgKind::kException,
+            static_cast<std::int64_t>(members_.size() - 1));
   maybe_ready();  // degenerate single-member group resolves immediately
 }
 
@@ -92,9 +117,12 @@ void ResolverCore::on_trigger_while_nested(
   CAA_CHECK_MSG(state_ == State::kNormal,
                 "nested trigger in a non-Normal outer context");
   state_ = State::kAborting;
+  begin_round_span();
   trace("state N->aborting");
   hooks_.multicast(net::MsgKind::kHaveNested,
                    encode(HaveNestedMsg{scope_, round_, self_}));
+  note_send(net::MsgKind::kHaveNested,
+            static_cast<std::int64_t>(members_.size() - 1));
   std::visit([this](const auto& m) { queued_.push_back(m); }, trigger);
   hooks_.abort_nested([this](ExceptionId signalled) {
     abort_finished(signalled);
@@ -117,6 +145,8 @@ void ResolverCore::abort_finished(ExceptionId signalled) {
   hooks_.multicast(
       net::MsgKind::kNestedCompleted,
       encode(NestedCompletedMsg{scope_, round_, self_, signalled}));
+  note_send(net::MsgKind::kNestedCompleted,
+            static_cast<std::int64_t>(members_.size() - 1));
   if (signalled.valid()) {
     state_ = State::kExceptional;
     record_exception(signalled, self_, "signalled by abortion handler");
@@ -262,11 +292,13 @@ void ResolverCore::record_exception(ExceptionId exception, ObjectId raiser,
 
 void ResolverCore::send_ack(ObjectId to) {
   hooks_.send(to, net::MsgKind::kAck, encode(AckMsg{scope_, round_, self_}));
+  note_send(net::MsgKind::kAck, 1);
 }
 
 void ResolverCore::suspend_if_normal() {
   if (state_ == State::kNormal) {
     state_ = State::kSuspended;
+    begin_round_span();
     trace("state N->S");
   }
 }
@@ -313,6 +345,8 @@ void ResolverCore::raise_from_suspended(ExceptionId exception) {
   trace("raise (promoted from S)", tree_->name_of(exception));
   hooks_.multicast(net::MsgKind::kException,
                    encode(ExceptionMsg{scope_, round_, self_, exception}));
+  note_send(net::MsgKind::kException,
+            static_cast<std::int64_t>(members_.size() - 1));
   maybe_ready();
 }
 
@@ -354,6 +388,8 @@ void ResolverCore::maybe_ready() {
     trace("resolving as chosen object", tree_->name_of(resolved));
     hooks_.multicast(net::MsgKind::kCommit,
                      encode(CommitMsg{scope_, round_, self_, resolved}));
+    note_send(net::MsgKind::kCommit,
+              static_cast<std::int64_t>(members_.size() - 1));
     finish(CommitMsg{scope_, round_, self_, resolved});
   }
 }
@@ -364,6 +400,11 @@ void ResolverCore::finish(const CommitMsg& m) {
                 "commit delivered to a Normal object");
   state_ = State::kHandling;
   resolved_ = m.resolved;
+  if (round_span_.valid()) {
+    hooks_.obs->tracer().end_args(round_span_,
+                                  "resolved " + tree_->name_of(m.resolved));
+    round_span_ = obs::SpanId::invalid();
+  }
   if (tracing()) {
     trace("commit", tree_->name_of(m.resolved) + " from O" +
                         std::to_string(m.resolver.value()));

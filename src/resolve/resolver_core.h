@@ -36,6 +36,7 @@
 
 #include "ex/exception.h"
 #include "ex/exception_tree.h"
+#include "obs/obs.h"
 #include "resolve/messages.h"
 
 namespace caa::resolve {
@@ -74,6 +75,13 @@ class ResolverCore {
     /// paths, so an installed-but-disabled trace sink costs nothing. When
     /// unset, an installed `trace` callback counts as enabled.
     std::function<bool()> trace_enabled;
+    /// Optional observability hub. When set and enabled, the engine opens a
+    /// span per resolution round on `obs_track` and tabulates its protocol
+    /// sends per (scope, round, kind) for the §4.4 run report. Guarded by
+    /// obs->enabled() at every use — null or disabled costs one branch.
+    obs::Observability* obs = nullptr;
+    /// Tracer track the round spans land on (the owner's object id).
+    obs::TrackId obs_track = 0;
   };
 
   /// `members` must be the sorted participant list of the action (G_A),
@@ -90,6 +98,10 @@ class ResolverCore {
   ResolverCore(ObjectId self, std::vector<ObjectId> members,
                const ex::ExceptionTree* tree, ActionInstanceId scope,
                std::uint32_t round, Hooks hooks, std::uint32_t committee = 1);
+
+  /// Closes this round's span if the engine dies mid-resolution (the round
+  /// was superseded by an outer resolution aborting the whole context).
+  ~ResolverCore();
 
   /// Crash-tolerance extension (fail-stop model): marks a group member as
   /// crashed. The member no longer counts towards ACK completeness, its
@@ -158,6 +170,10 @@ class ResolverCore {
   void record_exception(ExceptionId exception, ObjectId raiser,
                         std::string message = {});
   void send_ack(ObjectId to);
+  /// Tabulates `n` protocol messages just sent (no-op unless observing).
+  void note_send(net::MsgKind kind, std::int64_t n);
+  /// Opens the round span on first departure from Normal (idempotent).
+  void begin_round_span();
   void suspend_if_normal();
   void maybe_ready();
   void finish(const CommitMsg& m);
@@ -201,6 +217,7 @@ class ResolverCore {
   std::optional<CommitMsg> pending_commit_;
   std::vector<AnyMsg> queued_;  // messages deferred while kAborting
   ExceptionId resolved_;
+  obs::SpanId round_span_ = obs::SpanId::invalid();
 };
 
 [[nodiscard]] std::string_view to_string(ResolverCore::State state);

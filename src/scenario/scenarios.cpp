@@ -12,12 +12,13 @@ RunStats collect_stats(World& world,
                        const std::vector<Participant*>& objects,
                        sim::Time raise_at) {
   RunStats stats;
-  stats.exceptions = world.messages_of(net::MsgKind::kException);
-  stats.have_nested = world.messages_of(net::MsgKind::kHaveNested);
-  stats.nested_completed = world.messages_of(net::MsgKind::kNestedCompleted);
-  stats.acks = world.messages_of(net::MsgKind::kAck);
-  stats.commits = world.messages_of(net::MsgKind::kCommit);
-  stats.messages = world.resolution_messages();
+  const obs::Metrics& metrics = world.metrics();
+  stats.exceptions = metrics.sent(net::MsgKind::kException);
+  stats.have_nested = metrics.sent(net::MsgKind::kHaveNested);
+  stats.nested_completed = metrics.sent(net::MsgKind::kNestedCompleted);
+  stats.acks = metrics.sent(net::MsgKind::kAck);
+  stats.commits = metrics.sent(net::MsgKind::kCommit);
+  stats.messages = metrics.resolution_messages();
   stats.all_handled = true;
   sim::Time last = raise_at;
   for (const Participant* o : objects) {
@@ -47,30 +48,30 @@ FlatScenario::FlatScenario(FlatOptions options)
       "A", ex::shapes::star(static_cast<std::size_t>(n)));
   instance_ = &world_.actions().create_instance(*decl_, ids);
   for (auto* o : objects_) {
-    EnterConfig config;
-    config.handlers = uniform_handlers(
-        decl_->tree(),
-        ex::HandlerResult::recovered(options_.handler_duration));
-    config.resolver_committee = options_.committee;
     const sim::Time abort_duration = options_.abort_duration;
-    config.abortion_handler = [abort_duration] {
-      return ex::AbortResult::none(abort_duration);
-    };
-    CAA_CHECK(o->enter(instance_->instance, config));
+    CAA_CHECK(o->enter(
+        instance_->instance,
+        EnterConfig::with(uniform_handlers(decl_->tree(),
+                                           ex::HandlerResult::recovered(
+                                               options_.handler_duration)))
+            .committee(options_.committee)
+            .abortion([abort_duration] {
+              return ex::AbortResult::none(abort_duration);
+            })));
   }
   for (int i = n - options_.nested; i < n; ++i) {
     const auto& nd = world_.actions().declare("N" + std::to_string(i),
                                               ex::shapes::star(1));
     const auto& ni = world_.actions().create_instance(
         nd, {objects_[i]->id()}, instance_->instance);
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(nd.tree(), ex::HandlerResult::recovered());
     const sim::Time abort_duration = options_.abort_duration;
-    config.abortion_handler = [abort_duration] {
-      return ex::AbortResult::none(abort_duration);
-    };
-    CAA_CHECK(objects_[i]->enter(ni.instance, config));
+    CAA_CHECK(objects_[i]->enter(
+        ni.instance,
+        EnterConfig::with(
+            uniform_handlers(nd.tree(), ex::HandlerResult::recovered()))
+            .abortion([abort_duration] {
+              return ex::AbortResult::none(abort_duration);
+            })));
   }
   world_.at(options_.raise_at, [this] {
     for (int i = 0; i < options_.raisers; ++i) {
@@ -99,10 +100,10 @@ NestedChainScenario::NestedChainScenario(NestedChainOptions options)
       world_.actions().declare("A0", ex::shapes::star(1));
   const auto& outer = world_.actions().create_instance(outer_decl, ids);
   for (auto* o : objects_) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(outer_decl.tree(), ex::HandlerResult::recovered());
-    CAA_CHECK(o->enter(outer.instance, config));
+    CAA_CHECK(o->enter(outer.instance,
+                       EnterConfig::with(uniform_handlers(
+                           outer_decl.tree(),
+                           ex::HandlerResult::recovered()))));
   }
   const action::InstanceInfo* parent = &outer;
   std::vector<ObjectId> nested_ids(ids.begin() + 1, ids.end());
@@ -112,14 +113,14 @@ NestedChainScenario::NestedChainScenario(NestedChainOptions options)
     const auto& inst =
         world_.actions().create_instance(decl, nested_ids, parent->instance);
     for (int i = 1; i < n; ++i) {
-      EnterConfig config;
-      config.handlers =
-          uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
       const sim::Time abort_duration = options_.abort_duration;
-      config.abortion_handler = [abort_duration] {
-        return ex::AbortResult::none(abort_duration);
-      };
-      CAA_CHECK(objects_[i]->enter(inst.instance, config));
+      CAA_CHECK(objects_[i]->enter(
+          inst.instance,
+          EnterConfig::with(
+              uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))
+              .abortion([abort_duration] {
+                return ex::AbortResult::none(abort_duration);
+              })));
     }
     parent = &inst;
   }
@@ -160,17 +161,19 @@ Figure4Scenario::Figure4Scenario(Figure4Options options)
       d3, {objects_[1]->id(), objects_[2]->id()}, a2_->instance);
 
   auto plain = [&](const action::ActionDecl& d) {
-    EnterConfig c;
-    c.handlers = uniform_handlers(d.tree(), ex::HandlerResult::recovered());
-    return c;
+    return EnterConfig::with(
+               uniform_handlers(d.tree(), ex::HandlerResult::recovered()))
+        .build();
   };
   for (auto* o : objects_) CAA_CHECK(o->enter(a1_->instance, plain(*d1_)));
-  auto o2_a2 = plain(d2);
   const ExceptionId e3 = d1_->tree().find("E3");
   const sim::Time abort_duration = options_.abort_duration;
-  o2_a2.abortion_handler = [e3, abort_duration] {
-    return ex::AbortResult::signalling(e3, abort_duration);
-  };
+  const EnterConfig o2_a2 =
+      EnterConfig::with(
+          uniform_handlers(d2.tree(), ex::HandlerResult::recovered()))
+          .abortion([e3, abort_duration] {
+            return ex::AbortResult::signalling(e3, abort_duration);
+          });
   CAA_CHECK(objects_[1]->enter(a2_->instance, o2_a2));
   CAA_CHECK(objects_[2]->enter(a2_->instance, plain(d2)));
   CAA_CHECK(objects_[3]->enter(a2_->instance, plain(d2)));
@@ -187,9 +190,10 @@ Figure4Scenario::Outcome Figure4Scenario::run() {
   bool refused = false;
   const auto& d3 = *world_.actions().info(a3_->instance).decl;
   world_.at(options_.belated_entry_at, [this, &refused, &d3] {
-    EnterConfig c;
-    c.handlers = uniform_handlers(d3.tree(), ex::HandlerResult::recovered());
-    refused = !objects_[2]->enter(a3_->instance, c);
+    refused = !objects_[2]->enter(
+        a3_->instance,
+        EnterConfig::with(
+            uniform_handlers(d3.tree(), ex::HandlerResult::recovered())));
   });
   world_.run();
   outcome.stats = collect_stats(world_, objects_, options_.raise_at);

@@ -6,6 +6,7 @@ namespace caa::sim {
 
 Simulator::Simulator() {
   logger_.set_time_source([this] { return now_; });
+  obs_.bind_clock(&now_);
 }
 
 EventId Simulator::schedule_after(Time delay, EventFn fn) {

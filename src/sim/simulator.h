@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "util/counters.h"
 #include "util/log.h"
@@ -46,9 +47,15 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
-  /// Global counters (message accounting, protocol stats).
-  Counters& counters() { return counters_; }
-  const Counters& counters() const { return counters_; }
+  /// The observability hub (structured tracer + metrics facade), bound to
+  /// this simulator's virtual clock. All accounting lives here.
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
+
+  /// Global counters (message accounting, protocol stats). Shorthand for
+  /// obs().metrics().counters().
+  Counters& counters() { return obs_.metrics().counters(); }
+  const Counters& counters() const { return obs_.metrics().counters(); }
 
   /// Logger wired to the virtual clock.
   Logger& logger() { return logger_; }
@@ -56,7 +63,7 @@ class Simulator {
  private:
   Time now_ = 0;
   EventQueue queue_;
-  Counters counters_;
+  obs::Observability obs_;
   Logger logger_;
 };
 

@@ -11,7 +11,8 @@ const caa::CounterId kClientUnhandledKind =
 
 
 TxnId TxnClient::begin(TxnId parent) {
-  const TxnId txn = make_txn_id(id(), next_seq_++);
+  const std::uint32_t seq = next_seq_++;
+  const TxnId txn = make_txn_id(id(), seq);
   TxnRecord rec;
   rec.parent = parent;
   if (parent.valid()) {
@@ -20,8 +21,31 @@ TxnId TxnClient::begin(TxnId parent) {
   } else {
     rec.top = txn;
   }
+  if (obs::Observability* o = observing()) {
+    rec.began = now();
+    rec.span = o->tracer().begin_async(
+        id().value(), "txn",
+        (parent.valid() ? "nested txn " : "txn ") + std::to_string(seq));
+  }
   txns_.emplace(txn, std::move(rec));
   return txn;
+}
+
+obs::Observability* TxnClient::observing() const {
+  if (!attached()) return nullptr;
+  obs::Observability& o = runtime().simulator().obs();
+  return o.enabled() ? &o : nullptr;
+}
+
+void TxnClient::note_txn_finished(TxnRecord& rec, const char* outcome) {
+  if (!rec.span.valid()) return;
+  obs::Observability& o = runtime().simulator().obs();
+  o.tracer().end_args(rec.span, outcome);
+  if (o.enabled()) {
+    o.metrics().record(o.metrics().histogram("txn.latency"),
+                       now() - rec.began);
+  }
+  rec.span = obs::SpanId::invalid();
 }
 
 bool TxnClient::active(TxnId txn) const {
@@ -97,9 +121,11 @@ void TxnClient::commit(TxnId txn, DoneCb cb) {
     TxnRecord& parent = record(rec.parent);
     rec.awaiting = rec.hosts.size();
     if (rec.awaiting == 0) {
+      note_txn_finished(rec, "committed");
+      auto finish = std::move(rec.finish);
       txns_.erase(txn);
       ++commits_;
-      if (auto finish = std::move(rec.finish)) finish(Status::ok());
+      if (finish) finish(Status::ok());
       return;
     }
     for (ObjectId host : rec.hosts) {
@@ -112,6 +138,7 @@ void TxnClient::commit(TxnId txn, DoneCb cb) {
         CAA_CHECK(r.awaiting > 0);
         r.all_yes = r.all_yes && status.is_ok();
         if (--r.awaiting > 0) return;
+        note_txn_finished(r, r.all_yes ? "committed" : "aborted");
         auto finish = std::move(r.finish);
         const bool ok = r.all_yes;
         txns_.erase(txn);
@@ -136,9 +163,11 @@ void TxnClient::commit(TxnId txn, DoneCb cb) {
   rec.awaiting = rec.hosts.size();
   rec.all_yes = true;
   if (rec.awaiting == 0) {
+    note_txn_finished(rec, "committed");
+    auto finish = std::move(rec.finish);
     txns_.erase(txn);
     ++commits_;
-    if (rec.finish) rec.finish(Status::ok());
+    if (finish) finish(Status::ok());
     return;
   }
   for (ObjectId host : rec.hosts) {
@@ -161,6 +190,7 @@ void TxnClient::fan_out_abort(TxnId txn, DoneCb cb) {
   rec.finish = std::move(cb);
   rec.awaiting = rec.hosts.size();
   if (rec.awaiting == 0) {
+    note_txn_finished(rec, "aborted");
     auto finish = std::move(rec.finish);
     txns_.erase(txn);
     ++aborts_;
@@ -175,6 +205,7 @@ void TxnClient::fan_out_abort(TxnId txn, DoneCb cb) {
       TxnRecord& r = record(txn);
       CAA_CHECK(r.awaiting > 0);
       if (--r.awaiting > 0) return;
+      note_txn_finished(r, "aborted");
       auto finish = std::move(r.finish);
       txns_.erase(txn);
       ++aborts_;
@@ -223,6 +254,7 @@ void TxnClient::finish_op(const TxnOpReply& reply) {
 
 void TxnClient::on_message(ObjectId from, net::MsgKind kind,
                            const net::Bytes& payload) {
+  (void)from;
   switch (kind) {
     case net::MsgKind::kTxnOpReply: {
       auto m = decode_op_reply(payload);
@@ -256,6 +288,7 @@ void TxnClient::on_message(ObjectId from, net::MsgKind kind,
       TxnRecord& rec = it->second;
       CAA_CHECK(rec.awaiting > 0);
       if (--rec.awaiting > 0) return;
+      note_txn_finished(rec, rec.all_yes ? "committed" : "aborted");
       auto finish = std::move(rec.finish);
       const bool committed = rec.all_yes;
       txns_.erase(it);

@@ -13,6 +13,7 @@
 #include <map>
 #include <set>
 
+#include "obs/obs.h"
 #include "rt/managed_object.h"
 #include "txn/transaction.h"
 
@@ -63,6 +64,10 @@ class TxnClient : public rt::ManagedObject {
     std::size_t awaiting = 0;
     bool all_yes = true;
     DoneCb finish;
+    // Structured-trace span covering begin()..terminal outcome (async: a
+    // client can coordinate overlapping transactions on one track).
+    obs::SpanId span = obs::SpanId::invalid();
+    sim::Time began = 0;
   };
 
   struct PendingOp {
@@ -76,6 +81,10 @@ class TxnClient : public rt::ManagedObject {
   void fan_out_abort(TxnId txn, DoneCb cb);
   void finish_op(const TxnOpReply& reply);
   TxnRecord& record(TxnId txn);
+  [[nodiscard]] obs::Observability* observing() const;
+  /// Ends the transaction's span with its outcome and records commit/abort
+  /// latency. Must run before the record is erased.
+  void note_txn_finished(TxnRecord& rec, const char* outcome);
 
   std::map<TxnId, TxnRecord> txns_;
   std::map<std::uint64_t, PendingOp> pending_;

@@ -25,17 +25,6 @@ std::string_view CounterId::name() const {
   return registry().name_of(index_);
 }
 
-std::int64_t Counters::get(std::string_view name) const {
-  const std::uint32_t index = registry().find(name);
-  if (index == InternPool::kNotFound) return 0;
-  return get(CounterId(index));
-}
-
-void Counters::reset(std::string_view name) {
-  const std::uint32_t index = registry().find(name);
-  if (index != InternPool::kNotFound) reset(CounterId(index));
-}
-
 std::int64_t Counters::sum_prefix(std::string_view prefix) const {
   std::int64_t total = 0;
   for (std::uint32_t i = 0; i < values_.size(); ++i) {

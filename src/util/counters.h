@@ -6,9 +6,9 @@
 //
 // Hot paths intern the name once into a CounterId (process-wide registry)
 // and then increment a dense vector slot — no hashing, no string compare,
-// no allocation per protocol message. The string overloads remain as a
-// convenience/compatibility layer for tests and cold paths; both views of
-// a counter observe the same value.
+// no allocation per protocol message. All reads and writes go through
+// interned ids; name-based reads for tests and debugging live in
+// obs::Metrics::value(std::string_view) (which interns and forwards here).
 #pragma once
 
 #include <cstdint>
@@ -60,13 +60,6 @@ class Counters {
   void reset(CounterId id) {
     if (id.index() < values_.size()) values_[id.index()] = 0;
   }
-
-  // ---- Compatibility: string names ----------------------------------
-  void add(std::string_view name, std::int64_t delta = 1) {
-    add(CounterId::of(name), delta);
-  }
-  [[nodiscard]] std::int64_t get(std::string_view name) const;
-  void reset(std::string_view name);
 
   void reset() { values_.assign(values_.size(), 0); }
 

@@ -111,9 +111,9 @@ TEST(CrBaseline, StaggeredHandlersScaleCubically) {
       }
     });
     cw.world.run();
-    return cw.world.messages_of(net::MsgKind::kCrRaise) +
-           cw.world.messages_of(net::MsgKind::kCrAck) +
-           cw.world.messages_of(net::MsgKind::kCrCommit);
+    const obs::Metrics& m = cw.world.metrics();
+    return m.sent(net::MsgKind::kCrRaise) + m.sent(net::MsgKind::kCrAck) +
+           m.sent(net::MsgKind::kCrCommit);
   };
   const auto m4 = run_for(4);
   const auto m8 = run_for(8);
@@ -154,8 +154,8 @@ TEST(ArcheBaseline, ConcertedExceptionFromReports) {
   EXPECT_EQ(m1.concerted(), parent);
   EXPECT_EQ(m3.concerted(), parent);
   // 2N messages: N reports + N concerted replies.
-  EXPECT_EQ(w.messages_of(net::MsgKind::kArcheReport), 3);
-  EXPECT_EQ(w.messages_of(net::MsgKind::kArcheConcerted), 3);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kArcheReport), 3);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kArcheConcerted), 3);
 }
 
 }  // namespace

@@ -23,9 +23,8 @@ ex::ExceptionTree engine_tree() {
 }
 
 EnterConfig recovered_config(const ex::ExceptionTree& tree) {
-  EnterConfig config;
-  config.handlers = uniform_handlers(tree, ex::HandlerResult::recovered());
-  return config;
+  return EnterConfig::with(
+      uniform_handlers(tree, ex::HandlerResult::recovered()));
 }
 
 TEST(CaaBasic, SingleRaiseThreeObjects) {
@@ -56,10 +55,10 @@ TEST(CaaBasic, SingleRaiseThreeObjects) {
   EXPECT_EQ(o3.handled()[0].resolved, left);
 
   // Message complexity: (N-1) Exceptions + (N-1) ACKs + (N-1) Commits.
-  EXPECT_EQ(w.messages_of(net::MsgKind::kException), 2);
-  EXPECT_EQ(w.messages_of(net::MsgKind::kAck), 2);
-  EXPECT_EQ(w.messages_of(net::MsgKind::kCommit), 2);
-  EXPECT_EQ(w.resolution_messages(), 6);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kException), 2);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kAck), 2);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kCommit), 2);
+  EXPECT_EQ(w.metrics().resolution_messages(), 6);
 
   // Handlers recovered, so the action committed and everyone left it.
   EXPECT_FALSE(o1.in_action());
@@ -97,10 +96,10 @@ TEST(CaaBasic, Example1TwoConcurrentExceptions) {
   EXPECT_EQ(o3.handled()[0].resolved, cover);
 
   // §4.4 case 3 with P=2 raisers, Q=0: (N-1)(2P+1) = 2*5 = 10 messages.
-  EXPECT_EQ(w.messages_of(net::MsgKind::kException), 4);
-  EXPECT_EQ(w.messages_of(net::MsgKind::kAck), 4);
-  EXPECT_EQ(w.messages_of(net::MsgKind::kCommit), 2);
-  EXPECT_EQ(w.resolution_messages(), 10);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kException), 4);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kAck), 4);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kCommit), 2);
+  EXPECT_EQ(w.metrics().resolution_messages(), 10);
 }
 
 TEST(CaaBasic, AllRaiseSimultaneously) {
@@ -131,7 +130,7 @@ TEST(CaaBasic, AllRaiseSimultaneously) {
     ASSERT_EQ(o->handled().size(), 1u);
     EXPECT_EQ(o->handled()[0].resolved, decl.tree().root());
   }
-  EXPECT_EQ(w.resolution_messages(), (kN - 1) * (2 * kN + 1));
+  EXPECT_EQ(w.metrics().resolution_messages(), (kN - 1) * (2 * kN + 1));
 }
 
 TEST(CaaBasic, NoExceptionNoOverhead) {
@@ -148,7 +147,7 @@ TEST(CaaBasic, NoExceptionNoOverhead) {
   w.at(1200, [&] { o2.complete(); });
   w.run();
 
-  EXPECT_EQ(w.resolution_messages(), 0);
+  EXPECT_EQ(w.metrics().resolution_messages(), 0);
   EXPECT_FALSE(o1.in_action());
   EXPECT_FALSE(o2.in_action());
   EXPECT_TRUE(o1.handled().empty());
@@ -164,11 +163,9 @@ TEST(CaaBasic, HandlerSignalFailsOutermostAction) {
   const auto& a1 = w.actions().create_instance(decl, {o1.id(), o2.id()});
 
   auto signalling_config = [&] {
-    EnterConfig config;
-    config.handlers = uniform_handlers(
+    return EnterConfig::with(uniform_handlers(
         decl.tree(),
-        ex::HandlerResult::signalling(decl.tree().root(), /*duration=*/50));
-    return config;
+        ex::HandlerResult::signalling(decl.tree().root(), /*duration=*/50)));
   };
   ASSERT_TRUE(o1.enter(a1.instance, signalling_config()));
   ASSERT_TRUE(o2.enter(a1.instance, signalling_config()));
@@ -201,7 +198,7 @@ TEST(CaaBasic, RaiseAfterSuspensionIsSuperseded) {
 
   ASSERT_EQ(o2.handled().size(), 1u);
   EXPECT_EQ(o2.handled()[0].resolved, decl.tree().find("left_engine_exception"));
-  EXPECT_EQ(w.counters().get("caa.raise_superseded"), 1);
+  EXPECT_EQ(w.metrics().value("caa.raise_superseded"), 1);
 }
 
 TEST(CaaBasic, BackwardRecoveryRetriesThenSucceeds) {
@@ -217,21 +214,19 @@ TEST(CaaBasic, BackwardRecoveryRetriesThenSucceeds) {
   int o1_checkpoint = -1;
   int restores = 0;
   auto config_for = [&](Participant& p, bool failing_first) {
-    EnterConfig config;
-    config.handlers = uniform_handlers(decl.tree(),
-                                       ex::HandlerResult::recovered());
-    config.max_attempts = 3;
-    config.save_checkpoint = [&] { o1_checkpoint = o1_state; };
-    config.restore_checkpoint = [&] {
-      o1_state = o1_checkpoint;
-      ++restores;
-    };
-    config.body = [&p, failing_first](std::uint32_t attempt) {
-      // First attempt fails its acceptance test; the retry passes.
-      p.complete(/*acceptance_ok=*/!(failing_first && attempt == 0));
-    };
-    (void)failing_first;
-    return config;
+    return EnterConfig::with(
+               uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))
+        .retries(3)
+        .checkpoints([&] { o1_checkpoint = o1_state; },
+                     [&] {
+                       o1_state = o1_checkpoint;
+                       ++restores;
+                     })
+        .body([&p, failing_first](std::uint32_t attempt) {
+          // First attempt fails its acceptance test; the retry passes.
+          p.complete(/*acceptance_ok=*/!(failing_first && attempt == 0));
+        })
+        .build();
   };
   ASSERT_TRUE(o1.enter(a1.instance, config_for(o1, true)));
   ASSERT_TRUE(o2.enter(a1.instance, config_for(o2, false)));
@@ -242,7 +237,7 @@ TEST(CaaBasic, BackwardRecoveryRetriesThenSucceeds) {
   EXPECT_FALSE(o2.in_action());
   EXPECT_TRUE(w.failures().empty());
   // Backward recovery uses no resolution messages at all.
-  EXPECT_EQ(w.resolution_messages(), 0);
+  EXPECT_EQ(w.metrics().resolution_messages(), 0);
 }
 
 TEST(CaaBasic, AttemptsExhaustedSignalsFailure) {
@@ -253,12 +248,11 @@ TEST(CaaBasic, AttemptsExhaustedSignalsFailure) {
   const auto& a1 = w.actions().create_instance(decl, {o1.id(), o2.id()});
 
   auto config_for = [&](Participant& p) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-    config.max_attempts = 2;
-    config.body = [&p](std::uint32_t) { p.complete(/*acceptance_ok=*/false); };
-    return config;
+    return EnterConfig::with(
+               uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))
+        .retries(2)
+        .body([&p](std::uint32_t) { p.complete(/*acceptance_ok=*/false); })
+        .build();
   };
   ASSERT_TRUE(o1.enter(a1.instance, config_for(o1)));
   ASSERT_TRUE(o2.enter(a1.instance, config_for(o2)));

@@ -37,14 +37,15 @@ struct CrashWorld {
     decl = &world.actions().declare("A", crash_tree());
     inst = &world.actions().create_instance(*decl, ids);
     for (auto* o : objects) {
-      EnterConfig config;
-      config.handlers =
-          uniform_handlers(decl->tree(), ex::HandlerResult::recovered(100));
-      config.resolver_committee = committee;
+      auto builder =
+          EnterConfig::with(uniform_handlers(
+                                decl->tree(),
+                                ex::HandlerResult::recovered(100)))
+              .committee(committee);
       if (with_crash_exception) {
-        config.crash_exception = decl->tree().find("peer_crash");
+        builder.on_peer_crash(decl->tree().find("peer_crash"));
       }
-      ASSERT_TRUE(o->enter(inst->instance, config));
+      ASSERT_TRUE(o->enter(inst->instance, std::move(builder).build()));
     }
   }
 
@@ -114,7 +115,7 @@ TEST(CaaCrash, CommitteeOfTwoSendsOneExtraCommitMulticast) {
       EXPECT_EQ(o->handled().size(), 1u);
       EXPECT_FALSE(o->in_action());
     }
-    return cw.world.messages_of(net::MsgKind::kCommit);
+    return cw.world.metrics().sent(net::MsgKind::kCommit);
   };
   EXPECT_EQ(run(1), 3);      // (N-1)
   EXPECT_EQ(run(2), 2 * 3);  // 2(N-1)
@@ -221,11 +222,11 @@ TEST(HeartbeatMonitor, EndToEndCrashDetectionDrivesResolution) {
   const auto& decl = w.actions().declare("A", crash_tree());
   const auto& inst = w.actions().create_instance(decl, ids);
   for (auto* o : objects) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(decl.tree(), ex::HandlerResult::recovered(100));
-    config.crash_exception = decl.tree().find("peer_crash");
-    ASSERT_TRUE(o->enter(inst.instance, config));
+    ASSERT_TRUE(o->enter(
+        inst.instance,
+        EnterConfig::with(uniform_handlers(decl.tree(),
+                                           ex::HandlerResult::recovered(100)))
+            .on_peer_crash(decl.tree().find("peer_crash"))));
   }
   // Wire each monitor to its co-located participant; monitor ids map to
   // participant ids by index.

@@ -31,10 +31,10 @@ TEST(CaaLossy, SingleRaiseResolvesDespiteLoss) {
   const auto& inst =
       w.actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
   for (auto* o : {&o1, &o2, &o3}) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-    ASSERT_TRUE(o->enter(inst.instance, config));
+    ASSERT_TRUE(o->enter(
+        inst.instance,
+        EnterConfig::with(
+            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
   }
   w.at(1000, [&] { o2.raise("s2"); });
   w.run();
@@ -45,12 +45,12 @@ TEST(CaaLossy, SingleRaiseResolvesDespiteLoss) {
     EXPECT_FALSE(o->in_action());
   }
   // Loss showed up as retransmissions, not protocol failures.
-  EXPECT_GT(w.counters().get("net.reliable.retransmit"), 0);
+  EXPECT_GT(w.metrics().value("net.reliable.retransmit"), 0);
   // Protocol-level sends are unchanged: each protocol message is passed to
   // the transport exactly once; the network counters include retransmits,
   // so sent >= the loss-free count per kind.
-  EXPECT_GE(w.messages_of(net::MsgKind::kException), 2);
-  EXPECT_GE(w.messages_of(net::MsgKind::kCommit), 2);
+  EXPECT_GE(w.metrics().sent(net::MsgKind::kException), 2);
+  EXPECT_GE(w.metrics().sent(net::MsgKind::kCommit), 2);
 }
 
 class LossySweep : public ::testing::TestWithParam<std::uint64_t> {};
@@ -79,24 +79,21 @@ TEST_P(LossySweep, NestedScenarioOutcomeMatchesLossFree) {
         w->actions().create_instance(d2, {o2.id(), o3.id()}, a1.instance);
 
     auto plain1 = [&] {
-      EnterConfig c;
-      c.handlers = uniform_handlers(d1.tree(),
-                                    ex::HandlerResult::recovered(100));
-      return c;
+      return EnterConfig::with(
+          uniform_handlers(d1.tree(), ex::HandlerResult::recovered(100)));
     };
     for (auto* o : {&o1, &o2, &o3}) {
       if (!o->enter(a1.instance, plain1())) std::abort();
     }
-    EnterConfig c2;
-    c2.handlers =
-        uniform_handlers(d2.tree(), ex::HandlerResult::recovered(100));
-    c2.abortion_handler = [&d1] {
-      return ex::AbortResult::signalling(d1.tree().find("E3"), 50);
-    };
+    const EnterConfig c2 =
+        EnterConfig::with(
+            uniform_handlers(d2.tree(), ex::HandlerResult::recovered(100)))
+            .abortion([&d1] {
+              return ex::AbortResult::signalling(d1.tree().find("E3"), 50);
+            });
     if (!o2.enter(a2.instance, c2)) std::abort();
-    EnterConfig c3;
-    c3.handlers =
-        uniform_handlers(d2.tree(), ex::HandlerResult::recovered(100));
+    const EnterConfig c3 = EnterConfig::with(
+        uniform_handlers(d2.tree(), ex::HandlerResult::recovered(100)));
     if (!o3.enter(a2.instance, c3)) std::abort();
 
     w->at(1000, [&o1] { o1.raise("E1"); });

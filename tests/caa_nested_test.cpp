@@ -30,9 +30,8 @@ ex::ExceptionTree small_tree(std::initializer_list<const char*> names) {
 }
 
 EnterConfig plain(const ex::ExceptionTree& tree) {
-  EnterConfig config;
-  config.handlers = uniform_handlers(tree, ex::HandlerResult::recovered());
-  return config;
+  return EnterConfig::with(
+      uniform_handlers(tree, ex::HandlerResult::recovered()));
 }
 
 TEST(CaaNested, Example2Figure4) {
@@ -64,10 +63,13 @@ TEST(CaaNested, Example2Figure4) {
   ASSERT_TRUE(o3.enter(a1.instance, plain(d1.tree())));
   ASSERT_TRUE(o4.enter(a1.instance, plain(d1.tree())));
 
-  auto a2_config_for_o2 = plain(d2.tree());
-  a2_config_for_o2.abortion_handler = [&] {
-    return ex::AbortResult::signalling(d1.tree().find("E3"), /*duration=*/20);
-  };
+  const EnterConfig a2_config_for_o2 =
+      EnterConfig::with(
+          uniform_handlers(d2.tree(), ex::HandlerResult::recovered()))
+          .abortion([&] {
+            return ex::AbortResult::signalling(d1.tree().find("E3"),
+                                               /*duration=*/20);
+          });
   ASSERT_TRUE(o2.enter(a2.instance, a2_config_for_o2));
   ASSERT_TRUE(o3.enter(a2.instance, plain(d2.tree())));
   ASSERT_TRUE(o4.enter(a2.instance, plain(d2.tree())));
@@ -111,12 +113,12 @@ TEST(CaaNested, Example2Figure4) {
   //   HaveNested: 3 objects x 3 = 9;   NestedCompleted: 9
   //   ACKs: 3 (for O1's Exception) + 9 (for the NestedCompleteds) = 12
   //   Commit: 3
-  EXPECT_EQ(w.messages_of(net::MsgKind::kException), 4);
-  EXPECT_EQ(w.messages_of(net::MsgKind::kHaveNested), 9);
-  EXPECT_EQ(w.messages_of(net::MsgKind::kNestedCompleted), 9);
-  EXPECT_EQ(w.messages_of(net::MsgKind::kAck), 12);
-  EXPECT_EQ(w.messages_of(net::MsgKind::kCommit), 3);
-  EXPECT_EQ(w.resolution_messages(), 37);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kException), 4);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kHaveNested), 9);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kNestedCompleted), 9);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kAck), 12);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kCommit), 3);
+  EXPECT_EQ(w.metrics().resolution_messages(), 37);
 }
 
 TEST(CaaNested, Figure3AbortionOrdering) {
@@ -188,10 +190,10 @@ TEST(CaaNested, AbortChainRetargetToOuterResolution) {
   for (Participant* o : {&o1, &o2, &o3}) {
     ASSERT_TRUE(o->enter(a1.instance, plain(d1.tree())));
   }
-  auto slow_abort = plain(d3.tree());
-  slow_abort.abortion_handler = [] {
-    return ex::AbortResult::none(/*duration=*/500);
-  };
+  const EnterConfig slow_abort =
+      EnterConfig::with(
+          uniform_handlers(d3.tree(), ex::HandlerResult::recovered()))
+          .abortion([] { return ex::AbortResult::none(/*duration=*/500); });
   ASSERT_TRUE(o1.enter(a2.instance, plain(d2.tree())));
   ASSERT_TRUE(o2.enter(a2.instance, plain(d2.tree())));
   ASSERT_TRUE(o1.enter(a3.instance, slow_abort));
@@ -242,10 +244,9 @@ TEST(CaaNested, NestedSignalRaisesInContainingAction) {
   for (Participant* o : {&o1, &o2, &o3}) {
     ASSERT_TRUE(o->enter(a1.instance, plain(d1.tree())));
   }
-  auto signalling = plain(d2.tree());
-  signalling.handlers = uniform_handlers(
+  const EnterConfig signalling = EnterConfig::with(uniform_handlers(
       d2.tree(),
-      ex::HandlerResult::signalling(d1.tree().find("nested_failed"), 10));
+      ex::HandlerResult::signalling(d1.tree().find("nested_failed"), 10)));
   ASSERT_TRUE(o1.enter(a2.instance, signalling));
   ASSERT_TRUE(o2.enter(a2.instance, signalling));
 
@@ -298,7 +299,7 @@ TEST(CaaNested, NestedCompletesNormallyInvisibleToContainer) {
   w.at(5000, [&] { o3.complete(); });
   w.run();
 
-  EXPECT_EQ(w.resolution_messages(), 0);
+  EXPECT_EQ(w.metrics().resolution_messages(), 0);
   for (Participant* o : {&o1, &o2, &o3}) {
     EXPECT_FALSE(o->in_action()) << o->name();
     EXPECT_TRUE(o->handled().empty()) << o->name();
@@ -340,7 +341,7 @@ TEST(CaaNested, SingletonNestedActionsAbortCleanly) {
     ASSERT_EQ(o->handled().size(), 1u);
     EXPECT_EQ(o->handled()[0].resolved, d1.tree().find("boom"));
   }
-  EXPECT_EQ(w.resolution_messages(), 3 * 4 * (4 - 1));
+  EXPECT_EQ(w.metrics().resolution_messages(), 3 * 4 * (4 - 1));
 }
 
 }  // namespace

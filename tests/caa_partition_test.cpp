@@ -26,9 +26,10 @@ TEST(CaaPartition, HealedPartitionOnlyDelaysResolution) {
   const auto& inst =
       w.actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
   for (auto* o : {&o1, &o2, &o3}) {
-    EnterConfig c;
-    c.handlers = uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-    ASSERT_TRUE(o->enter(inst.instance, c));
+    ASSERT_TRUE(o->enter(
+        inst.instance,
+        EnterConfig::with(
+            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
   }
   const NodeId n1 = w.directory().address_of(o1.id()).node;
   const NodeId n3 = w.directory().address_of(o3.id()).node;
@@ -46,7 +47,7 @@ TEST(CaaPartition, HealedPartitionOnlyDelaysResolution) {
   }
   // The handler at the cut-off object started only after the heal.
   EXPECT_GT(o3.handled()[0].at, static_cast<sim::Time>(6000));
-  EXPECT_GT(w.counters().get("net.reliable.retransmit"), 0);
+  EXPECT_GT(w.metrics().value("net.reliable.retransmit"), 0);
 }
 
 TEST(CaaPartition, PartitionDuringExitBarrierHeals) {
@@ -59,9 +60,10 @@ TEST(CaaPartition, PartitionDuringExitBarrierHeals) {
   const auto& decl = w.actions().declare("A", ex::shapes::star(1));
   const auto& inst = w.actions().create_instance(decl, {o1.id(), o2.id()});
   for (auto* o : {&o1, &o2}) {
-    EnterConfig c;
-    c.handlers = uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-    ASSERT_TRUE(o->enter(inst.instance, c));
+    ASSERT_TRUE(o->enter(
+        inst.instance,
+        EnterConfig::with(
+            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
   }
   const NodeId n1 = w.directory().address_of(o1.id()).node;
   const NodeId n2 = w.directory().address_of(o2.id()).node;

@@ -127,23 +127,23 @@ TEST_P(PropertySweep, SafeTimingsFullCompletion) {
 
   auto config_for = [&](const action::ActionDecl& decl,
                         const ex::ExceptionTree* parent_tree) {
-    EnterConfig config;
-    config.handlers = uniform_handlers(
-        decl.tree(), ex::HandlerResult::recovered(rng.below(300)));
-    config.handler_dispatch_delay = static_cast<sim::Time>(rng.below(100));
+    auto builder =
+        EnterConfig::with(uniform_handlers(
+                              decl.tree(),
+                              ex::HandlerResult::recovered(rng.below(300))))
+            .handler_delay(static_cast<sim::Time>(rng.below(100)));
     if (parent_tree != nullptr && rng.chance(0.5)) {
       const ExceptionId signal = random_exception(rng, *parent_tree);
       const sim::Time duration = static_cast<sim::Time>(rng.below(200));
-      config.abortion_handler = [signal, duration] {
+      builder.abortion([signal, duration] {
         return ex::AbortResult::signalling(signal, duration);
-      };
+      });
     } else {
       const sim::Time duration = static_cast<sim::Time>(rng.below(200));
-      config.abortion_handler = [duration] {
-        return ex::AbortResult::none(duration);
-      };
+      builder.abortion(
+          [duration] { return ex::AbortResult::none(duration); });
     }
-    return config;
+    return std::move(builder).build();
   };
 
   for (auto* o : s.objects) {
@@ -235,14 +235,12 @@ TEST_P(PropertySweep, ChaoticTimingsStructuralInvariants) {
   s.depth_of[outer.instance] = 0;
 
   auto make_config = [&](const action::ActionDecl& decl) {
-    EnterConfig config;
-    config.handlers = uniform_handlers(
-        decl.tree(), ex::HandlerResult::recovered(rng.below(300)));
     const sim::Time duration = static_cast<sim::Time>(rng.below(400));
-    config.abortion_handler = [duration] {
-      return ex::AbortResult::none(duration);
-    };
-    return config;
+    return EnterConfig::with(uniform_handlers(
+                                 decl.tree(),
+                                 ex::HandlerResult::recovered(rng.below(300))))
+        .abortion([duration] { return ex::AbortResult::none(duration); })
+        .build();
   };
 
   for (auto* o : s.objects) {
@@ -339,10 +337,10 @@ TEST_P(PropertySweep, FlatFormulaExact) {
       "A", ex::shapes::star(static_cast<std::size_t>(n)));
   const auto& inst = w.actions().create_instance(decl, ids);
   for (auto* o : objects) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-    ASSERT_TRUE(o->enter(inst.instance, config));
+    ASSERT_TRUE(o->enter(
+        inst.instance,
+        EnterConfig::with(
+            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
   }
   // P distinct raisers, all at the same instant (before any propagation).
   std::vector<int> raisers(n);
@@ -356,7 +354,7 @@ TEST_P(PropertySweep, FlatFormulaExact) {
     }
   });
   w.run();
-  EXPECT_EQ(w.resolution_messages(), (n - 1) * (2 * p + 1))
+  EXPECT_EQ(w.metrics().resolution_messages(), (n - 1) * (2 * p + 1))
       << "N=" << n << " P=" << p;
   for (auto* o : objects) {
     ASSERT_EQ(o->handled().size(), 1u);

@@ -46,10 +46,10 @@ TEST(CaaRaces, CommitOvertakesSlowExceptionAtSuspendedObject) {
   const auto& inst =
       w.actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
   for (auto* o : {&o1, &o2, &o3}) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-    ASSERT_TRUE(o->enter(inst.instance, config));
+    ASSERT_TRUE(o->enter(
+        inst.instance,
+        EnterConfig::with(
+            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
   }
   w.at(1000, [&] {
     o1.raise("ea");
@@ -64,7 +64,7 @@ TEST(CaaRaces, CommitOvertakesSlowExceptionAtSuspendedObject) {
     EXPECT_FALSE(o->in_action()) << o->name();
   }
   // O3 must have ACKed the stale-round Exception after its round closed.
-  EXPECT_GE(w.counters().get("caa.stale_round"), 1);
+  EXPECT_GE(w.metrics().value("caa.stale_round"), 1);
 }
 
 TEST(CaaRaces, RaiserHoldsForeignCommitUntilReady) {
@@ -83,10 +83,10 @@ TEST(CaaRaces, RaiserHoldsForeignCommitUntilReady) {
   const auto& inst =
       w.actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
   for (auto* o : {&o1, &o2, &o3}) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-    ASSERT_TRUE(o->enter(inst.instance, config));
+    ASSERT_TRUE(o->enter(
+        inst.instance,
+        EnterConfig::with(
+            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
   }
   w.at(1000, [&] {
     o1.raise("ea");
@@ -113,20 +113,19 @@ TEST(CaaRaces, SecondRoundAfterRestoreRaisesCleanly) {
   const auto& inst = w.actions().create_instance(decl, {o1.id(), o2.id()});
 
   auto config_for = [&](Participant& p, bool raiser) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-    config.max_attempts = 2;
-    config.body = [&p, raiser](std::uint32_t attempt) {
-      if (attempt == 0) {
-        p.complete(/*acceptance_ok=*/false);
-      } else if (raiser) {
-        p.raise("ea", "attempt-1 failure");
-      } else {
-        p.complete(true);
-      }
-    };
-    return config;
+    return EnterConfig::with(
+               uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))
+        .retries(2)
+        .body([&p, raiser](std::uint32_t attempt) {
+          if (attempt == 0) {
+            p.complete(/*acceptance_ok=*/false);
+          } else if (raiser) {
+            p.raise("ea", "attempt-1 failure");
+          } else {
+            p.complete(true);
+          }
+        })
+        .build();
   };
   ASSERT_TRUE(o1.enter(inst.instance, config_for(o1, true)));
   ASSERT_TRUE(o2.enter(inst.instance, config_for(o2, false)));
@@ -157,23 +156,21 @@ TEST(CaaRaces, TwoSequentialResolutionsInOneInstance) {
   // body raises the second exception, whose handler completes cleanly.
   int phase = 0;
   auto config_for = [&](Participant& p, bool raiser) {
-    EnterConfig config;
-    config.handlers.fill_defaults(decl.tree(), [&phase](ExceptionId) {
+    ex::HandlerTable handlers;
+    handlers.fill_defaults(decl.tree(), [&phase](ExceptionId) {
       ++phase;
       return ex::HandlerResult::recovered();
     });
-    config.max_attempts = 2;
-    config.acceptance = [&p, &config] {
-      (void)config;
-      return p.attempt_of(p.active_instance()) > 0;
-    };
-    config.body = [&p, raiser](std::uint32_t attempt) {
-      if (raiser) {
-        p.raise(attempt == 0 ? "ea" : "eb");
-      }
-      // Non-raisers simply wait; the handler completes for them.
-    };
-    return config;
+    return EnterConfig::with(std::move(handlers))
+        .retries(2)
+        .acceptance([&p] { return p.attempt_of(p.active_instance()) > 0; })
+        .body([&p, raiser](std::uint32_t attempt) {
+          if (raiser) {
+            p.raise(attempt == 0 ? "ea" : "eb");
+          }
+          // Non-raisers simply wait; the handler completes for them.
+        })
+        .build();
   };
   ASSERT_TRUE(o1.enter(inst.instance, config_for(o1, true)));
   ASSERT_TRUE(o2.enter(inst.instance, config_for(o2, false)));
@@ -202,14 +199,15 @@ TEST(CaaRaces, SlowHaveNestedStillBlocksResolver) {
   const auto& a2 =
       w.actions().create_instance(d2, {o2.id()}, a1.instance);
 
-  EnterConfig c1;
-  c1.handlers = uniform_handlers(d1.tree(), ex::HandlerResult::recovered());
+  const EnterConfig c1 = EnterConfig::with(
+      uniform_handlers(d1.tree(), ex::HandlerResult::recovered()));
   ASSERT_TRUE(o1.enter(a1.instance, c1));
-  EnterConfig c2 = c1;
+  const EnterConfig c2 = c1;  // configs stay copyable values
   ASSERT_TRUE(o2.enter(a1.instance, c2));
-  EnterConfig c3;
-  c3.handlers = uniform_handlers(d2.tree(), ex::HandlerResult::recovered());
-  c3.abortion_handler = [] { return ex::AbortResult::none(3000); };
+  const EnterConfig c3 =
+      EnterConfig::with(
+          uniform_handlers(d2.tree(), ex::HandlerResult::recovered()))
+          .abortion([] { return ex::AbortResult::none(3000); });
   ASSERT_TRUE(o2.enter(a2.instance, c3));
 
   w.at(1000, [&] { o1.raise("ea"); });

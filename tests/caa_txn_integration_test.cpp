@@ -50,16 +50,15 @@ TEST(CaaTxn, NestedActionRunsNestedTransaction) {
 
   TxnId parent, child;
 
-  EnterConfig outer1;
-  outer1.handlers = uniform_handlers(d1.tree(),
-                                     ex::HandlerResult::recovered());
-  outer1.on_commit = [&] { f.client.commit(parent, [](Status) {}); };
-  outer1.on_abort = [&] {
-    if (f.client.active(parent)) f.client.abort(parent, [](Status) {});
-  };
-  EnterConfig outer2 = outer1;
-  outer2.on_commit = nullptr;
-  outer2.on_abort = nullptr;
+  const EnterConfig outer1 =
+      EnterConfig::with(
+          uniform_handlers(d1.tree(), ex::HandlerResult::recovered()))
+          .on_commit([&] { f.client.commit(parent, [](Status) {}); })
+          .on_abort([&] {
+            if (f.client.active(parent)) f.client.abort(parent, [](Status) {});
+          });
+  const EnterConfig outer2 = EnterConfig::with(
+      uniform_handlers(d1.tree(), ex::HandlerResult::recovered()));
 
   ASSERT_TRUE(f.o1->enter(a1.instance, outer1));
   ASSERT_TRUE(f.o2->enter(a1.instance, outer2));
@@ -70,16 +69,15 @@ TEST(CaaTxn, NestedActionRunsNestedTransaction) {
   });
 
   // Enter the nested action at t=500 with a child transaction.
-  EnterConfig inner1;
-  inner1.handlers = uniform_handlers(d2.tree(),
-                                     ex::HandlerResult::recovered());
-  inner1.on_commit = [&] { f.client.commit(child, [](Status) {}); };
-  inner1.on_abort = [&] {
-    if (f.client.active(child)) f.client.abort(child, [](Status) {});
-  };
-  EnterConfig inner2;
-  inner2.handlers = uniform_handlers(d2.tree(),
-                                     ex::HandlerResult::recovered());
+  const EnterConfig inner1 =
+      EnterConfig::with(
+          uniform_handlers(d2.tree(), ex::HandlerResult::recovered()))
+          .on_commit([&] { f.client.commit(child, [](Status) {}); })
+          .on_abort([&] {
+            if (f.client.active(child)) f.client.abort(child, [](Status) {});
+          });
+  const EnterConfig inner2 = EnterConfig::with(
+      uniform_handlers(d2.tree(), ex::HandlerResult::recovered()));
   f.world.at(500, [&] {
     ASSERT_TRUE(f.o1->enter(a2.instance, inner1));
     ASSERT_TRUE(f.o2->enter(a2.instance, inner2));
@@ -119,33 +117,34 @@ TEST(CaaTxn, OuterExceptionAbortsNestedActionAndItsTransaction) {
   TxnId parent, child;
   bool child_began = false;
 
-  EnterConfig outer1;
-  outer1.handlers = uniform_handlers(d1.tree(),
-                                     ex::HandlerResult::recovered(2000));
-  outer1.handlers.set(d1.tree().find("s1"), [&](ExceptionId) {
+  ex::HandlerTable outer1_handlers =
+      uniform_handlers(d1.tree(), ex::HandlerResult::recovered(2000));
+  outer1_handlers.set(d1.tree().find("s1"), [&](ExceptionId) {
     // Forward recovery: repair x under the PARENT transaction.
     f.client.write(parent, f.host.id(), "x", 99, [](Status) {});
     return ex::HandlerResult::recovered(2000);
   });
-  outer1.on_commit = [&] { f.client.commit(parent, [](Status) {}); };
+  const EnterConfig outer1 =
+      EnterConfig::with(std::move(outer1_handlers))
+          .on_commit([&] { f.client.commit(parent, [](Status) {}); });
   ASSERT_TRUE(f.o1->enter(a1.instance, outer1));
 
-  EnterConfig outer2;
-  outer2.handlers = uniform_handlers(d1.tree(),
-                                     ex::HandlerResult::recovered(2000));
+  const EnterConfig outer2 = EnterConfig::with(
+      uniform_handlers(d1.tree(), ex::HandlerResult::recovered(2000)));
   ASSERT_TRUE(f.o2->enter(a1.instance, outer2));
 
-  EnterConfig inner;
-  inner.handlers = uniform_handlers(d2.tree(),
-                                    ex::HandlerResult::recovered());
-  inner.abortion_handler = [&] {
-    // §3.1: abortion handlers are responsible for telling the transaction
-    // system to abort the nested operations on atomic objects.
-    if (child_began && f.client.active(child)) {
-      f.client.abort(child, [](Status) {});
-    }
-    return ex::AbortResult::none(100);
-  };
+  const EnterConfig inner =
+      EnterConfig::with(
+          uniform_handlers(d2.tree(), ex::HandlerResult::recovered()))
+          .abortion([&] {
+            // §3.1: abortion handlers are responsible for telling the
+            // transaction system to abort the nested operations on atomic
+            // objects.
+            if (child_began && f.client.active(child)) {
+              f.client.abort(child, [](Status) {});
+            }
+            return ex::AbortResult::none(100);
+          });
   f.world.at(100, [&] {
     parent = f.client.begin();
     ASSERT_TRUE(f.o2->enter(a2.instance, inner));
@@ -176,15 +175,14 @@ TEST(CaaTxn, OuterFailureUndoesWholeTransactionFamily) {
   TxnId parent;
 
   auto config = [&](bool leader) {
-    EnterConfig c;
-    c.handlers = uniform_handlers(
-        d1.tree(), ex::HandlerResult::signalling(d1.tree().root(), 100));
+    auto builder = EnterConfig::with(uniform_handlers(
+        d1.tree(), ex::HandlerResult::signalling(d1.tree().root(), 100)));
     if (leader) {
-      c.on_abort = [&] {
+      builder.on_abort([&] {
         if (f.client.active(parent)) f.client.abort(parent, [](Status) {});
-      };
+      });
     }
-    return c;
+    return std::move(builder).build();
   };
   ASSERT_TRUE(f.o1->enter(a1.instance, config(true)));
   ASSERT_TRUE(f.o2->enter(a1.instance, config(false)));

@@ -30,10 +30,11 @@ struct CentralWorld {
   }
 
   std::int64_t messages() const {
-    return world.messages_of(net::MsgKind::kCentralException) +
-           world.messages_of(net::MsgKind::kCentralFreeze) +
-           world.messages_of(net::MsgKind::kCentralFrozenAck) +
-           world.messages_of(net::MsgKind::kCentralCommit);
+    const obs::Metrics& m = world.metrics();
+    return m.sent(net::MsgKind::kCentralException) +
+           m.sent(net::MsgKind::kCentralFreeze) +
+           m.sent(net::MsgKind::kCentralFrozenAck) +
+           m.sent(net::MsgKind::kCentralCommit);
   }
 };
 
@@ -95,7 +96,7 @@ TEST(Centralized, RaiseAfterFreezeIsSuperseded) {
   for (auto& o : cw.objects) {
     EXPECT_EQ(o->resolved(), cw.tree.find("s2"));
   }
-  EXPECT_EQ(cw.world.counters().get("central.raise_superseded"), 1);
+  EXPECT_EQ(cw.world.metrics().value("central.raise_superseded"), 1);
 }
 
 }  // namespace

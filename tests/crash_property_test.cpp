@@ -38,12 +38,13 @@ TEST_P(CrashSweep, RandomCrashDuringResolution) {
   const auto& decl = w.actions().declare("A", std::move(tree));
   const auto& inst = w.actions().create_instance(decl, ids);
   for (auto* o : objects) {
-    EnterConfig config;
-    config.handlers = uniform_handlers(
-        decl.tree(), ex::HandlerResult::recovered(rng.below(300)));
-    config.resolver_committee = 2;
-    config.crash_exception = decl.tree().find("peer_crash");
-    ASSERT_TRUE(o->enter(inst.instance, config));
+    ASSERT_TRUE(o->enter(
+        inst.instance,
+        EnterConfig::with(uniform_handlers(
+                              decl.tree(),
+                              ex::HandlerResult::recovered(rng.below(300))))
+            .committee(2)
+            .on_peer_crash(decl.tree().find("peer_crash"))));
   }
   // 1-2 raisers at random times.
   const int raisers = 1 + static_cast<int>(rng.below(2));

@@ -1,0 +1,161 @@
+// EnterConfig::Builder tests: the fluent surface fills the right fields,
+// converts implicitly where an EnterConfig is expected, keeps value
+// semantics, and enter() rejects invalid configurations.
+#include <gtest/gtest.h>
+
+#include "caa/world.h"
+
+namespace caa {
+namespace {
+
+using action::EnterConfig;
+using action::uniform_handlers;
+
+ex::ExceptionTree small_tree() {
+  ex::ExceptionTree tree;
+  tree.declare("e1");
+  tree.declare("e2");
+  return tree;
+}
+
+TEST(EnterBuilder, ChainersFillTheMatchingFields) {
+  const ex::ExceptionTree tree = small_tree();
+  const ExceptionId e1 = tree.find("e1");
+  const ExceptionId e2 = tree.find("e2");
+  const EnterConfig config =
+      EnterConfig::with(uniform_handlers(tree, ex::HandlerResult::recovered()))
+          .abortion([] { return ex::AbortResult::none(7); })
+          .body([](std::uint32_t) {})
+          .acceptance([] { return true; })
+          .checkpoints([] {}, [] {})
+          .retries(3, e1)
+          .handler_delay(250)
+          .on_handler([](ExceptionId) {})
+          .on_leave([](action::LeaveOutcome, ExceptionId) {})
+          .on_commit([] {})
+          .on_abort([] {})
+          .committee(2)
+          .on_peer_crash(e2)
+          .build();
+
+  EXPECT_TRUE(config.handlers.is_complete_for(tree));
+  EXPECT_TRUE(static_cast<bool>(config.abortion_handler));
+  EXPECT_TRUE(static_cast<bool>(config.body));
+  EXPECT_TRUE(static_cast<bool>(config.acceptance));
+  EXPECT_TRUE(static_cast<bool>(config.save_checkpoint));
+  EXPECT_TRUE(static_cast<bool>(config.restore_checkpoint));
+  EXPECT_EQ(config.max_attempts, 3u);
+  EXPECT_EQ(config.failure_signal, e1);
+  EXPECT_EQ(config.handler_dispatch_delay, 250);
+  EXPECT_TRUE(static_cast<bool>(config.on_handler));
+  EXPECT_TRUE(static_cast<bool>(config.on_leave));
+  EXPECT_TRUE(static_cast<bool>(config.on_commit));
+  EXPECT_TRUE(static_cast<bool>(config.on_abort));
+  EXPECT_EQ(config.resolver_committee, 2u);
+  EXPECT_EQ(config.crash_exception, e2);
+}
+
+TEST(EnterBuilder, DefaultsMatchABareConfig) {
+  const ex::ExceptionTree tree = small_tree();
+  const EnterConfig config = EnterConfig::with(
+      uniform_handlers(tree, ex::HandlerResult::recovered()));
+  EXPECT_EQ(config.max_attempts, 1u);
+  EXPECT_EQ(config.resolver_committee, 1u);
+  EXPECT_FALSE(config.failure_signal.valid());
+  EXPECT_FALSE(config.crash_exception.valid());
+  EXPECT_EQ(config.handler_dispatch_delay, 0);
+  EXPECT_FALSE(static_cast<bool>(config.body));
+}
+
+TEST(EnterBuilder, ConfigsStayCopyableValues) {
+  const ex::ExceptionTree tree = small_tree();
+  const EnterConfig original =
+      EnterConfig::with(uniform_handlers(tree, ex::HandlerResult::recovered()))
+          .retries(4)
+          .build();
+  EnterConfig copy = original;  // NOLINT(performance-unnecessary-copy...)
+  copy.max_attempts = 9;
+  EXPECT_EQ(original.max_attempts, 4u);
+  EXPECT_EQ(copy.max_attempts, 9u);
+  EXPECT_TRUE(copy.handlers.is_complete_for(tree));
+}
+
+TEST(EnterBuilder, MutableBuilderSupportsConditionalConfiguration) {
+  const ex::ExceptionTree tree = small_tree();
+  for (const bool tolerate_crashes : {false, true}) {
+    auto builder = EnterConfig::with(
+        uniform_handlers(tree, ex::HandlerResult::recovered()));
+    if (tolerate_crashes) builder.committee(2);
+    const EnterConfig config = std::move(builder).build();
+    EXPECT_EQ(config.resolver_committee, tolerate_crashes ? 2u : 1u);
+  }
+}
+
+TEST(EnterBuilder, BuilderExpressionEntersDirectly) {
+  // The common call shape: the builder converts at the enter() boundary.
+  World w;
+  auto& o1 = w.add_participant("O1");
+  auto& o2 = w.add_participant("O2");
+  const auto& decl = w.actions().declare("A1", small_tree());
+  const auto& a1 = w.actions().create_instance(decl, {o1.id(), o2.id()});
+  bool handled = false;
+  ASSERT_TRUE(o1.enter(
+      a1.instance,
+      EnterConfig::with(
+          uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))
+          .on_handler([&handled](ExceptionId) { handled = true; })));
+  ASSERT_TRUE(o2.enter(
+      a1.instance,
+      EnterConfig::with(
+          uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
+  w.at(100, [&o1] { o1.raise("e1"); });
+  w.run();
+  EXPECT_TRUE(handled);
+  EXPECT_FALSE(o1.in_action());
+  EXPECT_FALSE(o2.in_action());
+}
+
+// ---------------------------------------------------------------------------
+// enter() validates the built configuration (§3.3 completeness and the
+// numeric invariants) and aborts on contract violations.
+
+TEST(EnterBuilderDeathTest, IncompleteHandlerTableIsRejected) {
+  World w;
+  auto& o1 = w.add_participant("O1");
+  const auto& decl = w.actions().declare("A1", small_tree());
+  const auto& a1 = w.actions().create_instance(decl, {o1.id()});
+  ex::HandlerTable empty;  // covers neither e1 nor e2
+  EXPECT_DEATH(o1.enter(a1.instance, EnterConfig::with(std::move(empty))),
+               "handlers for ALL");
+}
+
+TEST(EnterBuilderDeathTest, ZeroAttemptsIsRejected) {
+  World w;
+  auto& o1 = w.add_participant("O1");
+  const auto& decl = w.actions().declare("A1", small_tree());
+  const auto& a1 = w.actions().create_instance(decl, {o1.id()});
+  EXPECT_DEATH(
+      o1.enter(a1.instance,
+               EnterConfig::with(uniform_handlers(
+                                     decl.tree(),
+                                     ex::HandlerResult::recovered()))
+                   .retries(0)),
+      "max_attempts");
+}
+
+TEST(EnterBuilderDeathTest, EmptyCommitteeIsRejected) {
+  World w;
+  auto& o1 = w.add_participant("O1");
+  const auto& decl = w.actions().declare("A1", small_tree());
+  const auto& a1 = w.actions().create_instance(decl, {o1.id()});
+  EXPECT_DEATH(
+      o1.enter(a1.instance,
+               EnterConfig::with(uniform_handlers(
+                                     decl.tree(),
+                                     ex::HandlerResult::recovered()))
+                   .committee(0)),
+      "committee");
+}
+
+}  // namespace
+}  // namespace caa

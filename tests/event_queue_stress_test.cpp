@@ -218,10 +218,9 @@ TEST(Determinism, Example1TraceFingerprintIsPinned) {
   const auto& a1 =
       w.actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
   for (auto* o : {&o1, &o2, &o3}) {
-    action::EnterConfig config;
-    config.handlers = action::uniform_handlers(
-        decl.tree(), ex::HandlerResult::recovered());
-    ASSERT_TRUE(o->enter(a1.instance, config));
+    ASSERT_TRUE(o->enter(a1.instance,
+                         action::EnterConfig::with(action::uniform_handlers(
+                             decl.tree(), ex::HandlerResult::recovered()))));
   }
   w.at(1000, [&] { o1.raise("E1"); });
   w.at(1000, [&] { o2.raise("E2"); });

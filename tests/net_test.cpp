@@ -113,7 +113,7 @@ TEST(Network, DropProbabilityDropsEverythingAtOne) {
   for (int i = 0; i < 10; ++i) f.net.send(f.make(f.n0, f.n1));
   f.sim.run_to_quiescence();
   EXPECT_TRUE(f.received1.empty());
-  EXPECT_EQ(f.sim.counters().get("net.dropped.AppData"), 10);
+  EXPECT_EQ(f.sim.obs().metrics().value("net.dropped.AppData"), 10);
 }
 
 TEST(Network, CrashedNodeNeitherSendsNorReceives) {
@@ -151,8 +151,8 @@ TEST(Network, CountsPerKind) {
   p.kind = MsgKind::kException;
   f.net.send(std::move(p));
   f.sim.run_to_quiescence();
-  EXPECT_EQ(f.sim.counters().get("net.sent.Exception"), 1);
-  EXPECT_EQ(f.sim.counters().get("net.delivered.Exception"), 1);
+  EXPECT_EQ(f.sim.obs().metrics().value("net.sent.Exception"), 1);
+  EXPECT_EQ(f.sim.obs().metrics().value("net.delivered.Exception"), 1);
 }
 
 TEST(ReliableTransport, DeliversInOrderOverLossyLink) {
@@ -179,7 +179,7 @@ TEST(ReliableTransport, DeliversInOrderOverLossyLink) {
   simulator.run_to_quiescence();
   ASSERT_EQ(got.size(), 30u);
   for (std::uint8_t i = 0; i < 30; ++i) EXPECT_EQ(got[i], i);
-  EXPECT_GT(simulator.counters().get("net.reliable.retransmit"), 0);
+  EXPECT_GT(simulator.obs().metrics().value("net.reliable.retransmit"), 0);
 }
 
 TEST(ReliableTransport, SuppressesDuplicates) {

@@ -1,0 +1,118 @@
+// Run-report tests: the per-action, per-round §4.4 tables must reproduce
+// the paper's closed forms, and their grand total must equal the headline
+// resolution_messages() quantity.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/report.h"
+#include "scenario/scenarios.h"
+
+namespace caa {
+namespace {
+
+/// Sums every recorded round of every observed action instance.
+std::int64_t tabulated_total(const obs::Metrics& metrics) {
+  std::int64_t total = 0;
+  for (const ActionInstanceId scope : metrics.observed_actions()) {
+    const auto* rounds = metrics.rounds_of(scope);
+    if (rounds == nullptr) continue;
+    for (const obs::RoundCounts& rc : *rounds) total += rc.total();
+  }
+  return total;
+}
+
+TEST(RunReport, ReproducesTheGeneralFormula) {
+  // §4.4: a flat action of N objects, P simultaneous raisers and Q nested
+  // singleton actions costs (N-1)(2P+3Q+1) messages.
+  struct Case {
+    int n, p, q;
+    std::int64_t expected;
+  };
+  const Case cases[] = {
+      {3, 1, 0, 6},    // (3-1)(2*1+1)        — the paper's base example
+      {3, 2, 0, 10},   // (3-1)(2*2+1)        — concurrent raisers
+      {4, 2, 1, 24},   // (4-1)(2*2+3*1+1)    — raisers + a nested action
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE("N=" + std::to_string(c.n) + " P=" + std::to_string(c.p) +
+                 " Q=" + std::to_string(c.q));
+    scenario::FlatOptions options;
+    options.participants = c.n;
+    options.raisers = c.p;
+    options.nested = c.q;
+    options.world.observe = true;
+    scenario::FlatScenario s(options);
+    const scenario::RunStats stats = s.run();
+    EXPECT_TRUE(stats.all_handled);
+    EXPECT_EQ(stats.messages,
+              (c.n - 1) * (2 * c.p + 3 * c.q + 1));
+    EXPECT_EQ(stats.messages, c.expected);
+
+    // The per-round tabulation must account for every protocol message —
+    // nothing double-counted, nothing missed.
+    const obs::Metrics& metrics = s.world().metrics();
+    EXPECT_EQ(tabulated_total(metrics), metrics.resolution_messages());
+
+    // The rendered report carries the same totals and resolves the action
+    // name through the World's ActionManager.
+    const std::string report = s.world().run_report();
+    EXPECT_NE(report.find("resolution messages sent: " +
+                          std::to_string(c.expected)),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("action A #"), std::string::npos) << report;
+  }
+}
+
+TEST(RunReport, SingleRoundScenarioTabulatesOneRound) {
+  scenario::FlatOptions options;
+  options.participants = 3;
+  options.raisers = 1;
+  options.world.observe = true;
+  scenario::FlatScenario s(options);
+  s.run();
+  const obs::Metrics& metrics = s.world().metrics();
+  const auto actions = metrics.observed_actions();
+  ASSERT_EQ(actions.size(), 1u);
+  const auto* rounds = metrics.rounds_of(actions.front());
+  ASSERT_NE(rounds, nullptr);
+  std::int64_t nonzero_rounds = 0;
+  for (const obs::RoundCounts& rc : *rounds) {
+    if (rc.total() > 0) ++nonzero_rounds;
+  }
+  EXPECT_EQ(nonzero_rounds, 1);
+  // One raiser: N-1 Exceptions out, N-1 ACKs back, N-1 Commits out.
+  const obs::RoundCounts& rc = rounds->front();
+  EXPECT_EQ(rc.exception, 2);
+  EXPECT_EQ(rc.ack, 2);
+  EXPECT_EQ(rc.commit, 2);
+  EXPECT_EQ(rc.have_nested, 0);
+  EXPECT_EQ(rc.nested_completed, 0);
+}
+
+TEST(RunReport, DisabledWorldStillReportsHeadlineTotals) {
+  scenario::FlatOptions options;
+  options.participants = 3;
+  options.raisers = 1;
+  scenario::FlatScenario s(options);  // observe defaults to off
+  s.run();
+  const std::string report = s.world().run_report();
+  EXPECT_NE(report.find("resolution messages sent: 6"), std::string::npos)
+      << report;
+  // No per-round tables without observability.
+  EXPECT_EQ(report.find("action "), std::string::npos) << report;
+}
+
+TEST(RunReport, UnknownActionNameFallsBackToNumericId) {
+  scenario::FlatOptions options;
+  options.world.observe = true;
+  scenario::FlatScenario s(options);
+  s.run();
+  // Render without a name resolver: rows fall back to "instance <id>".
+  const std::string report = obs::run_report(s.world().metrics());
+  EXPECT_NE(report.find("instance "), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace caa

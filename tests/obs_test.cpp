@@ -1,0 +1,286 @@
+// Observability tests: golden Chrome trace for §4.3 Example 1, byte
+// stability across identical runs, trace-JSON well-formedness, per-track
+// span nesting, and zero counter drift between observe-on and observe-off
+// runs of the same scenario.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "caa/world.h"
+#include "scenario/scenarios.h"
+
+#ifndef CAA_TEST_DATA_DIR
+#error "CAA_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace caa {
+namespace {
+
+using action::EnterConfig;
+using action::uniform_handlers;
+
+/// §4.3 Example 1, exactly as trace_narrative_test stages it: O1 and O2
+/// raise sibling exceptions concurrently at t=1000; O2 resolves.
+std::unique_ptr<World> run_example1(bool observe) {
+  WorldConfig wc;
+  wc.observe = observe;
+  auto w = std::make_unique<World>(wc);
+  auto& o1 = w->add_participant("O1");
+  auto& o2 = w->add_participant("O2");
+  auto& o3 = w->add_participant("O3");
+  ex::ExceptionTree tree;
+  const auto parent = tree.declare("E");
+  tree.declare("E1", parent);
+  tree.declare("E2", parent);
+  const auto& decl = w->actions().declare("A1", std::move(tree));
+  const auto& a1 =
+      w->actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
+  for (auto* o : {&o1, &o2, &o3}) {
+    EXPECT_TRUE(o->enter(
+        a1.instance,
+        EnterConfig::with(
+            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
+  }
+  w->at(1000, [&o1] { o1.raise("E1"); });
+  w->at(1000, [&o2] { o2.raise("E2"); });
+  w->run();
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser, just enough to prove the exported trace is a
+// well-formed document (chrome://tracing rejects anything less).
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, GoldenExample1) {
+  const std::string golden_path =
+      std::string(CAA_TEST_DATA_DIR) + "/golden/example1_chrome_trace.json";
+  const auto w = run_example1(/*observe=*/true);
+  const std::string trace = w->chrome_trace();
+
+  if (std::getenv("CAA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << trace;
+    out.close();
+    GTEST_SKIP() << "golden rewritten: " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " — run once with CAA_UPDATE_GOLDEN=1";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // Byte-exact: the exporter promises determinism, and any accidental
+  // wall-clock or pointer leak into the trace breaks this immediately.
+  EXPECT_EQ(trace, buf.str());
+}
+
+TEST(ChromeTrace, ByteStableAcrossIdenticalWorlds) {
+  const auto w1 = run_example1(true);
+  const auto w2 = run_example1(true);
+  EXPECT_EQ(w1->chrome_trace(), w2->chrome_trace());
+  EXPECT_FALSE(w1->tracer().spans().empty());
+}
+
+TEST(ChromeTrace, ExportIsWellFormedJson) {
+  const auto w = run_example1(true);
+  const std::string trace = w->chrome_trace();
+  EXPECT_TRUE(JsonChecker(trace).valid()) << trace;
+
+  // And with every record category present: run Figure 4 too (aborts,
+  // nested rounds, barrier supersession).
+  scenario::Figure4Options options;
+  options.world.observe = true;
+  scenario::Figure4Scenario fig4(options);
+  fig4.run();
+  const std::string trace4 = fig4.world().chrome_trace();
+  EXPECT_TRUE(JsonChecker(trace4).valid()) << trace4;
+}
+
+TEST(ChromeTrace, SyncSpansNestPerTrack) {
+  scenario::Figure4Options options;
+  options.world.observe = true;
+  scenario::Figure4Scenario fig4(options);
+  fig4.run();
+  const obs::Tracer& tracer = fig4.world().tracer();
+  ASSERT_FALSE(tracer.spans().empty());
+
+  const sim::Time horizon = tracer.last_time();
+  std::map<obs::TrackId, std::vector<const obs::Span*>> stacks;
+  sim::Time previous_begin = 0;
+  for (const obs::Span& span : tracer.spans()) {
+    const sim::Time end = span.end >= 0 ? span.end : horizon;
+    EXPECT_GE(span.begin, 0);
+    EXPECT_GE(end, span.begin) << span.name;
+    // Creation order must follow the virtual clock.
+    EXPECT_GE(span.begin, previous_begin) << span.name;
+    previous_begin = span.begin;
+    if (span.async) continue;  // b/e pairs are exempt from stack nesting
+    auto& stack = stacks[span.track];
+    while (!stack.empty()) {
+      const obs::Span* top = stack.back();
+      const sim::Time top_end = top->end >= 0 ? top->end : horizon;
+      if (top_end > span.begin) break;
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      const obs::Span* top = stack.back();
+      const sim::Time top_end = top->end >= 0 ? top->end : horizon;
+      EXPECT_LE(end, top_end)
+          << span.name << " escapes enclosing span " << top->name;
+    }
+    stack.push_back(&span);
+  }
+}
+
+TEST(Observability, DisabledRecordsNoSpansOrRounds) {
+  const auto w = run_example1(/*observe=*/false);
+  EXPECT_TRUE(w->tracer().spans().empty());
+  EXPECT_TRUE(w->tracer().instants().empty());
+  EXPECT_TRUE(w->metrics().observed_actions().empty());
+  // The §4.4 headline number still works: counters are unconditional.
+  EXPECT_EQ(w->metrics().resolution_messages(), 10);
+}
+
+TEST(Observability, ZeroCounterDriftExample1) {
+  const auto on = run_example1(true);
+  const auto off = run_example1(false);
+  EXPECT_EQ(on->metrics().counters().to_string(),
+            off->metrics().counters().to_string());
+  EXPECT_EQ(on->simulator().now(), off->simulator().now());
+  EXPECT_FALSE(on->tracer().spans().empty());
+}
+
+TEST(Observability, ZeroCounterDriftFigure4) {
+  // The richest built-in scenario: nested rounds, innermost-first aborts,
+  // a belated participant and a superseded resolution.
+  auto run = [](bool observe) {
+    scenario::Figure4Options options;
+    options.world.observe = observe;
+    scenario::Figure4Scenario s(options);
+    s.run();
+    return s.world().metrics().counters().to_string();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Observability, SnapshotDiffTracksNewTraffic) {
+  const auto w = run_example1(true);
+  const obs::MetricsSnapshot before;  // empty baseline
+  const obs::MetricsSnapshot after = w->metrics().snapshot();
+  const obs::MetricsSnapshot diff = after.diff(before);
+  EXPECT_EQ(diff.to_string(), after.to_string());
+  EXPECT_TRUE(after.diff(after).counters.empty());
+}
+
+}  // namespace
+}  // namespace caa

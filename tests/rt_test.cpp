@@ -75,7 +75,7 @@ TEST(Runtime, SameNodeObjectsStillUseMessages) {
   w.run();
   EXPECT_EQ(b.received_, 1);
   // Loopback still went through the network (counted).
-  EXPECT_EQ(w.messages_of(net::MsgKind::kAppData), 1);
+  EXPECT_EQ(w.metrics().sent(net::MsgKind::kAppData), 1);
 }
 
 TEST(Runtime, DetachedObjectDropsMessages) {
@@ -91,7 +91,7 @@ TEST(Runtime, DetachedObjectDropsMessages) {
     w.runtime(n1).send(a.id(), bid, net::MsgKind::kAppData, net::Bytes{});
   });
   w.run();
-  EXPECT_EQ(w.counters().get("rt.dropped_no_object"), 1);
+  EXPECT_EQ(w.metrics().value("rt.dropped_no_object"), 1);
 }
 
 TEST(Runtime, TimersFireAndCancel) {
@@ -123,9 +123,9 @@ TEST(World, FailureSinkCollects) {
   auto& p2 = w.add_participant("P2");
   const auto& decl = w.actions().declare("A", ex::shapes::star(1));
   const auto& inst = w.actions().create_instance(decl, {p1.id(), p2.id()});
-  action::EnterConfig config;
-  config.handlers = action::uniform_handlers(
-      decl.tree(), ex::HandlerResult::signalling(decl.tree().root()));
+  const action::EnterConfig config =
+      action::EnterConfig::with(action::uniform_handlers(
+          decl.tree(), ex::HandlerResult::signalling(decl.tree().root())));
   // signalling from an outermost action reaches the failure sink
   ASSERT_TRUE(p1.enter(inst.instance, config));
   ASSERT_TRUE(p2.enter(inst.instance, config));
@@ -141,20 +141,20 @@ TEST(World, ResolutionMessageAccounting) {
   auto& p2 = w.add_participant("P2");
   const auto& decl = w.actions().declare("A", ex::shapes::star(1));
   const auto& inst = w.actions().create_instance(decl, {p1.id(), p2.id()});
-  action::EnterConfig config;
-  config.handlers = action::uniform_handlers(
-      decl.tree(), ex::HandlerResult::recovered());
+  const action::EnterConfig config = action::EnterConfig::with(
+      action::uniform_handlers(decl.tree(), ex::HandlerResult::recovered()));
   ASSERT_TRUE(p1.enter(inst.instance, config));
   ASSERT_TRUE(p2.enter(inst.instance, config));
   w.at(100, [&] { p1.raise("s1"); });
   w.run();
-  EXPECT_EQ(w.resolution_messages(),
-            w.messages_of(net::MsgKind::kException) +
-                w.messages_of(net::MsgKind::kHaveNested) +
-                w.messages_of(net::MsgKind::kNestedCompleted) +
-                w.messages_of(net::MsgKind::kAck) +
-                w.messages_of(net::MsgKind::kCommit));
-  EXPECT_EQ(w.resolution_messages(), 3);
+  const obs::Metrics& m = w.metrics();
+  EXPECT_EQ(m.resolution_messages(),
+            m.sent(net::MsgKind::kException) +
+                m.sent(net::MsgKind::kHaveNested) +
+                m.sent(net::MsgKind::kNestedCompleted) +
+                m.sent(net::MsgKind::kAck) +
+                m.sent(net::MsgKind::kCommit));
+  EXPECT_EQ(m.resolution_messages(), 3);
 }
 
 }  // namespace

@@ -54,7 +54,9 @@ TEST(NestedChainScenario, MessagesIndependentOfDepth) {
     NestedChainScenario s(options);
     const RunStats stats = s.run();
     EXPECT_TRUE(stats.all_handled);
-    if (previous >= 0) EXPECT_EQ(stats.messages, previous);
+    if (previous >= 0) {
+      EXPECT_EQ(stats.messages, previous);
+    }
     previous = stats.messages;
   }
   // Q = N-1, P = 1: (N-1)(2+3(N-1)+1) = 4 * 15 = 60.

@@ -96,9 +96,12 @@ TEST(Simulator, DeterministicAcrossRuns) {
 
 TEST(Simulator, CountersAccumulate) {
   Simulator sim;
-  sim.counters().add("foo", 2);
-  sim.counters().add("foo", 3);
-  EXPECT_EQ(sim.counters().get("foo"), 5);
+  const CounterId foo = CounterId::of("sim_test.foo");
+  sim.counters().add(foo, 2);
+  sim.counters().add(foo, 3);
+  EXPECT_EQ(sim.counters().get(foo), 5);
+  // Name-based reads (tests/debugging) go through the metrics facade.
+  EXPECT_EQ(sim.obs().metrics().value("sim_test.foo"), 5);
 }
 
 TEST(TraceLog, DisabledRecordsNothing) {

@@ -51,10 +51,10 @@ TEST(TraceNarrative, Example1FollowsThePaper) {
   const auto& a1 =
       w.actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
   for (auto* o : {&o1, &o2, &o3}) {
-    EnterConfig config;
-    config.handlers =
-        uniform_handlers(decl.tree(), ex::HandlerResult::recovered());
-    ASSERT_TRUE(o->enter(a1.instance, config));
+    ASSERT_TRUE(o->enter(
+        a1.instance,
+        EnterConfig::with(
+            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
   }
   w.at(1000, [&] { o1.raise("E1"); });
   w.at(1000, [&] { o2.raise("E2"); });
@@ -116,17 +116,19 @@ TEST(TraceNarrative, Example2HaveNestedPrecedesNestedCompleted) {
       w.actions().create_instance(d2, {o2.id(), o3.id()}, a1.instance);
 
   auto plain = [&](const action::ActionDecl& d) {
-    EnterConfig c;
-    c.handlers = uniform_handlers(d.tree(), ex::HandlerResult::recovered());
-    return c;
+    return EnterConfig::with(
+               uniform_handlers(d.tree(), ex::HandlerResult::recovered()))
+        .build();
   };
   for (auto* o : {&o1, &o2, &o3}) {
     ASSERT_TRUE(o->enter(a1.instance, plain(d1)));
   }
-  auto c2 = plain(d2);
-  c2.abortion_handler = [&] {
-    return ex::AbortResult::signalling(d1.tree().find("E3"), 100);
-  };
+  const EnterConfig c2 =
+      EnterConfig::with(
+          uniform_handlers(d2.tree(), ex::HandlerResult::recovered()))
+          .abortion([&] {
+            return ex::AbortResult::signalling(d1.tree().find("E3"), 100);
+          });
   ASSERT_TRUE(o2.enter(a2.instance, c2));
   ASSERT_TRUE(o3.enter(a2.instance, plain(d2)));
   w.at(1000, [&] { o1.raise("E1"); });

@@ -225,7 +225,7 @@ TEST(TxnIntegration, WaitDieYoungerVictimAborts) {
   t.world.run();
   EXPECT_EQ(younger_status.code(), StatusCode::kConflict);
   EXPECT_EQ(t.host.peek("a"), 1);
-  EXPECT_EQ(t.world.counters().get("txn.wait_die_victims"), 1);
+  EXPECT_EQ(t.world.metrics().value("txn.wait_die_victims"), 1);
 }
 
 TEST(TxnIntegration, OlderWaitsUntilYoungerFinishes) {
@@ -249,7 +249,7 @@ TEST(TxnIntegration, OlderWaitsUntilYoungerFinishes) {
   t.world.at(5000, [&] { t.client2.commit(younger, [](Status) {}); });
   t.world.run();
   EXPECT_EQ(older_read, 7);
-  EXPECT_EQ(t.world.counters().get("txn.waits"), 1);
+  EXPECT_EQ(t.world.metrics().value("txn.waits"), 1);
 }
 
 TEST(TxnIntegration, TwoPhaseCommitAcrossHosts) {
@@ -270,10 +270,10 @@ TEST(TxnIntegration, TwoPhaseCommitAcrossHosts) {
   EXPECT_EQ(t.host.peek("a"), 70);
   EXPECT_EQ(t.host2.peek("c"), 330);
   // 2PC traffic: prepare + vote + decision + ack per host.
-  EXPECT_EQ(t.world.messages_of(net::MsgKind::kTxnPrepare), 2);
-  EXPECT_EQ(t.world.messages_of(net::MsgKind::kTxnVote), 2);
-  EXPECT_EQ(t.world.messages_of(net::MsgKind::kTxnDecision), 2);
-  EXPECT_EQ(t.world.messages_of(net::MsgKind::kTxnDecisionAck), 2);
+  EXPECT_EQ(t.world.metrics().sent(net::MsgKind::kTxnPrepare), 2);
+  EXPECT_EQ(t.world.metrics().sent(net::MsgKind::kTxnVote), 2);
+  EXPECT_EQ(t.world.metrics().sent(net::MsgKind::kTxnDecision), 2);
+  EXPECT_EQ(t.world.metrics().sent(net::MsgKind::kTxnDecisionAck), 2);
 }
 
 TEST(TxnIntegration, CreateIsUndoneOnAbort) {

@@ -147,25 +147,26 @@ TEST(InternPool, ManyStringsStableLookups) {
 
 TEST(Counters, AddGetReset) {
   Counters c;
-  c.add("x");
-  c.add("x", 4);
-  EXPECT_EQ(c.get("x"), 5);
-  EXPECT_EQ(c.get("missing"), 0);
-  c.reset("x");
-  EXPECT_EQ(c.get("x"), 0);
+  const CounterId x = CounterId::of("x");
+  c.add(x);
+  c.add(x, 4);
+  EXPECT_EQ(c.get(x), 5);
+  EXPECT_EQ(c.get(CounterId::of("missing")), 0);
+  c.reset(x);
+  EXPECT_EQ(c.get(x), 0);
 }
 
 TEST(Counters, SumPrefix) {
   Counters c;
-  c.add("net.sent.Exception", 3);
-  c.add("net.sent.ACK", 2);
-  c.add("net.dropped.ACK", 9);
+  c.add(CounterId::of("net.sent.Exception"), 3);
+  c.add(CounterId::of("net.sent.ACK"), 2);
+  c.add(CounterId::of("net.dropped.ACK"), 9);
   EXPECT_EQ(c.sum_prefix("net.sent."), 5);
   EXPECT_EQ(c.sum_prefix("net."), 14);
   EXPECT_EQ(c.sum_prefix("zzz"), 0);
 }
 
-TEST(Counters, InternedAndStringApisObserveTheSameValue) {
+TEST(Counters, InterningIsStableAndNamesRoundTrip) {
   Counters c;
   const CounterId id = CounterId::of("roundtrip.x");
   EXPECT_TRUE(id.valid());
@@ -173,15 +174,11 @@ TEST(Counters, InternedAndStringApisObserveTheSameValue) {
   EXPECT_EQ(CounterId::of("roundtrip.x"), id) << "interning must be stable";
 
   c.add(id, 3);
-  c.add("roundtrip.x", 4);  // string path lands on the same slot
+  c.add(CounterId::of("roundtrip.x"), 4);  // re-intern lands on the same slot
   EXPECT_EQ(c.get(id), 7);
-  EXPECT_EQ(c.get("roundtrip.x"), 7);
 
-  c.reset("roundtrip.x");
-  EXPECT_EQ(c.get(id), 0);
-  c.add(id, 2);
   c.reset(id);
-  EXPECT_EQ(c.get("roundtrip.x"), 0);
+  EXPECT_EQ(c.get(id), 0);
 }
 
 TEST(Counters, InternedIdsAreIndependentAcrossInstances) {
@@ -197,20 +194,19 @@ TEST(Counters, SumPrefixWorksOverInternedNames) {
   Counters c;
   c.add(CounterId::of("intp.sent.A"), 3);
   c.add(CounterId::of("intp.sent.B"), 4);
-  c.add("intp.dropped.A", 9);
+  c.add(CounterId::of("intp.dropped.A"), 9);
   EXPECT_EQ(c.sum_prefix("intp.sent."), 7);
   EXPECT_EQ(c.sum_prefix("intp."), 16);
-  // Mixed lookups: string get over an id-added counter and vice versa.
-  EXPECT_EQ(c.get("intp.sent.A"), 3);
+  EXPECT_EQ(c.get(CounterId::of("intp.sent.A")), 3);
   EXPECT_EQ(c.get(CounterId::of("intp.dropped.A")), 9);
 }
 
 TEST(Counters, ToStringIsSortedAndSkipsZeroes) {
   Counters c;
-  c.add("zz.last", 1);
-  c.add("aa.first", 2);
-  c.add("mm.zeroed", 5);
-  c.reset("mm.zeroed");
+  c.add(CounterId::of("zz.last"), 1);
+  c.add(CounterId::of("aa.first"), 2);
+  c.add(CounterId::of("mm.zeroed"), 5);
+  c.reset(CounterId::of("mm.zeroed"));
   EXPECT_EQ(c.to_string(), "aa.first=2\nzz.last=1\n");
   const auto all = c.all();
   EXPECT_EQ(all.size(), 2u);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification matrix: configure + build + ctest for each CMake preset.
+#
+#   tools/check.sh            # dev, release, asan in sequence
+#   tools/check.sh dev asan   # just those presets
+#
+# Presets map to build dirs (see CMakePresets.json): dev -> build/,
+# release -> build-release/, asan -> build-asan/. Exits non-zero on the
+# first failing step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(dev release asan)
+fi
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+for preset in "${presets[@]}"; do
+  echo "==== preset: ${preset} ===================================="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "==== all presets green: ${presets[*]}"
