@@ -1,0 +1,173 @@
+// Campaign-runner scaling: the same multi-world sweep at 1, 2, 4 and
+// nproc worker threads.
+//
+// The workload is the throughput sweep's flat family (flat_n64..flat_n512),
+// with `--worlds` independent worlds per size, each seeded from
+// (campaign seed, world index) via run::derive_seed. Two things are
+// recorded per thread count:
+//
+//   * wall time / aggregate events-per-second — the scaling curve;
+//   * the merged campaign checksum — which MUST be identical at every
+//     thread count (the bench exits 1 otherwise). That is the campaign
+//     runner's core promise: parallelism changes wall time, never results.
+//
+// Output lands in BENCH_campaign.json; `speedup` is events/sec at
+// threads=nproc over threads=1 (≈1.0 on a single-core machine).
+//
+// Usage: bench_campaign [--json PATH] [--worlds K] [--seed S] [--threads T]
+//   --json PATH   output document (default ./BENCH_campaign.json)
+//   --worlds K    worlds per size (default 4)
+//   --seed S      campaign seed (default 42)
+//   --threads T   extra thread count to include beyond {1,2,4,nproc}
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "perf_json.h"
+#include "run/campaign.h"
+#include "run/thread_pool.h"
+#include "util/hash.h"
+
+namespace caa::bench {
+namespace {
+
+run::CampaignResult sweep(const std::vector<int>& sizes, int worlds_per_size,
+                          std::uint64_t seed, unsigned threads) {
+  run::Campaign campaign({.seed = seed, .threads = threads});
+  for (const int n : sizes) {
+    for (int k = 0; k < worlds_per_size; ++k) {
+      campaign.add("flat_n" + std::to_string(n) + "#" + std::to_string(k),
+                   [n](const run::WorldContext& ctx) {
+                     scenario::FlatOptions options;
+                     options.participants = n;
+                     options.raisers = 2;
+                     options.world.seed = ctx.seed;
+                     scenario::FlatScenario s(options);
+                     return run::measure("flat_n" + std::to_string(n),
+                                         s.world(),
+                                         [&s] { return s.world().run(); });
+                   });
+    }
+  }
+  return campaign.run();
+}
+
+}  // namespace
+}  // namespace caa::bench
+
+int main(int argc, char** argv) {
+  using namespace caa;
+  using namespace caa::bench;
+
+  std::string json_path = "BENCH_campaign.json";
+  int worlds_per_size = 4;
+  std::uint64_t seed = 42;
+  unsigned extra_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--worlds") == 0 && i + 1 < argc) {
+      worlds_per_size = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      extra_threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "bench_campaign: unknown argument '%s'\n"
+                   "usage: bench_campaign [--json PATH] [--worlds K] "
+                   "[--seed S] [--threads T]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  const std::vector<int> sizes{64, 128, 256, 512};
+  const unsigned nproc = run::ThreadPool::default_threads();
+
+  std::vector<unsigned> thread_counts{1, 2, 4, nproc};
+  if (extra_threads != 0) thread_counts.push_back(extra_threads);
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  header("Campaign runner scaling (flat_n64..flat_n512, " +
+         std::to_string(worlds_per_size) + " worlds per size, seed " +
+         std::to_string(seed) + ")");
+  std::printf("%-10s %10s %12s %12s %10s  %s\n", "threads", "worlds",
+              "wall ms", "events/s", "speedup", "merged checksum");
+
+  Json rows = Json::array();
+  std::uint64_t reference_digest = 0;
+  double baseline_events_per_sec = 0.0;
+  double nproc_events_per_sec = 0.0;
+  bool merged_stable = true;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const unsigned t = thread_counts[i];
+    const run::CampaignResult r = sweep(sizes, worlds_per_size, seed, t);
+    if (!r.all_ok()) {
+      std::fprintf(stderr, "bench_campaign: world failed: %s\n",
+                   r.first_error().c_str());
+      return 1;
+    }
+    if (i == 0) {
+      reference_digest = r.merged_checksum;
+    } else if (r.merged_checksum != reference_digest) {
+      merged_stable = false;
+    }
+    const double events_per_sec =
+        r.wall_ms > 0.0
+            ? 1e3 * static_cast<double>(r.total_events) / r.wall_ms
+            : 0.0;
+    if (t == 1) baseline_events_per_sec = events_per_sec;
+    if (t == nproc) nproc_events_per_sec = events_per_sec;
+    const double speedup = baseline_events_per_sec > 0.0
+                               ? events_per_sec / baseline_events_per_sec
+                               : 0.0;
+    std::printf("%-10u %10zu %12.3f %12.0f %9.2fx  %s\n", t, r.worlds.size(),
+                r.wall_ms, events_per_sec, speedup,
+                hex_digest(r.merged_checksum).c_str());
+    rows.push(Json::object()
+                  .set("threads", Json::num(static_cast<std::int64_t>(t)))
+                  .set("worlds",
+                       Json::num(static_cast<std::int64_t>(r.worlds.size())))
+                  .set("wall_ms", Json::num(r.wall_ms))
+                  .set("total_events", Json::num(r.total_events))
+                  .set("total_messages", Json::num(r.total_messages))
+                  .set("events_per_sec", Json::num(events_per_sec))
+                  .set("speedup", Json::num(speedup))
+                  .set("merged_checksum",
+                       Json::str(hex_digest(r.merged_checksum))));
+  }
+
+  if (!merged_stable) {
+    std::fprintf(stderr,
+                 "bench_campaign: merged campaign checksum depends on "
+                 "thread count\n");
+    return 1;
+  }
+
+  const double speedup_at_nproc =
+      baseline_events_per_sec > 0.0
+          ? nproc_events_per_sec / baseline_events_per_sec
+          : 0.0;
+  std::printf("=> merged checksum %s identical across every thread count; "
+              "speedup at nproc=%u: %.2fx\n",
+              hex_digest(reference_digest).c_str(), nproc, speedup_at_nproc);
+
+  Json doc =
+      bench_doc("bench_campaign", /*schema_version=*/1, nproc)
+          .set("seed", Json::num(static_cast<std::int64_t>(seed)))
+          .set("worlds_per_size", Json::num(std::int64_t{worlds_per_size}))
+          .set("merged_checksum", Json::str(hex_digest(reference_digest)))
+          .set("speedup_at_nproc", Json::num(speedup_at_nproc))
+          .set("scaling", std::move(rows));
+  if (!doc.write_file(json_path)) return 1;
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

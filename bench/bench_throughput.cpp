@@ -6,18 +6,27 @@
 // scenarios across N and emits BENCH_throughput.json so successive PRs
 // record a perf trajectory.
 //
+// The sweep runs through run::Campaign: every (config, repetition) pair is
+// one independent world job, sharded across `--threads` workers. World
+// seeds stay at the WorldConfig default (42) — NOT the campaign-derived
+// seed — so the per-config `checksum` field stays comparable with every
+// earlier PR's BENCH_throughput.json. A `scaling` section re-runs the
+// sweep at threads = 1, 2, 4, nproc and records wall time plus the merged
+// campaign checksum, which must be identical for every thread count.
+//
 // The `checksum` field fingerprints the run's observable behaviour (all
 // counters + final virtual time + events fired). An optimization PR must
 // leave every checksum unchanged: same protocol, faster core.
 //
 // Usage: bench_throughput [--json PATH] [--only SUBSTR] [--reps K]
+//                         [--threads T]
 //   --json PATH    where to write the JSON document (default
 //                  ./BENCH_throughput.json)
 //   --only SUBSTR  run only configs whose name contains SUBSTR (profiling
 //                  aid; the JSON then covers just those configs)
 //   --reps K       repetitions per config (default 3; min wall time wins)
+//   --threads T    campaign worker threads (default 1; 0 = nproc)
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +35,8 @@
 
 #include "bench_common.h"
 #include "perf_json.h"
+#include "run/campaign.h"
+#include "run/thread_pool.h"
 #include "util/hash.h"
 
 namespace caa::bench {
@@ -37,49 +48,38 @@ struct Config {
   int participants;
 };
 
-struct Measurement {
-  std::int64_t events = 0;
-  std::int64_t messages = 0;  // total packets sent (all kinds)
-  sim::Time sim_time = 0;
-  double wall_ms = 0.0;
-  std::uint64_t checksum = 0;
-  obs::MetricsSnapshot snapshot;  // folded into the JSON as "metrics"
-};
-
-/// One full scenario run; wall time covers only the event loop.
-Measurement run_once(const Config& config) {
-  using Clock = std::chrono::steady_clock;
-  Measurement m;
+/// World job for one config. Seeds are deliberately left at the
+/// WorldConfig default so checksums reproduce the committed perf record.
+run::WorldResult run_config(const Config& config) {
   if (config.family == "flat") {
     scenario::FlatOptions options;
     options.participants = config.participants;
     options.raisers = 2;
     scenario::FlatScenario s(options);
-    const auto start = Clock::now();
-    m.events = static_cast<std::int64_t>(s.world().run());
-    m.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
-                    .count();
-    m.sim_time = s.world().simulator().now();
-    m.messages = s.world().metrics().total_sent();
-    m.checksum = fnv1a64(s.world().metrics().counters().to_string());
-    m.snapshot = s.world().metrics().snapshot();
-  } else {
-    scenario::NestedChainOptions options;
-    options.participants = config.participants;
-    options.depth = 3;
-    scenario::NestedChainScenario s(options);
-    const auto start = Clock::now();
-    m.events = static_cast<std::int64_t>(s.world().run());
-    m.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
-                    .count();
-    m.sim_time = s.world().simulator().now();
-    m.messages = s.world().metrics().total_sent();
-    m.checksum = fnv1a64(s.world().metrics().counters().to_string());
-    m.snapshot = s.world().metrics().snapshot();
+    return run::measure(config.name, s.world(),
+                        [&s] { return s.world().run(); });
   }
-  m.checksum = fnv1a64_mix(m.checksum, static_cast<std::uint64_t>(m.sim_time));
-  m.checksum = fnv1a64_mix(m.checksum, static_cast<std::uint64_t>(m.events));
-  return m;
+  scenario::NestedChainOptions options;
+  options.participants = config.participants;
+  options.depth = 3;
+  scenario::NestedChainScenario s(options);
+  return run::measure(config.name, s.world(),
+                      [&s] { return s.world().run(); });
+}
+
+/// One campaign over `configs` (reps jobs per config) at `threads` workers.
+run::CampaignResult sweep(const std::vector<Config>& configs, int reps,
+                          unsigned threads) {
+  run::Campaign campaign({.seed = 42, .threads = threads});
+  for (const Config& config : configs) {
+    for (int rep = 0; rep < reps; ++rep) {
+      campaign.add(config.name + "#" + std::to_string(rep),
+                   [&config](const run::WorldContext&) {
+                     return run_config(config);
+                   });
+    }
+  }
+  return campaign.run();
 }
 
 }  // namespace
@@ -92,6 +92,7 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_throughput.json";
   std::string only;
   int repetitions = 3;
+  unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -99,11 +100,13 @@ int main(int argc, char** argv) {
       only = argv[++i];
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       repetitions = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "bench_throughput: unknown argument '%s'\n"
                    "usage: bench_throughput [--json PATH] [--only SUBSTR] "
-                   "[--reps K]\n",
+                   "[--reps K] [--threads T]\n",
                    argv[i]);
       return 2;
     }
@@ -132,41 +135,51 @@ int main(int argc, char** argv) {
   std::printf("%-14s %10s %10s %12s %12s %10s  %s\n", "config", "events",
               "msgs", "events/s", "msgs/s", "wall ms", "checksum");
 
-  const int kRepetitions = repetitions;
+  const run::CampaignResult campaign = sweep(configs, repetitions, threads);
+  if (!campaign.all_ok()) {
+    std::fprintf(stderr, "bench_throughput: world failed: %s\n",
+                 campaign.first_error().c_str());
+    return 1;
+  }
+
   Json results = Json::array();
   bool checksums_stable = true;
-  for (const Config& config : configs) {
-    Measurement best;
-    for (int rep = 0; rep < kRepetitions; ++rep) {
-      Measurement m = run_once(config);
-      if (rep == 0) {
-        best = m;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const Config& config = configs[c];
+    // Jobs were added config-major: reps consecutive worlds per config.
+    const run::WorldResult* best = nullptr;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      const run::WorldResult& m =
+          campaign.worlds[c * static_cast<std::size_t>(repetitions) +
+                          static_cast<std::size_t>(rep)];
+      if (best == nullptr) {
+        best = &m;
       } else {
         // Identical work every repetition, or the bench itself is broken.
-        if (m.checksum != best.checksum || m.events != best.events) {
+        if (m.checksum != best->checksum || m.events != best->events) {
           checksums_stable = false;
         }
-        if (m.wall_ms < best.wall_ms) best = m;
+        if (m.wall_ms < best->wall_ms) best = &m;
       }
     }
-    const double events_per_sec = best.wall_ms > 0.0
-                                      ? 1e3 * static_cast<double>(best.events) /
-                                            best.wall_ms
-                                      : 0.0;
-    const double messages_per_sec =
-        best.wall_ms > 0.0
-            ? 1e3 * static_cast<double>(best.messages) / best.wall_ms
+    const double events_per_sec =
+        best->wall_ms > 0.0
+            ? 1e3 * static_cast<double>(best->events) / best->wall_ms
             : 0.0;
-    const std::string checksum = hex_digest(best.checksum);
+    const double messages_per_sec =
+        best->wall_ms > 0.0
+            ? 1e3 * static_cast<double>(best->messages) / best->wall_ms
+            : 0.0;
+    const std::string checksum = hex_digest(best->checksum);
     std::printf("%-14s %10lld %10lld %12.0f %12.0f %10.3f  %s\n",
-                config.name.c_str(), static_cast<long long>(best.events),
-                static_cast<long long>(best.messages), events_per_sec,
-                messages_per_sec, best.wall_ms, checksum.c_str());
+                config.name.c_str(), static_cast<long long>(best->events),
+                static_cast<long long>(best->messages), events_per_sec,
+                messages_per_sec, best->wall_ms, checksum.c_str());
 
     // The full counter snapshot rides along so downstream tooling can diff
     // behaviour between runs without re-deriving it from the checksum.
     Json metrics = Json::object();
-    for (const auto& [name, value] : best.snapshot.counters) {
+    for (const auto& [name, value] : best->metrics.counters) {
       metrics.set(name, Json::num(value));
     }
     results.push(
@@ -175,12 +188,12 @@ int main(int argc, char** argv) {
             .set("config", Json::str(config.name))
             .set("family", Json::str(config.family))
             .set("participants", Json::num(std::int64_t{config.participants}))
-            .set("events", Json::num(best.events))
+            .set("events", Json::num(best->events))
             .set("events_per_sec", Json::num(events_per_sec))
-            .set("messages", Json::num(best.messages))
+            .set("messages", Json::num(best->messages))
             .set("messages_per_sec", Json::num(messages_per_sec))
-            .set("wall_ms", Json::num(best.wall_ms))
-            .set("sim_time", Json::num(static_cast<std::int64_t>(best.sim_time)))
+            .set("wall_ms", Json::num(best->wall_ms))
+            .set("sim_time", Json::num(static_cast<std::int64_t>(best->sim_time)))
             .set("checksum", Json::str(checksum))
             .set("metrics", std::move(metrics)));
   }
@@ -192,17 +205,58 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-#ifdef NDEBUG
-  const char* build_type = "release";
-#else
-  const char* build_type = "debug";
-#endif
-  Json doc = Json::object()
-                 .set("bench", Json::str("bench_throughput"))
-                 .set("schema_version", Json::num(std::int64_t{1}))
-                 .set("build_type", Json::str(build_type))
-                 .set("repetitions", Json::num(std::int64_t{kRepetitions}))
-                 .set("results", std::move(results));
+  // Scaling rows: the same sweep (one rep) at 1, 2, 4 and nproc workers.
+  // The merged campaign checksum must not depend on the thread count.
+  std::vector<unsigned> scaling_threads{1, 2, 4,
+                                        run::ThreadPool::default_threads()};
+  std::sort(scaling_threads.begin(), scaling_threads.end());
+  scaling_threads.erase(
+      std::unique(scaling_threads.begin(), scaling_threads.end()),
+      scaling_threads.end());
+
+  std::printf("\n%-10s %12s %12s  %s\n", "threads", "wall ms", "events/s",
+              "merged checksum");
+  Json scaling = Json::array();
+  std::uint64_t reference_digest = 0;
+  bool merged_stable = true;
+  for (std::size_t i = 0; i < scaling_threads.size(); ++i) {
+    const unsigned t = scaling_threads[i];
+    const run::CampaignResult r = sweep(configs, /*reps=*/1, t);
+    if (!r.all_ok()) {
+      std::fprintf(stderr, "bench_throughput: world failed: %s\n",
+                   r.first_error().c_str());
+      return 1;
+    }
+    if (i == 0) {
+      reference_digest = r.merged_checksum;
+    } else if (r.merged_checksum != reference_digest) {
+      merged_stable = false;
+    }
+    const double events_per_sec =
+        r.wall_ms > 0.0
+            ? 1e3 * static_cast<double>(r.total_events) / r.wall_ms
+            : 0.0;
+    std::printf("%-10u %12.3f %12.0f  %s\n", t, r.wall_ms, events_per_sec,
+                hex_digest(r.merged_checksum).c_str());
+    scaling.push(Json::object()
+                     .set("threads", Json::num(static_cast<std::int64_t>(t)))
+                     .set("wall_ms", Json::num(r.wall_ms))
+                     .set("events_per_sec", Json::num(events_per_sec))
+                     .set("total_events", Json::num(r.total_events))
+                     .set("merged_checksum",
+                          Json::str(hex_digest(r.merged_checksum))));
+  }
+  if (!merged_stable) {
+    std::fprintf(stderr,
+                 "bench_throughput: merged campaign checksum depends on "
+                 "thread count\n");
+    return 1;
+  }
+
+  Json doc = bench_doc("bench_throughput", /*schema_version=*/2, threads)
+                 .set("repetitions", Json::num(std::int64_t{repetitions}))
+                 .set("results", std::move(results))
+                 .set("scaling", std::move(scaling));
   if (!doc.write_file(json_path)) return 1;
   std::printf("\nwrote %s\n", json_path.c_str());
   return 0;

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "util/check.h"
 
@@ -158,6 +159,22 @@ bool Json::write_file(const std::string& path) const {
   const bool ok = written == text.size() && std::fclose(f) == 0;
   if (!ok) std::fprintf(stderr, "perf_json: short write to %s\n", path.c_str());
   return ok;
+}
+
+Json bench_doc(const std::string& bench, std::int64_t schema_version,
+               unsigned threads) {
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return Json::object()
+      .set("bench", Json::str(bench))
+      .set("schema_version", Json::num(schema_version))
+      .set("build_type", Json::str(build_type))
+      .set("nproc", Json::num(static_cast<std::int64_t>(hw == 0 ? 1 : hw)))
+      .set("threads", Json::num(static_cast<std::int64_t>(threads)));
 }
 
 }  // namespace caa::bench

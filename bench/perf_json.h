@@ -53,4 +53,12 @@ class Json {
   std::vector<Json> elements_;
 };
 
+/// Standard top-level header every BENCH_*.json starts from: bench name,
+/// schema version, build type (release/debug), the machine's hardware
+/// concurrency, and the worker-thread count the bench ran with. Keeping
+/// these in the document makes perf rows comparable across machines and
+/// across `--threads` settings.
+[[nodiscard]] Json bench_doc(const std::string& bench,
+                             std::int64_t schema_version, unsigned threads);
+
 }  // namespace caa::bench

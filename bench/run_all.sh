@@ -2,23 +2,35 @@
 # Builds the release preset, runs every bench, and collects JSON output at
 # the repo root. The printed tables plus BENCH_*.json ARE the reproduction
 # and perf record (summarized in EXPERIMENTS.md).
+#
+# Benches that support machine-readable output get --json <repo>/BENCH_<x>.json;
+# campaign-aware benches additionally get --threads "$(nproc)" so the JSON
+# headers record both the machine's nproc and the thread count actually used.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="$ROOT/build-release"
+THREADS="$(nproc)"
 
 cmake --preset release -S "$ROOT"
 cmake --build --preset release -j"$(nproc)" --target \
   bench_msg_complexity bench_general_formula bench_cr_comparison \
   bench_nested_abort bench_recovery_strategies bench_nested_resolution \
   bench_exception_tree bench_group_comm bench_ablation_committee \
-  bench_strategy_comparison bench_throughput
+  bench_strategy_comparison bench_throughput bench_campaign
 
 for bench in "$BUILD"/bench/bench_*; do
   [ -x "$bench" ] || continue
   case "$(basename "$bench")" in
     bench_throughput)
-      "$bench" --json "$ROOT/BENCH_throughput.json"
+      "$bench" --json "$ROOT/BENCH_throughput.json" --threads "$THREADS"
+      ;;
+    bench_campaign)
+      "$bench" --json "$ROOT/BENCH_campaign.json"
+      ;;
+    bench_recovery_strategies)
+      "$bench" --json "$ROOT/BENCH_recovery_strategies.json" \
+               --threads "$THREADS"
       ;;
     *)
       "$bench"

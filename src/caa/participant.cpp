@@ -413,7 +413,9 @@ void Participant::multicast(const InstanceInfo& info, net::MsgKind kind,
                             const net::Bytes& payload) {
   for (ObjectId member : info.members) {
     if (member == id()) continue;
-    send(member, kind, payload);  // copies payload per recipient
+    // Pooled copy per recipient: the fan-out reuses recycled payload
+    // buffers instead of heap-allocating one per member.
+    send(member, kind, net::BytesPool::local().copy_of(payload));
   }
 }
 

@@ -82,13 +82,6 @@ class World {
   /// tables for this run), with action names resolved.
   [[nodiscard]] std::string run_report() const;
 
-  // ---- Deprecated accounting shims (one PR; use metrics()) ------------
-
-  [[deprecated("use metrics().counters()")]] [[nodiscard]] Counters&
-  counters() {
-    return simulator_.counters();
-  }
-
   /// Creates a fresh node (own address space) with its runtime.
   NodeId add_node();
   [[nodiscard]] rt::Runtime& runtime(NodeId node);
@@ -107,18 +100,6 @@ class World {
 
   /// Runs the simulation to quiescence; returns events fired.
   std::size_t run(std::size_t max_events = 50'000'000);
-
-  /// Messages sent with `kind` since construction.
-  [[deprecated("use metrics().sent(kind)")]] [[nodiscard]] std::int64_t
-  messages_of(net::MsgKind kind) const {
-    return metrics().sent(kind);
-  }
-
-  /// Total resolution-protocol messages (the §4.4 quantity).
-  [[deprecated("use metrics().resolution_messages()")]] [[nodiscard]]
-  std::int64_t resolution_messages() const {
-    return metrics().resolution_messages();
-  }
 
   // ---- Failure reporting ----------------------------------------------
 

@@ -61,18 +61,23 @@ bool is_transport_kind(MsgKind kind) {
 
 const KindCounters& kind_counters(MsgKind kind) {
   // Direct-indexed by the enum value; kAppData = 1000 is the largest kind.
-  static std::array<KindCounters, 1025> table;
+  // Built eagerly for every index under a magic static: the lazy
+  // first-touch init it replaces raced when two campaign workers first sent
+  // the same kind concurrently. After init the lookup is a lock-free read.
+  static const std::array<KindCounters, 1025>& table = *[] {
+    auto* t = new std::array<KindCounters, 1025>();
+    for (std::size_t i = 0; i < t->size(); ++i) {
+      const std::string suffix(kind_name(static_cast<MsgKind>(i)));
+      (*t)[i].sent = CounterId::of("net.sent." + suffix);
+      (*t)[i].delivered = CounterId::of("net.delivered." + suffix);
+      (*t)[i].dropped = CounterId::of("net.dropped." + suffix);
+      (*t)[i].duplicated = CounterId::of("net.duplicated." + suffix);
+    }
+    return t;
+  }();
   const auto index = static_cast<std::size_t>(kind);
   CAA_CHECK_MSG(index < table.size(), "kind_counters: unknown kind");
-  KindCounters& entry = table[index];
-  if (!entry.sent.valid()) {  // first touch of this kind: intern the names
-    const std::string suffix(kind_name(kind));
-    entry.sent = CounterId::of("net.sent." + suffix);
-    entry.delivered = CounterId::of("net.delivered." + suffix);
-    entry.dropped = CounterId::of("net.dropped." + suffix);
-    entry.duplicated = CounterId::of("net.duplicated." + suffix);
-  }
-  return entry;
+  return table[index];
 }
 
 }  // namespace caa::net

@@ -115,12 +115,14 @@ void Network::send(Packet packet) {
 
   if (!src->up) {
     count(kc.dropped);
+    BytesPool::local().recycle(std::move(packet.payload));
     return;  // a crashed node cannot send
   }
 
   ChannelState& ch = channel(packet.src.node, packet.dst.node);
   if (ch.partitioned || ch.rng.chance(ch.params.drop_probability)) {
     count(kc.dropped);
+    BytesPool::local().recycle(std::move(packet.payload));
     return;
   }
 
@@ -137,6 +139,7 @@ void Network::send(Packet packet) {
   if (duplicate) {
     count(kc.duplicated);
     Packet copy = packet;
+    copy.payload = BytesPool::local().copy_of(packet.payload);
     const sim::Time at2 = ch.sample_delivery_time(simulator_.now(),
                                                   copy.size_on_wire());
     simulator_.schedule_at(at2, [this, p = std::move(copy)]() mutable {
@@ -154,6 +157,7 @@ void Network::deliver(Packet&& packet) {
   const KindCounters& kc = kind_counters(packet.kind);
   if (!dst->up) {
     count(kc.dropped);
+    BytesPool::local().recycle(std::move(packet.payload));
     return;  // destination crashed while the packet was in flight
   }
   CAA_CHECK_MSG(static_cast<bool>(dst->handler),
@@ -161,6 +165,11 @@ void Network::deliver(Packet&& packet) {
   count(kc.delivered);
   ++delivered_total_;
   dst->handler(std::move(packet));
+  // Whatever payload storage the handler did not move out of the packet goes
+  // back to the pool; a handler that kept the bytes leaves an empty husk
+  // here, which recycle() ignores. This closes the send->deliver loop at
+  // zero heap allocations per packet in steady state.
+  BytesPool::local().recycle(std::move(packet.payload));
 }
 
 }  // namespace caa::net

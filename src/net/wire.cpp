@@ -24,6 +24,40 @@ T read_le(const std::byte* p) {
 }
 }  // namespace
 
+Bytes BytesPool::acquire() {
+  if (free_.empty()) {
+    ++fresh_;
+    return Bytes{};
+  }
+  ++reused_;
+  Bytes out = std::move(free_.back());
+  free_.pop_back();
+  return out;
+}
+
+void BytesPool::recycle(Bytes&& buffer) {
+  if (buffer.capacity() == 0) return;  // moved-from or never-written husk
+  if (buffer.capacity() > kMaxRetainedCapacity || free_.size() >= kMaxPooled) {
+    Bytes drop = std::move(buffer);  // free now, outside the pool
+    return;
+  }
+  buffer.clear();
+  free_.push_back(std::move(buffer));
+}
+
+Bytes BytesPool::copy_of(const Bytes& src) {
+  Bytes out = acquire();
+  out.assign(src.begin(), src.end());
+  return out;
+}
+
+void BytesPool::trim() { free_.clear(); }
+
+BytesPool& BytesPool::local() {
+  thread_local BytesPool pool;
+  return pool;
+}
+
 void WireWriter::u8(std::uint8_t v) { append_le(buffer_, v); }
 void WireWriter::u16(std::uint16_t v) { append_le(buffer_, v); }
 void WireWriter::u32(std::uint32_t v) { append_le(buffer_, v); }

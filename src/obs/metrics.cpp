@@ -55,6 +55,12 @@ MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& earlier) const {
   return out;
 }
 
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+}
+
 std::string MetricsSnapshot::to_string() const {
   std::ostringstream out;
   for (const auto& [name, value] : counters) {

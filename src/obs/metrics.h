@@ -93,6 +93,11 @@ struct MetricsSnapshot {
   /// zero-valued differences are omitted).
   [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& earlier) const;
 
+  /// Key-wise sum of `other` into this snapshot — the campaign runner's
+  /// aggregation step. Commutative, so merging per-world snapshots in index
+  /// order yields the same result for any thread count.
+  void merge(const MetricsSnapshot& other);
+
   /// Sorted "name=value" lines.
   [[nodiscard]] std::string to_string() const;
 };

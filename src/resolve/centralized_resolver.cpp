@@ -84,7 +84,8 @@ void CentralizedParticipant::manager_maybe_commit() {
   const net::Bytes payload = encode_exception(resolved_);
   for (ObjectId member : config_.members) {
     if (member == id()) continue;
-    send(member, net::MsgKind::kCentralCommit, payload);
+    send(member, net::MsgKind::kCentralCommit,
+         net::BytesPool::local().copy_of(payload));
   }
 }
 

@@ -34,7 +34,7 @@ void CrParticipant::configure(Config config) {
 void CrParticipant::multicast(net::MsgKind kind, const net::Bytes& payload) {
   for (ObjectId member : config_.members) {
     if (member == id()) continue;
-    send(member, kind, payload);
+    send(member, kind, net::BytesPool::local().copy_of(payload));
   }
 }
 

@@ -1,0 +1,121 @@
+#include "run/campaign.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "caa/world.h"
+#include "run/thread_pool.h"
+#include "scenario/scenarios.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace caa::run {
+
+std::uint64_t derive_seed(std::uint64_t campaign_seed,
+                          std::size_t world_index) {
+  // Two SplitMix64 steps decorrelate (seed, index) pairs; the +1 keeps
+  // index 0 from collapsing to a pure function of the seed's first output.
+  SplitMix64 sm(campaign_seed ^
+                (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(world_index) + 1)));
+  sm.next();
+  return sm.next();
+}
+
+std::string CampaignResult::first_error() const {
+  for (const WorldResult& w : worlds) {
+    if (!w.ok) return w.name + ": " + w.error;
+  }
+  return {};
+}
+
+Campaign::Campaign(CampaignOptions options) : options_(options) {}
+
+Campaign& Campaign::add(std::string name, WorldFn fn) {
+  jobs_.push_back(Job{std::move(name), std::move(fn)});
+  return *this;
+}
+
+CampaignResult Campaign::run() {
+  using Clock = std::chrono::steady_clock;
+  CampaignResult result;
+  result.worlds.resize(jobs_.size());
+
+  unsigned threads = options_.threads;
+  if (threads == 0) threads = ThreadPool::default_threads();
+  if (jobs_.size() < threads && !jobs_.empty()) {
+    threads = static_cast<unsigned>(jobs_.size());
+  }
+  if (threads == 0) threads = 1;
+  result.threads_used = threads;
+
+  const auto start = Clock::now();
+  {
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      // Each task writes only its own index-addressed slot; the pool's
+      // wait_idle() is the synchronization point before the merge reads.
+      pool.submit([this, i, &result] {
+        const Job& job = jobs_[i];
+        WorldContext ctx;
+        ctx.index = i;
+        ctx.seed = derive_seed(options_.seed, i);
+        WorldResult& slot = result.worlds[i];
+        try {
+          slot = job.fn(ctx);
+        } catch (const std::exception& e) {
+          slot = WorldResult{};
+          slot.ok = false;
+          slot.error = e.what();
+        } catch (...) {
+          slot = WorldResult{};
+          slot.ok = false;
+          slot.error = "unknown exception";
+        }
+        if (slot.name.empty()) slot.name = job.name;
+      });
+    }
+    pool.wait_idle();
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  // Merge strictly in index order; nothing here depends on which worker ran
+  // which world or when it finished.
+  std::uint64_t digest = kFnv1a64Offset;
+  for (const WorldResult& w : result.worlds) {
+    if (!w.ok) {
+      ++result.failed;
+      continue;
+    }
+    digest = fnv1a64_mix(digest, w.checksum);
+    digest = fnv1a64_mix(digest, static_cast<std::uint64_t>(w.events));
+    result.total_events += w.events;
+    result.total_messages += w.messages;
+    result.merged_metrics.merge(w.metrics);
+    for (const auto& [key, value] : w.values) {
+      result.merged_values[key] += value;
+    }
+  }
+  result.merged_checksum = digest;
+  return result;
+}
+
+WorldResult measure(std::string name, World& world,
+                    const std::function<std::size_t()>& run) {
+  using Clock = std::chrono::steady_clock;
+  WorldResult r;
+  r.name = std::move(name);
+  const auto start = Clock::now();
+  r.events = static_cast<std::int64_t>(run());
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  r.sim_time = world.simulator().now();
+  r.messages = world.metrics().total_sent();
+  r.metrics = world.metrics().snapshot();
+  r.checksum = scenario::world_checksum(world, r.events);
+  return r;
+}
+
+}  // namespace caa::run

@@ -1,0 +1,134 @@
+// The campaign runner: many independent simulation worlds, one thread pool,
+// one deterministic aggregate.
+//
+// Every §4.3/§4.4 claim this repo reproduces comes from running families of
+// deterministic worlds — N-sweeps, fault-mix sweeps, seed sweeps. A Campaign
+// shards those worlds across workers and merges their results so that the
+// aggregate is *bit-identical for any thread count*:
+//
+//   * each world gets a seed derived only from (campaign seed, world index),
+//     never from scheduling order or wall clock;
+//   * each world runs whole on one worker (worlds share no mutable state —
+//     the only process-wide structure they touch, the counter-name registry,
+//     is mutex-guarded);
+//   * results land in an index-addressed slot and are merged in index order;
+//   * wall-clock figures are carried for reporting but never folded into
+//     checksums or merged metrics.
+//
+// Usage:
+//   run::Campaign c({.seed = 42, .threads = 8});
+//   for (int n : {64, 128, 256})
+//     c.add("flat_n" + std::to_string(n), [n](const run::WorldContext& ctx) {
+//       scenario::FlatOptions o;
+//       o.participants = n;
+//       o.world.seed = ctx.seed;
+//       scenario::FlatScenario s(o);
+//       return run::measure("flat", s.world(), [&] { return s.world().run(); });
+//     });
+//   run::CampaignResult r = c.run();   // r.merged_checksum: thread-invariant
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+
+namespace caa {
+class World;
+}  // namespace caa
+
+namespace caa::run {
+
+/// Deterministic per-world seed: mixes the campaign seed with the world
+/// index through SplitMix64, so neighbouring indices get decorrelated
+/// streams and the assignment never depends on which worker runs the world.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t campaign_seed,
+                                        std::size_t world_index);
+
+/// Handed to each world job.
+struct WorldContext {
+  std::size_t index = 0;   // position in add() order
+  std::uint64_t seed = 0;  // derive_seed(options.seed, index)
+};
+
+/// What one world reports back. Everything except wall_ms participates in
+/// the deterministic merge.
+struct WorldResult {
+  std::string name;
+  std::int64_t events = 0;
+  std::int64_t messages = 0;  // total packets sent (all kinds)
+  sim::Time sim_time = 0;
+  std::uint64_t checksum = 0;  // behavioural fingerprint (world_checksum)
+  obs::MetricsSnapshot metrics;
+  /// Free-form per-world figures (bench cells: latencies, abort counts...).
+  /// Merged by key-wise sum.
+  std::map<std::string, std::int64_t, std::less<>> values;
+  /// Optional exported blob (e.g. a Chrome trace) for byte-level
+  /// determinism checks; not merged.
+  std::string artifact;
+  double wall_ms = 0.0;  // informational only; never merged
+  bool ok = true;
+  std::string error;  // set when the job threw
+};
+
+using WorldFn = std::function<WorldResult(const WorldContext&)>;
+
+struct CampaignOptions {
+  std::uint64_t seed = 42;
+  /// Worker threads; 0 means hardware concurrency. The thread count never
+  /// affects merged results, only wall time.
+  unsigned threads = 1;
+};
+
+struct CampaignResult {
+  std::vector<WorldResult> worlds;  // add() order, regardless of scheduling
+  std::uint64_t merged_checksum = 0;
+  obs::MetricsSnapshot merged_metrics;
+  std::map<std::string, std::int64_t, std::less<>> merged_values;
+  std::int64_t total_events = 0;
+  std::int64_t total_messages = 0;
+  std::size_t failed = 0;
+  double wall_ms = 0.0;  // campaign wall time; excluded from the merge
+  unsigned threads_used = 1;
+
+  [[nodiscard]] bool all_ok() const { return failed == 0; }
+  /// First failed world's "name: error", or "" when all_ok().
+  [[nodiscard]] std::string first_error() const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions options = {});
+
+  /// Appends a world job. The index passed to the job is its add() order.
+  Campaign& add(std::string name, WorldFn fn);
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] const CampaignOptions& options() const { return options_; }
+
+  /// Runs every world across the pool and merges in index order. A job that
+  /// throws std::exception marks its world !ok (with the message in .error)
+  /// and contributes nothing to the merge; the other worlds still run.
+  CampaignResult run();
+
+ private:
+  struct Job {
+    std::string name;
+    WorldFn fn;
+  };
+  CampaignOptions options_;
+  std::vector<Job> jobs_;
+};
+
+/// Fills a WorldResult from a finished world: events/messages/sim_time,
+/// metrics snapshot, and the behavioural checksum (same formula as
+/// bench_throughput: counters + final time + events). `run` executes the
+/// world and returns events fired; wall time is measured around it.
+WorldResult measure(std::string name, World& world,
+                    const std::function<std::size_t()>& run);
+
+}  // namespace caa::run

@@ -1,0 +1,57 @@
+// A fixed-size worker pool for sharding independent simulation worlds.
+//
+// Deliberately minimal: a locked deque drained by N workers. Campaign
+// workloads are coarse (one task == one whole simulated world, typically
+// milliseconds to seconds of work), so queue contention is irrelevant and
+// a mutex + condition variable is the simplest ThreadSanitizer-clean
+// design. Determinism is the Campaign's job — the pool makes no ordering
+// promises beyond running every submitted task exactly once.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace caa::run {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 means std::thread::hardware_concurrency(),
+  /// itself clamped to at least 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();  // drains the queue, then joins every worker
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw — wrap fallible work yourself.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing (not merely
+  /// been dequeued).
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// What `threads == 0` resolves to.
+  static unsigned default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // dequeued but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace caa::run

@@ -1,6 +1,7 @@
 #include "scenario/scenarios.h"
 
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace caa::scenario {
 
@@ -206,6 +207,43 @@ Figure4Scenario::Outcome Figure4Scenario::run() {
       aborts.size() == 2 && aborts[0].instance == a3_->instance &&
       aborts[1].instance == a2_->instance;
   return outcome;
+}
+
+// ---------------------------------------------------------------------------
+
+Example1Scenario::Example1Scenario(Example1Options options)
+    : options_(options), world_(options.world) {
+  auto& o1 = world_.add_participant("O1");
+  auto& o2 = world_.add_participant("O2");
+  auto& o3 = world_.add_participant("O3");
+  objects_ = {&o1, &o2, &o3};
+  ex::ExceptionTree tree;
+  const auto parent = tree.declare("E");
+  tree.declare("E1", parent);
+  tree.declare("E2", parent);
+  const auto& decl = world_.actions().declare("A1", std::move(tree));
+  const auto& a1 =
+      world_.actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
+  for (auto* o : objects_) {
+    CAA_CHECK(o->enter(
+        a1.instance,
+        EnterConfig::with(
+            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
+  }
+  world_.at(options_.raise_at, [&o1] { o1.raise("E1"); });
+  world_.at(options_.raise_at, [&o2] { o2.raise("E2"); });
+}
+
+RunStats Example1Scenario::run() {
+  world_.run();
+  return collect_stats(world_, objects_, options_.raise_at);
+}
+
+std::uint64_t world_checksum(World& world, std::int64_t events) {
+  std::uint64_t h = fnv1a64(world.metrics().counters().to_string());
+  h = fnv1a64_mix(h, static_cast<std::uint64_t>(world.simulator().now()));
+  h = fnv1a64_mix(h, static_cast<std::uint64_t>(events));
+  return h;
 }
 
 }  // namespace caa::scenario

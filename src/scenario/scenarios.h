@@ -132,9 +132,41 @@ class Figure4Scenario {
   const action::InstanceInfo* a3_ = nullptr;
 };
 
+// ---------------------------------------------------------------------------
+
+/// §4.3 Example 1 exactly as the golden-trace test stages it: O1/O2/O3 in
+/// one action with the tree E -> {E1, E2}; O1 raises E1 and O2 raises E2
+/// concurrently at `raise_at`; every participant recovers.
+struct Example1Options {
+  sim::Time raise_at = 1000;
+  WorldConfig world;
+};
+
+class Example1Scenario {
+ public:
+  explicit Example1Scenario(Example1Options options = {});
+  RunStats run();
+
+  [[nodiscard]] World& world() { return world_; }
+  [[nodiscard]] const std::vector<action::Participant*>& objects() const {
+    return objects_;
+  }
+
+ private:
+  Example1Options options_;
+  World world_;
+  std::vector<action::Participant*> objects_;
+};
+
 /// Collects RunStats from a finished world + participant set.
 RunStats collect_stats(World& world,
                        const std::vector<action::Participant*>& objects,
                        sim::Time raise_at);
+
+/// Behavioural fingerprint of a finished world: FNV-1a over the full
+/// counter dump, mixed with the final virtual time and the event count.
+/// Same formula bench_throughput has always recorded, shared so campaign
+/// results and bench rows stay comparable across PRs.
+[[nodiscard]] std::uint64_t world_checksum(World& world, std::int64_t events);
 
 }  // namespace caa::scenario

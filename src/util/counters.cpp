@@ -1,5 +1,7 @@
 #include "util/counters.h"
 
+#include <mutex>
+
 #include "util/check.h"
 #include "util/intern.h"
 
@@ -9,26 +11,43 @@ namespace {
 
 /// The process-wide name registry. Function-local static so CounterId::of
 /// is safe from namespace-scope initializers in any translation unit.
-InternPool& registry() {
-  static InternPool pool;
-  return pool;
+/// Guarded by a mutex: campaign workers intern and render counter names
+/// concurrently, and the InternPool itself is single-thread by design. The
+/// lock is never on a per-message path — hot paths write through CounterId
+/// handles resolved once.
+struct Registry {
+  std::mutex mutex;
+  InternPool pool;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
 }
 
 }  // namespace
 
 CounterId CounterId::of(std::string_view name) {
-  return CounterId(registry().intern(name));
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return CounterId(r.pool.intern(name));
 }
 
 std::string_view CounterId::name() const {
   CAA_CHECK_MSG(valid(), "name() on invalid CounterId");
-  return registry().name_of(index_);
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  // The pool is append-only and deque-backed, so the returned view stays
+  // valid after the lock is released.
+  return r.pool.name_of(index_);
 }
 
 std::int64_t Counters::sum_prefix(std::string_view prefix) const {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
   std::int64_t total = 0;
   for (std::uint32_t i = 0; i < values_.size(); ++i) {
-    if (values_[i] != 0 && registry().name_of(i).starts_with(prefix)) {
+    if (values_[i] != 0 && r.pool.name_of(i).starts_with(prefix)) {
       total += values_[i];
     }
   }
@@ -36,9 +55,11 @@ std::int64_t Counters::sum_prefix(std::string_view prefix) const {
 }
 
 std::map<std::string, std::int64_t, std::less<>> Counters::all() const {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
   std::map<std::string, std::int64_t, std::less<>> out;
   for (std::uint32_t i = 0; i < values_.size(); ++i) {
-    if (values_[i] != 0) out.emplace(registry().name_of(i), values_[i]);
+    if (values_[i] != 0) out.emplace(r.pool.name_of(i), values_[i]);
   }
   return out;
 }

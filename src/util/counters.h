@@ -23,7 +23,9 @@ namespace caa {
 /// registry shared by all Counters instances, matching how all simulated
 /// worlds share one set of metric names); values stay per-Counters. Resolve
 /// once at module-init or first use, then add() costs one vector increment.
-/// Like the rest of the library, the registry is single-thread only (CP.3).
+/// The name registry is mutex-guarded so campaign workers may intern and
+/// render concurrently; Counters *values* stay single-thread (one store per
+/// World, one World per worker).
 class CounterId {
  public:
   constexpr CounterId() = default;

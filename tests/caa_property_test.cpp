@@ -10,11 +10,19 @@
 //   Quiescence     — the simulation always drains; no livelock.
 //   Accounting     — fault-free runs exchange zero resolution messages;
 //                    flat runs match the §4.4 formula exactly.
+//
+// Each seed is one independent world, so the 300-seed sweeps run as
+// campaigns sharded across every core instead of one TEST_P per seed.
+// A seed's invariant violations are collected as strings and reported
+// through WorldResult::error; scenario construction per seed is unchanged
+// from the TEST_P era.
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 
 #include "caa/world.h"
+#include "run/campaign.h"
 #include "util/rng.h"
 
 namespace caa {
@@ -36,6 +44,9 @@ struct Scenario {
   std::map<ActionInstanceId, const action::ActionDecl*> decls;
   std::map<ActionInstanceId, std::size_t> depth_of;
   std::vector<RaiseRecord> raises;
+  std::vector<std::string> violations;
+
+  void fail(const std::string& message) { violations.push_back(message); }
 
   /// Records and performs a raise only if it would be effective.
   void try_raise(Participant& p, ExceptionId e) {
@@ -47,17 +58,19 @@ struct Scenario {
     p.raise(e);
   }
 
-  void check_agreement_and_coverage() const {
+  void check_agreement_and_coverage() {
     // (instance, round) -> resolved exception seen.
     std::map<std::pair<ActionInstanceId, std::uint32_t>, ExceptionId> seen;
     for (const Participant* o : objects) {
       for (const auto& h : o->handled()) {
         const auto key = std::make_pair(h.instance, h.round);
         auto [it, inserted] = seen.emplace(key, h.resolved);
-        if (!inserted) {
-          ASSERT_EQ(it->second, h.resolved)
-              << "agreement violated in instance " << h.instance.value()
+        if (!inserted && it->second != h.resolved) {
+          std::ostringstream msg;
+          msg << "agreement violated in instance " << h.instance.value()
               << " round " << h.round;
+          fail(msg.str());
+          return;
         }
       }
     }
@@ -65,21 +78,22 @@ struct Scenario {
       auto it = seen.find(std::make_pair(r.instance, r.round));
       if (it == seen.end()) continue;  // round superseded by outer abort
       const auto& tree = decls.at(r.instance)->tree();
-      EXPECT_TRUE(tree.covers(it->second, r.exception))
-          << "resolved " << tree.name_of(it->second) << " does not cover "
-          << tree.name_of(r.exception);
+      if (!tree.covers(it->second, r.exception)) {
+        fail("resolved " + std::string(tree.name_of(it->second)) +
+             " does not cover " + std::string(tree.name_of(r.exception)));
+      }
     }
   }
 
-  void check_innermost_first() const {
+  void check_innermost_first() {
     for (const Participant* o : objects) {
       std::size_t last_depth = SIZE_MAX;
       for (const auto& a : o->aborts()) {
         const std::size_t d = depth_of.at(a.instance);
-        EXPECT_LT(d, last_depth == SIZE_MAX ? SIZE_MAX : last_depth + 1)
-            << "abortion order not innermost-first at " << o->name();
-        EXPECT_LT(d, last_depth)
-            << "abortion order not innermost-first at " << o->name();
+        if (d >= last_depth) {
+          fail("abortion order not innermost-first at " + o->name());
+          return;
+        }
         last_depth = d;
       }
     }
@@ -104,12 +118,24 @@ ExceptionId random_exception(Rng& rng, const ex::ExceptionTree& tree) {
   return ExceptionId(1 + static_cast<std::uint32_t>(rng.below(tree.size() - 1)));
 }
 
-class PropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+/// Seals a seed's violations into its WorldResult.
+run::WorldResult finish(run::WorldResult r, Scenario& s) {
+  if (!s.violations.empty()) {
+    r.ok = false;
+    std::ostringstream all;
+    for (std::size_t i = 0; i < s.violations.size(); ++i) {
+      if (i != 0) all << "; ";
+      all << s.violations[i];
+    }
+    r.error = all.str();
+  }
+  return r;
+}
 
-TEST_P(PropertySweep, SafeTimingsFullCompletion) {
+run::WorldResult run_safe_timings(std::uint64_t seed) {
   // Entries happen strictly before any raise can propagate, so nobody is
   // belated; handlers recover; every participant must leave every action.
-  Rng rng(GetParam());
+  Rng rng(seed);
   Scenario s;
   const int n = 2 + static_cast<int>(rng.below(6));  // 2..7 participants
 
@@ -147,7 +173,10 @@ TEST_P(PropertySweep, SafeTimingsFullCompletion) {
   };
 
   for (auto* o : s.objects) {
-    ASSERT_TRUE(o->enter(outer.instance, config_for(outer_decl, nullptr)));
+    if (!o->enter(outer.instance, config_for(outer_decl, nullptr))) {
+      s.fail("outer enter refused for " + o->name());
+      return finish({}, s);
+    }
   }
 
   // A random chain of nested actions over shrinking member subsets.
@@ -171,7 +200,10 @@ TEST_P(PropertySweep, SafeTimingsFullCompletion) {
     s.depth_of[inst.instance] = static_cast<std::size_t>(level) + 1;
     const auto& parent_tree = s.decls.at(parent->instance)->tree();
     for (auto* m : next) {
-      ASSERT_TRUE(m->enter(inst.instance, config_for(decl, &parent_tree)));
+      if (!m->enter(inst.instance, config_for(decl, &parent_tree))) {
+        s.fail("nested enter refused for " + m->name());
+        return finish({}, s);
+      }
     }
     parent = &inst;
     members = std::move(next);
@@ -203,22 +235,23 @@ TEST_P(PropertySweep, SafeTimingsFullCompletion) {
     }
   }
 
-  s.world.run();
+  run::WorldResult r = run::measure("safe#" + std::to_string(seed), s.world,
+                                    [&s] { return s.world.run(); });
 
   for (auto* o : s.objects) {
-    EXPECT_FALSE(o->in_action())
-        << o->name() << " stuck (seed " << GetParam() << ")";
+    if (o->in_action()) s.fail(o->name() + " stuck");
   }
   s.check_agreement_and_coverage();
   s.check_innermost_first();
-  EXPECT_TRUE(s.world.failures().empty());
+  if (!s.world.failures().empty()) s.fail("unexpected failure reports");
+  return finish(std::move(r), s);
 }
 
-TEST_P(PropertySweep, ChaoticTimingsStructuralInvariants) {
+run::WorldResult run_chaotic_timings(std::uint64_t seed) {
   // Entries, raises and completions all overlap: belated participants and
   // superseded resolutions happen. We assert the structural invariants and
   // quiescence, not full completion.
-  Rng rng(GetParam() ^ 0xfeedface);
+  Rng rng(seed ^ 0xfeedface);
   Scenario s;
   const int n = 2 + static_cast<int>(rng.below(5));
 
@@ -244,7 +277,10 @@ TEST_P(PropertySweep, ChaoticTimingsStructuralInvariants) {
   };
 
   for (auto* o : s.objects) {
-    ASSERT_TRUE(o->enter(outer.instance, make_config(outer_decl)));
+    if (!o->enter(outer.instance, make_config(outer_decl))) {
+      s.fail("outer enter refused for " + o->name());
+      return finish({}, s);
+    }
   }
 
   // Nested chain whose entries are *scheduled*, racing the raises. A real
@@ -314,20 +350,24 @@ TEST_P(PropertySweep, ChaoticTimingsStructuralInvariants) {
     }
   }
 
-  const std::size_t fired = s.world.run();
-  EXPECT_GT(fired, 0u);
+  run::WorldResult r =
+      run::measure("chaotic#" + std::to_string(seed), s.world,
+                   [&s] { return s.world.run(); });
+  if (r.events == 0) s.fail("no events fired");
   s.check_agreement_and_coverage();
   s.check_innermost_first();
+  return finish(std::move(r), s);
 }
 
-TEST_P(PropertySweep, FlatFormulaExact) {
+run::WorldResult run_flat_formula(std::uint64_t seed) {
   // §4.4 general formula on flat actions with Q=0: total resolution
   // messages == (N-1)(2P+1) when P objects raise simultaneously.
-  Rng rng(GetParam() * 31 + 7);
+  Rng rng(seed * 31 + 7);
   const int n = 2 + static_cast<int>(rng.below(9));       // 2..10
   const int p = 1 + static_cast<int>(rng.below(n));       // 1..N
-  World w;
-  std::vector<Participant*> objects;
+  Scenario s;
+  World& w = s.world;
+  std::vector<Participant*>& objects = s.objects;
   std::vector<ObjectId> ids;
   for (int i = 0; i < n; ++i) {
     objects.push_back(&w.add_participant("O" + std::to_string(i + 1)));
@@ -337,10 +377,12 @@ TEST_P(PropertySweep, FlatFormulaExact) {
       "A", ex::shapes::star(static_cast<std::size_t>(n)));
   const auto& inst = w.actions().create_instance(decl, ids);
   for (auto* o : objects) {
-    ASSERT_TRUE(o->enter(
-        inst.instance,
-        EnterConfig::with(
-            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
+    if (!o->enter(inst.instance,
+                  EnterConfig::with(uniform_handlers(
+                      decl.tree(), ex::HandlerResult::recovered())))) {
+      s.fail("enter refused for " + o->name());
+      return finish({}, s);
+    }
   }
   // P distinct raisers, all at the same instant (before any propagation).
   std::vector<int> raisers(n);
@@ -353,17 +395,73 @@ TEST_P(PropertySweep, FlatFormulaExact) {
       objects[raisers[i]]->raise("s" + std::to_string(raisers[i] + 1));
     }
   });
-  w.run();
-  EXPECT_EQ(w.metrics().resolution_messages(), (n - 1) * (2 * p + 1))
-      << "N=" << n << " P=" << p;
-  for (auto* o : objects) {
-    ASSERT_EQ(o->handled().size(), 1u);
-    EXPECT_FALSE(o->in_action());
+  run::WorldResult r = run::measure("flat#" + std::to_string(seed), w,
+                                    [&w] { return w.run(); });
+  if (w.metrics().resolution_messages() != (n - 1) * (2 * p + 1)) {
+    std::ostringstream msg;
+    msg << "formula mismatch: N=" << n << " P=" << p << " expected "
+        << (n - 1) * (2 * p + 1) << " got "
+        << w.metrics().resolution_messages();
+    s.fail(msg.str());
   }
+  for (auto* o : objects) {
+    if (o->handled().size() != 1u) s.fail(o->name() + " handled() != 1");
+    if (o->in_action()) s.fail(o->name() + " still in action");
+  }
+  return finish(std::move(r), s);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
-                         ::testing::Range<std::uint64_t>(1, 301));
+/// Shards `runner` over seeds 1..300 and reports every violating seed.
+void run_sweep(const char* label,
+               run::WorldResult (*runner)(std::uint64_t)) {
+  run::Campaign campaign({.seed = 42, .threads = 0});
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    campaign.add(std::string(label) + "#" + std::to_string(seed),
+                 [runner, seed](const run::WorldContext&) {
+                   return runner(seed);
+                 });
+  }
+  const run::CampaignResult result = campaign.run();
+  EXPECT_TRUE(result.all_ok())
+      << result.failed << " seed(s) violated invariants; first: "
+      << result.first_error();
+  EXPECT_GT(result.total_events, 0);
+}
+
+TEST(PropertySweep, SafeTimingsFullCompletion) {
+  run_sweep("safe", &run_safe_timings);
+}
+
+TEST(PropertySweep, ChaoticTimingsStructuralInvariants) {
+  run_sweep("chaotic", &run_chaotic_timings);
+}
+
+TEST(PropertySweep, FlatFormulaExact) {
+  run_sweep("flat", &run_flat_formula);
+}
+
+TEST(PropertySweep, SweepIsThreadCountInvariant) {
+  // The same seed range merged at 1 worker and at 8 workers must agree
+  // bit-for-bit — the campaign determinism contract on real workloads.
+  auto sweep_with = [](unsigned threads) {
+    run::Campaign campaign({.seed = 42, .threads = threads});
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+      campaign.add("flat#" + std::to_string(seed),
+                   [seed](const run::WorldContext&) {
+                     return run_flat_formula(seed);
+                   });
+    }
+    return campaign.run();
+  };
+  const run::CampaignResult serial = sweep_with(1);
+  const run::CampaignResult parallel = sweep_with(8);
+  ASSERT_TRUE(serial.all_ok()) << serial.first_error();
+  ASSERT_TRUE(parallel.all_ok()) << parallel.first_error();
+  EXPECT_EQ(serial.merged_checksum, parallel.merged_checksum);
+  EXPECT_EQ(serial.merged_metrics.to_string(),
+            parallel.merged_metrics.to_string());
+  EXPECT_EQ(serial.total_events, parallel.total_events);
+}
 
 }  // namespace
 }  // namespace caa

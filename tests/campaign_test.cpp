@@ -1,0 +1,212 @@
+// Campaign runner: deterministic seed derivation, thread-pool basics, and
+// the core promise — merged results are bit-identical for any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "run/campaign.h"
+#include "run/thread_pool.h"
+#include "scenario/scenarios.h"
+
+#ifndef CAA_TEST_DATA_DIR
+#error "CAA_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace caa {
+namespace {
+
+TEST(DeriveSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(run::derive_seed(42, 0), run::derive_seed(42, 0));
+  EXPECT_EQ(run::derive_seed(42, 7), run::derive_seed(42, 7));
+
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    seen.insert(run::derive_seed(42, i));
+  }
+  EXPECT_EQ(seen.size(), 1000u) << "seed collision within one campaign";
+
+  // Different campaign seeds give different streams.
+  EXPECT_NE(run::derive_seed(42, 0), run::derive_seed(43, 0));
+  // Index 0 must not collapse to a pure function of the campaign seed
+  // stepping by one (neighbouring campaigns stay decorrelated).
+  EXPECT_NE(run::derive_seed(42, 1), run::derive_seed(43, 0));
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  std::atomic<int> counter{0};
+  run::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+
+  // The pool stays usable after wait_idle.
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    run::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // no wait_idle: the destructor must still run everything
+  EXPECT_EQ(counter.load(), 50);
+}
+
+/// The standard campaign the determinism tests run: a flat-family sweep
+/// with derived per-world seeds plus one observed Example-1 world whose
+/// Chrome trace rides along as the artifact.
+run::Campaign make_campaign(unsigned threads) {
+  run::Campaign campaign({.seed = 42, .threads = threads});
+  for (const int n : {4, 8, 16}) {
+    for (int k = 0; k < 3; ++k) {
+      campaign.add("flat_n" + std::to_string(n) + "#" + std::to_string(k),
+                   [n](const run::WorldContext& ctx) {
+                     scenario::FlatOptions options;
+                     options.participants = n;
+                     options.raisers = 2;
+                     options.world.seed = ctx.seed;
+                     scenario::FlatScenario s(options);
+                     return run::measure("flat", s.world(), [&s] {
+                       return s.world().run();
+                     });
+                   });
+    }
+  }
+  campaign.add("example1", [](const run::WorldContext&) {
+    scenario::Example1Options options;
+    options.world.observe = true;
+    scenario::Example1Scenario s(options);
+    run::WorldResult r =
+        run::measure("example1", s.world(), [&s] { return s.world().run(); });
+    r.artifact = s.world().chrome_trace();
+    return r;
+  });
+  return campaign;
+}
+
+TEST(Campaign, MergeIsThreadCountInvariant) {
+  run::CampaignResult serial = make_campaign(1).run();
+  run::CampaignResult parallel = make_campaign(8).run();
+  ASSERT_TRUE(serial.all_ok()) << serial.first_error();
+  ASSERT_TRUE(parallel.all_ok()) << parallel.first_error();
+  EXPECT_EQ(serial.threads_used, 1u);
+
+  EXPECT_EQ(serial.merged_checksum, parallel.merged_checksum);
+  EXPECT_EQ(serial.merged_metrics.to_string(),
+            parallel.merged_metrics.to_string());
+  EXPECT_EQ(serial.total_events, parallel.total_events);
+  EXPECT_EQ(serial.total_messages, parallel.total_messages);
+  EXPECT_EQ(serial.merged_values, parallel.merged_values);
+
+  ASSERT_EQ(serial.worlds.size(), parallel.worlds.size());
+  for (std::size_t i = 0; i < serial.worlds.size(); ++i) {
+    const run::WorldResult& a = serial.worlds[i];
+    const run::WorldResult& b = parallel.worlds[i];
+    EXPECT_EQ(a.name, b.name) << "world " << i;
+    EXPECT_EQ(a.checksum, b.checksum) << "world " << a.name;
+    EXPECT_EQ(a.events, b.events) << "world " << a.name;
+    EXPECT_EQ(a.sim_time, b.sim_time) << "world " << a.name;
+    EXPECT_EQ(a.metrics.to_string(), b.metrics.to_string())
+        << "world " << a.name;
+    EXPECT_EQ(a.artifact, b.artifact) << "world " << a.name;
+  }
+}
+
+TEST(Campaign, RepeatedRunsAreIdentical) {
+  const run::CampaignResult first = make_campaign(8).run();
+  const run::CampaignResult second = make_campaign(8).run();
+  EXPECT_EQ(first.merged_checksum, second.merged_checksum);
+  EXPECT_EQ(first.total_events, second.total_events);
+}
+
+TEST(Campaign, DistinctWorldSeedsGiveDistinctFingerprints) {
+  // Sanity that the sweep is not degenerate: with per-world derived seeds
+  // and lossy links, sibling worlds actually differ.
+  run::Campaign campaign({.seed = 42, .threads = 2});
+  for (int k = 0; k < 4; ++k) {
+    campaign.add("lossy#" + std::to_string(k),
+                 [](const run::WorldContext& ctx) {
+                   scenario::FlatOptions options;
+                   options.participants = 6;
+                   options.world.seed = ctx.seed;
+                   options.world.link = net::LinkParams::lossy(0.2);
+                   options.world.reliable_transport = true;
+                   scenario::FlatScenario s(options);
+                   return run::measure("lossy", s.world(), [&s] {
+                     return s.world().run();
+                   });
+                 });
+  }
+  const run::CampaignResult r = campaign.run();
+  ASSERT_TRUE(r.all_ok()) << r.first_error();
+  std::set<std::uint64_t> checksums;
+  for (const run::WorldResult& w : r.worlds) checksums.insert(w.checksum);
+  EXPECT_GT(checksums.size(), 1u)
+      << "derived seeds produced identical lossy worlds";
+}
+
+TEST(Campaign, Example1TraceMatchesGolden) {
+  // The campaign-run Example-1 artifact must be the exact bytes obs_test
+  // pins: running a world under the pool cannot perturb its trace.
+  const std::string golden_path =
+      std::string(CAA_TEST_DATA_DIR) + "/golden/example1_chrome_trace.json";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  const run::CampaignResult r = make_campaign(8).run();
+  ASSERT_TRUE(r.all_ok()) << r.first_error();
+  const run::WorldResult& example1 = r.worlds.back();
+  ASSERT_EQ(example1.name, "example1");
+  EXPECT_EQ(example1.artifact, golden.str());
+}
+
+TEST(Campaign, FailuresAreReported) {
+  run::Campaign campaign({.seed = 1, .threads = 2});
+  campaign.add("ok", [](const run::WorldContext&) {
+    scenario::FlatScenario s({});
+    return run::measure("ok", s.world(), [&s] { return s.world().run(); });
+  });
+  campaign.add("boom", [](const run::WorldContext&) -> run::WorldResult {
+    throw std::runtime_error("injected failure");
+  });
+  const run::CampaignResult r = campaign.run();
+  EXPECT_FALSE(r.all_ok());
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.first_error(), "boom: injected failure");
+  ASSERT_EQ(r.worlds.size(), 2u);
+  EXPECT_TRUE(r.worlds[0].ok);
+  EXPECT_FALSE(r.worlds[1].ok);
+  // The healthy world still contributed to the merge.
+  EXPECT_GT(r.total_events, 0);
+}
+
+TEST(Campaign, ThreadsZeroMeansHardwareConcurrency) {
+  run::Campaign campaign({.seed = 42, .threads = 0});
+  for (int k = 0; k < 2; ++k) {
+    campaign.add("w" + std::to_string(k), [](const run::WorldContext&) {
+      scenario::FlatScenario s({});
+      return run::measure("w", s.world(), [&s] { return s.world().run(); });
+    });
+  }
+  const run::CampaignResult r = campaign.run();
+  ASSERT_TRUE(r.all_ok());
+  EXPECT_GE(r.threads_used, 1u);
+  EXPECT_LE(r.threads_used, 2u);  // clamped to the job count
+}
+
+}  // namespace
+}  // namespace caa

@@ -3,9 +3,17 @@
 // quiesces, no internal CHECK fires, survivors that handled a given round
 // agree on the resolved exception, and with a committee >= 2 the survivors
 // always finish the action even if the designated resolver dies.
+//
+// Each seed is an independent world; the 80-seed sweep runs as one
+// campaign across every core, collecting violations as strings instead of
+// one TEST_P per seed.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <sstream>
+
 #include "caa/world.h"
+#include "run/campaign.h"
 #include "util/rng.h"
 
 namespace caa {
@@ -15,10 +23,9 @@ using action::EnterConfig;
 using action::Participant;
 using action::uniform_handlers;
 
-class CrashSweep : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(CrashSweep, RandomCrashDuringResolution) {
-  Rng rng(GetParam() * 1337 + 5);
+run::WorldResult run_crash_trial(std::uint64_t seed) {
+  std::vector<std::string> violations;
+  Rng rng(seed * 1337 + 5);
   const int n = 3 + static_cast<int>(rng.below(4));  // 3..6
   World w;
   std::vector<Participant*> objects;
@@ -38,13 +45,18 @@ TEST_P(CrashSweep, RandomCrashDuringResolution) {
   const auto& decl = w.actions().declare("A", std::move(tree));
   const auto& inst = w.actions().create_instance(decl, ids);
   for (auto* o : objects) {
-    ASSERT_TRUE(o->enter(
-        inst.instance,
-        EnterConfig::with(uniform_handlers(
-                              decl.tree(),
-                              ex::HandlerResult::recovered(rng.below(300))))
-            .committee(2)
-            .on_peer_crash(decl.tree().find("peer_crash"))));
+    if (!o->enter(inst.instance,
+                  EnterConfig::with(
+                      uniform_handlers(decl.tree(),
+                                       ex::HandlerResult::recovered(
+                                           rng.below(300))))
+                      .committee(2)
+                      .on_peer_crash(decl.tree().find("peer_crash")))) {
+      run::WorldResult r;
+      r.ok = false;
+      r.error = "enter refused for " + o->name();
+      return r;
+    }
   }
   // 1-2 raisers at random times.
   const int raisers = 1 + static_cast<int>(rng.below(2));
@@ -82,13 +94,15 @@ TEST_P(CrashSweep, RandomCrashDuringResolution) {
       });
     }
   }
-  w.run();
+  run::WorldResult r = run::measure("crash#" + std::to_string(seed), w,
+                                    [&w] { return w.run(); });
 
   // Survivors all finished the action.
   for (int i = 0; i < n; ++i) {
     if (i == victim) continue;
-    EXPECT_FALSE(objects[i]->in_action())
-        << objects[i]->name() << " stuck, seed " << GetParam();
+    if (objects[i]->in_action()) {
+      violations.push_back(objects[i]->name() + " stuck");
+    }
   }
   // Agreement among survivors per round.
   std::map<std::uint32_t, ExceptionId> seen;
@@ -96,16 +110,60 @@ TEST_P(CrashSweep, RandomCrashDuringResolution) {
     if (i == victim) continue;
     for (const auto& h : objects[i]->handled()) {
       auto [it, inserted] = seen.emplace(h.round, h.resolved);
-      if (!inserted) {
-        EXPECT_EQ(it->second, h.resolved)
-            << "survivor disagreement, seed " << GetParam();
+      if (!inserted && it->second != h.resolved) {
+        std::ostringstream msg;
+        msg << "survivor disagreement in round " << h.round;
+        violations.push_back(msg.str());
       }
     }
   }
+
+  if (!violations.empty()) {
+    r.ok = false;
+    std::ostringstream all;
+    for (std::size_t i = 0; i < violations.size(); ++i) {
+      if (i != 0) all << "; ";
+      all << violations[i];
+    }
+    r.error = all.str();
+  }
+  return r;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, CrashSweep,
-                         ::testing::Range<std::uint64_t>(1, 81));
+TEST(CrashSweep, RandomCrashDuringResolution) {
+  run::Campaign campaign({.seed = 42, .threads = 0});
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    campaign.add("crash#" + std::to_string(seed),
+                 [seed](const run::WorldContext&) {
+                   return run_crash_trial(seed);
+                 });
+  }
+  const run::CampaignResult result = campaign.run();
+  EXPECT_TRUE(result.all_ok())
+      << result.failed << " seed(s) violated invariants; first: "
+      << result.first_error();
+  EXPECT_GT(result.total_events, 0);
+}
+
+TEST(CrashSweep, SweepIsThreadCountInvariant) {
+  auto sweep_with = [](unsigned threads) {
+    run::Campaign campaign({.seed = 42, .threads = threads});
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      campaign.add("crash#" + std::to_string(seed),
+                   [seed](const run::WorldContext&) {
+                     return run_crash_trial(seed);
+                   });
+    }
+    return campaign.run();
+  };
+  const run::CampaignResult serial = sweep_with(1);
+  const run::CampaignResult parallel = sweep_with(8);
+  ASSERT_TRUE(serial.all_ok()) << serial.first_error();
+  ASSERT_TRUE(parallel.all_ok()) << parallel.first_error();
+  EXPECT_EQ(serial.merged_checksum, parallel.merged_checksum);
+  EXPECT_EQ(serial.merged_metrics.to_string(),
+            parallel.merged_metrics.to_string());
+}
 
 }  // namespace
 }  // namespace caa

@@ -23,35 +23,15 @@
 namespace caa {
 namespace {
 
-using action::EnterConfig;
-using action::uniform_handlers;
-
-/// §4.3 Example 1, exactly as trace_narrative_test stages it: O1 and O2
+/// §4.3 Example 1 via the shared scenario library (the golden trace pins
+/// that the library stages it exactly as this test always did): O1 and O2
 /// raise sibling exceptions concurrently at t=1000; O2 resolves.
-std::unique_ptr<World> run_example1(bool observe) {
-  WorldConfig wc;
-  wc.observe = observe;
-  auto w = std::make_unique<World>(wc);
-  auto& o1 = w->add_participant("O1");
-  auto& o2 = w->add_participant("O2");
-  auto& o3 = w->add_participant("O3");
-  ex::ExceptionTree tree;
-  const auto parent = tree.declare("E");
-  tree.declare("E1", parent);
-  tree.declare("E2", parent);
-  const auto& decl = w->actions().declare("A1", std::move(tree));
-  const auto& a1 =
-      w->actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
-  for (auto* o : {&o1, &o2, &o3}) {
-    EXPECT_TRUE(o->enter(
-        a1.instance,
-        EnterConfig::with(
-            uniform_handlers(decl.tree(), ex::HandlerResult::recovered()))));
-  }
-  w->at(1000, [&o1] { o1.raise("E1"); });
-  w->at(1000, [&o2] { o2.raise("E2"); });
-  w->run();
-  return w;
+std::unique_ptr<scenario::Example1Scenario> run_example1(bool observe) {
+  scenario::Example1Options options;
+  options.world.observe = observe;
+  auto s = std::make_unique<scenario::Example1Scenario>(options);
+  s->run();
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -164,7 +144,7 @@ TEST(ChromeTrace, GoldenExample1) {
   const std::string golden_path =
       std::string(CAA_TEST_DATA_DIR) + "/golden/example1_chrome_trace.json";
   const auto w = run_example1(/*observe=*/true);
-  const std::string trace = w->chrome_trace();
+  const std::string trace = w->world().chrome_trace();
 
   if (std::getenv("CAA_UPDATE_GOLDEN") != nullptr) {
     std::ofstream out(golden_path, std::ios::binary);
@@ -187,13 +167,13 @@ TEST(ChromeTrace, GoldenExample1) {
 TEST(ChromeTrace, ByteStableAcrossIdenticalWorlds) {
   const auto w1 = run_example1(true);
   const auto w2 = run_example1(true);
-  EXPECT_EQ(w1->chrome_trace(), w2->chrome_trace());
-  EXPECT_FALSE(w1->tracer().spans().empty());
+  EXPECT_EQ(w1->world().chrome_trace(), w2->world().chrome_trace());
+  EXPECT_FALSE(w1->world().tracer().spans().empty());
 }
 
 TEST(ChromeTrace, ExportIsWellFormedJson) {
   const auto w = run_example1(true);
-  const std::string trace = w->chrome_trace();
+  const std::string trace = w->world().chrome_trace();
   EXPECT_TRUE(JsonChecker(trace).valid()) << trace;
 
   // And with every record category present: run Figure 4 too (aborts,
@@ -244,20 +224,20 @@ TEST(ChromeTrace, SyncSpansNestPerTrack) {
 
 TEST(Observability, DisabledRecordsNoSpansOrRounds) {
   const auto w = run_example1(/*observe=*/false);
-  EXPECT_TRUE(w->tracer().spans().empty());
-  EXPECT_TRUE(w->tracer().instants().empty());
-  EXPECT_TRUE(w->metrics().observed_actions().empty());
+  EXPECT_TRUE(w->world().tracer().spans().empty());
+  EXPECT_TRUE(w->world().tracer().instants().empty());
+  EXPECT_TRUE(w->world().metrics().observed_actions().empty());
   // The §4.4 headline number still works: counters are unconditional.
-  EXPECT_EQ(w->metrics().resolution_messages(), 10);
+  EXPECT_EQ(w->world().metrics().resolution_messages(), 10);
 }
 
 TEST(Observability, ZeroCounterDriftExample1) {
   const auto on = run_example1(true);
   const auto off = run_example1(false);
-  EXPECT_EQ(on->metrics().counters().to_string(),
-            off->metrics().counters().to_string());
-  EXPECT_EQ(on->simulator().now(), off->simulator().now());
-  EXPECT_FALSE(on->tracer().spans().empty());
+  EXPECT_EQ(on->world().metrics().counters().to_string(),
+            off->world().metrics().counters().to_string());
+  EXPECT_EQ(on->world().simulator().now(), off->world().simulator().now());
+  EXPECT_FALSE(on->world().tracer().spans().empty());
 }
 
 TEST(Observability, ZeroCounterDriftFigure4) {
@@ -276,7 +256,7 @@ TEST(Observability, ZeroCounterDriftFigure4) {
 TEST(Observability, SnapshotDiffTracksNewTraffic) {
   const auto w = run_example1(true);
   const obs::MetricsSnapshot before;  // empty baseline
-  const obs::MetricsSnapshot after = w->metrics().snapshot();
+  const obs::MetricsSnapshot after = w->world().metrics().snapshot();
   const obs::MetricsSnapshot diff = after.diff(before);
   EXPECT_EQ(diff.to_string(), after.to_string());
   EXPECT_TRUE(after.diff(after).counters.empty());

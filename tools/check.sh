@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
 # Full verification matrix: configure + build + ctest for each CMake preset.
 #
-#   tools/check.sh            # dev, release, asan in sequence
-#   tools/check.sh dev asan   # just those presets
+#   tools/check.sh                 # dev, release, asan, tsan in sequence
+#   tools/check.sh dev asan        # just those presets
 #
 # Presets map to build dirs (see CMakePresets.json): dev -> build/,
-# release -> build-release/, asan -> build-asan/. Exits non-zero on the
-# first failing step.
+# release -> build-release/, asan -> build-asan/, tsan -> build-tsan/.
+# Exits non-zero on the first failing step.
+#
+# The tsan preset builds everything but runs only the multithreaded
+# surface (campaign runner + thread pool + allocator pins): the rest of
+# the suite is single-threaded by construction and already covered by the
+# other presets, so re-running all of it under ThreadSanitizer's ~10x
+# slowdown buys nothing.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(dev release asan)
+  presets=(dev release asan tsan)
 fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
@@ -22,7 +28,12 @@ for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===================================="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
-  ctest --preset "${preset}" -j "${jobs}"
+  if [ "${preset}" = "tsan" ]; then
+    ctest --preset "${preset}" -j "${jobs}" \
+      -R 'Campaign|ThreadPool|DeriveSeed|PropertySweep|CrashSweep|NetAlloc'
+  else
+    ctest --preset "${preset}" -j "${jobs}"
+  fi
 done
 
 echo "==== all presets green: ${presets[*]}"
