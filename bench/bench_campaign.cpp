@@ -15,14 +15,19 @@
 // threads=nproc over threads=1 (≈1.0 on a single-core machine).
 //
 // Usage: bench_campaign [--json PATH] [--worlds K] [--seed S] [--threads T]
+//                       [--dump-traces DIR]
 //   --json PATH   output document (default ./BENCH_campaign.json)
 //   --worlds K    worlds per size (default 4)
 //   --seed S      campaign seed (default 42)
 //   --threads T   extra thread count to include beyond {1,2,4,nproc}
+//   --dump-traces DIR  arm per-world crash dumps into DIR and write one
+//                 representative flight-recorder dump + critical-path
+//                 summary per size
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -36,8 +41,10 @@ namespace caa::bench {
 namespace {
 
 run::CampaignResult sweep(const std::vector<int>& sizes, int worlds_per_size,
-                          std::uint64_t seed, unsigned threads) {
-  run::Campaign campaign({.seed = seed, .threads = threads});
+                          std::uint64_t seed, unsigned threads,
+                          const std::string& dump_dir = {}) {
+  run::Campaign campaign({.seed = seed, .threads = threads,
+                          .dump_dir = dump_dir});
   for (const int n : sizes) {
     for (int k = 0; k < worlds_per_size; ++k) {
       campaign.add("flat_n" + std::to_string(n) + "#" + std::to_string(k),
@@ -64,6 +71,7 @@ int main(int argc, char** argv) {
   using namespace caa::bench;
 
   std::string json_path = "BENCH_campaign.json";
+  std::string dump_dir;
   int worlds_per_size = 4;
   std::uint64_t seed = 42;
   unsigned extra_threads = 0;
@@ -76,11 +84,13 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       extra_threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--dump-traces") == 0 && i + 1 < argc) {
+      dump_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "bench_campaign: unknown argument '%s'\n"
                    "usage: bench_campaign [--json PATH] [--worlds K] "
-                   "[--seed S] [--threads T]\n",
+                   "[--seed S] [--threads T] [--dump-traces DIR]\n",
                    argv[i]);
       return 2;
     }
@@ -104,21 +114,34 @@ int main(int argc, char** argv) {
 
   Json rows = Json::array();
   std::uint64_t reference_digest = 0;
+  std::string reference_latency;
+  Json latency = Json::array();
   double baseline_events_per_sec = 0.0;
   double nproc_events_per_sec = 0.0;
   bool merged_stable = true;
+  bool latency_stable = true;
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     const unsigned t = thread_counts[i];
-    const run::CampaignResult r = sweep(sizes, worlds_per_size, seed, t);
+    const run::CampaignResult r =
+        sweep(sizes, worlds_per_size, seed, t, dump_dir);
     if (!r.all_ok()) {
       std::fprintf(stderr, "bench_campaign: world failed: %s\n",
                    r.first_error().c_str());
       return 1;
     }
+    // The merged percentile rows are part of the thread-count-invariance
+    // contract just like the checksum: bucket-wise histogram merges are
+    // commutative, so the rendered rows must be byte-identical at every
+    // worker count.
+    Json this_latency = latency_percentiles(r.merged_metrics);
+    const std::string latency_text = this_latency.dump();
     if (i == 0) {
       reference_digest = r.merged_checksum;
-    } else if (r.merged_checksum != reference_digest) {
-      merged_stable = false;
+      reference_latency = latency_text;
+      latency = std::move(this_latency);
+    } else {
+      if (r.merged_checksum != reference_digest) merged_stable = false;
+      if (latency_text != reference_latency) latency_stable = false;
     }
     const double events_per_sec =
         r.wall_ms > 0.0
@@ -151,6 +174,32 @@ int main(int argc, char** argv) {
                  "thread count\n");
     return 1;
   }
+  if (!latency_stable) {
+    std::fprintf(stderr,
+                 "bench_campaign: merged latency percentiles depend on "
+                 "thread count\n");
+    return 1;
+  }
+
+  if (!dump_dir.empty()) {
+    // One representative world per size: its black box and critical paths
+    // land next to the JSON for post-mortem comparison against failures.
+    for (const int n : sizes) {
+      scenario::FlatOptions options;
+      options.participants = n;
+      options.raisers = 2;
+      options.world.seed = run::derive_seed(seed, 0);
+      scenario::FlatScenario s(options);
+      s.run();
+      const std::string base = dump_dir + "/flat_n" + std::to_string(n);
+      if (!s.world().write_recorder_dump(base + ".caafr")) return 1;
+      std::ofstream out(base + ".critical_path.txt", std::ios::binary);
+      out << s.world().critical_path_report();
+      if (!out.good()) return 1;
+    }
+    std::printf("wrote %zu flight-recorder dumps to %s\n", sizes.size(),
+                dump_dir.c_str());
+  }
 
   const double speedup_at_nproc =
       baseline_events_per_sec > 0.0
@@ -161,11 +210,12 @@ int main(int argc, char** argv) {
               hex_digest(reference_digest).c_str(), nproc, speedup_at_nproc);
 
   Json doc =
-      bench_doc("bench_campaign", /*schema_version=*/1, nproc)
+      bench_doc("bench_campaign", /*schema_version=*/2, nproc)
           .set("seed", Json::num(static_cast<std::int64_t>(seed)))
           .set("worlds_per_size", Json::num(std::int64_t{worlds_per_size}))
           .set("merged_checksum", Json::str(hex_digest(reference_digest)))
           .set("speedup_at_nproc", Json::num(speedup_at_nproc))
+          .set("latency", std::move(latency))
           .set("scaling", std::move(rows));
   if (!doc.write_file(json_path)) return 1;
   std::printf("\nwrote %s\n", json_path.c_str());

@@ -19,17 +19,21 @@
 // leave every checksum unchanged: same protocol, faster core.
 //
 // Usage: bench_throughput [--json PATH] [--only SUBSTR] [--reps K]
-//                         [--threads T]
+//                         [--threads T] [--dump-traces DIR]
 //   --json PATH    where to write the JSON document (default
 //                  ./BENCH_throughput.json)
 //   --only SUBSTR  run only configs whose name contains SUBSTR (profiling
 //                  aid; the JSON then covers just those configs)
 //   --reps K       repetitions per config (default 3; min wall time wins)
 //   --threads T    campaign worker threads (default 1; 0 = nproc)
+//   --dump-traces DIR  write per-config flight-recorder dumps
+//                  (<config>.caafr) and critical-path summaries
+//                  (<config>.critical_path.txt) into DIR
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -50,11 +54,13 @@ struct Config {
 
 /// World job for one config. Seeds are deliberately left at the
 /// WorldConfig default so checksums reproduce the committed perf record.
-run::WorldResult run_config(const Config& config) {
+/// `recorder` toggles the flight recorder for the A/B overhead rows.
+run::WorldResult run_config(const Config& config, bool recorder = true) {
   if (config.family == "flat") {
     scenario::FlatOptions options;
     options.participants = config.participants;
     options.raisers = 2;
+    options.world.flight_recorder = recorder;
     scenario::FlatScenario s(options);
     return run::measure(config.name, s.world(),
                         [&s] { return s.world().run(); });
@@ -62,9 +68,36 @@ run::WorldResult run_config(const Config& config) {
   scenario::NestedChainOptions options;
   options.participants = config.participants;
   options.depth = 3;
+  options.world.flight_recorder = recorder;
   scenario::NestedChainScenario s(options);
   return run::measure(config.name, s.world(),
                       [&s] { return s.world().run(); });
+}
+
+/// Re-runs one config with the recorder on and writes its black box plus
+/// the extracted critical paths next to the JSON outputs.
+bool dump_config_trace(const Config& config, const std::string& dir) {
+  const std::string base = dir + "/" + config.name;
+  if (config.family == "flat") {
+    scenario::FlatOptions options;
+    options.participants = config.participants;
+    options.raisers = 2;
+    scenario::FlatScenario s(options);
+    s.run();
+    if (!s.world().write_recorder_dump(base + ".caafr")) return false;
+    std::ofstream out(base + ".critical_path.txt", std::ios::binary);
+    out << s.world().critical_path_report();
+    return out.good();
+  }
+  scenario::NestedChainOptions options;
+  options.participants = config.participants;
+  options.depth = 3;
+  scenario::NestedChainScenario s(options);
+  s.run();
+  if (!s.world().write_recorder_dump(base + ".caafr")) return false;
+  std::ofstream out(base + ".critical_path.txt", std::ios::binary);
+  out << s.world().critical_path_report();
+  return out.good();
 }
 
 /// One campaign over `configs` (reps jobs per config) at `threads` workers.
@@ -91,6 +124,7 @@ int main(int argc, char** argv) {
 
   std::string json_path = "BENCH_throughput.json";
   std::string only;
+  std::string dump_dir;
   int repetitions = 3;
   unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
@@ -102,11 +136,13 @@ int main(int argc, char** argv) {
       repetitions = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--dump-traces") == 0 && i + 1 < argc) {
+      dump_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "bench_throughput: unknown argument '%s'\n"
                    "usage: bench_throughput [--json PATH] [--only SUBSTR] "
-                   "[--reps K] [--threads T]\n",
+                   "[--reps K] [--threads T] [--dump-traces DIR]\n",
                    argv[i]);
       return 2;
     }
@@ -253,9 +289,70 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Json doc = bench_doc("bench_throughput", /*schema_version=*/2, threads)
+  // Flight-recorder A/B: interleaved on/off repetitions of the largest
+  // config per family. The recorder must be behaviourally invisible
+  // (identical checksums — the zero-drift contract) and cheap (the issue
+  // budget is <= 10% throughput overhead).
+  std::printf("\n%-14s %12s %12s %10s\n", "recorder A/B", "on ms", "off ms",
+              "overhead");
+  Json overhead_rows = Json::array();
+  for (const Config& config : configs) {
+    if (config.participants != 1024) continue;  // largest of each family
+    double on_ms = 0.0;
+    double off_ms = 0.0;
+    std::uint64_t on_checksum = 0;
+    std::uint64_t off_checksum = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {  // interleaved on/off
+      const run::WorldResult on = run_config(config, /*recorder=*/true);
+      const run::WorldResult off = run_config(config, /*recorder=*/false);
+      if (rep == 0 || on.wall_ms < on_ms) on_ms = on.wall_ms;
+      if (rep == 0 || off.wall_ms < off_ms) off_ms = off.wall_ms;
+      on_checksum = on.checksum;
+      off_checksum = off.checksum;
+    }
+    if (on_checksum != off_checksum) {
+      std::fprintf(stderr,
+                   "bench_throughput: flight recorder drifted behaviour on "
+                   "%s (on=%s off=%s)\n",
+                   config.name.c_str(), hex_digest(on_checksum).c_str(),
+                   hex_digest(off_checksum).c_str());
+      return 1;
+    }
+    const double overhead = off_ms > 0.0 ? on_ms / off_ms - 1.0 : 0.0;
+    std::printf("%-14s %12.3f %12.3f %9.1f%%\n", config.name.c_str(), on_ms,
+                off_ms, 100.0 * overhead);
+    if (overhead > 0.10) {
+      std::fprintf(stderr,
+                   "bench_throughput: WARNING recorder overhead %.1f%% on %s "
+                   "exceeds the 10%% budget\n",
+                   100.0 * overhead, config.name.c_str());
+    }
+    overhead_rows.push(
+        Json::object()
+            .set("config", Json::str(config.name))
+            .set("wall_ms_recorder_on", Json::num(on_ms))
+            .set("wall_ms_recorder_off", Json::num(off_ms))
+            .set("overhead", Json::num(overhead))
+            .set("checksum_match", Json::boolean(true)));
+  }
+
+  if (!dump_dir.empty()) {
+    for (const Config& config : configs) {
+      if (!dump_config_trace(config, dump_dir)) {
+        std::fprintf(stderr, "bench_throughput: cannot write traces to %s\n",
+                     dump_dir.c_str());
+        return 1;
+      }
+    }
+    std::printf("\nwrote %zu flight-recorder dumps to %s\n", configs.size(),
+                dump_dir.c_str());
+  }
+
+  Json doc = bench_doc("bench_throughput", /*schema_version=*/3, threads)
                  .set("repetitions", Json::num(std::int64_t{repetitions}))
                  .set("results", std::move(results))
+                 .set("latency", latency_percentiles(campaign.merged_metrics))
+                 .set("recorder_overhead", std::move(overhead_rows))
                  .set("scaling", std::move(scaling));
   if (!doc.write_file(json_path)) return 1;
   std::printf("\nwrote %s\n", json_path.c_str());

@@ -177,4 +177,19 @@ Json bench_doc(const std::string& bench, std::int64_t schema_version,
       .set("threads", Json::num(static_cast<std::int64_t>(threads)));
 }
 
+Json latency_percentiles(const obs::MetricsSnapshot& snapshot) {
+  Json rows = Json::array();
+  for (const auto& [name, h] : snapshot.histograms) {
+    rows.push(Json::object()
+                  .set("histogram", Json::str(name))
+                  .set("count", Json::num(h.count))
+                  .set("mean", Json::num(h.mean()))
+                  .set("p50", Json::num(h.quantile_bound(0.50)))
+                  .set("p95", Json::num(h.quantile_bound(0.95)))
+                  .set("p99", Json::num(h.quantile_bound(0.99)))
+                  .set("max", Json::num(h.max)));
+  }
+  return rows;
+}
+
 }  // namespace caa::bench

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace caa::bench {
 
 /// A write-only JSON value. Build with the static constructors, compose
@@ -60,5 +62,11 @@ class Json {
 /// across `--threads` settings.
 [[nodiscard]] Json bench_doc(const std::string& bench,
                              std::int64_t schema_version, unsigned threads);
+
+/// Percentile rows for every histogram in a (merged) metrics snapshot:
+/// [{histogram, count, mean, p50, p95, p99, max}, ...] in name order.
+/// Campaign merges are bucket-wise and commutative, so these rows are
+/// bit-identical for any worker-thread count — benches pin that.
+[[nodiscard]] Json latency_percentiles(const obs::MetricsSnapshot& snapshot);
 
 }  // namespace caa::bench

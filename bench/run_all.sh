@@ -6,11 +6,30 @@
 # Benches that support machine-readable output get --json <repo>/BENCH_<x>.json;
 # campaign-aware benches additionally get --threads "$(nproc)" so the JSON
 # headers record both the machine's nproc and the thread count actually used.
+#
+# With --dump-traces, the trace-aware benches additionally write
+# flight-recorder dumps (*.caafr, decodable by caa-inspect) and
+# critical-path summaries (*.critical_path.txt) into <repo>/traces/,
+# next to the JSON outputs.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="$ROOT/build-release"
 THREADS="$(nproc)"
+
+TRACES_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --dump-traces)
+      TRACES_DIR="$ROOT/traces"
+      mkdir -p "$TRACES_DIR"
+      ;;
+    *)
+      echo "run_all.sh: unknown argument '$arg' (supported: --dump-traces)" >&2
+      exit 2
+      ;;
+  esac
+done
 
 cmake --preset release -S "$ROOT"
 cmake --build --preset release -j"$(nproc)" --target \
@@ -23,10 +42,12 @@ for bench in "$BUILD"/bench/bench_*; do
   [ -x "$bench" ] || continue
   case "$(basename "$bench")" in
     bench_throughput)
-      "$bench" --json "$ROOT/BENCH_throughput.json" --threads "$THREADS"
+      "$bench" --json "$ROOT/BENCH_throughput.json" --threads "$THREADS" \
+               ${TRACES_DIR:+--dump-traces "$TRACES_DIR"}
       ;;
     bench_campaign)
-      "$bench" --json "$ROOT/BENCH_campaign.json"
+      "$bench" --json "$ROOT/BENCH_campaign.json" \
+               ${TRACES_DIR:+--dump-traces "$TRACES_DIR"}
       ;;
     bench_recovery_strategies)
       "$bench" --json "$ROOT/BENCH_recovery_strategies.json" \
@@ -40,3 +61,6 @@ done
 
 echo
 echo "JSON perf records at: $ROOT/BENCH_*.json"
+if [ -n "$TRACES_DIR" ]; then
+  echo "flight-recorder traces at: $TRACES_DIR/ (decode with caa-inspect)"
+fi

@@ -134,6 +134,7 @@ void Participant::raise(ExceptionId exception, std::string message) {
     runtime().simulator().counters().add(kCounterRaiseSuperseded);
     return;
   }
+  dyn.raise_time = now();
   dyn.engine->raise(exception, std::move(message));
 }
 
@@ -423,6 +424,14 @@ void Participant::on_round_finished(ActionInstanceId scope,
                                     ExceptionId resolved) {
   Dyn* dyn = find_dyn(scope);
   CAA_CHECK(dyn != nullptr);
+  if (dyn->raise_time >= 0) {
+    // Raiser-side resolution latency (raise -> this round's commit), fed
+    // into the campaign's merged percentile rows.
+    obs::Metrics& metrics = runtime().simulator().obs().metrics();
+    metrics.record(metrics.histogram("resolve.latency"),
+                   now() - dyn->raise_time);
+    dyn->raise_time = -1;
+  }
   const std::uint32_t resolved_round = dyn->round;
   ++dyn->round;  // subsequent messages of the old round become stale
   dyn->handling = true;  // the handler takes over this participant's duties
@@ -541,6 +550,13 @@ void Participant::abort_step() {
     CAA_CHECK(dyn != nullptr);
     if (dyn->config.on_abort) dyn->config.on_abort();
     aborts_.push_back(AbortRecord{instance, signal, now()});
+    if (obs::FlightRecorder& recorder =
+            runtime().simulator().obs().recorder();
+        recorder.enabled()) {
+      recorder.record_protocol(obs::RecType::kAbort, id().value(),
+                               instance.value(), 0,
+                               signal.valid() ? signal.value() : 0);
+    }
     if (abort_span.valid()) {
       obs::Tracer& tracer = runtime().simulator().obs().tracer();
       tracer.end(abort_span);

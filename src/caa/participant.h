@@ -282,6 +282,11 @@ class Participant : public rt::ManagedObject {
                              // completes the action
     std::set<ObjectId> excluded;       // crashed members (extension)
     std::optional<DoneMsg> last_done;  // re-sent on leader re-election
+    // When this participant raised (explicitly or by promotion): start of
+    // the "resolve.latency" histogram sample taken when its round finishes.
+    // Unconditional (not obs-gated) so campaign percentile rows exist for
+    // un-observed worlds; histograms never feed behaviour checksums.
+    sim::Time raise_time = -1;
     // Structured-trace spans (valid only while observability is enabled):
     // the action's lifetime at this participant, the acceptance-line wait,
     // and the currently running resolved handler.

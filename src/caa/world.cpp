@@ -1,5 +1,8 @@
 #include "caa/world.h"
 
+#include <exception>
+
+#include "obs/causal.h"
 #include "obs/chrome_trace.h"
 #include "obs/report.h"
 #include "util/check.h"
@@ -13,12 +16,44 @@ World::World(WorldConfig config)
   network_.set_default_link(config_.link);
   trace_.enable(config_.trace);
   simulator_.obs().set_enabled(config_.observe);
+  obs::FlightRecorder& recorder = simulator_.obs().recorder();
+  recorder.set_enabled(config_.flight_recorder);
+  if (config_.flight_recorder_capacity !=
+      obs::FlightRecorder::kDefaultCapacity) {
+    recorder.set_capacity(config_.flight_recorder_capacity);
+  }
+  // Register as the thread's active recorder so an armed crash context
+  // (run/campaign.cpp) or a tripped CAA_CHECK can dump this world's ring.
+  prev_recorder_ = obs::FlightRecorder::bind_thread_active(&recorder);
   CAA_CHECK_MSG(config_.link.drop_probability == 0.0 ||
                     config_.reliable_transport,
                 "lossy links require the reliable transport");
 }
 
-World::~World() = default;
+World::~World() {
+  // Dying by stack unwinding (the world's job threw) with a crash context
+  // armed: this is the last moment the ring exists, so dump it here; the
+  // campaign's catch block picks the path up for the failure report.
+  if (std::uncaught_exceptions() > 0 && obs::FlightRecorder::crash_dump_armed() &&
+      obs::FlightRecorder::thread_active() == &simulator_.obs().recorder()) {
+    obs::FlightRecorder::dump_thread_active();
+  }
+  obs::FlightRecorder::bind_thread_active(prev_recorder_);
+}
+
+bool World::write_recorder_dump(const std::string& path,
+                                std::uint64_t world_index) {
+  return recorder().dump_to_file(path, config_.seed, world_index);
+}
+
+std::string World::critical_path_report() {
+  std::string out;
+  for (const obs::CriticalPath& path :
+       obs::critical_paths(recorder().snapshot())) {
+    out += obs::format_path(path);
+  }
+  return out;
+}
 
 NodeId World::add_node() {
   const NodeId node(next_node_++);

@@ -42,6 +42,12 @@ struct WorldConfig {
   /// barrier / txn), per-round protocol tallies, histograms. Off by
   /// default — disabled runs record nothing and pay one branch per site.
   bool observe = false;
+  /// Keep the causal flight recorder running (obs/flight_recorder.h). On by
+  /// default: it is the always-on black box, allocation-free after its one
+  /// ring reservation, and never touches behaviour checksums.
+  bool flight_recorder = true;
+  /// Ring capacity in records when the recorder is on.
+  std::size_t flight_recorder_capacity = obs::FlightRecorder::kDefaultCapacity;
 };
 
 class World {
@@ -81,6 +87,19 @@ class World {
   /// Plain-text per-action, per-round protocol message report (the §4.4
   /// tables for this run), with action names resolved.
   [[nodiscard]] std::string run_report() const;
+
+  /// The world's causal flight recorder (black box).
+  [[nodiscard]] obs::FlightRecorder& recorder() {
+    return simulator_.obs().recorder();
+  }
+  /// Writes the recorder's binary dump (decodable by tools/caa-inspect) to
+  /// `path`, stamped with this world's seed and `world_index`. Returns
+  /// false on I/O failure.
+  bool write_recorder_dump(const std::string& path,
+                           std::uint64_t world_index = 0);
+  /// Per-(action, round) critical message chains extracted from the
+  /// recorder — the §4.4 quantity as a path (obs/causal.h).
+  [[nodiscard]] std::string critical_path_report();
 
   /// Creates a fresh node (own address space) with its runtime.
   NodeId add_node();
@@ -123,6 +142,8 @@ class World {
   std::vector<std::unique_ptr<action::Participant>> participants_;
   std::vector<Failure> failures_;
   std::uint32_t next_node_ = 0;
+  /// Previous thread-active recorder, restored on destruction.
+  obs::FlightRecorder* prev_recorder_ = nullptr;
 };
 
 }  // namespace caa

@@ -109,6 +109,13 @@ struct Packet {
   // application payload; set and consumed by the transport.
   std::uint64_t transport_seq = 0;
 
+  // Flight-recorder send record this packet originated from (0 when the
+  // recorder is off). Simulation metadata like transport_seq: it rides the
+  // in-memory packet so the delivery record can name its causal parent, but
+  // it is not wire payload and does not count towards size_on_wire() — the
+  // recorder must not move byte counters (zero-drift contract).
+  std::uint64_t cause = 0;
+
   [[nodiscard]] std::size_t size_on_wire() const {
     return payload.size() + 24;  // header estimate: addresses + kind + seq
   }

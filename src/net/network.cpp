@@ -112,9 +112,20 @@ void Network::send(Packet packet) {
                 "send: unknown dst node");
   const KindCounters& kc = kind_counters(packet.kind);
   count(kc.sent, static_cast<std::int64_t>(packet.size_on_wire()));
+  obs::FlightRecorder& recorder = simulator_.obs().recorder();
+  if (recorder.enabled()) {
+    // The send's cause is whatever is executing right now (typically the
+    // delivery that triggered it); the packet carries the send record's id
+    // so the eventual delivery can name it as parent.
+    packet.cause = recorder.record_send(
+        static_cast<std::uint16_t>(packet.kind), packet.src.node.value(),
+        packet.dst.node.value());
+  }
 
   if (!src->up) {
     count(kc.dropped);
+    recorder.record_drop(static_cast<std::uint16_t>(packet.kind),
+                         packet.src.node.value(), packet.cause);
     BytesPool::local().recycle(std::move(packet.payload));
     return;  // a crashed node cannot send
   }
@@ -122,6 +133,8 @@ void Network::send(Packet packet) {
   ChannelState& ch = channel(packet.src.node, packet.dst.node);
   if (ch.partitioned || ch.rng.chance(ch.params.drop_probability)) {
     count(kc.dropped);
+    recorder.record_drop(static_cast<std::uint16_t>(packet.kind),
+                         packet.src.node.value(), packet.cause);
     BytesPool::local().recycle(std::move(packet.payload));
     return;
   }
@@ -155,8 +168,11 @@ void Network::deliver(Packet&& packet) {
   NodeState* dst = node_state(packet.dst.node);
   CAA_CHECK(dst != nullptr);
   const KindCounters& kc = kind_counters(packet.kind);
+  obs::FlightRecorder& recorder = simulator_.obs().recorder();
   if (!dst->up) {
     count(kc.dropped);
+    recorder.record_drop(static_cast<std::uint16_t>(packet.kind),
+                         packet.dst.node.value(), packet.cause);
     BytesPool::local().recycle(std::move(packet.payload));
     return;  // destination crashed while the packet was in flight
   }
@@ -164,7 +180,19 @@ void Network::deliver(Packet&& packet) {
                 "deliver: node has no endpoint");
   count(kc.delivered);
   ++delivered_total_;
+  // Everything the handler does — records it pushes, packets it sends,
+  // events it schedules — descends from this delivery in the causal DAG.
+  std::uint64_t saved_cause = 0;
+  const bool recording = recorder.enabled();
+  if (recording) {
+    const std::uint64_t delivery = recorder.record_delivery(
+        static_cast<std::uint16_t>(packet.kind), packet.dst.node.value(),
+        packet.src.node.value(), packet.cause);
+    saved_cause = recorder.current_cause();
+    recorder.set_current_cause(delivery);
+  }
   dst->handler(std::move(packet));
+  if (recording) recorder.set_current_cause(saved_cause);
   // Whatever payload storage the handler did not move out of the packet goes
   // back to the pool; a handler that kept the bytes leaves an empty husk
   // here, which recycle() ignores. This closes the send->deliver loop at

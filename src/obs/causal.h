@@ -1,0 +1,71 @@
+// Causal-DAG queries over flight-recorder records.
+//
+// The §4.4 analysis counts the messages the resolution algorithm sends; the
+// quantity that determines *when* a resolution completes is the longest
+// dependency chain of those messages — raise → Exception → (HaveNested →
+// NestedCompleted →) ACK → Commit — i.e. the critical path through the
+// causal DAG the flight recorder captures. critical_paths() walks the DAG
+// backwards from every kResolved record and reports, per (action, round),
+// the chain with the most message hops, with per-hop kinds and virtual
+// timestamps. tools/caa-inspect and the --dump-traces bench flag share the
+// formatting here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace caa::obs {
+
+/// The longest message chain behind one (action, round) resolution.
+struct CriticalPath {
+  std::uint64_t scope = FlightRecord::kNoScope;  // ActionInstanceId value
+  std::uint32_t round = 0;
+  std::uint32_t resolved_code = 0;  // exception id the round committed
+  std::vector<FlightRecord> hops;   // root -> terminal kResolved record
+  int message_hops = 0;             // kDeliver records on the path
+  sim::Time begin = 0;              // time of the root record
+  sim::Time end = 0;                // time of the kResolved record
+  bool truncated = false;  // chain left the ring's retention window
+};
+
+/// Walks parents backwards from every kResolved record; keeps, per
+/// (scope, round), the chain with the most message hops (ties: longer
+/// chain, then earliest terminal id — deterministic). Sorted by
+/// (scope, round).
+[[nodiscard]] std::vector<CriticalPath> critical_paths(
+    const std::vector<FlightRecord>& records);
+
+/// The causal chain ending at record `id`, root first. Empty when the id is
+/// not in `records`. `truncated` (optional) reports whether the chain's
+/// oldest link had a cause that fell out of the ring.
+[[nodiscard]] std::vector<FlightRecord> chain_to(
+    const std::vector<FlightRecord>& records, std::uint64_t id,
+    bool* truncated = nullptr);
+
+/// One stable line per record, e.g.
+///   "#12 t=1100 deliver Exception N2<-N0 cause=#9".
+[[nodiscard]] std::string format_record(const FlightRecord& rec);
+
+/// Multi-line rendering of one critical path (header + indented hops).
+[[nodiscard]] std::string format_path(const CriticalPath& path);
+
+/// Record filters for caa-inspect and trace dumps.
+struct InspectOptions {
+  std::optional<std::uint64_t> scope;  // protocol records of one action
+  std::optional<std::uint32_t> node;   // wire records touching this node,
+                                       // protocol records of this object
+  std::optional<std::uint32_t> kind;   // wire records of one MsgKind
+  std::optional<std::uint64_t> chain;  // print the causal chain to this id
+  bool show_records = true;
+  bool show_paths = true;
+};
+
+/// Full text report over a decoded dump: header, (filtered) records,
+/// critical paths, optional single chain.
+[[nodiscard]] std::string inspect_report(const FlightDump& dump,
+                                         const InspectOptions& options = {});
+
+}  // namespace caa::obs

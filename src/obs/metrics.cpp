@@ -17,19 +17,55 @@ void Histogram::record(std::int64_t value) {
   buckets_[std::min(bucket, kBuckets - 1)] += 1;
 }
 
-std::int64_t Histogram::quantile_bound(double q) const {
-  if (count_ == 0) return 0;
-  const auto threshold = static_cast<std::int64_t>(
-      q * static_cast<double>(count_));
+namespace {
+
+/// Shared bucket-scan percentile: smallest bucket upper bound covering
+/// >= q of `count` samples. `fallback` is returned when the scan runs off
+/// the end (numerically impossible for consistent data; max by convention).
+std::int64_t bucket_quantile(const std::int64_t* buckets, int n_buckets,
+                             std::int64_t count, std::int64_t fallback,
+                             double q) {
+  if (count == 0) return 0;
+  const auto threshold =
+      static_cast<std::int64_t>(q * static_cast<double>(count));
   std::int64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
+  for (int b = 0; b < n_buckets; ++b) {
+    seen += buckets[b];
     if (seen >= threshold && seen > 0) {
       // Upper bound of bucket b: values v with bit_width(v) == b.
       return b == 0 ? 0 : (std::int64_t{1} << b) - 1;
     }
   }
-  return max_;
+  return fallback;
+}
+
+}  // namespace
+
+std::int64_t Histogram::quantile_bound(double q) const {
+  return bucket_quantile(buckets_, kBuckets, count_, max_, q);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max_;
+  for (int b = 0; b < kBuckets; ++b) s.buckets[b] = buckets_[b];
+  return s;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  for (int b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+std::int64_t HistogramSnapshot::quantile_bound(double q) const {
+  return bucket_quantile(buckets.data(), kBuckets, count, max, q);
 }
 
 std::string Histogram::to_string() const {
@@ -59,6 +95,9 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.counters) {
     counters[name] += value;
   }
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].merge(hist);
+  }
 }
 
 std::string MetricsSnapshot::to_string() const {
@@ -67,6 +106,16 @@ std::string MetricsSnapshot::to_string() const {
     out << name << "=" << value << "\n";
   }
   return out.str();
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot s;
+  s.counters = counters_.all();
+  for (const auto& [name, id] : histogram_ids_) {
+    const Histogram& h = histograms_[id.value()];
+    if (h.count() > 0) s.histograms.emplace(name, h.snapshot());
+  }
+  return s;
 }
 
 std::int64_t Metrics::resolution_messages() const {

@@ -24,6 +24,7 @@
 // are bit-identical to an enabled run's.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -39,6 +40,27 @@ namespace caa::obs {
 /// Dense per-Metrics histogram handle (unlike CounterId, histogram names are
 /// not a process-wide registry: histograms are heavier and per-World).
 using HistogramId = StrongId<struct ObsHistogramTag>;
+
+/// Value-semantic copy of one histogram's state. The campaign runner merges
+/// per-world snapshots bucket-wise — addition is commutative and
+/// associative, so merged percentile rows are bit-identical for any thread
+/// count (merge happens in index order regardless of scheduling).
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 64;
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // meaningful only when count > 0
+  std::int64_t max = 0;
+  std::array<std::int64_t, kBuckets> buckets{};
+
+  void merge(const HistogramSnapshot& other);
+  [[nodiscard]] double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count)
+                 : 0.0;
+  }
+  /// Same bucket-bound percentile as Histogram::quantile_bound.
+  [[nodiscard]] std::int64_t quantile_bound(double q) const;
+};
 
 /// Power-of-two-bucketed value distribution (latencies, sizes). Fixed
 /// storage, no allocation after interning; record() is a few integer ops.
@@ -59,9 +81,10 @@ class Histogram {
   [[nodiscard]] std::int64_t quantile_bound(double q) const;
 
   [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] HistogramSnapshot snapshot() const;
 
  private:
-  static constexpr int kBuckets = 64;
+  static constexpr int kBuckets = HistogramSnapshot::kBuckets;
   std::int64_t count_ = 0;
   std::int64_t sum_ = 0;
   std::int64_t min_ = 0;
@@ -88,9 +111,12 @@ struct RoundCounts {
 /// and A/B diffs.
 struct MetricsSnapshot {
   std::map<std::string, std::int64_t, std::less<>> counters;
+  /// Non-empty histograms at snapshot time. Merged bucket-wise; excluded
+  /// from to_string() so behaviour fingerprints stay counter-only.
+  std::map<std::string, HistogramSnapshot, std::less<>> histograms;
 
   /// Per-key `this - earlier` (keys missing on either side count as 0;
-  /// zero-valued differences are omitted).
+  /// zero-valued differences are omitted). Counters only.
   [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& earlier) const;
 
   /// Key-wise sum of `other` into this snapshot — the campaign runner's
@@ -98,7 +124,8 @@ struct MetricsSnapshot {
   /// order yields the same result for any thread count.
   void merge(const MetricsSnapshot& other);
 
-  /// Sorted "name=value" lines.
+  /// Sorted "name=value" lines over the counters (checksum input; the
+  /// histograms deliberately do not participate).
   [[nodiscard]] std::string to_string() const;
 };
 
@@ -174,9 +201,8 @@ class Metrics {
 
   // ---- Snapshot / diff -----------------------------------------------
 
-  [[nodiscard]] MetricsSnapshot snapshot() const {
-    return MetricsSnapshot{counters_.all()};
-  }
+  /// Counters plus every non-empty histogram.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
   Counters counters_;

@@ -13,6 +13,7 @@
 // off (the zero-drift test pins this).
 #pragma once
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 
@@ -36,13 +37,22 @@ class Observability {
     tracer_.set_enabled(enabled());
   }
 
-  /// Points the tracer at the simulator's virtual clock storage.
-  void bind_clock(const sim::Time* now) { tracer_.bind_clock(now); }
+  /// Points the tracer and flight recorder at the simulator's virtual
+  /// clock storage.
+  void bind_clock(const sim::Time* now) {
+    tracer_.bind_clock(now);
+    recorder_.bind_clock(now);
+  }
 
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] const Tracer& tracer() const { return tracer_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  /// The always-on causal flight recorder. Independent of enabled():
+  /// enabled() gates the *optional* structured tracing, while the recorder
+  /// is the black box that should still be running when a world crashes.
+  [[nodiscard]] FlightRecorder& recorder() { return recorder_; }
+  [[nodiscard]] const FlightRecorder& recorder() const { return recorder_; }
 
  private:
 #ifndef CAA_OBS_DISABLED
@@ -50,6 +60,7 @@ class Observability {
 #endif
   Tracer tracer_;
   Metrics metrics_;
+  FlightRecorder recorder_;
 };
 
 }  // namespace caa::obs

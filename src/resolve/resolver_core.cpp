@@ -72,6 +72,13 @@ void ResolverCore::trace(std::string_view event, std::string detail) {
   if (tracing()) hooks_.trace(event, std::move(detail));
 }
 
+void ResolverCore::record_flight(obs::RecType type, std::uint32_t code) {
+  if (hooks_.obs == nullptr) return;
+  obs::FlightRecorder& recorder = hooks_.obs->recorder();
+  if (!recorder.enabled()) return;
+  recorder.record_protocol(type, self_.value(), scope_.value(), round_, code);
+}
+
 void ResolverCore::note_send(net::MsgKind kind, std::int64_t n) {
   if (hooks_.obs != nullptr && hooks_.obs->enabled()) {
     hooks_.obs->metrics().note_protocol_send(scope_, round_, kind, n);
@@ -96,6 +103,7 @@ void ResolverCore::raise(ExceptionId exception, std::string message) {
                 "raise(): exception not declared in the action's tree");
   state_ = State::kExceptional;
   begin_round_span();
+  record_flight(obs::RecType::kRaise, exception.value());
   record_exception(exception, self_, std::move(message));
   awaiting_acks_ = true;
   trace("raise", tree_->name_of(exception));
@@ -118,6 +126,7 @@ void ResolverCore::on_trigger_while_nested(
                 "nested trigger in a non-Normal outer context");
   state_ = State::kAborting;
   begin_round_span();
+  record_flight(obs::RecType::kState, static_cast<std::uint32_t>(state_));
   trace("state N->aborting");
   hooks_.multicast(net::MsgKind::kHaveNested,
                    encode(HaveNestedMsg{scope_, round_, self_}));
@@ -149,10 +158,12 @@ void ResolverCore::abort_finished(ExceptionId signalled) {
             static_cast<std::int64_t>(members_.size() - 1));
   if (signalled.valid()) {
     state_ = State::kExceptional;
+    record_flight(obs::RecType::kRaise, signalled.value());
     record_exception(signalled, self_, "signalled by abortion handler");
     trace("abort done, signalling", tree_->name_of(signalled));
   } else {
     state_ = State::kSuspended;
+    record_flight(obs::RecType::kState, static_cast<std::uint32_t>(state_));
     trace("abort done, nothing signalled");
   }
   // Replay messages that arrived during the abortion.
@@ -299,6 +310,7 @@ void ResolverCore::suspend_if_normal() {
   if (state_ == State::kNormal) {
     state_ = State::kSuspended;
     begin_round_span();
+    record_flight(obs::RecType::kState, static_cast<std::uint32_t>(state_));
     trace("state N->S");
   }
 }
@@ -340,6 +352,7 @@ void ResolverCore::raise_from_suspended(ExceptionId exception) {
                 "raise_from_suspended(): a live raiser still exists");
   CAA_CHECK(tree_->contains(exception));
   state_ = State::kExceptional;
+  record_flight(obs::RecType::kRaise, exception.value());
   record_exception(exception, self_, "raiser crashed; survivor promoted");
   awaiting_acks_ = true;
   trace("raise (promoted from S)", tree_->name_of(exception));
@@ -373,6 +386,7 @@ void ResolverCore::maybe_ready() {
     return;
   }
   state_ = State::kReady;
+  record_flight(obs::RecType::kState, static_cast<std::uint32_t>(state_));
   trace("state X->R");
   if (pending_commit_) {
     finish(*pending_commit_);
@@ -400,6 +414,9 @@ void ResolverCore::finish(const CommitMsg& m) {
                 "commit delivered to a Normal object");
   state_ = State::kHandling;
   resolved_ = m.resolved;
+  // The terminal record the critical-path extractor walks back from: its
+  // causal ancestry is exactly the message chain that completed the round.
+  record_flight(obs::RecType::kResolved, m.resolved.value());
   if (round_span_.valid()) {
     hooks_.obs->tracer().end_args(round_span_,
                                   "resolved " + tree_->name_of(m.resolved));

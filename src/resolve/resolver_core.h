@@ -172,6 +172,9 @@ class ResolverCore {
   void send_ack(ObjectId to);
   /// Tabulates `n` protocol messages just sent (no-op unless observing).
   void note_send(net::MsgKind kind, std::int64_t n);
+  /// Pushes a protocol record (raise / state / resolved) into the flight
+  /// recorder (no-op when the recorder is off or no hub is wired).
+  void record_flight(obs::RecType type, std::uint32_t code);
   /// Opens the round span on first departure from Normal (idempotent).
   void begin_round_span();
   void suspend_if_normal();

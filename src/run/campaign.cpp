@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <utility>
 
 #include "caa/world.h"
+#include "obs/flight_recorder.h"
 #include "run/thread_pool.h"
 #include "scenario/scenarios.h"
 #include "util/hash.h"
@@ -23,11 +25,37 @@ std::uint64_t derive_seed(std::uint64_t campaign_seed,
   return sm.next();
 }
 
+namespace {
+
+std::string failure_line(const WorldResult& w) {
+  char seed_hex[17];
+  std::snprintf(seed_hex, sizeof seed_hex, "%016llx",
+                static_cast<unsigned long long>(w.seed));
+  std::string line = w.name + " (world " + std::to_string(w.index) +
+                     ", seed 0x" + seed_hex + "): " + w.error;
+  if (!w.recorder_dump_path.empty()) {
+    line += " [recorder dump: " + w.recorder_dump_path + "]";
+  }
+  return line;
+}
+
+}  // namespace
+
 std::string CampaignResult::first_error() const {
   for (const WorldResult& w : worlds) {
-    if (!w.ok) return w.name + ": " + w.error;
+    if (!w.ok) return failure_line(w);
   }
   return {};
+}
+
+std::string CampaignResult::failure_report() const {
+  std::string out;
+  for (const WorldResult& w : worlds) {
+    if (w.ok) continue;
+    if (!out.empty()) out += '\n';
+    out += failure_line(w);
+  }
+  return out;
 }
 
 Campaign::Campaign(CampaignOptions options) : options_(options) {}
@@ -62,17 +90,28 @@ CampaignResult Campaign::run() {
         ctx.index = i;
         ctx.seed = derive_seed(options_.seed, i);
         WorldResult& slot = result.worlds[i];
+        // Arm per-thread crash dumping before the job runs: a World dying
+        // by unwinding (or a CAA_CHECK trip) dumps its flight recorder to
+        // dump_dir, and the catch below collects the path.
+        if (!options_.dump_dir.empty()) {
+          obs::FlightRecorder::arm_crash_dump(options_.dump_dir, ctx.seed, i);
+        }
         try {
           slot = job.fn(ctx);
         } catch (const std::exception& e) {
           slot = WorldResult{};
           slot.ok = false;
           slot.error = e.what();
+          slot.recorder_dump_path = obs::FlightRecorder::take_pending_dump_path();
         } catch (...) {
           slot = WorldResult{};
           slot.ok = false;
           slot.error = "unknown exception";
+          slot.recorder_dump_path = obs::FlightRecorder::take_pending_dump_path();
         }
+        obs::FlightRecorder::disarm_crash_dump();
+        slot.index = i;
+        slot.seed = ctx.seed;
         if (slot.name.empty()) slot.name = job.name;
       });
     }

@@ -59,6 +59,14 @@ struct WorldContext {
 /// the deterministic merge.
 struct WorldResult {
   std::string name;
+  /// Identity for replay: position in add() order and the derived seed the
+  /// job received. Filled by the runner even when the job threw, so a
+  /// failure report alone is enough to re-run the world.
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  /// Path of the flight-recorder dump written when this world failed with
+  /// CampaignOptions::dump_dir set ("" otherwise).
+  std::string recorder_dump_path;
   std::int64_t events = 0;
   std::int64_t messages = 0;  // total packets sent (all kinds)
   sim::Time sim_time = 0;
@@ -82,6 +90,12 @@ struct CampaignOptions {
   /// Worker threads; 0 means hardware concurrency. The thread count never
   /// affects merged results, only wall time.
   unsigned threads = 1;
+  /// When non-empty: arm per-world crash dumps. A world that throws (or
+  /// trips a CAA_CHECK) leaves its flight-recorder ring as
+  /// `<dump_dir>/world<index>_seed<hex>.caafr`, decodable by caa-inspect;
+  /// the path lands in WorldResult::recorder_dump_path and the failure
+  /// report. The directory must exist.
+  std::string dump_dir;
 };
 
 struct CampaignResult {
@@ -96,8 +110,12 @@ struct CampaignResult {
   unsigned threads_used = 1;
 
   [[nodiscard]] bool all_ok() const { return failed == 0; }
-  /// First failed world's "name: error", or "" when all_ok().
+  /// First failed world's report line, or "" when all_ok().
   [[nodiscard]] std::string first_error() const;
+  /// One line per failed world: name, world index, seed (hex, replayable),
+  /// the error, and the recorder dump path when one was written. "" when
+  /// all_ok().
+  [[nodiscard]] std::string failure_report() const;
 };
 
 class Campaign {

@@ -119,11 +119,12 @@ void EventQueue::renumber_seqs() {
   next_seq_ = next;
 }
 
-EventId EventQueue::schedule(Time at, EventFn fn) {
+EventId EventQueue::schedule(Time at, EventFn fn, std::uint64_t cause) {
   if (next_seq_ == kNone) renumber_seqs();  // pending count < 2^32 - 1
   const std::uint32_t index = acquire_slot();
   Slot& slot = slots_[index];
   slot.fn = std::move(fn);
+  slot.cause = cause;
   heap_.push_back(HeapEntry{at, next_seq_++, index});
   slot.heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
   sift_up(slot.heap_pos);
@@ -152,7 +153,7 @@ EventQueue::Fired EventQueue::pop() {
   const HeapEntry entry = remove_at(0);
   Slot& slot = slots_[entry.slot];
   Fired fired{entry.time, EventId(encode(slot.generation, entry.slot)),
-              std::move(slot.fn)};
+              std::move(slot.fn), slot.cause};
   release_slot(entry.slot);
   return fired;
 }

@@ -31,8 +31,12 @@ using Time = std::int64_t;
 
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute time `at`. Returns an id usable with cancel().
-  EventId schedule(Time at, EventFn fn);
+  /// Schedules `fn` at absolute time `at`. Returns an id usable with
+  /// cancel(). `cause` is opaque to the queue: the simulator stores the
+  /// flight-recorder record active at scheduling time and gets it back from
+  /// pop(), which is what keeps causal chains connected across scheduled
+  /// continuations (obs/flight_recorder.h).
+  EventId schedule(Time at, EventFn fn, std::uint64_t cause = 0);
 
   /// Cancels a pending event; returns false if it already fired or was
   /// cancelled. The heap entry is removed immediately (O(log n) sift), so
@@ -50,6 +54,7 @@ class EventQueue {
     Time time;
     EventId id;
     EventFn fn;
+    std::uint64_t cause = 0;  // as passed to schedule()
   };
   Fired pop();
 
@@ -65,6 +70,7 @@ class EventQueue {
     std::uint32_t generation = 0; // bumped on free; validates stale EventIds
     std::uint32_t heap_pos = kNone;  // position in heap_ while live
     std::uint32_t next_free = kNone; // free-list link while free
+    std::uint64_t cause = 0;         // caller-opaque causal tag
     EventFn fn;
   };
 

@@ -11,12 +11,15 @@ Simulator::Simulator() {
 
 EventId Simulator::schedule_after(Time delay, EventFn fn) {
   CAA_CHECK_MSG(delay >= 0, "negative delay");
-  return queue_.schedule(now_ + delay, std::move(fn));
+  // New events inherit the flight-recorder record active right now, so the
+  // causal chain survives zero-delay continuations and timers.
+  return queue_.schedule(now_ + delay, std::move(fn),
+                         obs_.recorder().current_cause());
 }
 
 EventId Simulator::schedule_at(Time at, EventFn fn) {
   CAA_CHECK_MSG(at >= now_, "scheduling into the past");
-  return queue_.schedule(at, std::move(fn));
+  return queue_.schedule(at, std::move(fn), obs_.recorder().current_cause());
 }
 
 bool Simulator::step() {
@@ -24,7 +27,10 @@ bool Simulator::step() {
   auto fired = queue_.pop();
   CAA_CHECK(fired.time >= now_);
   now_ = fired.time;
+  obs::FlightRecorder& recorder = obs_.recorder();
+  recorder.set_current_cause(fired.cause);
   fired.fn();
+  recorder.set_current_cause(0);
   return true;
 }
 

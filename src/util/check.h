@@ -9,10 +9,20 @@
 #include <cstdlib>
 
 namespace caa::detail {
+/// Called after the failure is printed and before abort(). The flight
+/// recorder installs a hook that dumps the failing world's ring buffer so a
+/// tripped invariant still leaves a post-mortem artifact (obs/flight_recorder.h).
+using CheckFailureHook = void (*)();
+inline CheckFailureHook& check_failure_hook() {
+  static CheckFailureHook hook = nullptr;
+  return hook;
+}
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const char* msg) {
   std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
                msg && *msg ? " — " : "", msg ? msg : "");
+  if (CheckFailureHook hook = check_failure_hook(); hook != nullptr) hook();
   std::abort();
 }
 }  // namespace caa::detail

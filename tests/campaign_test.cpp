@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "run/campaign.h"
 #include "run/thread_pool.h"
 #include "scenario/scenarios.h"
@@ -186,12 +188,101 @@ TEST(Campaign, FailuresAreReported) {
   const run::CampaignResult r = campaign.run();
   EXPECT_FALSE(r.all_ok());
   EXPECT_EQ(r.failed, 1u);
-  EXPECT_EQ(r.first_error(), "boom: injected failure");
+  // The failure line carries everything needed to replay the world: name,
+  // index, and the derived seed the job received.
+  char expected[128];
+  std::snprintf(expected, sizeof expected,
+                "boom (world 1, seed 0x%016llx): injected failure",
+                static_cast<unsigned long long>(run::derive_seed(1, 1)));
+  EXPECT_EQ(r.first_error(), expected);
+  EXPECT_EQ(r.failure_report(), expected);
   ASSERT_EQ(r.worlds.size(), 2u);
   EXPECT_TRUE(r.worlds[0].ok);
   EXPECT_FALSE(r.worlds[1].ok);
+  EXPECT_EQ(r.worlds[1].index, 1u);
+  EXPECT_EQ(r.worlds[1].seed, run::derive_seed(1, 1));
+  EXPECT_TRUE(r.worlds[1].recorder_dump_path.empty());  // no dump_dir set
   // The healthy world still contributed to the merge.
   EXPECT_GT(r.total_events, 0);
+}
+
+TEST(Campaign, HistogramMergeIsThreadCountInvariant) {
+  // The percentile rows the bench emits come from the merged histogram
+  // snapshot; they must be identical for any worker count.
+  const run::CampaignResult serial = make_campaign(1).run();
+  const run::CampaignResult parallel = make_campaign(8).run();
+  ASSERT_TRUE(serial.all_ok()) << serial.first_error();
+  ASSERT_TRUE(parallel.all_ok()) << parallel.first_error();
+
+  const auto a = serial.merged_metrics.histograms.find("resolve.latency");
+  const auto b = parallel.merged_metrics.histograms.find("resolve.latency");
+  ASSERT_NE(a, serial.merged_metrics.histograms.end());
+  ASSERT_NE(b, parallel.merged_metrics.histograms.end());
+  // 9 flat worlds x 2 raisers + example1's 2 raisers = 20 samples.
+  EXPECT_EQ(a->second.count, 20);
+  EXPECT_EQ(a->second.count, b->second.count);
+  EXPECT_EQ(a->second.sum, b->second.sum);
+  EXPECT_EQ(a->second.min, b->second.min);
+  EXPECT_EQ(a->second.max, b->second.max);
+  EXPECT_EQ(a->second.buckets, b->second.buckets);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(a->second.quantile_bound(q), b->second.quantile_bound(q)) << q;
+  }
+  // Same invariance for every histogram in the merge (delivery delay etc.).
+  ASSERT_EQ(serial.merged_metrics.histograms.size(),
+            parallel.merged_metrics.histograms.size());
+  for (const auto& [name, snap] : serial.merged_metrics.histograms) {
+    const auto it = parallel.merged_metrics.histograms.find(name);
+    ASSERT_NE(it, parallel.merged_metrics.histograms.end()) << name;
+    EXPECT_EQ(snap.count, it->second.count) << name;
+    EXPECT_EQ(snap.buckets, it->second.buckets) << name;
+  }
+}
+
+TEST(Campaign, FailedWorldWritesRecorderDump) {
+  const std::string dump_dir = testing::TempDir();
+  run::Campaign campaign({.seed = 7, .threads = 2, .dump_dir = dump_dir});
+  campaign.add("healthy", [](const run::WorldContext& ctx) {
+    scenario::FlatOptions options;
+    options.world.seed = ctx.seed;
+    scenario::FlatScenario s(options);
+    return run::measure("healthy", s.world(), [&s] {
+      return s.world().run();
+    });
+  });
+  campaign.add("doomed", [](const run::WorldContext& ctx) -> run::WorldResult {
+    scenario::FlatOptions options;
+    options.world.seed = ctx.seed;
+    scenario::FlatScenario s(options);
+    s.run();
+    // Simulate an invariant tripping after the run: the in-flight world's
+    // black box must land on disk as the stack unwinds.
+    throw std::runtime_error("invariant tripped");
+  });
+  const run::CampaignResult r = campaign.run();
+  EXPECT_FALSE(r.all_ok());
+  ASSERT_EQ(r.worlds.size(), 2u);
+  const run::WorldResult& doomed = r.worlds[1];
+  EXPECT_FALSE(doomed.ok);
+  ASSERT_FALSE(doomed.recorder_dump_path.empty())
+      << "failed world produced no flight-recorder dump";
+  EXPECT_NE(r.first_error().find("recorder dump: "), std::string::npos);
+  EXPECT_NE(r.first_error().find(doomed.recorder_dump_path),
+            std::string::npos);
+
+  // The dump on disk decodes and identifies the failed world.
+  const Result<obs::FlightDump> dump =
+      obs::FlightRecorder::read_dump(doomed.recorder_dump_path);
+  ASSERT_TRUE(dump.is_ok()) << dump.status();
+  EXPECT_EQ(dump.value().seed, run::derive_seed(7, 1));
+  EXPECT_EQ(dump.value().world_index, 1u);
+  EXPECT_FALSE(dump.value().records.empty());
+  std::remove(doomed.recorder_dump_path.c_str());
+
+  // The healthy world neither dumped nor leaked crash-arm state.
+  EXPECT_TRUE(r.worlds[0].ok);
+  EXPECT_TRUE(r.worlds[0].recorder_dump_path.empty());
+  EXPECT_FALSE(obs::FlightRecorder::crash_dump_armed());
 }
 
 TEST(Campaign, ThreadsZeroMeansHardwareConcurrency) {

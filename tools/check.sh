@@ -36,4 +36,33 @@ for preset in "${presets[@]}"; do
   fi
 done
 
+# caa-inspect must keep decoding the committed dump format: render the
+# golden .caafr and diff against the golden rendering the tests pin.
+echo "==== caa-inspect golden decode ============================="
+inspect=""
+for preset in "${presets[@]}"; do
+  case "${preset}" in
+    dev)     candidate="build/tools/caa-inspect" ;;
+    release) candidate="build-release/tools/caa-inspect" ;;
+    *)       continue ;;
+  esac
+  [ -x "${candidate}" ] && inspect="${candidate}"
+done
+if [ -n "${inspect}" ]; then
+  "${inspect}" tests/golden/example1_recorder.caafr \
+    | diff -u tests/golden/example1_inspect.txt - \
+    || { echo "caa-inspect output drifted from tests/golden/example1_inspect.txt" >&2; exit 1; }
+  echo "caa-inspect decode matches the golden"
+else
+  echo "skipped (no dev/release preset in this run)"
+fi
+
+# The observability kill switch must stay buildable: compile the library
+# and the inspector with the recorder compiled out.
+echo "==== -DCAA_OBS_DISABLED build =============================="
+cmake -B build-obsoff -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS=-DCAA_OBS_DISABLED
+cmake --build build-obsoff -j "${jobs}" --target caactions caa-inspect
+echo "CAA_OBS_DISABLED build compiles clean"
+
 echo "==== all presets green: ${presets[*]}"
