@@ -1,0 +1,130 @@
+// Chaos-campaign throughput and robustness trajectory: every fault-mix
+// profile at campaign scale.
+//
+// For each profile the full chaos pipeline runs — plan generation, world
+// build, fault injection, oracle — and two things land in the perf record:
+//
+//   * violations per 10k plans — the robustness trajectory; 0 everywhere
+//     is the steady state, and any regression is a reproducible protocol
+//     bug (the bench exits 1 and prints the shrunk repro recipes);
+//   * plans/sec and events/sec — how much chaos a second of wall time
+//     buys, which is what bounds how hard CI can shake the protocol.
+//
+// The merged campaign checksum is recorded per profile; like every
+// campaign it is bit-identical at any --threads value.
+//
+// Usage: bench_chaos [--json PATH] [--plans N] [--seed S] [--threads T]
+//   --json PATH   output document (default ./BENCH_chaos.json)
+//   --plans N     plans per profile (default 10000)
+//   --seed S      campaign seed (default 42)
+//   --threads T   worker threads (default 0 = hardware concurrency)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "fault/chaos.h"
+#include "perf_json.h"
+#include "run/thread_pool.h"
+#include "util/hash.h"
+
+int main(int argc, char** argv) {
+  using namespace caa;
+  using namespace caa::bench;
+
+  std::string json_path = "BENCH_chaos.json";
+  std::size_t plans = 10'000;
+  std::uint64_t seed = 42;
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--plans") == 0 && i + 1 < argc) {
+      plans = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "bench_chaos: unknown argument '%s'\n"
+                   "usage: bench_chaos [--json PATH] [--plans N] [--seed S] "
+                   "[--threads T]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  const unsigned effective_threads =
+      threads != 0 ? threads : run::ThreadPool::default_threads();
+
+  header("Chaos campaigns (" + std::to_string(plans) +
+         " plans per profile, seed " + std::to_string(seed) + ", " +
+         std::to_string(effective_threads) + " thread(s))");
+  std::printf("%-14s %10s %14s %12s %12s  %s\n", "profile", "plans",
+              "violations/10k", "plans/s", "events/s", "merged checksum");
+
+  Json rows = Json::array();
+  bool clean = true;
+  for (const fault::FaultMix mix :
+       {fault::FaultMix::kMixed, fault::FaultMix::kCrashHeavy,
+        fault::FaultMix::kNetworkOnly, fault::FaultMix::kResolverHunt}) {
+    fault::ChaosOptions options;
+    options.seed = seed;
+    options.plans = plans;
+    options.threads = threads;
+    options.mix = mix;
+    const fault::ChaosReport report = run_chaos_campaign(options);
+    const double per_10k =
+        plans > 0 ? 1e4 * static_cast<double>(report.violations) /
+                        static_cast<double>(plans)
+                  : 0.0;
+    const double plans_per_sec =
+        report.campaign.wall_ms > 0.0
+            ? 1e3 * static_cast<double>(plans) / report.campaign.wall_ms
+            : 0.0;
+    const double events_per_sec =
+        report.campaign.wall_ms > 0.0
+            ? 1e3 * static_cast<double>(report.campaign.total_events) /
+                  report.campaign.wall_ms
+            : 0.0;
+    std::printf("%-14s %10zu %14.1f %12.0f %12.0f  %s\n",
+                std::string(fault_mix_name(mix)).c_str(), plans, per_10k,
+                plans_per_sec, events_per_sec,
+                hex_digest(report.campaign.merged_checksum).c_str());
+    if (!report.ok()) {
+      clean = false;
+      std::fprintf(stderr, "%s\n", report.failure_report().c_str());
+    }
+    rows.push(
+        Json::object()
+            .set("profile", Json::str(std::string(fault_mix_name(mix))))
+            .set("plans", Json::num(static_cast<std::int64_t>(plans)))
+            .set("violations",
+                 Json::num(static_cast<std::int64_t>(report.violations)))
+            .set("violations_per_10k_plans", Json::num(per_10k))
+            .set("wall_ms", Json::num(report.campaign.wall_ms))
+            .set("plans_per_sec", Json::num(plans_per_sec))
+            .set("events_per_sec", Json::num(events_per_sec))
+            .set("total_events", Json::num(report.campaign.total_events))
+            .set("merged_checksum",
+                 Json::str(hex_digest(report.campaign.merged_checksum))));
+  }
+
+  if (clean) {
+    std::printf("=> 0 oracle violations across every profile\n");
+  } else {
+    std::fprintf(stderr,
+                 "bench_chaos: oracle violations found (repro recipes "
+                 "above)\n");
+  }
+
+  Json doc = bench_doc("bench_chaos", /*schema_version=*/1, effective_threads)
+                 .set("seed", Json::num(static_cast<std::int64_t>(seed)))
+                 .set("plans_per_profile",
+                      Json::num(static_cast<std::int64_t>(plans)))
+                 .set("profiles", std::move(rows));
+  if (!doc.write_file(json_path)) return 1;
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return clean ? 0 : 1;
+}

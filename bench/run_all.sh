@@ -36,7 +36,7 @@ cmake --build --preset release -j"$(nproc)" --target \
   bench_msg_complexity bench_general_formula bench_cr_comparison \
   bench_nested_abort bench_recovery_strategies bench_nested_resolution \
   bench_exception_tree bench_group_comm bench_ablation_committee \
-  bench_strategy_comparison bench_throughput bench_campaign
+  bench_strategy_comparison bench_throughput bench_campaign bench_chaos
 
 for bench in "$BUILD"/bench/bench_*; do
   [ -x "$bench" ] || continue
@@ -52,6 +52,9 @@ for bench in "$BUILD"/bench/bench_*; do
     bench_recovery_strategies)
       "$bench" --json "$ROOT/BENCH_recovery_strategies.json" \
                --threads "$THREADS"
+      ;;
+    bench_chaos)
+      "$bench" --json "$ROOT/BENCH_chaos.json" --threads "$THREADS"
       ;;
     *)
       "$bench"

@@ -24,6 +24,10 @@ const CounterId kCounterEnterRefusedExceptional =
     CounterId::of("caa.enter_refused_exceptional");
 const CounterId kCounterUnhandledKind = CounterId::of("caa.unhandled_kind");
 const CounterId kCounterStaleRound = CounterId::of("caa.stale_round");
+const CounterId kCounterRestartAbandoned =
+    CounterId::of("caa.restart_abandoned");
+const CounterId kCounterFromCrashedDropped =
+    CounterId::of("caa.from_crashed_dropped");
 }  // namespace
 
 ex::HandlerTable uniform_handlers(const ex::ExceptionTree& tree,
@@ -104,6 +108,15 @@ bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
   contexts_.push(std::move(context));
 
   dyn.engine = make_engine(dyn, instance);
+  // Entering an action some members already crashed out of: sync with the
+  // live members before resolving anything. Their status replies carry any
+  // commit of a round this belated entrant missed entirely (its buffered
+  // copy, if one was ever sent, is from-crashed traffic and void).
+  for (ObjectId member : info.members) {
+    if (crashed_.contains(member)) {
+      begin_crash_sync(instance, dyn, member);
+    }
+  }
   trace("enter", info.decl->name());
   if (obs::Observability* o = observing()) {
     dyn.action_span =
@@ -201,10 +214,22 @@ void Participant::on_message(ObjectId from, net::MsgKind kind,
     case net::MsgKind::kCommit:
       route_resolution(from, kind, payload);
       return;
+    case net::MsgKind::kCrashSync:
+      on_crash_sync(from, payload);
+      return;
     case net::MsgKind::kActionDone: {
       auto sr = resolve::peek_scope_round(payload);
       if (!sr.is_ok()) return;
       if (dead_.contains(sr.value().scope)) {
+        // A member that missed the final Leave (lost with the crashed
+        // leader) re-sends its Done to us as the re-elected leader; if we
+        // exited this scope through the barrier, release it with the
+        // outcome everyone else applied.
+        if (const auto it = left_.find(sr.value().scope);
+            it != left_.end()) {
+          send(from, net::MsgKind::kActionLeave, encode(it->second));
+          return;
+        }
         runtime().simulator().counters().add(kCounterDeadScopeDropped);
         return;
       }
@@ -234,6 +259,14 @@ void Participant::on_message(ObjectId from, net::MsgKind kind,
 
 void Participant::route_resolution(ObjectId from, net::MsgKind kind,
                                    const net::Bytes& payload) {
+  if (crashed_.contains(from)) {
+    // Fail-stop: a crashed sender's in-flight resolution content is void
+    // (ResolverCore::exclude_member expunged its contribution), and it must
+    // stay void uniformly — survivors the message reaches and survivors it
+    // misses have to compute the same resolution.
+    runtime().simulator().counters().add(kCounterFromCrashedDropped);
+    return;
+  }
   auto sr_result = resolve::peek_scope_round(payload);
   if (!sr_result.is_ok()) return;  // malformed: never trust the wire
   const auto [scope, round] = sr_result.value();
@@ -391,8 +424,9 @@ resolve::ResolverCore::Hooks Participant::make_hooks(ActionInstanceId scope) {
   hooks.abort_nested = [this, scope](std::function<void(ExceptionId)> done) {
     abort_chain_until(scope, std::move(done));
   };
-  hooks.start_handler = [this, scope](ExceptionId resolved, ObjectId) {
-    on_round_finished(scope, resolved);
+  hooks.start_handler = [this, scope](ExceptionId resolved,
+                                      ObjectId resolver) {
+    on_round_finished(scope, resolved, resolver);
   };
   hooks.purge_nested_from = [this](ObjectId peer) {
     purge_pending_from(peer);
@@ -421,9 +455,13 @@ void Participant::multicast(const InstanceInfo& info, net::MsgKind kind,
 }
 
 void Participant::on_round_finished(ActionInstanceId scope,
-                                    ExceptionId resolved) {
+                                    ExceptionId resolved, ObjectId resolver) {
   Dyn* dyn = find_dyn(scope);
   CAA_CHECK(dyn != nullptr);
+  // Remembered for CrashSync: if the resolver crashes right after deciding,
+  // this applied commit is what the survivors' barrier redistributes.
+  dyn->last_commit = resolve::CommitMsg{scope, dyn->round, resolver, resolved};
+  dyn->promote_pending = false;  // the round resolved; nothing to promote
   if (dyn->raise_time >= 0) {
     // Raiser-side resolution latency (raise -> this round's commit), fed
     // into the campaign's merged percentile rows.
@@ -547,7 +585,9 @@ void Participant::abort_step() {
                  [this, instance = ctx.instance, signal = result.signal,
                   abort_span] {
     Dyn* dyn = find_dyn(instance);
-    CAA_CHECK(dyn != nullptr);
+    // A node restart may have abandoned this context (on_restarted) between
+    // the abortion handler and this continuation; the chain is void then.
+    if (dyn == nullptr) return;
     if (dyn->config.on_abort) dyn->config.on_abort();
     aborts_.push_back(AbortRecord{instance, signal, now()});
     if (obs::FlightRecorder& recorder =
@@ -568,8 +608,12 @@ void Participant::abort_step() {
       // Only the exception signalled by the abortion handlers of the
       // *directly* nested action may be raised in the container (§4.1).
       auto done = std::move(abort_chain_->done);
+      const ActionInstanceId target = abort_chain_->target;
       abort_chain_.reset();
       done(signal);
+      // A peer crash observed mid-abortion deferred any suspended-survivor
+      // promotion; the engine state is decidable now.
+      maybe_promote(target);
       return;
     }
     abort_step();
@@ -724,6 +768,7 @@ void Participant::apply_leave(const LeaveMsg& m) {
         tracer.end(dyn->barrier_span);
         tracer.end_args(dyn->action_span, "committed");
       }
+      left_.insert_or_assign(m.scope, m);
       pop_context(m.scope, /*dead=*/true);
       return;
     }
@@ -737,6 +782,7 @@ void Participant::apply_leave(const LeaveMsg& m) {
         tracer.end_args(dyn->action_span, "signalled");
       }
       const ActionInstanceId parent = info.parent;
+      left_.insert_or_assign(m.scope, m);
       pop_context(m.scope, /*dead=*/true);
       if (!leader) return;
       if (parent.valid() && m.signal.valid()) {
@@ -826,6 +872,9 @@ std::unique_ptr<resolve::ResolverCore> Participant::make_engine(
       engine->exclude_member(member);
     }
   }
+  // A round bump mid-CrashSync: the fresh engine inherits the gate until
+  // the outstanding status replies drain.
+  if (!dyn.sync_waiting.empty()) engine->set_commit_gate(true);
   return engine;
 }
 
@@ -852,18 +901,31 @@ void Participant::notify_peer_crashed(ObjectId peer) {
     if (!dyn.info->is_member(peer) || dyn.excluded.contains(peer)) continue;
     const ObjectId old_leader = live_leader(dyn);
     dyn.excluded.insert(peer);
+    // Barrier before exclusion: the gate must be on before exclude_member's
+    // readiness re-check, or this object could commit from its own partial
+    // view the instant the crashed member's ACK is waived.
+    begin_crash_sync(instance, dyn, peer);
     dyn.engine->exclude_member(peer);
+    // If an earlier barrier was still waiting on this peer, its reply will
+    // never come — waive it (may complete that barrier).
+    crash_sync_heard(instance, dyn, peer);
     const ObjectId new_leader = live_leader(dyn);
     if (new_leader != old_leader && dyn.last_done.has_value() &&
         dyn.last_done->round == dyn.round) {
-      // The exit-barrier leader died: re-send our Done to the successor
-      // (every live member does the same, so the successor re-collects the
-      // full barrier).
-      if (new_leader == id()) {
-        on_done(*dyn.last_done);
-      } else {
-        send(new_leader, net::MsgKind::kActionDone, encode(*dyn.last_done));
+      // The exit-barrier leader died: re-announce our Done to every live
+      // member, not just the successor. The old leader may have decided and
+      // left with its Leave only partially delivered; a member that already
+      // exited answers a Done for the dead scope with the recorded final
+      // Leave, releasing us — the successor alone may be the one stuck.
+      // Members still at the barrier simply record the Done, so whoever
+      // ends up leading re-collects the full barrier.
+      const net::Bytes payload = encode(*dyn.last_done);
+      for (ObjectId member : dyn.info->members) {
+        if (member == id() || dyn.excluded.contains(member)) continue;
+        send(member, net::MsgKind::kActionDone,
+             net::BytesPool::local().copy_of(payload));
       }
+      if (new_leader == id()) on_done(*dyn.last_done);
     }
     if (new_leader == id()) maybe_decide(instance);
   }
@@ -878,14 +940,189 @@ void Participant::notify_peer_crashed(ObjectId peer) {
     adyn.engine->raise(adyn.config.crash_exception,
                        "peer O" + std::to_string(peer.value()) + " crashed");
   } else if (adyn.config.crash_exception.valid() && !adyn.aborting &&
-             adyn.engine->state() ==
-                 resolve::ResolverCore::State::kSuspended &&
-             !adyn.engine->has_live_raiser()) {
-    // Every raiser we know of has crashed: no live object would ever be
-    // allowed to resolve, so this suspended survivor promotes itself
-    // (extension; see ResolverCore::raise_from_suspended).
-    adyn.engine->raise_from_suspended(adyn.config.crash_exception);
+             (adyn.engine->state() ==
+                  resolve::ResolverCore::State::kSuspended ||
+              adyn.engine->state() ==
+                  resolve::ResolverCore::State::kAborting)) {
+    // A suspended survivor whose raisers have all crashed must promote
+    // itself (extension; see ResolverCore::raise_from_suspended) — but not
+    // before the CrashSync barrier drains: a peer's status may carry the
+    // commit (or a live raiser's exception) that makes promotion wrong.
+    // While kAborting the raiser set is not even knowable yet; the
+    // re-check runs when the abortion completes.
+    adyn.promote_pending = true;
+    maybe_promote(active);
   }
+}
+
+void Participant::maybe_promote(ActionInstanceId scope) {
+  Dyn* dyn = find_dyn(scope);
+  if (dyn == nullptr || !dyn->promote_pending) return;
+  if (!dyn->sync_waiting.empty()) return;  // barrier still draining
+  if (dyn->aborting || !in_action() || contexts_.active().instance != scope ||
+      dyn->engine->state() == resolve::ResolverCore::State::kAborting) {
+    // Not decidable yet (abortion running) or no longer applicable; a
+    // dead/aborting context clears the flag for good.
+    if (dyn->aborting || !in_action() ||
+        contexts_.active().instance != scope) {
+      dyn->promote_pending = false;
+    }
+    return;
+  }
+  dyn->promote_pending = false;
+  if (dyn->engine->state() != resolve::ResolverCore::State::kSuspended ||
+      dyn->engine->has_live_raiser() ||
+      !dyn->config.crash_exception.valid()) {
+    return;  // the sync surfaced a live raiser or a commit; nothing to do
+  }
+  dyn->engine->raise_from_suspended(dyn->config.crash_exception);
+}
+
+resolve::CrashSyncMsg Participant::sync_status(
+    const Dyn& dyn, ActionInstanceId scope, ObjectId crashed,
+    resolve::CrashSyncMsg::Phase phase) const {
+  resolve::CrashSyncMsg m;
+  m.scope = scope;
+  m.round = dyn.round;
+  m.sender = id();
+  m.crashed = crashed;
+  m.phase = phase;
+  // One commit slot suffices: a commit this member holds for a round some
+  // live peer has not finished is either the engine's held commit (our
+  // current round) or the last applied one (the previous round) — round
+  // divergence among live members is at most 1, and a commit for a round
+  // beyond a live member's current round cannot exist (its ACK is missing).
+  if (const auto& held = dyn.engine->held_commit(); held.has_value()) {
+    m.commit_round = held->round;
+    m.commit_resolver = held->resolver;
+    m.commit_resolved = held->resolved;
+  } else if (dyn.last_commit.has_value()) {
+    m.commit_round = dyn.last_commit->round;
+    m.commit_resolver = dyn.last_commit->resolver;
+    m.commit_resolved = dyn.last_commit->resolved;
+  }
+  return m;
+}
+
+void Participant::begin_crash_sync(ActionInstanceId scope, Dyn& dyn,
+                                   ObjectId crashed) {
+  std::vector<ObjectId> live;
+  for (ObjectId member : dyn.info->members) {
+    if (member == id() || crashed_.contains(member) ||
+        dyn.excluded.contains(member)) {
+      continue;
+    }
+    live.push_back(member);
+    dyn.sync_waiting.insert(member);
+  }
+  if (dyn.sync_waiting.empty()) return;  // sole survivor: nothing to learn
+  dyn.engine->set_commit_gate(true);
+  trace("crash sync begins",
+        "O" + std::to_string(crashed.value()) + ", waiting on " +
+            std::to_string(dyn.sync_waiting.size()));
+  const net::Bytes payload = resolve::encode(
+      sync_status(dyn, scope, crashed, resolve::CrashSyncMsg::Phase::kPush));
+  for (ObjectId member : live) {
+    send(member, net::MsgKind::kCrashSync,
+         net::BytesPool::local().copy_of(payload));
+  }
+}
+
+void Participant::crash_sync_heard(ActionInstanceId scope, Dyn& dyn,
+                                   ObjectId from) {
+  if (dyn.sync_waiting.erase(from) == 0) return;
+  if (!dyn.sync_waiting.empty()) return;
+  trace("crash sync complete");
+  dyn.engine->set_commit_gate(false);
+  maybe_promote(scope);
+}
+
+void Participant::on_crash_sync(ObjectId from, const net::Bytes& payload) {
+  auto decoded = resolve::decode_crash_sync(payload);
+  if (!decoded.is_ok()) return;
+  const resolve::CrashSyncMsg m = decoded.value();
+  if (m.crashed == id()) return;  // fail-stop: nobody truthfully names us
+  if (crashed_.contains(from)) {
+    runtime().simulator().counters().add(kCounterFromCrashedDropped);
+    return;
+  }
+  // Gossip: a push can outrun our own failure detector. Apply the exclusion
+  // first so the status we answer with reflects a consistent membership
+  // view — this is also what un-deadlocks asymmetric detection (our own
+  // barrier begins, and our push to `from` is already in flight, before we
+  // strike `from`'s push off the waiting set below).
+  notify_peer_crashed(m.crashed);
+  Dyn* dyn = find_dyn(m.scope);
+  if (dyn == nullptr || dyn->aborting) {
+    // Not in the action (never entered, left, restarted, or aborting out of
+    // it): tell pushers to stop waiting for us. Replies to replies would
+    // ping-pong; kGone only answers pushes.
+    if (m.phase == resolve::CrashSyncMsg::Phase::kPush) {
+      resolve::CrashSyncMsg gone;
+      gone.scope = m.scope;
+      gone.round = resolve::CrashSyncMsg::kGoneRound;
+      gone.sender = id();
+      gone.crashed = m.crashed;
+      gone.phase = resolve::CrashSyncMsg::Phase::kGone;
+      send(from, net::MsgKind::kCrashSync, resolve::encode(gone));
+    }
+    return;
+  }
+  // Adopt a carried commit for our current round. Commits for other rounds
+  // are stale (ours is applied) — a commit for a round we have not reached
+  // cannot exist while we are live (see sync_status).
+  if (m.commit_resolved.valid() && m.commit_round == dyn->round &&
+      dyn->engine->round() == dyn->round) {
+    dyn->engine->apply_synced_commit(resolve::CommitMsg{
+        m.scope, m.commit_round, m.commit_resolver, m.commit_resolved});
+  }
+  if (m.phase == resolve::CrashSyncMsg::Phase::kPush) {
+    // Re-find: applying a commit can finish the round and, via zero-delay
+    // continuations, never invalidates dyn_, but stay defensive about the
+    // reply's snapshot.
+    Dyn* current = find_dyn(m.scope);
+    if (current != nullptr) {
+      send(from, net::MsgKind::kCrashSync,
+           resolve::encode(sync_status(*current, m.scope, m.crashed,
+                                       resolve::CrashSyncMsg::Phase::kReply)));
+    }
+  }
+  if (Dyn* current = find_dyn(m.scope); current != nullptr) {
+    crash_sync_heard(m.scope, *current, from);
+  }
+}
+
+void Participant::notify_peer_restarted(ObjectId peer) {
+  if (peer == id()) return;
+  if (crashed_.erase(peer) == 0) return;
+  trace("peer restarted", "O" + std::to_string(peer.value()));
+  // Per-instance exclusions stay: the peer lost its volatile state for
+  // those actions and the engines have already waived it. Only the global
+  // from-crashed message filter and new-instance membership reset.
+}
+
+void Participant::on_restarted() {
+  // Fail-stop restart (extension): the crash wiped this object's volatile
+  // action state, and the survivors have already excluded it from every
+  // resolution it was part of, so nothing it could say is still expected.
+  // Abandon every open context innermost-first; the tombstones route any
+  // in-flight or future messages for these scopes to the dead-scope drop
+  // path. Durable records (handled_, aborts_) survive — commits that were
+  // applied before the crash stay applied.
+  abort_chain_.reset();
+  obs::FlightRecorder& recorder = runtime().simulator().obs().recorder();
+  while (in_action()) {
+    const ActionInstanceId scope = contexts_.active().instance;
+    trace("restart abandons", dyn_.at(scope).info->decl->name());
+    abandoned_.insert(scope);
+    runtime().simulator().counters().add(kCounterRestartAbandoned);
+    if (recorder.enabled()) {
+      recorder.record_protocol(obs::RecType::kAbort, id().value(),
+                               scope.value(), 0, 0);
+    }
+    pop_context(scope, /*dead=*/true);
+  }
+  pending_.clear();
 }
 
 bool Participant::is_live(ActionInstanceId scope) const {

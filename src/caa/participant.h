@@ -252,6 +252,29 @@ class Participant : public rt::ManagedObject {
   /// configured and this participant is still working, it is raised.
   void notify_peer_crashed(ObjectId peer);
 
+  /// Crash-tolerance extension: informs this participant that a previously
+  /// crashed `peer` restarted. The peer stays excluded from the instances
+  /// it crashed out of (their engines remember), but its messages are
+  /// accepted again and it counts as a regular member of *new* instances.
+  void notify_peer_restarted(ObjectId peer);
+
+  /// Crash-tolerance extension, restart side: invoked (by the World's node
+  /// hook) when this participant's node comes back up after a crash. A
+  /// fail-stop crash loses all volatile action state, so every open context
+  /// is abandoned innermost-first (tombstoned like an abort — counted under
+  /// caa.restart_abandoned) and buffered belated messages are discarded.
+  /// The restarted object may enter *new* action instances afterwards;
+  /// rejoining the instances it crashed out of is not supported (survivors
+  /// have excluded it).
+  void on_restarted();
+
+  /// Scopes this participant abandoned in on_restarted(): a commit it
+  /// applied before the crash is volatile state the survivors can never
+  /// learn, so per-scope agreement checks (fault::Oracle) skip these.
+  [[nodiscard]] const std::set<ActionInstanceId>& abandoned_scopes() const {
+    return abandoned_;
+  }
+
   // ---- rt::ManagedObject --------------------------------------------------
 
   void on_message(ObjectId from, net::MsgKind kind,
@@ -282,6 +305,16 @@ class Participant : public rt::ManagedObject {
                              // completes the action
     std::set<ObjectId> excluded;       // crashed members (extension)
     std::optional<DoneMsg> last_done;  // re-sent on leader re-election
+    // CrashSync barrier (extension): the result of this participant's most
+    // recent finished round, advertised to survivors so a resolution the
+    // crashed resolver committed is not lost with it.
+    std::optional<resolve::CommitMsg> last_commit;
+    // Members whose CrashSync status has not been heard yet; while
+    // non-empty the engine's commit gate stays on.
+    std::set<ObjectId> sync_waiting;
+    // A raise_from_suspended promotion deferred until the barrier drains
+    // (the sync may surface a commit that makes promotion unnecessary).
+    bool promote_pending = false;
     // When this participant raised (explicitly or by promotion): start of
     // the "resolve.latency" histogram sample taken when its round finishes.
     // Unconditional (not obs-gated) so campaign percentile rows exist for
@@ -305,6 +338,7 @@ class Participant : public rt::ManagedObject {
                          net::MsgKind kind, const net::Bytes& payload);
   void on_done_msg(ObjectId from, const net::Bytes& payload);
   void on_leave_msg(const net::Bytes& payload);
+  void on_crash_sync(ObjectId from, const net::Bytes& payload);
   void ack_stale(ObjectId from, net::MsgKind kind, ActionInstanceId scope,
                  std::uint32_t round);
   void drain_future(ActionInstanceId scope);
@@ -315,9 +349,23 @@ class Participant : public rt::ManagedObject {
   resolve::ResolverCore::Hooks make_hooks(ActionInstanceId scope);
   void multicast(const InstanceInfo& info, net::MsgKind kind,
                  const net::Bytes& payload);
-  void on_round_finished(ActionInstanceId scope, ExceptionId resolved);
+  void on_round_finished(ActionInstanceId scope, ExceptionId resolved,
+                         ObjectId resolver);
   void invoke_handler(ActionInstanceId scope, ExceptionId resolved,
                       std::uint32_t resolved_round);
+
+  // CrashSync barrier (extension; see notify_peer_crashed): after excluding
+  // a crashed member from `scope`, push our resolution status to every
+  // remaining live member and gate new commits until all have answered.
+  void begin_crash_sync(ActionInstanceId scope, Dyn& dyn, ObjectId crashed);
+  void crash_sync_heard(ActionInstanceId scope, Dyn& dyn, ObjectId from);
+  [[nodiscard]] resolve::CrashSyncMsg sync_status(
+      const Dyn& dyn, ActionInstanceId scope, ObjectId crashed,
+      resolve::CrashSyncMsg::Phase phase) const;
+  /// Runs a deferred suspended-survivor promotion once its preconditions
+  /// settle (barrier drained, abortion finished); clears the flag if they
+  /// no longer hold (e.g. the sync delivered a commit or a live raiser).
+  void maybe_promote(ActionInstanceId scope);
 
   // Abortion of nested chains (innermost-first, §4.1). A running chain can
   // be *retargeted* to an outer action when an outer resolution supersedes
@@ -355,6 +403,13 @@ class Participant : public rt::ManagedObject {
   std::map<ActionInstanceId, Dyn> dyn_;
   std::map<ActionInstanceId, std::vector<RawMsg>> pending_;  // belated
   std::set<ActionInstanceId> dead_;
+  std::set<ActionInstanceId> abandoned_;  // scopes wiped by our own restarts
+  // Final Leave of every scope this participant exited through the barrier.
+  // A member whose Leave copy died with the old leader re-sends its Done on
+  // re-election; the new leader may have left already, so it answers from
+  // this record instead of dropping the Done (the sender is released by the
+  // same outcome everyone else applied).
+  std::map<ActionInstanceId, LeaveMsg> left_;
   std::set<ObjectId> crashed_;  // peers known to have crashed (extension)
   std::optional<AbortChain> abort_chain_;
   std::vector<HandledRecord> handled_;

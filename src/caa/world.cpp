@@ -28,6 +28,12 @@ World::World(WorldConfig config)
   CAA_CHECK_MSG(config_.link.drop_probability == 0.0 ||
                     config_.reliable_transport,
                 "lossy links require the reliable transport");
+  // The up-transition of a node is its restart signal: a fail-stop crash
+  // wiped the node's volatile state, so its participants must abandon their
+  // open contexts before processing any new traffic.
+  network_.set_node_hook([this](NodeId node, bool up) {
+    if (up) on_node_restarted(node);
+  });
 }
 
 World::~World() {
@@ -39,6 +45,41 @@ World::~World() {
     obs::FlightRecorder::dump_thread_active();
   }
   obs::FlightRecorder::bind_thread_active(prev_recorder_);
+}
+
+void World::on_node_restarted(NodeId node) {
+  // Survivors that had not yet detected the crash learn of it now (the call
+  // is idempotent, so nodes already notified by a heartbeat monitor or a
+  // fault plan pay nothing); only then do the restarted node's participants
+  // abandon the action state the crash wiped. Restarted objects stay
+  // excluded from the resolutions they crashed out of — they may only enter
+  // *new* action instances (Participant::on_restarted).
+  for (const auto& victim : participants_) {
+    if (victim->runtime().node() != node) continue;
+    for (const auto& peer : participants_) {
+      const NodeId peer_node = peer->runtime().node();
+      if (peer_node == node || !network_.node_up(peer_node)) continue;
+      peer->notify_peer_crashed(victim->id());
+    }
+  }
+  for (const auto& victim : participants_) {
+    if (victim->runtime().node() == node) victim->on_restarted();
+  }
+  // Re-admit the restarted objects: peers stop filtering their messages and
+  // count them as regular members of instances created from now on (their
+  // exclusion from in-flight resolutions is already locked into the
+  // per-instance engines).
+  for (const auto& victim : participants_) {
+    if (victim->runtime().node() != node) continue;
+    for (const auto& peer : participants_) {
+      const NodeId peer_node = peer->runtime().node();
+      if (peer_node == node || !network_.node_up(peer_node)) continue;
+      peer->notify_peer_restarted(victim->id());
+      // Symmetric reconciliation: while this node was down it missed any
+      // restart of `peer`, whose messages it would otherwise keep dropping.
+      victim->notify_peer_restarted(peer->id());
+    }
+  }
 }
 
 bool World::write_recorder_dump(const std::string& path,

@@ -104,6 +104,8 @@ class World {
   /// Creates a fresh node (own address space) with its runtime.
   NodeId add_node();
   [[nodiscard]] rt::Runtime& runtime(NodeId node);
+  /// Nodes created so far (ids are dense: 0 .. node_count()-1).
+  [[nodiscard]] std::uint32_t node_count() const { return next_node_; }
 
   /// Creates a participant on its own fresh node (the common setup: one
   /// object per node, maximizing distribution).
@@ -113,6 +115,13 @@ class World {
 
   /// Attaches an externally owned object to a node.
   ObjectId attach(rt::ManagedObject& object, std::string name, NodeId node);
+
+  /// All participants created via add_participant, in creation order. The
+  /// fault engine and invariant oracles iterate these.
+  [[nodiscard]] const std::vector<std::unique_ptr<action::Participant>>&
+  participants() const {
+    return participants_;
+  }
 
   /// Schedules a scenario step at absolute virtual time `t`.
   void at(sim::Time t, std::function<void()> fn);
@@ -131,6 +140,8 @@ class World {
   }
 
  private:
+  void on_node_restarted(NodeId node);
+
   WorldConfig config_;
   sim::Simulator simulator_;
   net::Network network_;

@@ -1,0 +1,91 @@
+#include "fault/injector.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace caa::fault {
+
+FaultInjector::FaultInjector(World& world, FaultPlan plan)
+    : world_(world), plan_(std::move(plan)) {
+  const Status status = plan_.validate(world_.node_count());
+  CAA_CHECK_MSG(status.is_ok(), "fault plan failed validation");
+  arm();
+}
+
+void FaultInjector::crash_node(World& world, NodeId node) {
+  net::Network& network = world.network();
+  if (!network.node_up(node)) return;  // already down (shrunk plans)
+  network.set_node_up(node, false);
+  // Fail-stop detection: every participant on a live node learns of each of
+  // the victim's objects. Immediate detection keeps plans deterministic; a
+  // detection-latency study would move this behind the heartbeat monitor.
+  for (const auto& victim : world.participants()) {
+    if (victim->runtime().node() != node) continue;
+    for (const auto& peer : world.participants()) {
+      const NodeId peer_node = peer->runtime().node();
+      if (peer_node == node || !network.node_up(peer_node)) continue;
+      peer->notify_peer_crashed(victim->id());
+    }
+  }
+}
+
+void FaultInjector::arm() {
+  sim::Simulator& simulator = world_.simulator();
+  net::Network& network = world_.network();
+  for (const FaultEvent& e : plan_.events) {
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        simulator.schedule_at(e.at, [this, node = NodeId(e.a)] {
+          crash_node(world_, node);
+        });
+        break;
+      case FaultKind::kRestart:
+        simulator.schedule_at(e.at, [&network, node = NodeId(e.a)] {
+          // No-op when up (shrunk plans); the up-transition fires the
+          // World's node hook, which drives participant restart handling.
+          if (!network.node_up(node)) network.set_node_up(node, true);
+        });
+        break;
+      case FaultKind::kPartition:
+        simulator.schedule_at(e.at, [&network, a = NodeId(e.a),
+                                     b = NodeId(e.b)] {
+          network.set_partitioned(a, b, true);
+        });
+        simulator.schedule_at(e.until, [&network, a = NodeId(e.a),
+                                        b = NodeId(e.b)] {
+          network.set_partitioned(a, b, false);
+        });
+        break;
+      case FaultKind::kDropBurst:
+        simulator.schedule_at(e.at, [&network, e] {
+          network.set_drop_window(NodeId(e.a), NodeId(e.b), e.until,
+                                  e.permille);
+          network.set_drop_window(NodeId(e.b), NodeId(e.a), e.until,
+                                  e.permille);
+        });
+        break;
+      case FaultKind::kLatencySpike:
+        simulator.schedule_at(e.at, [&network, e] {
+          network.set_latency_window(NodeId(e.a), NodeId(e.b), e.until,
+                                     e.extra);
+          network.set_latency_window(NodeId(e.b), NodeId(e.a), e.until,
+                                     e.extra);
+        });
+        break;
+      case FaultKind::kResolverCrash:
+        // The tap fires inside Network::send() with participant frames on
+        // the stack: only *schedule* the crash, never apply it here.
+        network.set_send_tap([this, delay = e.extra](const net::Packet& p) {
+          if (trigger_fired_ || p.kind != net::MsgKind::kException) return;
+          trigger_fired_ = true;
+          world_.simulator().schedule_at(
+              world_.simulator().now() + delay,
+              [this, node = p.src.node] { crash_node(world_, node); });
+        });
+        break;
+    }
+  }
+}
+
+}  // namespace caa::fault

@@ -1,0 +1,44 @@
+// Arms a FaultPlan against a World as ordinary simulator events.
+//
+// The injector owns no policy: it translates timeline entries into the
+// Network's fault primitives (set_node_up, set_partitioned, windowed drop /
+// latency overrides) plus the crash-notification choreography the
+// fail-stop extension expects (every live participant learns of a crashed
+// peer's objects). The trigger-based resolver crash uses the Network's
+// send tap: the first Exception packet schedules a crash of its sender a
+// configured delay later — never synchronously, since the tap runs inside
+// send() with participant frames on the stack.
+//
+// One injector serves one run of one world and must outlive it.
+#pragma once
+
+#include "caa/world.h"
+#include "fault/plan.h"
+
+namespace caa::fault {
+
+class FaultInjector {
+ public:
+  /// Validates `plan` against the world's node count (CHECK on failure —
+  /// plans reaching an injector have passed generation or parsing) and
+  /// schedules every event. Call before running the world.
+  FaultInjector(World& world, FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Crashes `node` now: marks it down and notifies every participant on a
+  /// live node of each of the victim's participants. No-op if already
+  /// down. Exposed so tests can script crashes outside a plan.
+  static void crash_node(World& world, NodeId node);
+
+ private:
+  void arm();
+
+  World& world_;
+  FaultPlan plan_;
+  bool trigger_fired_ = false;
+};
+
+}  // namespace caa::fault

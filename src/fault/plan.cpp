@@ -1,0 +1,363 @@
+#include "fault/plan.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace caa::fault {
+namespace {
+
+// One directive name per kind, in enum order.
+constexpr std::string_view kKindNames[] = {
+    "crash", "restart", "partition", "drop", "latency", "resolver-crash",
+};
+
+void append_field(std::string& out, std::string_view key, std::int64_t value) {
+  out += ' ';
+  out += key;
+  out += '=';
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  out.append(buf, end);
+}
+
+/// "key=value" → writes into `*value`; false on mismatch or bad number.
+bool parse_field(std::string_view token, std::string_view key,
+                 std::int64_t* value) {
+  if (token.size() <= key.size() + 1 || !token.starts_with(key) ||
+      token[key.size()] != '=') {
+    return false;
+  }
+  const std::string_view digits = token.substr(key.size() + 1);
+  auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                   *value);
+  return ec == std::errc{} && ptr == digits.data() + digits.size();
+}
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+std::string FaultPlan::to_text() const {
+  std::string out = "faultplan v1\n";
+  for (const FaultEvent& e : events) {
+    out += fault_kind_name(e.kind);
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRestart:
+        append_field(out, "node", e.a);
+        append_field(out, "at", e.at);
+        break;
+      case FaultKind::kPartition:
+        append_field(out, "a", e.a);
+        append_field(out, "b", e.b);
+        append_field(out, "at", e.at);
+        append_field(out, "until", e.until);
+        break;
+      case FaultKind::kDropBurst:
+        append_field(out, "a", e.a);
+        append_field(out, "b", e.b);
+        append_field(out, "at", e.at);
+        append_field(out, "until", e.until);
+        append_field(out, "permille", e.permille);
+        break;
+      case FaultKind::kLatencySpike:
+        append_field(out, "a", e.a);
+        append_field(out, "b", e.b);
+        append_field(out, "at", e.at);
+        append_field(out, "until", e.until);
+        append_field(out, "extra", e.extra);
+        break;
+      case FaultKind::kResolverCrash:
+        append_field(out, "delay", e.extra);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<FaultPlan> FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    const std::vector<std::string_view> tokens = split_ws(line);
+    if (tokens.empty() || tokens[0].starts_with('#')) continue;
+    if (!saw_header) {
+      if (tokens.size() != 2 || tokens[0] != "faultplan" || tokens[1] != "v1") {
+        return Status::invalid_argument(
+            "fault plan must start with 'faultplan v1' (line " +
+            std::to_string(line_no) + ")");
+      }
+      saw_header = true;
+      continue;
+    }
+    FaultEvent e;
+    bool known = false;
+    for (std::size_t k = 0; k < std::size(kKindNames); ++k) {
+      if (tokens[0] == kKindNames[k]) {
+        e.kind = static_cast<FaultKind>(k);
+        known = true;
+        break;
+      }
+    }
+    const auto bad = [&](std::string_view what) -> Result<FaultPlan> {
+      return Status::invalid_argument("fault plan line " +
+                                      std::to_string(line_no) + ": " +
+                                      std::string(what));
+    };
+    if (!known) return bad("unknown directive '" + std::string(tokens[0]) + "'");
+
+    // Required fields per directive, matched positionally by key.
+    struct Slot {
+      std::string_view key;
+      std::int64_t* dst;
+    };
+    std::int64_t a = 0, b = 0, at = 0, until = 0, permille = 0, extra = 0;
+    std::vector<Slot> slots;
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRestart:
+        slots = {{"node", &a}, {"at", &at}};
+        break;
+      case FaultKind::kPartition:
+        slots = {{"a", &a}, {"b", &b}, {"at", &at}, {"until", &until}};
+        break;
+      case FaultKind::kDropBurst:
+        slots = {{"a", &a},
+                 {"b", &b},
+                 {"at", &at},
+                 {"until", &until},
+                 {"permille", &permille}};
+        break;
+      case FaultKind::kLatencySpike:
+        slots = {{"a", &a},
+                 {"b", &b},
+                 {"at", &at},
+                 {"until", &until},
+                 {"extra", &extra}};
+        break;
+      case FaultKind::kResolverCrash:
+        slots = {{"delay", &extra}};
+        break;
+    }
+    if (tokens.size() != slots.size() + 1) return bad("wrong field count");
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!parse_field(tokens[i + 1], slots[i].key, slots[i].dst)) {
+        return bad("expected '" + std::string(slots[i].key) + "=<int>', got '" +
+                   std::string(tokens[i + 1]) + "'");
+      }
+    }
+    if (a < 0 || b < 0 || at < 0 || until < 0 || permille < 0 || extra < 0) {
+      return bad("negative field");
+    }
+    e.a = static_cast<std::uint32_t>(a);
+    e.b = static_cast<std::uint32_t>(b);
+    e.at = at;
+    e.until = until;
+    e.permille = static_cast<std::uint32_t>(permille);
+    e.extra = extra;
+    plan.events.push_back(e);
+  }
+  if (!saw_header) {
+    return Status::invalid_argument("empty fault plan (missing header)");
+  }
+  return plan;
+}
+
+Status FaultPlan::validate(std::uint32_t nodes) const {
+  std::size_t triggers = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    const auto bad = [&](std::string_view what) {
+      return Status::invalid_argument("fault event " + std::to_string(i) +
+                                      " (" +
+                                      std::string(fault_kind_name(e.kind)) +
+                                      "): " + std::string(what));
+    };
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRestart:
+        if (e.a >= nodes) return bad("node out of range");
+        break;
+      case FaultKind::kPartition:
+      case FaultKind::kDropBurst:
+      case FaultKind::kLatencySpike:
+        if (e.a >= nodes || e.b >= nodes) return bad("node out of range");
+        if (e.a == e.b) return bad("self-link");
+        if (e.until < e.at) return bad("window ends before it starts");
+        if (e.kind == FaultKind::kDropBurst && e.permille > 1000) {
+          return bad("permille > 1000");
+        }
+        break;
+      case FaultKind::kResolverCrash:
+        if (++triggers > 1) return bad("at most one resolver-crash trigger");
+        break;
+    }
+  }
+  return Status::ok();
+}
+
+std::string_view fault_mix_name(FaultMix mix) {
+  switch (mix) {
+    case FaultMix::kMixed: return "mixed";
+    case FaultMix::kCrashHeavy: return "crash-heavy";
+    case FaultMix::kNetworkOnly: return "network-only";
+    case FaultMix::kResolverHunt: return "resolver-hunt";
+  }
+  return "?";
+}
+
+Result<FaultMix> parse_fault_mix(std::string_view name) {
+  for (FaultMix mix : {FaultMix::kMixed, FaultMix::kCrashHeavy,
+                       FaultMix::kNetworkOnly, FaultMix::kResolverHunt}) {
+    if (name == fault_mix_name(mix)) return mix;
+  }
+  return Status::invalid_argument("unknown fault mix '" + std::string(name) +
+                                  "'");
+}
+
+namespace {
+
+sim::Time pick_time(Rng& rng, const PlanGenOptions& o) {
+  return o.fault_from +
+         static_cast<sim::Time>(rng.below(
+             static_cast<std::uint64_t>(o.horizon - o.fault_from)));
+}
+
+FaultEvent window_event(Rng& rng, const PlanGenOptions& o, FaultKind kind) {
+  FaultEvent e;
+  e.kind = kind;
+  e.at = pick_time(rng, o);
+  e.until = e.at + 200 +
+            static_cast<sim::Time>(
+                rng.below(static_cast<std::uint64_t>(o.max_window - 200)));
+  e.a = static_cast<std::uint32_t>(rng.below(o.nodes));
+  do {
+    e.b = static_cast<std::uint32_t>(rng.below(o.nodes));
+  } while (e.b == e.a);
+  if (kind == FaultKind::kDropBurst) {
+    e.permille = 300 + static_cast<std::uint32_t>(rng.below(701));  // 300..1000
+  }
+  if (kind == FaultKind::kLatencySpike) {
+    e.extra = 100 + static_cast<sim::Time>(rng.below(600));  // 100..699
+  }
+  return e;
+}
+
+}  // namespace
+
+FaultPlan generate_plan(Rng& rng, const PlanGenOptions& o) {
+  CAA_CHECK_MSG(o.nodes >= 2, "plan generation needs >= 2 nodes");
+  CAA_CHECK_MSG(o.horizon > o.fault_from && o.max_window > 200,
+                "degenerate plan-gen window");
+  FaultPlan plan;
+
+  std::uint64_t crashes = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t spikes = 0;
+  bool hunt = false;
+  switch (o.mix) {
+    case FaultMix::kMixed:
+      crashes = rng.below(2);          // 0..1
+      partitions = rng.below(2);       // 0..1
+      bursts = rng.below(3);           // 0..2
+      spikes = rng.below(3);           // 0..2
+      hunt = rng.chance(0.10);
+      break;
+    case FaultMix::kCrashHeavy:
+      crashes = 1 + rng.below(2);      // 1..2 (capped to survivors below)
+      partitions = 0;
+      bursts = rng.below(2);           // 0..1
+      spikes = 0;
+      hunt = rng.chance(0.05);
+      break;
+    case FaultMix::kNetworkOnly:
+      crashes = 0;
+      partitions = 1 + rng.below(2);   // 1..2
+      bursts = 1 + rng.below(3);       // 1..3
+      spikes = rng.below(3);           // 0..2
+      hunt = false;
+      break;
+    case FaultMix::kResolverHunt:
+      crashes = 0;
+      partitions = 0;
+      bursts = rng.below(2);           // 0..1
+      spikes = rng.below(3);           // 0..2
+      hunt = true;
+      break;
+  }
+  // Never crash more than nodes-2 members outright: the protocol needs at
+  // least two live members for agreement to be observable, and the trigger
+  // crash (resolver hunt) may claim one more.
+  const std::uint64_t crash_cap = o.nodes > 2 ? o.nodes - 2 : 0;
+  if (crashes > crash_cap) crashes = crash_cap;
+  if (hunt && crashes > 0 && crashes == crash_cap) --crashes;
+
+  std::vector<std::uint32_t> victims;
+  for (std::uint64_t i = 0; i < crashes; ++i) {
+    std::uint32_t victim;
+    bool fresh;
+    do {
+      victim = static_cast<std::uint32_t>(rng.below(o.nodes));
+      fresh = true;
+      for (std::uint32_t v : victims) fresh = fresh && v != victim;
+    } while (!fresh);
+    victims.push_back(victim);
+    FaultEvent crash;
+    crash.kind = FaultKind::kCrash;
+    crash.a = victim;
+    crash.at = pick_time(rng, o);
+    plan.events.push_back(crash);
+    if (rng.chance(0.5)) {
+      FaultEvent restart;
+      restart.kind = FaultKind::kRestart;
+      restart.a = victim;
+      restart.at = crash.at + 300 +
+                   static_cast<sim::Time>(
+                       rng.below(static_cast<std::uint64_t>(o.max_window)));
+      plan.events.push_back(restart);
+    }
+  }
+  for (std::uint64_t i = 0; i < partitions; ++i) {
+    plan.events.push_back(window_event(rng, o, FaultKind::kPartition));
+  }
+  for (std::uint64_t i = 0; i < bursts; ++i) {
+    plan.events.push_back(window_event(rng, o, FaultKind::kDropBurst));
+  }
+  for (std::uint64_t i = 0; i < spikes; ++i) {
+    plan.events.push_back(window_event(rng, o, FaultKind::kLatencySpike));
+  }
+  if (hunt) {
+    FaultEvent trigger;
+    trigger.kind = FaultKind::kResolverCrash;
+    trigger.extra = 10 + static_cast<sim::Time>(rng.below(200));
+    plan.events.push_back(trigger);
+  }
+  return plan;
+}
+
+}  // namespace caa::fault

@@ -1,0 +1,107 @@
+// Declarative fault plans: the chaos engine's unit of injection.
+//
+// A FaultPlan is a timeline of fault events — node crashes and restarts,
+// partition windows, per-channel drop bursts and latency spikes, and a
+// trigger-based resolver crash — that the injector (injector.h) arms
+// against a World as ordinary simulator events. Plans are plain data:
+// they serialize to a line-oriented text format ("faultplan v1") and parse
+// back bit-identically, so a campaign failure report IS a reproduction
+// recipe, and the shrinker (shrink.h) can freely delete or retime events
+// and replay.
+//
+// Every event is tolerant of being degenerate after shrinking: crashing a
+// node that is already down, restarting one that is up, healing a
+// never-cut partition and zero-length windows are all no-ops, never
+// errors. Only structural problems (unknown node ids, inverted windows,
+// more than one resolver-crash trigger) fail validation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace caa::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,          // node `a` fail-stops at `at`; survivors are notified
+  kRestart,        // node `a` comes back up at `at` (volatile state lost)
+  kPartition,      // links a<->b cut at `at`, healed at `until`
+  kDropBurst,      // links a<->b drop `permille`/1000 extra in [at, until)
+  kLatencySpike,   // links a<->b pay `extra` extra ticks in [at, until)
+  kResolverCrash,  // crash the sender of the FIRST Exception message,
+                   // `extra` ticks after that send (trigger-based; `at`,
+                   // `until`, `a`, `b` unused)
+};
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
+
+/// One timeline entry. Field use depends on `kind` (see FaultKind); unused
+/// fields must be zero so serialized plans stay canonical.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  sim::Time at = 0;            // arming time (virtual ticks)
+  sim::Time until = 0;         // window end, exclusive (window events)
+  std::uint32_t a = 0;         // primary node
+  std::uint32_t b = 0;         // secondary node (pair events)
+  std::uint32_t permille = 0;  // drop-burst intensity, 0..1000
+  sim::Time extra = 0;         // latency-spike extra / resolver-crash delay
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Serializes to the "faultplan v1" text format, one event per line, in
+  /// event order. parse(to_text()) reproduces the plan exactly.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parses the text format. Unknown directives, malformed fields and
+  /// validation failures all yield an error status naming the line.
+  [[nodiscard]] static Result<FaultPlan> parse(std::string_view text);
+
+  /// Structural validation against a world of `nodes` nodes: node ids in
+  /// range, windows not inverted, permille <= 1000, at most one
+  /// resolver-crash trigger.
+  [[nodiscard]] Status validate(std::uint32_t nodes) const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Tunable fault-mix profiles for plan generation (see EXPERIMENTS.md E5).
+enum class FaultMix : std::uint8_t {
+  kMixed,         // a bit of everything — the default campaign diet
+  kCrashHeavy,    // crashes and restarts, little network noise
+  kNetworkOnly,   // partitions / bursts / spikes, no crashes
+  kResolverHunt,  // always arms the resolver-crash trigger
+};
+
+[[nodiscard]] std::string_view fault_mix_name(FaultMix mix);
+/// Parses a profile name ("mixed", "crash-heavy", "network-only",
+/// "resolver-hunt").
+[[nodiscard]] Result<FaultMix> parse_fault_mix(std::string_view name);
+
+struct PlanGenOptions {
+  FaultMix mix = FaultMix::kMixed;
+  /// Nodes in the target world; generated events only name ids below this.
+  std::uint32_t nodes = 4;
+  /// Faults are scheduled in [fault_from, horizon).
+  sim::Time fault_from = 800;
+  sim::Time horizon = 6000;
+  /// Longest partition / burst / spike window. Must stay well below the
+  /// reliable transport's rto * max_retries or plans can strand the
+  /// protocol behind a given-up retransmission.
+  sim::Time max_window = 2000;
+};
+
+/// Generates one plan from `rng`. Deterministic: the same (rng seed,
+/// options) always yields the same plan, so a campaign's plan #i is a pure
+/// function of (campaign seed, i).
+[[nodiscard]] FaultPlan generate_plan(Rng& rng, const PlanGenOptions& options);
+
+}  // namespace caa::fault

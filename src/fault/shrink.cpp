@@ -1,0 +1,140 @@
+#include "fault/shrink.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace caa::fault {
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const FailsFn& fails, const ShrinkOptions& options)
+      : fails_(fails), options_(options) {}
+
+  [[nodiscard]] bool budget_left() const {
+    return replays_ < options_.max_replays;
+  }
+  [[nodiscard]] std::size_t replays() const { return replays_; }
+
+  bool still_fails(const FaultPlan& plan) {
+    ++replays_;
+    return fails_(plan);
+  }
+
+  /// Classic ddmin over the event list: try dropping chunks of shrinking
+  /// size until no single event can be removed.
+  FaultPlan ddmin(FaultPlan plan) {
+    std::size_t chunk = std::max<std::size_t>(1, plan.events.size() / 2);
+    while (!plan.events.empty()) {
+      bool removed_any = false;
+      for (std::size_t start = 0;
+           start < plan.events.size() && budget_left();) {
+        FaultPlan candidate;
+        const std::size_t end =
+            std::min(start + chunk, plan.events.size());
+        candidate.events.reserve(plan.events.size() - (end - start));
+        for (std::size_t i = 0; i < plan.events.size(); ++i) {
+          if (i < start || i >= end) candidate.events.push_back(plan.events[i]);
+        }
+        if (still_fails(candidate)) {
+          plan = std::move(candidate);
+          removed_any = true;
+          // Same `start` now addresses the next chunk.
+        } else {
+          start = end;
+        }
+      }
+      if (!budget_left()) break;
+      if (chunk == 1) {
+        if (!removed_any) break;  // 1-minimal w.r.t. removal
+      } else {
+        chunk = std::max<std::size_t>(1, chunk / 2);
+      }
+    }
+    return plan;
+  }
+
+  /// Retiming: per event, try coarser times and narrower windows while the
+  /// plan keeps failing. Candidates go biggest-simplification-first so the
+  /// accepted result reads cleanly (times snapped to round numbers).
+  FaultPlan retime(FaultPlan plan) {
+    bool changed = true;
+    while (changed && budget_left()) {
+      changed = false;
+      for (std::size_t i = 0; i < plan.events.size() && budget_left(); ++i) {
+        for (const FaultEvent& candidate : candidates_for(plan.events[i])) {
+          if (candidate == plan.events[i]) continue;
+          FaultPlan trial = plan;
+          trial.events[i] = candidate;
+          if (!budget_left()) break;
+          if (still_fails(trial)) {
+            plan = std::move(trial);
+            changed = true;
+            break;  // re-derive candidates from the new event
+          }
+        }
+      }
+    }
+    return plan;
+  }
+
+ private:
+  static std::vector<FaultEvent> candidates_for(const FaultEvent& e) {
+    std::vector<FaultEvent> out;
+    const auto with_at = [&e](sim::Time at) {
+      FaultEvent c = e;
+      const sim::Time shift = at - c.at;
+      c.at = at;
+      if (c.until > 0) c.until += shift;  // keep the window length
+      return c;
+    };
+    // Snap the start time to round numbers (coarsest first).
+    for (sim::Time grain : {1000, 500, 100}) {
+      const sim::Time snapped = (e.at / grain) * grain;
+      if (snapped > 0 && snapped != e.at) out.push_back(with_at(snapped));
+    }
+    // Narrow windows (halve, then minimal).
+    if (e.until > e.at) {
+      FaultEvent half = e;
+      half.until = e.at + (e.until - e.at) / 2;
+      if (half.until > e.at) out.push_back(half);
+      FaultEvent tight = e;
+      tight.until = e.at + 1;
+      out.push_back(tight);
+    }
+    // Simplify intensities.
+    if (e.kind == FaultKind::kDropBurst && e.permille != 1000) {
+      FaultEvent full = e;
+      full.permille = 1000;
+      out.push_back(full);
+    }
+    if (e.kind == FaultKind::kResolverCrash && e.extra != 0) {
+      FaultEvent instant = e;
+      instant.extra = 0;
+      out.push_back(instant);
+    }
+    return out;
+  }
+
+  const FailsFn& fails_;
+  const ShrinkOptions& options_;
+  std::size_t replays_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink_plan(const FaultPlan& failing, const FailsFn& fails,
+                         const ShrinkOptions& options) {
+  Shrinker shrinker(fails, options);
+  ShrinkResult result;
+  CAA_CHECK_MSG(shrinker.still_fails(failing),
+                "shrink_plan: the input plan does not fail");
+  result.plan = shrinker.ddmin(failing);
+  result.plan = shrinker.retime(std::move(result.plan));
+  result.replays = shrinker.replays();
+  result.minimal = shrinker.budget_left();
+  return result;
+}
+
+}  // namespace caa::fault

@@ -1,0 +1,41 @@
+// Counterexample minimization for fault plans (delta debugging).
+//
+// Given a failing plan and a deterministic "does this plan still fail?"
+// predicate, shrink_plan removes events (ddmin: chunked removal with
+// shrinking granularity, to a fixpoint) and then retimes the survivors
+// (snapping times to coarser values, narrowing windows) so the repro a
+// human reads is locally minimal: every remaining event is necessary, and
+// no tried retiming keeps the failure. Fully sequential and deterministic —
+// the same (plan, predicate) always shrinks to the same result.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fault/plan.h"
+
+namespace caa::fault {
+
+/// Must be deterministic and side-effect-free per call: replays the world
+/// with `plan` and reports whether the original violation still occurs.
+using FailsFn = std::function<bool(const FaultPlan&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate invocations (each one replays a world).
+  std::size_t max_replays = 400;
+};
+
+struct ShrinkResult {
+  FaultPlan plan;            // locally-minimal failing plan
+  std::size_t replays = 0;   // predicate invocations spent
+  bool minimal = false;      // false iff the replay budget ran out first
+};
+
+/// Precondition: fails(failing) is true (checked — the first replay
+/// re-establishes it). Returns the shrunk plan; `failing` itself is
+/// returned when nothing can be removed.
+[[nodiscard]] ShrinkResult shrink_plan(const FaultPlan& failing,
+                                       const FailsFn& fails,
+                                       const ShrinkOptions& options = {});
+
+}  // namespace caa::fault

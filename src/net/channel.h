@@ -32,11 +32,29 @@ struct LinkParams {
 
 /// Per-ordered-pair channel state: enforces FIFO delivery by never
 /// scheduling a delivery earlier than the previously scheduled one.
+///
+/// On top of the static LinkParams, a channel can carry *windowed* fault
+/// overrides (src/fault/ chaos engine): until `drop_until`, packets are
+/// additionally dropped with `drop_permille`/1000 probability; until
+/// `latency_until`, every delivery pays `latency_extra` extra ticks. The
+/// drop boost is an integer permille so fault plans serialize and re-parse
+/// without floating-point round-trip drift.
 struct ChannelState {
   LinkParams params;
   Rng rng{0};
   sim::Time last_delivery = 0;
   bool partitioned = false;
+  // Windowed fault overrides (Network::set_drop_window / set_latency_window).
+  sim::Time drop_until = 0;
+  std::uint32_t drop_permille = 0;
+  sim::Time latency_until = 0;
+  sim::Time latency_extra = 0;
+
+  /// True when the drop-burst window additionally claims this packet.
+  bool burst_dropped(sim::Time now) {
+    return now < drop_until && drop_permille > 0 &&
+           rng.chance(static_cast<double>(drop_permille) / 1000.0);
+  }
 
   /// Samples the delivery time for a packet of `bytes` sent at `now`,
   /// advancing FIFO state.
@@ -47,6 +65,7 @@ struct ChannelState {
           rng.below(static_cast<std::uint64_t>(params.latency_jitter) + 1));
     }
     lat += params.per_byte * static_cast<sim::Time>(bytes);
+    if (now < latency_until) lat += latency_extra;  // latency-spike window
     sim::Time at = now + lat;
     if (at < last_delivery) at = last_delivery;  // FIFO clamp
     last_delivery = at;

@@ -54,6 +54,10 @@ enum class MsgKind : std::uint16_t {
   kCentralFrozenAck = 142,
   kCentralCommit = 143,
 
+  // Crash-tolerance extension: survivors synchronize their view of an
+  // in-progress resolution when a member is excluded (§4.2 fail-stop).
+  kCrashSync = 150,
+
   // CA action management (entry/exit synchronization).
   kActionJoin = 200,
   kActionJoinAck = 201,

@@ -55,7 +55,9 @@ void Network::set_link(NodeId src, NodeId dst, LinkParams params) {
 void Network::set_node_up(NodeId node, bool up) {
   NodeState* state = node_state(node);
   CAA_CHECK_MSG(state != nullptr, "set_node_up: unknown node");
+  const bool was_up = state->up;
   state->up = up;
+  if (was_up != up && node_hook_) node_hook_(node, up);
 }
 
 bool Network::node_up(NodeId node) const {
@@ -67,6 +69,20 @@ bool Network::node_up(NodeId node) const {
 void Network::set_partitioned(NodeId a, NodeId b, bool partitioned) {
   channel(a, b).partitioned = partitioned;
   channel(b, a).partitioned = partitioned;
+}
+
+void Network::set_drop_window(NodeId src, NodeId dst, sim::Time until,
+                              std::uint32_t permille) {
+  ChannelState& ch = channel(src, dst);
+  ch.drop_until = until;
+  ch.drop_permille = permille > 1000 ? 1000 : permille;
+}
+
+void Network::set_latency_window(NodeId src, NodeId dst, sim::Time until,
+                                 sim::Time extra) {
+  ChannelState& ch = channel(src, dst);
+  ch.latency_until = until;
+  ch.latency_extra = extra;
 }
 
 ChannelState& Network::channel(NodeId src, NodeId dst) {
@@ -110,6 +126,7 @@ void Network::send(Packet packet) {
   CAA_CHECK_MSG(src != nullptr, "send: unknown src node");
   CAA_CHECK_MSG(node_state(packet.dst.node) != nullptr,
                 "send: unknown dst node");
+  if (send_tap_) send_tap_(packet);
   const KindCounters& kc = kind_counters(packet.kind);
   count(kc.sent, static_cast<std::int64_t>(packet.size_on_wire()));
   obs::FlightRecorder& recorder = simulator_.obs().recorder();
@@ -131,7 +148,8 @@ void Network::send(Packet packet) {
   }
 
   ChannelState& ch = channel(packet.src.node, packet.dst.node);
-  if (ch.partitioned || ch.rng.chance(ch.params.drop_probability)) {
+  if (ch.partitioned || ch.rng.chance(ch.params.drop_probability) ||
+      ch.burst_dropped(simulator_.now())) {
     count(kc.dropped);
     recorder.record_drop(static_cast<std::uint16_t>(packet.kind),
                          packet.src.node.value(), packet.cause);

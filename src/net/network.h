@@ -38,11 +38,38 @@ class Network {
   void set_link(NodeId src, NodeId dst, LinkParams params);
 
   /// Crashes / restarts a node. Packets to or from a down node are dropped.
+  /// On a transition the node hook (if any) fires — the fault engine and the
+  /// World use the up-transition as the restart signal.
   void set_node_up(NodeId node, bool up);
   [[nodiscard]] bool node_up(NodeId node) const;
 
   /// Cuts / heals both directions between two nodes.
   void set_partitioned(NodeId a, NodeId b, bool partitioned);
+
+  // ---- Fault-engine hooks (src/fault/) --------------------------------
+
+  /// Observer of node up/down *transitions* (not redundant set_node_up
+  /// calls). The World installs one to drive participant restart handling;
+  /// it runs after the node state has changed.
+  using NodeHook = std::function<void(NodeId, bool up)>;
+  void set_node_hook(NodeHook hook) { node_hook_ = std::move(hook); }
+
+  /// Tap invoked for every packet entering send(), before any fault
+  /// decision. Fault plans use it for triggered events ("crash the sender
+  /// of the first Exception message"); the tap must not re-enter send().
+  using SendTap = std::function<void(const Packet&)>;
+  void set_send_tap(SendTap tap) { send_tap_ = std::move(tap); }
+
+  /// Windowed drop burst on the directed channel src->dst: until virtual
+  /// time `until`, packets are dropped with an additional `permille`/1000
+  /// probability (on top of the channel's static drop_probability).
+  void set_drop_window(NodeId src, NodeId dst, sim::Time until,
+                       std::uint32_t permille);
+
+  /// Windowed latency spike on the directed channel src->dst: packets sent
+  /// before `until` pay `extra` additional ticks of delivery latency.
+  void set_latency_window(NodeId src, NodeId dst, sim::Time until,
+                          sim::Time extra);
 
   /// Sends a packet. The source node must be up; delivery is scheduled per
   /// the channel's latency model unless a fault drops the packet.
@@ -71,6 +98,8 @@ class Network {
 
   sim::Simulator& simulator_;
   std::uint64_t seed_;
+  NodeHook node_hook_;
+  SendTap send_tap_;
   // Interned once at construction; recorded only while observability is on.
   obs::HistogramId delay_hist_;
   obs::HistogramId bytes_hist_;

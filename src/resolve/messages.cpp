@@ -77,6 +77,18 @@ net::Bytes encode(const CommitMsg& m) {
   return std::move(w).take();
 }
 
+net::Bytes encode(const CrashSyncMsg& m) {
+  net::WireWriter w;
+  put_header(w, m.scope, m.round);
+  w.u32(m.sender.value());
+  w.u32(m.crashed.value());
+  w.u32(static_cast<std::uint32_t>(m.phase));
+  w.u32(m.commit_round);
+  w.u32(m.commit_resolver.value());
+  w.u32(m.commit_resolved.value());
+  return std::move(w).take();
+}
+
 Result<ExceptionMsg> decode_exception(const net::Bytes& bytes) {
   net::WireReader r(bytes);
   auto h = get_header(r);
@@ -129,6 +141,35 @@ Result<CommitMsg> decode_commit(const net::Bytes& bytes) {
   if (!resolved.is_ok()) return resolved.status();
   return CommitMsg{h.value().scope, h.value().round, resolver.value(),
                    resolved.value()};
+}
+
+Result<CrashSyncMsg> decode_crash_sync(const net::Bytes& bytes) {
+  net::WireReader r(bytes);
+  auto h = get_header(r);
+  if (!h.is_ok()) return h.status();
+  auto sender = get_object(r);
+  if (!sender.is_ok()) return sender.status();
+  auto crashed = get_object(r);
+  if (!crashed.is_ok()) return crashed.status();
+  auto phase = r.u32();
+  if (!phase.is_ok()) return phase.status();
+  if (phase.value() > static_cast<std::uint32_t>(CrashSyncMsg::Phase::kGone)) {
+    return Status::invalid_argument("CrashSync: bad phase");
+  }
+  auto commit_round = r.u32();
+  if (!commit_round.is_ok()) return commit_round.status();
+  auto commit_resolver = get_object(r);
+  if (!commit_resolver.is_ok()) return commit_resolver.status();
+  auto commit_resolved = get_exception(r);
+  if (!commit_resolved.is_ok()) return commit_resolved.status();
+  return CrashSyncMsg{h.value().scope,
+                      h.value().round,
+                      sender.value(),
+                      crashed.value(),
+                      static_cast<CrashSyncMsg::Phase>(phase.value()),
+                      commit_round.value(),
+                      commit_resolver.value(),
+                      commit_resolved.value()};
 }
 
 Result<ScopeRound> peek_scope_round(const net::Bytes& bytes) {

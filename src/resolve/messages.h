@@ -55,17 +55,41 @@ struct CommitMsg {
   ExceptionId resolved;
 };
 
+/// Crash-tolerance extension (not one of the paper's five): when a member
+/// learns that `crashed` failed, it pushes its resolution status for the
+/// affected action to every other live member and withholds new Commits
+/// until it has heard from each of them. The message carries at most one
+/// Commit the sender knows about (pending or already applied) so that a
+/// resolution the crashed member helped decide survives it; `commit_*` is
+/// empty when `commit_resolved` is invalid. A `kGone` reply (round
+/// kGoneRound) means the responder no longer participates in the action.
+struct CrashSyncMsg {
+  enum class Phase : std::uint8_t { kPush = 0, kReply = 1, kGone = 2 };
+  static constexpr std::uint32_t kGoneRound = 0xffffffffu;
+
+  ActionInstanceId scope;
+  std::uint32_t round = 0;  // sender's current round (kGoneRound if gone)
+  ObjectId sender;
+  ObjectId crashed;
+  Phase phase = Phase::kPush;
+  std::uint32_t commit_round = 0;
+  ObjectId commit_resolver;
+  ExceptionId commit_resolved;  // invalid() = no commit known
+};
+
 net::Bytes encode(const ExceptionMsg& m);
 net::Bytes encode(const HaveNestedMsg& m);
 net::Bytes encode(const NestedCompletedMsg& m);
 net::Bytes encode(const AckMsg& m);
 net::Bytes encode(const CommitMsg& m);
+net::Bytes encode(const CrashSyncMsg& m);
 
 Result<ExceptionMsg> decode_exception(const net::Bytes& bytes);
 Result<HaveNestedMsg> decode_have_nested(const net::Bytes& bytes);
 Result<NestedCompletedMsg> decode_nested_completed(const net::Bytes& bytes);
 Result<AckMsg> decode_ack(const net::Bytes& bytes);
 Result<CommitMsg> decode_commit(const net::Bytes& bytes);
+Result<CrashSyncMsg> decode_crash_sync(const net::Bytes& bytes);
 
 /// Scope and round of any resolution-kind packet, without full decoding.
 struct ScopeRound {

@@ -236,6 +236,15 @@ void ResolverCore::handle_exception(const ExceptionMsg& m) {
   CAA_CHECK(m.scope == scope_ && m.round == round_);
   CAA_CHECK_MSG(state_ != State::kHandling,
                 "router must not deliver into a finished round");
+  // A crashed member's exception must not enter LE (see exclude_member):
+  // survivors it reached and survivors it missed have to agree. Replays of
+  // messages queued during an abortion land here too, so the router's
+  // from-crashed filter alone is not enough.
+  if (excluded_.contains(m.raiser)) {
+    trace("exception from crashed member dropped",
+          "O" + std::to_string(m.raiser.value()));
+    return;
+  }
   suspend_if_normal();
   record_exception(m.exception, m.raiser);
   send_ack(m.raiser);
@@ -244,6 +253,7 @@ void ResolverCore::handle_exception(const ExceptionMsg& m) {
 
 void ResolverCore::handle_have_nested(const HaveNestedMsg& m) {
   CAA_CHECK(m.scope == scope_ && m.round == round_);
+  if (excluded_.contains(m.sender)) return;  // its completion is waived
   suspend_if_normal();
   // Not completed yet (unless NestedCompleted somehow already arrived, which
   // FIFO channels rule out; a kLoCompleted entry stays completed).
@@ -259,6 +269,7 @@ void ResolverCore::handle_have_nested(const HaveNestedMsg& m) {
 
 void ResolverCore::handle_nested_completed(const NestedCompletedMsg& m) {
   CAA_CHECK(m.scope == scope_ && m.round == round_);
+  if (excluded_.contains(m.sender)) return;  // signalled exception expunged
   suspend_if_normal();
   if (std::uint8_t& lo = lo_state_[member_rank(m.sender)];
       lo != kLoCompleted) {
@@ -283,12 +294,34 @@ void ResolverCore::handle_ack(const AckMsg& m) {
 
 void ResolverCore::handle_commit(const CommitMsg& m) {
   CAA_CHECK(m.scope == scope_ && m.round == round_);
+  // A commit from a crashed resolver is dropped uniformly: members it
+  // reached pre-crash already applied (or hold) it and the CrashSync
+  // barrier re-distributes it; members it missed must not apply a value
+  // the rest never sees.
+  if (excluded_.contains(m.resolver)) {
+    trace("commit from crashed member dropped",
+          "O" + std::to_string(m.resolver.value()));
+    return;
+  }
   pending_commit_ = m;
   if (state_ == State::kSuspended || state_ == State::kReady) {
     finish(m);
   }
   // In kExceptional we hold the commit until Ready (all our ACKs in) so the
   // round closes only when nobody still needs our bookkeeping.
+  maybe_ready();
+}
+
+void ResolverCore::apply_synced_commit(const CommitMsg& m) {
+  CAA_CHECK(m.scope == scope_ && m.round == round_);
+  if (state_ == State::kHandling) return;  // already resolved this round
+  pending_commit_ = m;
+  if (state_ == State::kSuspended || state_ == State::kReady) {
+    finish(m);
+    return;
+  }
+  // kExceptional holds it until Ready; kAborting keeps it pending and the
+  // post-abortion maybe_ready() applies it.
   maybe_ready();
 }
 
@@ -372,14 +405,38 @@ void ResolverCore::exclude_member(ObjectId peer) {
   const std::size_t rank = member_rank(peer);
   if (acked_[rank] != 0) --acks_live_;  // now counted via excluded_
   if (lo_state_[rank] == kLoPending) --lo_pending_;
+  // Expunge its exceptions from LE. Exclusion waives the crashed member's
+  // ACK, so survivors stop agreeing on whether its in-flight Exception
+  // messages are part of the round — the only consistent reading of the
+  // fail-stop model is that they are not. Any resolution the member already
+  // produced from them is preserved by the owner's CrashSync barrier.
+  if (raisers_.erase(peer) != 0) {
+    std::erase_if(le_, [peer](const ex::Exception& e) {
+      return e.raised_by == peer;
+    });
+  }
   trace("member excluded (crash)", "O" + std::to_string(peer.value()));
   maybe_ready();
 }
 
+void ResolverCore::set_commit_gate(bool gated) {
+  if (commit_gated_ == gated) return;
+  commit_gated_ = gated;
+  trace(gated ? "commit gate on (crash sync)" : "commit gate off");
+  if (!gated) maybe_ready();
+}
+
 void ResolverCore::maybe_ready() {
   if (state_ != State::kExceptional) {
-    // A Ready object with a buffered commit finishes as soon as possible.
-    if (state_ == State::kReady && pending_commit_) finish(*pending_commit_);
+    // A suspended object can only hold a commit through the synced path
+    // (on_commit finishes immediately in S); apply it as soon as noticed.
+    if (state_ == State::kSuspended && pending_commit_) {
+      finish(*pending_commit_);
+      return;
+    }
+    // Already Ready: a late exclusion or an ungated commit gate may have
+    // turned this object into the resolver, or a commit may have arrived.
+    if (state_ == State::kReady) ready_actions();
     return;
   }
   if (!awaiting_acks_ || !all_acks_received() || !all_nested_completed()) {
@@ -388,10 +445,16 @@ void ResolverCore::maybe_ready() {
   state_ = State::kReady;
   record_flight(obs::RecType::kState, static_cast<std::uint32_t>(state_));
   trace("state X->R");
+  ready_actions();
+}
+
+void ResolverCore::ready_actions() {
+  CAA_CHECK(state_ == State::kReady);
   if (pending_commit_) {
     finish(*pending_commit_);
     return;
   }
+  if (commit_gated_) return;  // withhold new commits until the sync is done
   if (self_in_committee()) {
     // §4.2: the object with the biggest number among the raisers resolves
     // (generalized to the top-`committee_` live raisers, §4.4 extension).

@@ -106,8 +106,32 @@ class ResolverCore {
   /// Crash-tolerance extension (fail-stop model): marks a group member as
   /// crashed. The member no longer counts towards ACK completeness, its
   /// pending nested completion is waived, and it is skipped when choosing
-  /// the resolving object(s). Exceptions it managed to send remain in LE.
+  /// the resolving object(s). Exceptions it raised are expunged from LE and
+  /// later deliveries from it are ignored: survivors that received them and
+  /// survivors that did not must compute the same resolution, so only
+  /// live-raiser exceptions may contribute (a resolution the crashed member
+  /// already committed is preserved by the owner's CrashSync barrier, not
+  /// by LE).
   void exclude_member(ObjectId peer);
+
+  /// Crash-tolerance extension: while gated, this engine reaches Ready but
+  /// withholds *creating* a Commit (committee self-resolution) until the
+  /// owner's CrashSync barrier completes; applying a received or synced
+  /// commit stays allowed. Ungating re-evaluates readiness immediately.
+  void set_commit_gate(bool gated);
+
+  /// A commit received while Exceptional and held until Ready. The owner's
+  /// CrashSync push advertises it so a resolution decided just before a
+  /// crash survives the crash.
+  [[nodiscard]] const std::optional<CommitMsg>& held_commit() const {
+    return pending_commit_;
+  }
+
+  /// Applies a commit learned through the CrashSync barrier. Unlike
+  /// on_commit this accepts a commit produced by a now-excluded resolver:
+  /// the barrier only forwards commits some live member already holds, so
+  /// applying it cannot diverge from the survivors.
+  void apply_synced_commit(const CommitMsg& m);
 
   /// Crash-tolerance extension: true iff some KNOWN raiser is still alive.
   /// When false while Suspended, the round can never commit (no live
@@ -179,6 +203,9 @@ class ResolverCore {
   void begin_round_span();
   void suspend_if_normal();
   void maybe_ready();
+  /// Runs the Ready-state obligations: apply a held commit, or — unless the
+  /// commit gate is on — self-resolve when this object is in the committee.
+  void ready_actions();
   void finish(const CommitMsg& m);
   [[nodiscard]] bool tracing() const;
   void trace(std::string_view event, std::string detail = {});
@@ -217,6 +244,7 @@ class ResolverCore {
   std::size_t lo_pending_ = 0;
   std::set<ObjectId> raisers_;
   bool awaiting_acks_ = false;  // we multicast Exception or NestedCompleted
+  bool commit_gated_ = false;   // CrashSync barrier in progress (extension)
   std::optional<CommitMsg> pending_commit_;
   std::vector<AnyMsg> queued_;  // messages deferred while kAborting
   ExceptionId resolved_;

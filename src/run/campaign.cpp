@@ -36,6 +36,7 @@ std::string failure_line(const WorldResult& w) {
   if (!w.recorder_dump_path.empty()) {
     line += " [recorder dump: " + w.recorder_dump_path + "]";
   }
+  if (!w.repro.empty()) line += "\n" + w.repro;
   return line;
 }
 

@@ -78,6 +78,10 @@ struct WorldResult {
   /// Optional exported blob (e.g. a Chrome trace) for byte-level
   /// determinism checks; not merged.
   std::string artifact;
+  /// Ready-to-paste reproduction recipe for a failed world (the chaos
+  /// engine fills it with the serialized fault plan + replay command).
+  /// Appended verbatim to the failure report; not merged.
+  std::string repro;
   double wall_ms = 0.0;  // informational only; never merged
   bool ok = true;
   std::string error;  // set when the job threw

@@ -38,6 +38,16 @@ class AtomicObjectHost : public rt::ManagedObject {
     return locks_.held_count(txn) > 0;
   }
 
+  // Oracle introspection (src/fault/): all three must read zero once the
+  // world is quiescent, otherwise some transaction leaked state here.
+  [[nodiscard]] std::size_t total_locks_held() const {
+    return locks_.total_held();
+  }
+  [[nodiscard]] std::size_t queued_lock_waiters() const {
+    return locks_.total_queued();
+  }
+  [[nodiscard]] std::size_t open_undo_logs() const { return undo_.size(); }
+
   void on_message(ObjectId from, net::MsgKind kind,
                   const net::Bytes& payload) override;
 

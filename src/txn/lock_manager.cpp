@@ -146,4 +146,16 @@ std::size_t LockManager::held_count(TxnId txn) const {
   return n;
 }
 
+std::size_t LockManager::total_held() const {
+  std::size_t n = 0;
+  for (const auto& [name, state] : locks_) n += state.holders.size();
+  return n;
+}
+
+std::size_t LockManager::total_queued() const {
+  std::size_t n = 0;
+  for (const auto& [name, state] : locks_) n += state.queue.size();
+  return n;
+}
+
 }  // namespace caa::txn

@@ -62,6 +62,12 @@ class LockManager {
                            LockMode mode) const;
   [[nodiscard]] std::size_t held_count(TxnId txn) const;
 
+  /// Locks held across ALL transactions. At quiescence this must be zero —
+  /// anything else is a leak (fault-engine oracle invariant).
+  [[nodiscard]] std::size_t total_held() const;
+  /// Requests still queued across all lock states (stuck waiters).
+  [[nodiscard]] std::size_t total_queued() const;
+
  private:
   struct Holder {
     TxnId txn;

@@ -52,6 +52,11 @@ class TxnClient : public rt::ManagedObject {
   [[nodiscard]] std::int64_t commits() const { return commits_; }
   [[nodiscard]] std::int64_t aborts() const { return aborts_; }
 
+  /// Transactions begun but not yet committed/aborted (records are erased
+  /// on every terminal outcome). Non-zero at quiescence means a dangling
+  /// transaction — a fault-engine oracle invariant.
+  [[nodiscard]] std::size_t active_txns() const { return txns_.size(); }
+
  private:
   enum class TxnState : std::uint8_t { kActive, kCommitting, kAborting };
 

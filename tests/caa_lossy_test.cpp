@@ -1,11 +1,16 @@
-// The resolution protocol over LOSSY links with the reliable transport —
-// what §4.5 assumes from the environment ("reliable message passing"),
-// here actually built and exercised end-to-end: the protocol outcome must
-// be identical to the loss-free runs, with the loss absorbed as transport
-// retransmissions.
+// The resolution protocol over LOSSY links — what §4.5 assumes from the
+// environment ("reliable message passing"), here actually built and
+// exercised end-to-end. Loss is injected two ways: as a lossy link
+// configuration (the transport's own regime) and as declarative FaultPlan
+// drop bursts through the chaos engine; either way the protocol outcome
+// must match the loss-free runs, with the loss absorbed as transport
+// retransmissions, and the full invariant oracle must stay silent.
 #include <gtest/gtest.h>
 
 #include "caa/world.h"
+#include "fault/chaos.h"
+#include "fault/oracle.h"
+#include "run/campaign.h"
 
 namespace caa {
 namespace {
@@ -39,6 +44,11 @@ TEST(CaaLossy, SingleRaiseResolvesDespiteLoss) {
   w.at(1000, [&] { o2.raise("s2"); });
   w.run();
 
+  // The oracle's invariants hold under loss: quiescent, nobody stuck,
+  // agreement, and per-kind conservation (drops are declared, not leaks).
+  const fault::OracleReport report = fault::check_invariants(w, {});
+  EXPECT_TRUE(report.ok()) << report.summary();
+
   for (auto* o : {&o1, &o2, &o3}) {
     ASSERT_EQ(o->handled().size(), 1u);
     EXPECT_EQ(o->handled()[0].resolved, decl.tree().find("s2"));
@@ -58,7 +68,7 @@ class LossySweep : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(LossySweep, NestedScenarioOutcomeMatchesLossFree) {
   // The Figure-4 style scenario from the nested tests, under 25% loss:
   // outcomes (handled exceptions, abortion orders) must match the
-  // loss-free protocol exactly.
+  // loss-free protocol exactly, and the oracle must pass either way.
   auto build_and_run = [&](bool lossy, std::uint64_t seed) {
     auto w = std::make_unique<World>(
         lossy ? lossy_config(0.25, seed) : WorldConfig{});
@@ -99,6 +109,11 @@ TEST_P(LossySweep, NestedScenarioOutcomeMatchesLossFree) {
     w->at(1000, [&o1] { o1.raise("E1"); });
     w->run();
 
+    const fault::OracleReport report = fault::check_invariants(*w, {});
+    EXPECT_TRUE(report.ok())
+        << (lossy ? "lossy" : "loss-free") << " seed " << seed << ": "
+        << report.summary();
+
     std::vector<std::string> outcome;
     for (auto* o : {&o1, &o2, &o3}) {
       for (const auto& h : o->handled()) {
@@ -117,6 +132,41 @@ TEST_P(LossySweep, NestedScenarioOutcomeMatchesLossFree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LossySweep,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+// Loss injected the chaos engine's way: drop-burst windows over every
+// channel pair of a chaos trial world. The bursts sit well inside the
+// reliable transport's give-up horizon, so the oracle must stay silent.
+TEST(CaaLossy, DropBurstPlansKeepEveryInvariant) {
+  fault::ChaosOptions options;
+  options.seed = 7;
+  options.shrink = false;
+  run::Campaign campaign({.seed = options.seed, .threads = 0});
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    campaign.add("burst#" + std::to_string(i),
+                 [&options](const run::WorldContext& ctx) {
+                   const std::uint32_t n =
+                       fault::trial_participants(ctx.seed, options);
+                   fault::FaultPlan plan;
+                   for (std::uint32_t a = 0; a < n; ++a) {
+                     for (std::uint32_t b = a + 1; b < n; ++b) {
+                       fault::FaultEvent burst;
+                       burst.kind = fault::FaultKind::kDropBurst;
+                       burst.a = a;
+                       burst.b = b;
+                       burst.at = 900;
+                       burst.until = 2900;
+                       burst.permille = 250;
+                       plan.events.push_back(burst);
+                     }
+                   }
+                   return run_chaos_trial(ctx.seed, plan, options, ctx.index);
+                 });
+  }
+  const run::CampaignResult result = campaign.run();
+  EXPECT_TRUE(result.all_ok())
+      << result.failed << " burst trial(s) violated invariants; first: "
+      << result.first_error();
+}
 
 }  // namespace
 }  // namespace caa

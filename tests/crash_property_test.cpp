@@ -1,141 +1,53 @@
-// Property sweep for the crash-tolerance extension: random crash times
-// injected into resolution scenarios. Invariants: the simulation always
-// quiesces, no internal CHECK fires, survivors that handled a given round
-// agree on the resolved exception, and with a committee >= 2 the survivors
-// always finish the action even if the designated resolver dies.
+// Property sweep for the crash-tolerance extension, expressed through the
+// chaos engine: every trial is a declarative FaultPlan armed against a
+// deterministically generated world, and every invariant — quiescence, no
+// stuck survivor, survivor agreement on the resolved exception,
+// per-kind packet conservation — is the reusable oracle's, not ad-hoc
+// assertions (fault/oracle.h).
 //
 // Each seed is an independent world; the 80-seed sweep runs as one
 // campaign across every core, collecting violations as strings instead of
 // one TEST_P per seed.
 #include <gtest/gtest.h>
 
-#include <map>
-#include <sstream>
-
-#include "caa/world.h"
+#include "fault/chaos.h"
+#include "fault/plan.h"
 #include "run/campaign.h"
 #include "util/rng.h"
 
 namespace caa {
 namespace {
 
-using action::EnterConfig;
-using action::Participant;
-using action::uniform_handlers;
+fault::ChaosOptions sweep_options() {
+  fault::ChaosOptions options;
+  options.seed = 42;
+  options.committee = 2;
+  options.shrink = false;  // tests fail loudly; no need for repro recipes
+  return options;
+}
 
-run::WorldResult run_crash_trial(std::uint64_t seed) {
-  std::vector<std::string> violations;
-  Rng rng(seed * 1337 + 5);
-  const int n = 3 + static_cast<int>(rng.below(4));  // 3..6
-  World w;
-  std::vector<Participant*> objects;
-  std::vector<ObjectId> ids;
-  std::vector<NodeId> nodes;
-  for (int i = 0; i < n; ++i) {
-    const NodeId node = w.add_node();
-    nodes.push_back(node);
-    objects.push_back(&w.add_participant("O" + std::to_string(i + 1), node));
-    ids.push_back(objects.back()->id());
-  }
-  ex::ExceptionTree tree;
-  const auto cover = tree.declare("cover");
-  tree.declare("ea", cover);
-  tree.declare("eb", cover);
-  tree.declare("peer_crash");
-  const auto& decl = w.actions().declare("A", std::move(tree));
-  const auto& inst = w.actions().create_instance(decl, ids);
-  for (auto* o : objects) {
-    if (!o->enter(inst.instance,
-                  EnterConfig::with(
-                      uniform_handlers(decl.tree(),
-                                       ex::HandlerResult::recovered(
-                                           rng.below(300))))
-                      .committee(2)
-                      .on_peer_crash(decl.tree().find("peer_crash")))) {
-      run::WorldResult r;
-      r.ok = false;
-      r.error = "enter refused for " + o->name();
-      return r;
-    }
-  }
-  // 1-2 raisers at random times.
-  const int raisers = 1 + static_cast<int>(rng.below(2));
-  for (int i = 0; i < raisers; ++i) {
-    Participant* p = objects[rng.below(objects.size())];
-    const sim::Time t = 1000 + static_cast<sim::Time>(rng.below(500));
-    const bool which = rng.chance(0.5);
-    w.at(t, [p, which] {
-      if (!p->in_action()) return;
-      if (p->at_acceptance_line()) return;
-      if (p->resolver_state() != resolve::ResolverCore::State::kNormal) {
-        return;
-      }
-      p->raise(which ? "ea" : "eb");
-    });
-  }
-  // One victim crashes at a random point around the resolution window.
-  const int victim = static_cast<int>(rng.below(objects.size()));
-  const sim::Time crash_at = 900 + static_cast<sim::Time>(rng.below(1200));
-  w.at(crash_at, [&, victim] {
-    w.network().set_node_up(nodes[victim], false);
-    for (int i = 0; i < n; ++i) {
-      if (i == victim) continue;
-      objects[i]->notify_peer_crashed(objects[victim]->id());
-    }
-  });
-  // Survivors that are still idle eventually complete.
-  for (auto* o : objects) {
-    for (sim::Time t = 6000; t <= 30000; t += 2000) {
-      w.at(t, [o] {
-        if (o->in_action() && !o->at_acceptance_line() &&
-            o->resolver_state() == resolve::ResolverCore::State::kNormal) {
-          o->complete();
-        }
-      });
-    }
-  }
-  run::WorldResult r = run::measure("crash#" + std::to_string(seed), w,
-                                    [&w] { return w.run(); });
-
-  // Survivors all finished the action.
-  for (int i = 0; i < n; ++i) {
-    if (i == victim) continue;
-    if (objects[i]->in_action()) {
-      violations.push_back(objects[i]->name() + " stuck");
-    }
-  }
-  // Agreement among survivors per round.
-  std::map<std::uint32_t, ExceptionId> seen;
-  for (int i = 0; i < n; ++i) {
-    if (i == victim) continue;
-    for (const auto& h : objects[i]->handled()) {
-      auto [it, inserted] = seen.emplace(h.round, h.resolved);
-      if (!inserted && it->second != h.resolved) {
-        std::ostringstream msg;
-        msg << "survivor disagreement in round " << h.round;
-        violations.push_back(msg.str());
-      }
-    }
-  }
-
-  if (!violations.empty()) {
-    r.ok = false;
-    std::ostringstream all;
-    for (std::size_t i = 0; i < violations.size(); ++i) {
-      if (i != 0) all << "; ";
-      all << violations[i];
-    }
-    r.error = all.str();
-  }
-  return r;
+// A single random crash around the resolution window — the original
+// crash sweep's fault, now a one-event plan checked by the full oracle.
+run::WorldResult single_crash_trial(const run::WorldContext& ctx,
+                                    const fault::ChaosOptions& options) {
+  const std::uint32_t n = fault::trial_participants(ctx.seed, options);
+  Rng rng(ctx.seed ^ 0x8badf00dULL);
+  fault::FaultEvent crash;
+  crash.kind = fault::FaultKind::kCrash;
+  crash.a = static_cast<std::uint32_t>(rng.below(n));
+  crash.at = 900 + static_cast<sim::Time>(rng.below(1200));
+  fault::FaultPlan plan;
+  plan.events.push_back(crash);
+  return run_chaos_trial(ctx.seed, plan, options, ctx.index);
 }
 
 TEST(CrashSweep, RandomCrashDuringResolution) {
-  run::Campaign campaign({.seed = 42, .threads = 0});
-  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
-    campaign.add("crash#" + std::to_string(seed),
-                 [seed](const run::WorldContext&) {
-                   return run_crash_trial(seed);
+  const fault::ChaosOptions options = sweep_options();
+  run::Campaign campaign({.seed = options.seed, .threads = 0});
+  for (std::uint64_t i = 0; i < 80; ++i) {
+    campaign.add("crash#" + std::to_string(i),
+                 [&options](const run::WorldContext& ctx) {
+                   return single_crash_trial(ctx, options);
                  });
   }
   const run::CampaignResult result = campaign.run();
@@ -147,23 +59,40 @@ TEST(CrashSweep, RandomCrashDuringResolution) {
 
 TEST(CrashSweep, SweepIsThreadCountInvariant) {
   auto sweep_with = [](unsigned threads) {
-    run::Campaign campaign({.seed = 42, .threads = threads});
-    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-      campaign.add("crash#" + std::to_string(seed),
-                   [seed](const run::WorldContext&) {
-                     return run_crash_trial(seed);
-                   });
-    }
-    return campaign.run();
+    fault::ChaosOptions options = sweep_options();
+    options.mix = fault::FaultMix::kCrashHeavy;
+    options.plans = 20;
+    options.threads = threads;
+    return run_chaos_campaign(options);
   };
-  const run::CampaignResult serial = sweep_with(1);
-  const run::CampaignResult parallel = sweep_with(8);
-  ASSERT_TRUE(serial.all_ok()) << serial.first_error();
-  ASSERT_TRUE(parallel.all_ok()) << parallel.first_error();
-  EXPECT_EQ(serial.merged_checksum, parallel.merged_checksum);
-  EXPECT_EQ(serial.merged_metrics.to_string(),
-            parallel.merged_metrics.to_string());
+  const fault::ChaosReport serial = sweep_with(1);
+  const fault::ChaosReport parallel = sweep_with(8);
+  ASSERT_TRUE(serial.ok()) << serial.campaign.first_error();
+  ASSERT_TRUE(parallel.ok()) << parallel.campaign.first_error();
+  EXPECT_EQ(serial.campaign.merged_checksum,
+            parallel.campaign.merged_checksum);
+  EXPECT_EQ(serial.campaign.merged_metrics.to_string(),
+            parallel.campaign.merged_metrics.to_string());
 }
+
+// The resolver-hunt profile always crashes the first raiser — the object
+// most likely to be the designated resolver. Whatever the committee size,
+// the survivors must still finish the action and agree.
+class CommitteeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CommitteeSweep, ResolverDeathToleratedAtAnyCommitteeSize) {
+  fault::ChaosOptions options = sweep_options();
+  options.mix = fault::FaultMix::kResolverHunt;
+  options.committee = GetParam();
+  options.plans = 30;
+  options.threads = 0;
+  const fault::ChaosReport report = run_chaos_campaign(options);
+  EXPECT_TRUE(report.ok())
+      << report.violations << " violation(s) at committee "
+      << GetParam() << "; first: " << report.campaign.first_error();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CommitteeSweep, ::testing::Values(1u, 2u, 3u));
 
 }  // namespace
 }  // namespace caa

@@ -1,0 +1,147 @@
+// Fault plans are plain data with a text wire format: parse(to_text())
+// must reproduce any plan bit-identically, generation must be a pure
+// function of (seed, options), and structural validation must catch every
+// malformed plan before it reaches an injector.
+#include <gtest/gtest.h>
+
+#include "fault/chaos.h"
+#include "fault/plan.h"
+#include "util/rng.h"
+
+namespace caa::fault {
+namespace {
+
+constexpr FaultMix kAllMixes[] = {FaultMix::kMixed, FaultMix::kCrashHeavy,
+                                  FaultMix::kNetworkOnly,
+                                  FaultMix::kResolverHunt};
+
+TEST(FaultPlan, GeneratedPlansRoundTripThroughText) {
+  for (const FaultMix mix : kAllMixes) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      PlanGenOptions options;
+      options.mix = mix;
+      options.nodes = 3 + static_cast<std::uint32_t>(seed % 4);
+      Rng rng(seed);
+      const FaultPlan plan = generate_plan(rng, options);
+      ASSERT_TRUE(plan.validate(options.nodes).is_ok())
+          << fault_mix_name(mix) << " seed " << seed;
+      const auto parsed = FaultPlan::parse(plan.to_text());
+      ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+      EXPECT_EQ(parsed.value(), plan)
+          << fault_mix_name(mix) << " seed " << seed << "\n"
+          << plan.to_text();
+    }
+  }
+}
+
+TEST(FaultPlan, GenerationIsDeterministic) {
+  for (const FaultMix mix : kAllMixes) {
+    PlanGenOptions options;
+    options.mix = mix;
+    Rng a(99), b(99);
+    EXPECT_EQ(generate_plan(a, options), generate_plan(b, options));
+  }
+}
+
+TEST(FaultPlan, CampaignPlanIsAPureFunctionOfTheTrialSeed) {
+  ChaosOptions options;
+  const FaultPlan once = chaos_plan(0xfeedULL, options);
+  const FaultPlan again = chaos_plan(0xfeedULL, options);
+  EXPECT_EQ(once, again);
+  EXPECT_TRUE(
+      once.validate(trial_participants(0xfeedULL, options)).is_ok());
+}
+
+TEST(FaultPlan, MixesGenerateOnlyTheirDeclaredKinds) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    PlanGenOptions options;
+    options.mix = FaultMix::kNetworkOnly;
+    Rng rng(seed);
+    for (const FaultEvent& e : generate_plan(rng, options).events) {
+      EXPECT_NE(e.kind, FaultKind::kCrash);
+      EXPECT_NE(e.kind, FaultKind::kRestart);
+      EXPECT_NE(e.kind, FaultKind::kResolverCrash);
+    }
+    options.mix = FaultMix::kResolverHunt;
+    Rng hunt_rng(seed);
+    const FaultPlan hunt = generate_plan(hunt_rng, options);
+    std::size_t triggers = 0;
+    for (const FaultEvent& e : hunt.events) {
+      triggers += e.kind == FaultKind::kResolverCrash ? 1 : 0;
+    }
+    EXPECT_EQ(triggers, 1u);
+  }
+}
+
+TEST(FaultPlan, ParseRejectsMalformedText) {
+  // Missing header.
+  EXPECT_FALSE(FaultPlan::parse("crash node=0 at=100\n").is_ok());
+  EXPECT_FALSE(FaultPlan::parse("").is_ok());
+  // Unknown directive, named with its line.
+  const auto unknown = FaultPlan::parse("faultplan v1\nmeteor node=0 at=1\n");
+  ASSERT_FALSE(unknown.is_ok());
+  EXPECT_NE(unknown.status().message().find("line 2"), std::string::npos);
+  // Wrong field count and non-numeric values.
+  EXPECT_FALSE(FaultPlan::parse("faultplan v1\ncrash node=0\n").is_ok());
+  EXPECT_FALSE(FaultPlan::parse("faultplan v1\ncrash node=x at=1\n").is_ok());
+  EXPECT_FALSE(
+      FaultPlan::parse("faultplan v1\ncrash node=0 at=-5\n").is_ok());
+  // Comments and blank lines are fine.
+  const auto ok = FaultPlan::parse(
+      "faultplan v1\n# a comment\n\ncrash node=1 at=500\n");
+  ASSERT_TRUE(ok.is_ok()) << ok.status().message();
+  ASSERT_EQ(ok.value().events.size(), 1u);
+  EXPECT_EQ(ok.value().events[0].a, 1u);
+}
+
+TEST(FaultPlan, ValidateCatchesStructuralProblems) {
+  auto plan_with = [](FaultEvent e) {
+    FaultPlan plan;
+    plan.events.push_back(e);
+    return plan;
+  };
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.a = 7;
+  EXPECT_FALSE(plan_with(crash).validate(4).is_ok());  // node out of range
+
+  FaultEvent window;
+  window.kind = FaultKind::kPartition;
+  window.a = 0;
+  window.b = 0;
+  window.at = 100;
+  window.until = 200;
+  EXPECT_FALSE(plan_with(window).validate(4).is_ok());  // self-link
+  window.b = 1;
+  window.until = 50;
+  EXPECT_FALSE(plan_with(window).validate(4).is_ok());  // inverted window
+  window.until = 200;
+  EXPECT_TRUE(plan_with(window).validate(4).is_ok());
+
+  FaultEvent burst = window;
+  burst.kind = FaultKind::kDropBurst;
+  burst.permille = 1001;
+  EXPECT_FALSE(plan_with(burst).validate(4).is_ok());  // permille > 1000
+
+  FaultEvent trigger;
+  trigger.kind = FaultKind::kResolverCrash;
+  trigger.extra = 50;
+  FaultPlan two;
+  two.events = {trigger, trigger};
+  EXPECT_FALSE(two.validate(4).is_ok());  // at most one trigger
+  FaultPlan one;
+  one.events = {trigger};
+  EXPECT_TRUE(one.validate(4).is_ok());
+}
+
+TEST(FaultPlan, MixNamesRoundTrip) {
+  for (const FaultMix mix : kAllMixes) {
+    const auto parsed = parse_fault_mix(fault_mix_name(mix));
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(parsed.value(), mix);
+  }
+  EXPECT_FALSE(parse_fault_mix("volcanic").is_ok());
+}
+
+}  // namespace
+}  // namespace caa::fault

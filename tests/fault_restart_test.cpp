@@ -1,0 +1,177 @@
+// Node restart and re-admission (§4.2 fail-stop): a node taken down
+// mid-action loses its volatile state; when it comes back up the World
+// notifies both directions — survivors learn of the crash (idempotent) and
+// re-admit the restarted objects, while the restarted objects abandon the
+// scopes the crash wiped. A restarted object never rejoins an in-flight
+// resolution (its exclusion is locked into the per-instance engines) but
+// participates in new action instances as a regular member.
+#include <gtest/gtest.h>
+
+#include "caa/world.h"
+#include "fault/chaos.h"
+#include "fault/injector.h"
+#include "fault/oracle.h"
+#include "run/campaign.h"
+
+namespace caa {
+namespace {
+
+using action::EnterConfig;
+using action::Participant;
+using action::uniform_handlers;
+
+struct RestartWorld {
+  World w;
+  Participant* o1;
+  Participant* o2;
+  Participant* o3;
+  const action::ActionDecl* decl;
+
+  RestartWorld() : w(make_config()) {
+    o1 = &w.add_participant("O1");
+    o2 = &w.add_participant("O2");
+    o3 = &w.add_participant("O3");
+    ex::ExceptionTree tree;
+    tree.declare("boom");
+    tree.declare("peer_crash");
+    decl = &w.actions().declare("A", std::move(tree));
+  }
+
+  static WorldConfig make_config() {
+    WorldConfig config;
+    config.reliable_transport = true;
+    config.seed = 11;
+    return config;
+  }
+
+  ActionInstanceId enter_all() {
+    const auto& inst =
+        w.actions().create_instance(*decl, {o1->id(), o2->id(), o3->id()});
+    for (auto* o : {o1, o2, o3}) {
+      EXPECT_TRUE(o->enter(
+          inst.instance,
+          EnterConfig::with(uniform_handlers(decl->tree(),
+                                             ex::HandlerResult::recovered(100)))
+              .committee(2)
+              .on_peer_crash(decl->tree().find("peer_crash"))));
+    }
+    return inst.instance;
+  }
+
+  void drive_completion() {
+    for (auto* o : {o1, o2, o3}) {
+      for (sim::Time t = 6000; t <= 20000; t += 2000) {
+        w.at(t, [o] {
+          if (o->in_action() && !o->at_acceptance_line() &&
+              o->resolver_state() == resolve::ResolverCore::State::kNormal) {
+            o->complete();
+          }
+        });
+      }
+    }
+  }
+};
+
+TEST(FaultRestart, RestartMidActionAbandonsTheScopeSurvivorsFinish) {
+  RestartWorld rw;
+  const ActionInstanceId scope = rw.enter_all();
+  const NodeId victim = rw.o3->runtime().node();
+  rw.w.at(1000, [&rw] { rw.o2->raise("boom"); });
+  rw.w.at(1250, [&rw, victim] { fault::FaultInjector::crash_node(rw.w, victim); });
+  rw.w.at(2600, [&rw, victim] { rw.w.network().set_node_up(victim, true); });
+  rw.drive_completion();
+  rw.w.run();
+
+  const fault::OracleReport report = fault::check_invariants(rw.w, {});
+  EXPECT_TRUE(report.ok()) << report.summary();
+
+  // The crash wiped O3's volatile action state: the scope is abandoned,
+  // not resumed — the restarted object is a belated participant the live
+  // resolution already excluded.
+  EXPECT_FALSE(rw.o3->in_action());
+  EXPECT_TRUE(rw.o3->abandoned_scopes().contains(scope));
+  // The survivors resolved among themselves and agree.
+  ASSERT_FALSE(rw.o1->handled().empty());
+  ASSERT_FALSE(rw.o2->handled().empty());
+  EXPECT_EQ(rw.o1->handled().back().resolved,
+            rw.o2->handled().back().resolved);
+  EXPECT_FALSE(rw.o1->in_action());
+  EXPECT_FALSE(rw.o2->in_action());
+}
+
+TEST(FaultRestart, RestartedObjectIsReadmittedIntoNewActions) {
+  RestartWorld rw;
+  rw.enter_all();
+  const NodeId victim = rw.o3->runtime().node();
+  rw.w.at(1000, [&rw] { rw.o2->raise("boom"); });
+  rw.w.at(1250, [&rw, victim] { fault::FaultInjector::crash_node(rw.w, victim); });
+  rw.w.at(2600, [&rw, victim] { rw.w.network().set_node_up(victim, true); });
+  rw.drive_completion();
+  rw.w.run();
+  ASSERT_FALSE(rw.o1->in_action());
+
+  // A fresh instance after re-admission: the restarted object is a full
+  // member again — it enters, resolves and exits with everyone else.
+  const auto& second = rw.w.actions().create_instance(
+      *rw.decl, {rw.o1->id(), rw.o2->id(), rw.o3->id()});
+  for (auto* o : {rw.o1, rw.o2, rw.o3}) {
+    ASSERT_TRUE(o->enter(
+        second.instance,
+        EnterConfig::with(uniform_handlers(
+            rw.decl->tree(), ex::HandlerResult::recovered(100)))));
+  }
+  rw.w.at(rw.w.simulator().now() + 500, [&rw] { rw.o3->raise("boom"); });
+  for (auto* o : {rw.o1, rw.o2, rw.o3}) {
+    rw.w.at(rw.w.simulator().now() + 5000, [o] {
+      if (o->in_action() && !o->at_acceptance_line() &&
+          o->resolver_state() == resolve::ResolverCore::State::kNormal) {
+        o->complete();
+      }
+    });
+  }
+  rw.w.run();
+
+  const fault::OracleReport report = fault::check_invariants(rw.w, {});
+  EXPECT_TRUE(report.ok()) << report.summary();
+  for (auto* o : {rw.o1, rw.o2, rw.o3}) {
+    EXPECT_FALSE(o->in_action());
+    ASSERT_FALSE(o->handled().empty()) << o->name();
+    EXPECT_EQ(o->handled().back().resolved, rw.decl->tree().find("boom"));
+  }
+}
+
+// The same crash/restart choreography driven declaratively: explicit
+// crash+restart plans through the chaos trial builder, swept over seeds.
+TEST(FaultRestart, CrashThenRestartPlansKeepEveryInvariant) {
+  fault::ChaosOptions options;
+  options.seed = 23;
+  options.shrink = false;
+  run::Campaign campaign({.seed = options.seed, .threads = 0});
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    campaign.add("restart#" + std::to_string(i),
+                 [&options](const run::WorldContext& ctx) {
+                   const std::uint32_t n =
+                       fault::trial_participants(ctx.seed, options);
+                   Rng rng(ctx.seed ^ 0x5eedULL);
+                   fault::FaultEvent crash;
+                   crash.kind = fault::FaultKind::kCrash;
+                   crash.a = static_cast<std::uint32_t>(rng.below(n));
+                   crash.at = 900 + static_cast<sim::Time>(rng.below(1500));
+                   fault::FaultEvent restart;
+                   restart.kind = fault::FaultKind::kRestart;
+                   restart.a = crash.a;
+                   restart.at =
+                       crash.at + 300 + static_cast<sim::Time>(rng.below(2000));
+                   fault::FaultPlan plan;
+                   plan.events = {crash, restart};
+                   return run_chaos_trial(ctx.seed, plan, options, ctx.index);
+                 });
+  }
+  const run::CampaignResult result = campaign.run();
+  EXPECT_TRUE(result.all_ok())
+      << result.failed << " restart trial(s) violated invariants; first: "
+      << result.first_error();
+}
+
+}  // namespace
+}  // namespace caa

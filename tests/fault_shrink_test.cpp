@@ -1,0 +1,152 @@
+// Counterexample shrinking, exercised on planted bugs: a structural
+// predicate (a "bug" that needs exactly two of a big plan's events) must
+// shrink to the minimal core deterministically, and a planted protocol
+// failure through the real trial runner must produce the full repro kit —
+// oracle summary, serialized plan that parses back, shrunk recipe, and a
+// decodable flight-recorder dump.
+#include <gtest/gtest.h>
+
+#include "fault/chaos.h"
+#include "fault/shrink.h"
+#include "obs/flight_recorder.h"
+#include "util/rng.h"
+
+namespace caa::fault {
+namespace {
+
+// A 12-event haystack containing the two needles the planted bug needs:
+// a crash of node 0 and a heavy drop burst.
+FaultPlan haystack_plan() {
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.a = 0;
+  crash.at = 1500;
+  FaultEvent heavy;
+  heavy.kind = FaultKind::kDropBurst;
+  heavy.a = 1;
+  heavy.b = 2;
+  heavy.at = 1000;
+  heavy.until = 2000;
+  heavy.permille = 800;
+  plan.events.push_back(crash);
+  for (int i = 0; i < 5; ++i) {
+    FaultEvent spike;
+    spike.kind = FaultKind::kLatencySpike;
+    spike.a = 0;
+    spike.b = static_cast<std::uint32_t>(1 + i % 3);
+    spike.at = 900 + 100 * i;
+    spike.until = spike.at + 400;
+    spike.extra = 150;
+    plan.events.push_back(spike);
+  }
+  plan.events.push_back(heavy);
+  for (int i = 0; i < 5; ++i) {
+    FaultEvent part;
+    part.kind = FaultKind::kPartition;
+    part.a = static_cast<std::uint32_t>(i % 3);
+    part.b = 3;
+    part.at = 2000 + 200 * i;
+    part.until = part.at + 300;
+    plan.events.push_back(part);
+  }
+  return plan;
+}
+
+// The planted bug: fails whenever a node-0 crash AND a >=500 permille
+// burst are both present, regardless of everything else.
+bool planted_bug(const FaultPlan& plan) {
+  bool crash0 = false, heavy_burst = false;
+  for (const FaultEvent& e : plan.events) {
+    crash0 = crash0 || (e.kind == FaultKind::kCrash && e.a == 0);
+    heavy_burst = heavy_burst ||
+                  (e.kind == FaultKind::kDropBurst && e.permille >= 500);
+  }
+  return crash0 && heavy_burst;
+}
+
+TEST(Shrink, PlantedBugShrinksToItsMinimalCore) {
+  const FaultPlan failing = haystack_plan();
+  ASSERT_TRUE(planted_bug(failing));
+  const ShrinkResult shrunk = shrink_plan(failing, planted_bug);
+  EXPECT_TRUE(shrunk.minimal);
+  EXPECT_LE(shrunk.plan.events.size(), 3u);
+  EXPECT_TRUE(planted_bug(shrunk.plan));
+  // Every survivor is load-bearing: removing any one breaks the repro.
+  for (std::size_t i = 0; i < shrunk.plan.events.size(); ++i) {
+    FaultPlan without = shrunk.plan;
+    without.events.erase(without.events.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    EXPECT_FALSE(planted_bug(without)) << "event " << i << " unnecessary";
+  }
+  // The minimal repro round-trips through the text format.
+  const auto parsed = FaultPlan::parse(shrunk.plan.to_text());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), shrunk.plan);
+}
+
+TEST(Shrink, ShrinkingIsDeterministic) {
+  const FaultPlan failing = haystack_plan();
+  const ShrinkResult once = shrink_plan(failing, planted_bug);
+  const ShrinkResult again = shrink_plan(failing, planted_bug);
+  EXPECT_EQ(once.plan, again.plan);
+  EXPECT_EQ(once.replays, again.replays);
+}
+
+TEST(Shrink, ReplayBudgetIsHonored) {
+  ShrinkOptions options;
+  options.max_replays = 3;
+  std::size_t calls = 0;
+  const ShrinkResult shrunk = shrink_plan(
+      haystack_plan(),
+      [&calls](const FaultPlan& plan) {
+        ++calls;
+        return planted_bug(plan);
+      },
+      options);
+  EXPECT_LE(calls, options.max_replays);
+  EXPECT_FALSE(shrunk.minimal);  // budget ran out before the fixpoint
+  EXPECT_TRUE(planted_bug(shrunk.plan));
+}
+
+// A planted protocol failure end-to-end: a virtual-time deadline too tight
+// for the scenario makes the quiescence invariant fail for every plan, so
+// the campaign post-pass must shrink the plan, attach a ready-to-paste
+// repro and write a flight-recorder dump that decodes.
+TEST(Shrink, PlantedViolationProducesADecodableReproKit) {
+  ChaosOptions options;
+  options.seed = 5;
+  options.plans = 2;
+  options.threads = 1;
+  // Past the resolution traffic (raises land at 1000..1500) so the flight
+  // recorder has something to dump, but before the completions scheduled
+  // at 6000+ — the quiescence invariant fails for every plan.
+  options.deadline = 2500;
+  options.dump_dir = ::testing::TempDir();
+  const ChaosReport report = run_chaos_campaign(options);
+  ASSERT_EQ(report.violations, options.plans);
+  for (const run::WorldResult& world : report.campaign.worlds) {
+    ASSERT_FALSE(world.ok);
+    EXPECT_NE(world.error.find("not quiescent"), std::string::npos)
+        << world.error;
+    // The artifact is the plan, and it parses back.
+    const auto parsed = FaultPlan::parse(world.artifact);
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+    // The post-pass attached the shrunk recipe...
+    EXPECT_NE(world.repro.find("repro (plan shrunk"), std::string::npos)
+        << world.repro;
+    EXPECT_NE(world.repro.find("faultplan v1"), std::string::npos);
+    // ...and a dump of the minimal repro's run that decodes.
+    ASSERT_FALSE(world.recorder_dump_path.empty());
+    const auto dump = obs::FlightRecorder::read_dump(world.recorder_dump_path);
+    ASSERT_TRUE(dump.is_ok()) << dump.status().message();
+    EXPECT_EQ(dump.value().seed, world.seed);
+    EXPECT_GT(dump.value().records.size(), 0u);
+  }
+  // The failure report carries the whole kit for a human.
+  const std::string failure_report = report.failure_report();
+  EXPECT_NE(failure_report.find("repro (plan shrunk"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caa::fault

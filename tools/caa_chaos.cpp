@@ -1,0 +1,114 @@
+// caa-chaos: run (or replay) deterministic chaos campaigns from the shell.
+//
+//   caa-chaos                                  1000 mixed plans, seed 42
+//   caa-chaos --plans 10000 --threads 8        the acceptance campaign
+//   caa-chaos --profile crash-heavy            pick a fault-mix profile
+//   caa-chaos --dump-dir traces                flight-recorder dumps on
+//                                              violation (shrunk plan)
+//   caa-chaos --index 137 --show-plan          print one trial's plan and
+//                                              replay just that trial
+//
+// Exit codes: 0 all plans clean, 1 oracle violations, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fault/chaos.h"
+#include "run/campaign.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: caa-chaos [--plans N] [--seed S] [--threads T]\n"
+      "                 [--profile mixed|crash-heavy|network-only|"
+      "resolver-hunt]\n"
+      "                 [--dump-dir DIR] [--no-shrink]\n"
+      "                 [--index I [--show-plan] [--trace]]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  caa::fault::ChaosOptions options;
+  options.threads = 0;  // CLI default: all cores (results are invariant)
+  long long replay_index = -1;
+  bool show_plan = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--plans") {
+      options.plans = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--profile") {
+      const auto mix = caa::fault::parse_fault_mix(next());
+      if (!mix.is_ok()) {
+        std::fprintf(stderr, "caa-chaos: %s\n", mix.status().message().c_str());
+        return 2;
+      }
+      options.mix = mix.value();
+    } else if (arg == "--dump-dir") {
+      options.dump_dir = next();
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--index") {
+      replay_index = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--show-plan") {
+      show_plan = true;
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (replay_index >= 0) {
+    // Replay one trial exactly as the campaign would run it.
+    const std::uint64_t trial_seed =
+        caa::run::derive_seed(options.seed, static_cast<std::size_t>(replay_index));
+    const caa::fault::FaultPlan plan =
+        caa::fault::chaos_plan(trial_seed, options);
+    if (show_plan) std::fputs(plan.to_text().c_str(), stdout);
+    std::string trace_log;
+    const caa::run::WorldResult result = caa::fault::run_chaos_trial(
+        trial_seed, plan, options, static_cast<std::size_t>(replay_index),
+        nullptr, options.trace ? &trace_log : nullptr);
+    if (!trace_log.empty()) std::fputs(trace_log.c_str(), stdout);
+    std::printf("trial %lld: %s (events %lld, checksum %016llx)\n",
+                replay_index, result.ok ? "ok" : result.error.c_str(),
+                static_cast<long long>(result.events),
+                static_cast<unsigned long long>(result.checksum));
+    return result.ok ? 0 : 1;
+  }
+
+  const caa::fault::ChaosReport report = caa::fault::run_chaos_campaign(options);
+  std::printf(
+      "chaos: %zu plans, profile %s, seed %llu, %u thread(s): "
+      "%zu violation(s)\n",
+      options.plans, std::string(caa::fault::fault_mix_name(options.mix)).c_str(),
+      static_cast<unsigned long long>(options.seed),
+      report.campaign.threads_used, report.violations);
+  std::printf("  merged checksum %016llx, total events %lld, wall %.0f ms\n",
+              static_cast<unsigned long long>(report.campaign.merged_checksum),
+              static_cast<long long>(report.campaign.total_events),
+              report.campaign.wall_ms);
+  if (!report.ok()) {
+    std::fputs(report.failure_report().c_str(), stdout);
+    std::fputs("\n", stdout);
+    return 1;
+  }
+  return 0;
+}

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Full verification matrix: configure + build + ctest for each CMake preset.
 #
-#   tools/check.sh                 # dev, release, asan, tsan in sequence
+#   tools/check.sh                 # dev, release, asan, tsan, ubsan
 #   tools/check.sh dev asan        # just those presets
 #
 # Presets map to build dirs (see CMakePresets.json): dev -> build/,
-# release -> build-release/, asan -> build-asan/, tsan -> build-tsan/.
-# Exits non-zero on the first failing step.
+# release -> build-release/, asan -> build-asan/, tsan -> build-tsan/,
+# ubsan -> build-ubsan/. Exits non-zero on the first failing step.
 #
 # The tsan preset builds everything but runs only the multithreaded
 # surface (campaign runner + thread pool + allocator pins): the rest of
@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(dev release asan tsan)
+  presets=(dev release asan tsan ubsan)
 fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
@@ -34,6 +34,13 @@ for preset in "${presets[@]}"; do
   else
     ctest --preset "${preset}" -j "${jobs}"
   fi
+  # Bounded chaos smoke: a few hundred generated fault plans through the
+  # full plan/inject/oracle pipeline. Under asan this doubles as a memory
+  # audit of the crash/restart/partition paths.
+  case "${preset}" in
+    dev)  "build/tools/caa-chaos" --plans 200 --threads "${jobs}" ;;
+    asan) "build-asan/tools/caa-chaos" --plans 200 --threads "${jobs}" ;;
+  esac
 done
 
 # caa-inspect must keep decoding the committed dump format: render the
