@@ -24,7 +24,10 @@ using RunResult = scenario::RunStats;
 
 /// §4.4 counting configuration: N participants, the first `p` raise
 /// distinct exceptions simultaneously, the last `q` (disjoint) sit in
-/// singleton nested actions.
+/// singleton nested actions. Pinned to the flat all-to-all wire pattern:
+/// the closed forms being reproduced count direct fan-out messages, so
+/// these tables must not silently flip to relay-tree mode past the kAuto
+/// threshold.
 inline RunResult run_flat_scenario(int n, int p, int q,
                                    sim::Time abort_duration = 0,
                                    sim::Time handler_duration = 0) {
@@ -34,6 +37,22 @@ inline RunResult run_flat_scenario(int n, int p, int q,
   options.nested = q;
   options.abort_duration = abort_duration;
   options.handler_duration = handler_duration;
+  options.world.overlay.mode = overlay::OverlayParams::Mode::kFlat;
+  scenario::FlatScenario s(options);
+  return s.run();
+}
+
+/// The same configuration over the relay-tree overlay (src/overlay/):
+/// every multicast and ACK rides batched kRelay envelopes instead of
+/// direct sends, so RunStats.messages counts envelopes.
+inline RunResult run_tree_scenario(int n, int p, int q,
+                                   std::uint32_t fanout = 8) {
+  scenario::FlatOptions options;
+  options.participants = n;
+  options.raisers = p;
+  options.nested = q;
+  options.world.overlay.mode = overlay::OverlayParams::Mode::kTree;
+  options.world.overlay.fanout = fanout;
   scenario::FlatScenario s(options);
   return s.run();
 }

@@ -48,19 +48,26 @@ namespace {
 
 struct Config {
   std::string name;    // e.g. "flat_n256"
-  std::string family;  // "flat" | "nested"
+  std::string family;  // "flat" | "nested" | "tree"
   int participants;
 };
 
 /// World job for one config. Seeds are deliberately left at the
 /// WorldConfig default so checksums reproduce the committed perf record.
 /// `recorder` toggles the flight recorder for the A/B overhead rows.
+/// The flat and nested families pin overlay mode kFlat: their checksums
+/// predate the relay tree and must not flip when N crosses the kAuto
+/// threshold. The tree family is the same flat scenario over batched
+/// kRelay envelopes, so the flat_nX / tree_nX row pairs read side by side.
 run::WorldResult run_config(const Config& config, bool recorder = true) {
-  if (config.family == "flat") {
+  if (config.family == "flat" || config.family == "tree") {
     scenario::FlatOptions options;
     options.participants = config.participants;
     options.raisers = 2;
     options.world.flight_recorder = recorder;
+    options.world.overlay.mode = config.family == "tree"
+                                     ? overlay::OverlayParams::Mode::kTree
+                                     : overlay::OverlayParams::Mode::kFlat;
     scenario::FlatScenario s(options);
     return run::measure(config.name, s.world(),
                         [&s] { return s.world().run(); });
@@ -69,6 +76,7 @@ run::WorldResult run_config(const Config& config, bool recorder = true) {
   options.participants = config.participants;
   options.depth = 3;
   options.world.flight_recorder = recorder;
+  options.world.overlay.mode = overlay::OverlayParams::Mode::kFlat;
   scenario::NestedChainScenario s(options);
   return run::measure(config.name, s.world(),
                       [&s] { return s.world().run(); });
@@ -78,10 +86,13 @@ run::WorldResult run_config(const Config& config, bool recorder = true) {
 /// the extracted critical paths next to the JSON outputs.
 bool dump_config_trace(const Config& config, const std::string& dir) {
   const std::string base = dir + "/" + config.name;
-  if (config.family == "flat") {
+  if (config.family == "flat" || config.family == "tree") {
     scenario::FlatOptions options;
     options.participants = config.participants;
     options.raisers = 2;
+    options.world.overlay.mode = config.family == "tree"
+                                     ? overlay::OverlayParams::Mode::kTree
+                                     : overlay::OverlayParams::Mode::kFlat;
     scenario::FlatScenario s(options);
     s.run();
     if (!s.world().write_recorder_dump(base + ".caafr")) return false;
@@ -92,6 +103,7 @@ bool dump_config_trace(const Config& config, const std::string& dir) {
   scenario::NestedChainOptions options;
   options.participants = config.participants;
   options.depth = 3;
+  options.world.overlay.mode = overlay::OverlayParams::Mode::kFlat;
   scenario::NestedChainScenario s(options);
   s.run();
   if (!s.world().write_recorder_dump(base + ".caafr")) return false;
@@ -155,6 +167,9 @@ int main(int argc, char** argv) {
   for (const int n : {64, 128, 256, 512, 1024}) {
     configs.push_back({"nested_n" + std::to_string(n), "nested", n});
   }
+  for (const int n : {256, 1024, 4096}) {
+    configs.push_back({"tree_n" + std::to_string(n), "tree", n});
+  }
   if (!only.empty()) {
     std::erase_if(configs, [&](const Config& c) {
       return c.name.find(only) == std::string::npos;
@@ -167,9 +182,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  header("Simulator-core throughput (flat: P=2 raisers; nested: depth 3)");
-  std::printf("%-14s %10s %10s %12s %12s %10s  %s\n", "config", "events",
-              "msgs", "events/s", "msgs/s", "wall ms", "checksum");
+  header(
+      "Simulator-core throughput (flat: P=2 raisers; nested: depth 3; "
+      "tree: flat over relay envelopes)");
+  std::printf("%-14s %10s %10s %9s %12s %12s %10s  %s\n", "config", "events",
+              "msgs", "msgs/N", "events/s", "msgs/s", "wall ms", "checksum");
 
   const run::CampaignResult campaign = sweep(configs, repetitions, threads);
   if (!campaign.all_ok()) {
@@ -206,11 +223,18 @@ int main(int argc, char** argv) {
         best->wall_ms > 0.0
             ? 1e3 * static_cast<double>(best->messages) / best->wall_ms
             : 0.0;
+    // Per-participant load: totals hide that O(N^2) protocols overload
+    // every member linearly in N, which is the quantity the relay tree
+    // flattens.
+    const double messages_per_participant =
+        static_cast<double>(best->messages) /
+        static_cast<double>(config.participants);
     const std::string checksum = hex_digest(best->checksum);
-    std::printf("%-14s %10lld %10lld %12.0f %12.0f %10.3f  %s\n",
+    std::printf("%-14s %10lld %10lld %9.1f %12.0f %12.0f %10.3f  %s\n",
                 config.name.c_str(), static_cast<long long>(best->events),
-                static_cast<long long>(best->messages), events_per_sec,
-                messages_per_sec, best->wall_ms, checksum.c_str());
+                static_cast<long long>(best->messages),
+                messages_per_participant, events_per_sec, messages_per_sec,
+                best->wall_ms, checksum.c_str());
 
     // The full counter snapshot rides along so downstream tooling can diff
     // behaviour between runs without re-deriving it from the checksum.
@@ -227,6 +251,7 @@ int main(int argc, char** argv) {
             .set("events", Json::num(best->events))
             .set("events_per_sec", Json::num(events_per_sec))
             .set("messages", Json::num(best->messages))
+            .set("messages_per_participant", Json::num(messages_per_participant))
             .set("messages_per_sec", Json::num(messages_per_sec))
             .set("wall_ms", Json::num(best->wall_ms))
             .set("sim_time", Json::num(static_cast<std::int64_t>(best->sim_time)))
@@ -239,6 +264,144 @@ int main(int argc, char** argv) {
                  "bench_throughput: nondeterministic run detected — "
                  "checksums differ across repetitions\n");
     return 1;
+  }
+
+  // Flat-vs-tree dissemination at the §4.4 worst case (every member
+  // raises): the quantity the relay tree exists for. Flat is measured
+  // where affordable and otherwise taken from the paper's exact closed
+  // form (N-1)(2N+1), which bench_msg_complexity verifies measured==
+  // formula across N. Two gates are enforced here, not just reported:
+  // the degenerate fanout>=N tree must resolve exactly what flat mode
+  // resolves (same seed), and at N=1024 tree envelopes must stay within
+  // 10% of the flat message bill.
+  struct DissemMeasurement {
+    std::int64_t messages = 0;
+    std::uint64_t resolved = 0;
+    bool all_handled = false;
+  };
+  const auto run_dissemination = [](int n, overlay::OverlayParams::Mode mode,
+                                    std::uint32_t fanout) {
+    scenario::FlatOptions options;
+    options.participants = n;
+    options.raisers = n;
+    options.world.overlay.mode = mode;
+    options.world.overlay.fanout = fanout;
+    options.world.flight_recorder = false;  // keep the N=1024 worlds lean
+    scenario::FlatScenario s(options);
+    DissemMeasurement m;
+    const scenario::RunStats stats = s.run();
+    m.messages = stats.messages;
+    m.all_handled = stats.all_handled;
+    m.resolved = scenario::resolved_checksum(s.objects());
+    return m;
+  };
+  const auto flat_closed_form = [](std::int64_t n) {
+    return (n - 1) * (2 * n + 1);
+  };
+
+  std::printf("\n%-6s %14s %14s %9s %9s %9s  %s\n", "N", "flat msgs",
+              "tree msgs", "flat/N", "tree/N", "ratio", "source");
+  Json dissemination = Json::array();
+  if (only.empty()) {
+    // Degenerate gate: fanout >= N collapses the tree to a star; the
+    // resolved exceptions must be byte-identical to flat mode.
+    {
+      const DissemMeasurement flat =
+          run_dissemination(256, overlay::OverlayParams::Mode::kFlat, 8);
+      const DissemMeasurement star =
+          run_dissemination(256, overlay::OverlayParams::Mode::kTree, 256);
+      if (!flat.all_handled || !star.all_handled ||
+          flat.resolved != star.resolved) {
+        std::fprintf(stderr,
+                     "bench_throughput: degenerate fanout=N tree diverged "
+                     "from flat resolution at N=256 (flat=%016llx "
+                     "tree=%016llx)\n",
+                     static_cast<unsigned long long>(flat.resolved),
+                     static_cast<unsigned long long>(star.resolved));
+        return 1;
+      }
+    }
+    std::int64_t tree_n1024 = 0;
+    for (const int n : {256, 1024, 4096}) {
+      const bool measure_flat = n <= 1024;  // N=4096 flat: 33.5M messages
+      const std::int64_t flat_messages = flat_closed_form(n);
+      bool resolved_match = true;
+      if (measure_flat) {
+        const DissemMeasurement flat =
+            run_dissemination(n, overlay::OverlayParams::Mode::kFlat, 8);
+        const DissemMeasurement tree =
+            run_dissemination(n, overlay::OverlayParams::Mode::kTree, 8);
+        resolved_match = flat.all_handled && tree.all_handled &&
+                         flat.resolved == tree.resolved;
+        if (flat.messages != flat_messages || !resolved_match) {
+          std::fprintf(stderr,
+                       "bench_throughput: dissemination mismatch at N=%d "
+                       "(flat measured=%lld formula=%lld resolved_match=%d)\n",
+                       n, static_cast<long long>(flat.messages),
+                       static_cast<long long>(flat_messages),
+                       resolved_match ? 1 : 0);
+          return 1;
+        }
+        if (n == 1024) {
+          tree_n1024 = tree.messages;
+          if (tree.messages * 10 > flat_messages) {
+            std::fprintf(stderr,
+                         "bench_throughput: tree dissemination at N=1024 "
+                         "sent %lld messages, above 10%% of flat %lld\n",
+                         static_cast<long long>(tree.messages),
+                         static_cast<long long>(flat_messages));
+            return 1;
+          }
+        }
+        const double ratio = static_cast<double>(tree.messages) /
+                             static_cast<double>(flat_messages);
+        std::printf("%-6d %14lld %14lld %9.1f %9.1f %8.2f%%  measured\n", n,
+                    static_cast<long long>(flat_messages),
+                    static_cast<long long>(tree.messages),
+                    static_cast<double>(flat_messages) / n,
+                    static_cast<double>(tree.messages) / n, 100.0 * ratio);
+        dissemination.push(
+            Json::object()
+                .set("participants", Json::num(std::int64_t{n}))
+                .set("flat_messages", Json::num(flat_messages))
+                .set("flat_source", Json::str("measured"))
+                .set("tree_messages", Json::num(tree.messages))
+                .set("tree_source", Json::str("measured"))
+                .set("tree_over_flat", Json::num(ratio))
+                .set("flat_per_participant",
+                     Json::num(static_cast<double>(flat_messages) / n))
+                .set("tree_per_participant",
+                     Json::num(static_cast<double>(tree.messages) / n))
+                .set("resolved_checksum_match", Json::boolean(true)));
+      } else {
+        // Both cells projected: flat from the exact closed form, tree by
+        // scaling the measured N=1024 envelope bill linearly in N (the
+        // fanout-8 tree keeps the same depth at 1024 and 4096, so edge
+        // count — and with it the batched envelope count — grows ~N).
+        const std::int64_t tree_projected = tree_n1024 * (n / 1024);
+        const double ratio = static_cast<double>(tree_projected) /
+                             static_cast<double>(flat_messages);
+        std::printf("%-6d %14lld %14lld %9.1f %9.1f %8.2f%%  projected\n", n,
+                    static_cast<long long>(flat_messages),
+                    static_cast<long long>(tree_projected),
+                    static_cast<double>(flat_messages) / n,
+                    static_cast<double>(tree_projected) / n, 100.0 * ratio);
+        dissemination.push(
+            Json::object()
+                .set("participants", Json::num(std::int64_t{n}))
+                .set("flat_messages", Json::num(flat_messages))
+                .set("flat_source", Json::str("closed_form"))
+                .set("tree_messages", Json::num(tree_projected))
+                .set("tree_source", Json::str("projected"))
+                .set("tree_over_flat", Json::num(ratio))
+                .set("flat_per_participant",
+                     Json::num(static_cast<double>(flat_messages) / n))
+                .set("tree_per_participant",
+                     Json::num(static_cast<double>(tree_projected) / n)));
+      }
+    }
+  } else {
+    std::printf("(skipped under --only)\n");
   }
 
   // Scaling rows: the same sweep (one rep) at 1, 2, 4 and nproc workers.
@@ -348,9 +511,10 @@ int main(int argc, char** argv) {
                 dump_dir.c_str());
   }
 
-  Json doc = bench_doc("bench_throughput", /*schema_version=*/3, threads)
+  Json doc = bench_doc("bench_throughput", /*schema_version=*/4, threads)
                  .set("repetitions", Json::num(std::int64_t{repetitions}))
                  .set("results", std::move(results))
+                 .set("dissemination", std::move(dissemination))
                  .set("latency", latency_percentiles(campaign.merged_metrics))
                  .set("recorder_overhead", std::move(overhead_rows))
                  .set("scaling", std::move(scaling));

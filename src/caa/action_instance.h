@@ -12,6 +12,7 @@
 
 #include "caa/action_decl.h"
 #include "net/message.h"
+#include "overlay/params.h"
 #include "util/ids.h"
 #include "util/status.h"
 
@@ -23,6 +24,12 @@ struct InstanceInfo {
   std::vector<ObjectId> members;  // sorted
   GroupId group;                  // closed communication group (§4.5)
   ActionInstanceId parent;        // invalid for an outermost action
+
+  /// Overlay dissemination decision, stamped at create_instance from the
+  /// manager's defaults so every member derives the identical relay tree
+  /// from this shared record (src/overlay/).
+  bool use_tree = false;
+  overlay::OverlayParams overlay;
 
   [[nodiscard]] ObjectId leader() const { return members.front(); }
   [[nodiscard]] bool is_member(ObjectId o) const;

@@ -39,8 +39,18 @@ class ActionManager {
     return instances_.contains(instance);
   }
 
+  /// Overlay dissemination defaults stamped onto every instance created
+  /// afterwards (see WorldConfig::overlay).
+  void set_overlay_defaults(const overlay::OverlayParams& params) {
+    overlay_defaults_ = params;
+  }
+  [[nodiscard]] const overlay::OverlayParams& overlay_defaults() const {
+    return overlay_defaults_;
+  }
+
  private:
   net::GroupDirectory& groups_;
+  overlay::OverlayParams overlay_defaults_;
   std::vector<std::unique_ptr<ActionDecl>> decls_;
   std::unordered_map<ActionInstanceId, std::unique_ptr<InstanceInfo>>
       instances_;

@@ -107,6 +107,10 @@ bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
   context.abortion_handler = dyn.config.abortion_handler;
   contexts_.push(std::move(context));
 
+  // Tree-mode scope: join the relay overlay before any message can flow, so
+  // this member relays (and delivers) from the first envelope on.
+  if (info.use_tree) ensure_overlay(info);
+
   dyn.engine = make_engine(dyn, instance);
   // Entering an action some members already crashed out of: sync with the
   // live members before resolving anything. Their status replies carry any
@@ -217,6 +221,9 @@ void Participant::on_message(ObjectId from, net::MsgKind kind,
     case net::MsgKind::kCrashSync:
       on_crash_sync(from, payload);
       return;
+    case net::MsgKind::kRelay:
+      on_relay(from, payload);
+      return;
     case net::MsgKind::kActionDone: {
       auto sr = resolve::peek_scope_round(payload);
       if (!sr.is_ok()) return;
@@ -309,8 +316,14 @@ void Participant::ack_stale(ObjectId from, net::MsgKind kind,
   // exception messages are handled"). Everything else is dropped.
   if (kind == net::MsgKind::kException ||
       kind == net::MsgKind::kNestedCompleted) {
-    send(from, net::MsgKind::kAck,
-         resolve::encode(resolve::AckMsg{scope, round, id()}));
+    const Dyn* dyn = find_dyn(scope);
+    if (dyn != nullptr && dyn->info->use_tree) {
+      ensure_overlay(*dyn->info);
+      overlay_.send_ack(scope, round, from);
+    } else {
+      send(from, net::MsgKind::kAck,
+           resolve::encode(resolve::AckMsg{scope, round, id()}));
+    }
     if (obs::Observability* o = observing()) {
       // The engine of `round` is gone; tabulate its stale ACK here so the
       // per-round table still accounts for every protocol send.
@@ -418,7 +431,21 @@ resolve::ResolverCore::Hooks Participant::make_hooks(ActionInstanceId scope) {
     CAA_CHECK(dyn != nullptr);
     multicast(*dyn->info, kind, payload);
   };
-  hooks.send = [this](ObjectId to, net::MsgKind kind, net::Bytes payload) {
+  hooks.send = [this, scope](ObjectId to, net::MsgKind kind,
+                             net::Bytes payload) {
+    // The engine's only unicast is the ACK; in tree mode it joins the
+    // hierarchical tally aggregated towards the raiser instead of going
+    // direct (peek recovers the round the engine stamped on it).
+    if (kind == net::MsgKind::kAck) {
+      if (const Dyn* dyn = find_dyn(scope);
+          dyn != nullptr && dyn->info->use_tree) {
+        if (const auto sr = resolve::peek_scope_round(payload); sr.is_ok()) {
+          ensure_overlay(*dyn->info);
+          overlay_.send_ack(scope, sr.value().round, to);
+          return;
+        }
+      }
+    }
     send(to, kind, std::move(payload));
   };
   hooks.abort_nested = [this, scope](std::function<void(ExceptionId)> done) {
@@ -446,12 +473,72 @@ resolve::ResolverCore::Hooks Participant::make_hooks(ActionInstanceId scope) {
 
 void Participant::multicast(const InstanceInfo& info, net::MsgKind kind,
                             const net::Bytes& payload) {
+  if (info.use_tree) {
+    // Tree-mode dissemination: hand the message to the overlay once; the
+    // relay tree fans it out in O(N·k) envelopes instead of N-1 sends.
+    ensure_overlay(info);
+    overlay_.flood(info.instance, kind, payload);
+    return;
+  }
   for (ObjectId member : info.members) {
     if (member == id()) continue;
     // Pooled copy per recipient: the fan-out reuses recycled payload
     // buffers instead of heap-allocating one per member.
     send(member, kind, net::BytesPool::local().copy_of(payload));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Overlay dissemination (tree-mode scopes)
+// ---------------------------------------------------------------------------
+
+void Participant::ensure_overlay(const InstanceInfo& info) {
+  CAA_CHECK_MSG(info.use_tree, "ensure_overlay: scope is flat");
+  if (!overlay_ready_) {
+    overlay::Disseminator::Hooks hooks;
+    hooks.send_envelope = [this](ObjectId to, net::Bytes payload) {
+      send(to, net::MsgKind::kRelay, std::move(payload));
+    };
+    // Relayed deliveries re-enter on_message under the *origin*, so every
+    // existing rule — crashed-sender filtering, belated buffering, round
+    // routing, dead-scope Leave replay — applies to tree traffic unchanged.
+    hooks.deliver = [this](ActionInstanceId scope, ObjectId origin,
+                           net::MsgKind kind, const net::Bytes& payload) {
+      (void)scope;
+      on_message(origin, kind, payload);
+    };
+    hooks.deliver_ack = [this](ActionInstanceId scope, std::uint32_t round,
+                               ObjectId acker) {
+      on_message(acker, net::MsgKind::kAck,
+                 resolve::encode(resolve::AckMsg{scope, round, acker}));
+    };
+    hooks.schedule = [this](sim::Time delay, std::function<void()> fn) {
+      schedule_after(delay, std::move(fn));
+    };
+    overlay_.configure(id(), std::move(hooks),
+                       &runtime().simulator().counters());
+    overlay_ready_ = true;
+  }
+  overlay_.register_scope(info.instance, info.members, info.overlay, crashed_);
+}
+
+void Participant::on_relay(ObjectId from, const net::Bytes& payload) {
+  const auto scope = overlay::Disseminator::peek_envelope_scope(payload);
+  if (!scope.is_ok()) return;  // malformed: never trust the wire
+  if (abandoned_.contains(scope.value())) {
+    // We restarted out of this scope; relay duty died with the crash and
+    // the survivors' healed tree no longer counts on us.
+    runtime().simulator().counters().add(kCounterDeadScopeDropped);
+    return;
+  }
+  if (!manager_.known(scope.value())) return;
+  const InstanceInfo& info = manager_.info(scope.value());
+  if (!info.use_tree || !info.is_member(id())) return;
+  // Register lazily: a belated member (or one that already left) still
+  // relays for the committee; local deliveries fall through to the belated
+  // buffer / dead-scope paths like any direct message.
+  ensure_overlay(info);
+  overlay_.on_envelope(from, payload);
 }
 
 void Participant::on_round_finished(ActionInstanceId scope,
@@ -653,6 +740,11 @@ void Participant::complete_internal(ActionInstanceId scope, bool ok,
   const ObjectId leader = live_leader(*dyn);
   if (leader == id()) {
     on_done(m);
+  } else if (dyn->info->use_tree) {
+    // The live leader is the lowest live member — exactly the relay-tree
+    // root — so Done traffic aggregates up the tree into shared envelopes.
+    ensure_overlay(*dyn->info);
+    overlay_.route(scope, leader, net::MsgKind::kActionDone, encode(m));
   } else {
     send(leader, net::MsgKind::kActionDone, encode(m));
   }
@@ -894,6 +986,9 @@ void Participant::notify_peer_crashed(ObjectId peer) {
   if (peer == id()) return;
   if (!crashed_.insert(peer).second) return;  // already known
   purge_pending_from(peer);
+  // Heal the relay trees first: the re-announcements below must travel the
+  // repaired topology, not through the dead relay.
+  if (overlay_ready_) overlay_.on_peer_crashed(peer);
   trace("peer crashed", "O" + std::to_string(peer.value()));
   for (std::size_t depth = 0; depth < contexts_.size(); ++depth) {
     const ActionInstanceId instance = contexts_.at(depth).instance;
@@ -920,10 +1015,15 @@ void Participant::notify_peer_crashed(ObjectId peer) {
       // Members still at the barrier simply record the Done, so whoever
       // ends up leading re-collects the full barrier.
       const net::Bytes payload = encode(*dyn.last_done);
-      for (ObjectId member : dyn.info->members) {
-        if (member == id() || dyn.excluded.contains(member)) continue;
-        send(member, net::MsgKind::kActionDone,
-             net::BytesPool::local().copy_of(payload));
+      if (dyn.info->use_tree) {
+        ensure_overlay(*dyn.info);
+        overlay_.flood(instance, net::MsgKind::kActionDone, payload);
+      } else {
+        for (ObjectId member : dyn.info->members) {
+          if (member == id() || dyn.excluded.contains(member)) continue;
+          send(member, net::MsgKind::kActionDone,
+               net::BytesPool::local().copy_of(payload));
+        }
       }
       if (new_leader == id()) on_done(*dyn.last_done);
     }
@@ -1123,6 +1223,9 @@ void Participant::on_restarted() {
     pop_context(scope, /*dead=*/true);
   }
   pending_.clear();
+  // Relay caches and squelch state are volatile too: the healed survivor
+  // trees exclude us, and on_relay drops envelopes for abandoned scopes.
+  overlay_.clear();
 }
 
 bool Participant::is_live(ActionInstanceId scope) const {

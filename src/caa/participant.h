@@ -32,6 +32,7 @@
 
 #include "caa/action_manager.h"
 #include "ex/context_stack.h"
+#include "overlay/disseminator.h"
 #include "resolve/resolver_core.h"
 #include "rt/managed_object.h"
 
@@ -275,6 +276,12 @@ class Participant : public rt::ManagedObject {
     return abandoned_;
   }
 
+  /// This participant's overlay dissemination engine (tree-mode scopes only;
+  /// exposed for tests asserting tree determinism and healing).
+  [[nodiscard]] const overlay::Disseminator& overlay() const {
+    return overlay_;
+  }
+
   // ---- rt::ManagedObject --------------------------------------------------
 
   void on_message(ObjectId from, net::MsgKind kind,
@@ -349,6 +356,10 @@ class Participant : public rt::ManagedObject {
   resolve::ResolverCore::Hooks make_hooks(ActionInstanceId scope);
   void multicast(const InstanceInfo& info, net::MsgKind kind,
                  const net::Bytes& payload);
+
+  // Overlay dissemination (tree-mode scopes; src/overlay/).
+  void ensure_overlay(const InstanceInfo& info);
+  void on_relay(ObjectId from, const net::Bytes& payload);
   void on_round_finished(ActionInstanceId scope, ExceptionId resolved,
                          ObjectId resolver);
   void invoke_handler(ActionInstanceId scope, ExceptionId resolved,
@@ -411,6 +422,8 @@ class Participant : public rt::ManagedObject {
   // same outcome everyone else applied).
   std::map<ActionInstanceId, LeaveMsg> left_;
   std::set<ObjectId> crashed_;  // peers known to have crashed (extension)
+  overlay::Disseminator overlay_;  // relay engine for tree-mode scopes
+  bool overlay_ready_ = false;     // configure() ran (identity bound)
   std::optional<AbortChain> abort_chain_;
   std::vector<HandledRecord> handled_;
   std::vector<AbortRecord> aborts_;

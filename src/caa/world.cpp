@@ -13,6 +13,7 @@ World::World(WorldConfig config)
     : config_(config),
       network_(simulator_, config.seed),
       actions_(groups_) {
+  actions_.set_overlay_defaults(config_.overlay);
   network_.set_default_link(config_.link);
   trace_.enable(config_.trace);
   simulator_.obs().set_enabled(config_.observe);

@@ -23,6 +23,7 @@
 #include "net/group.h"
 #include "net/network.h"
 #include "net/reliable_link.h"
+#include "overlay/params.h"
 #include "rt/runtime.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -48,6 +49,10 @@ struct WorldConfig {
   bool flight_recorder = true;
   /// Ring capacity in records when the recorder is on.
   std::size_t flight_recorder_capacity = obs::FlightRecorder::kDefaultCapacity;
+  /// Overlay dissemination defaults stamped onto every action instance
+  /// (src/overlay/). The kAuto default keeps every committee below
+  /// tree_threshold on the paper's flat all-to-all protocol.
+  overlay::OverlayParams overlay;
 };
 
 class World {

@@ -69,6 +69,7 @@ run::WorldResult run_chaos_trial(std::uint64_t trial_seed,
   // oracle hits are protocol bugs, not transport give-ups.
   config.reliable.rto = 300;
   config.reliable.max_retries = 40;
+  config.overlay = options.overlay;
   World w(config);
 
   std::vector<action::Participant*> objects;

@@ -20,6 +20,7 @@
 
 #include "fault/plan.h"
 #include "fault/shrink.h"
+#include "overlay/params.h"
 #include "run/campaign.h"
 
 namespace caa::fault {
@@ -45,6 +46,10 @@ struct ChaosOptions {
   ShrinkOptions shrink_options;
   /// Record the flat protocol narrative (debug replays; slows trials).
   bool trace = false;
+  /// Overlay dissemination stamped onto every trial world: Mode::kTree
+  /// runs the whole fault mix — including relay crashes mid-broadcast —
+  /// over the relay tree instead of the flat fan-out.
+  overlay::OverlayParams overlay;
 };
 
 struct ChaosReport {

@@ -26,6 +26,7 @@ std::string_view kind_name(MsgKind kind) {
     case MsgKind::kCentralFrozenAck: return "CentralFrozenAck";
     case MsgKind::kCentralCommit: return "CentralCommit";
     case MsgKind::kCrashSync: return "CrashSync";
+    case MsgKind::kRelay: return "Relay";
     case MsgKind::kActionJoin: return "ActionJoin";
     case MsgKind::kActionJoinAck: return "ActionJoinAck";
     case MsgKind::kActionDone: return "ActionDone";

@@ -58,6 +58,12 @@ enum class MsgKind : std::uint16_t {
   // in-progress resolution when a member is excluded (§4.2 fail-stop).
   kCrashSync = 150,
 
+  // Overlay dissemination envelope: batches relayed protocol messages and
+  // aggregated ACK tallies along the committee's spanning tree
+  // (src/overlay/). Carries other kinds as payload; counted as its own
+  // kind so flat-vs-tree physical message costs are directly comparable.
+  kRelay = 160,
+
   // CA action management (entry/exit synchronization).
   kActionJoin = 200,
   kActionJoinAck = 201,

@@ -1,0 +1,62 @@
+// Overlay dissemination knobs.
+//
+// The paper's resolution algorithm (§4.2) and the exit barrier multicast
+// all-to-all, which is O(N²) messages per round and caps committee size.
+// The overlay layer (relay_tree.h, disseminator.h) replaces the physical
+// fan-out with a deterministic fanout-k spanning tree over the committee;
+// these parameters decide per action instance whether that happens and with
+// what shape. They live in their own header so caa/ can stamp them onto an
+// InstanceInfo without pulling in the overlay machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace caa::overlay {
+
+struct OverlayParams {
+  /// kFlat: always direct all-to-all (the paper's literal reading).
+  /// kTree: always relay over the spanning tree.
+  /// kAuto: tree once the committee reaches `tree_threshold` members —
+  ///        small committees keep the flat protocol (fewer hops, identical
+  ///        wire behaviour with every earlier PR).
+  enum class Mode : std::uint8_t { kAuto = 0, kFlat = 1, kTree = 2 };
+
+  Mode mode = Mode::kAuto;
+
+  /// Relay fan-out k: each tree position has up to k children. 8 keeps a
+  /// 4096-member committee at depth 4.
+  std::uint32_t fanout = 8;
+
+  /// kAuto switches to the tree at this member count.
+  std::uint32_t tree_threshold = 128;
+
+  /// Extra hold-down before a relay flushes its per-neighbor outboxes.
+  /// 0 still batches everything that arrives in the same virtual tick
+  /// (the flush event is FIFO-ordered behind the tick's deliveries).
+  sim::Time coalesce_delay = 0;
+
+  /// Per-scope relay-cache budget (items) for crash healing. Re-flooding
+  /// after a relay dies needs the items seen so far; beyond this many the
+  /// cache stops growing (counted under overlay.cache_overflow) and healing
+  /// becomes best-effort — crash-free mega-committee benches set this low,
+  /// chaos worlds never get near it.
+  std::uint32_t heal_cache_limit = 65536;
+
+  /// Decision for a committee of `members` objects. Trees need at least
+  /// three members to differ from direct sends.
+  [[nodiscard]] bool tree_for(std::size_t members) const {
+    switch (mode) {
+      case Mode::kFlat:
+        return false;
+      case Mode::kTree:
+        return members >= 2;
+      case Mode::kAuto:
+        return members >= tree_threshold;
+    }
+    return false;
+  }
+};
+
+}  // namespace caa::overlay

@@ -19,7 +19,8 @@ RunStats collect_stats(World& world,
   stats.nested_completed = metrics.sent(net::MsgKind::kNestedCompleted);
   stats.acks = metrics.sent(net::MsgKind::kAck);
   stats.commits = metrics.sent(net::MsgKind::kCommit);
-  stats.messages = metrics.resolution_messages();
+  stats.relays = metrics.sent(net::MsgKind::kRelay);
+  stats.messages = metrics.resolution_messages() + stats.relays;
   stats.all_handled = true;
   sim::Time last = raise_at;
   for (const Participant* o : objects) {
@@ -243,6 +244,20 @@ std::uint64_t world_checksum(World& world, std::int64_t events) {
   std::uint64_t h = fnv1a64(world.metrics().counters().to_string());
   h = fnv1a64_mix(h, static_cast<std::uint64_t>(world.simulator().now()));
   h = fnv1a64_mix(h, static_cast<std::uint64_t>(events));
+  return h;
+}
+
+std::uint64_t resolved_checksum(
+    const std::vector<action::Participant*>& objects) {
+  std::uint64_t h = kFnv1a64Offset;
+  for (const action::Participant* o : objects) {
+    h = fnv1a64_mix(h, o->id().value());
+    for (const action::HandledRecord& rec : o->handled()) {
+      h = fnv1a64_mix(h, rec.instance.value());
+      h = fnv1a64_mix(h, rec.round);
+      h = fnv1a64_mix(h, rec.resolved.value());
+    }
+  }
   return h;
 }
 

@@ -23,12 +23,16 @@ namespace caa::scenario {
 
 /// Aggregated outcome of a scenario run.
 struct RunStats {
-  std::int64_t messages = 0;  // total resolution-protocol messages
+  /// Physical messages the protocol cost: the §4.4 five-kind total plus,
+  /// in tree mode, the overlay envelopes that replace the direct fan-out
+  /// (flat worlds have relays == 0, leaving the historical value intact).
+  std::int64_t messages = 0;
   std::int64_t exceptions = 0;
   std::int64_t have_nested = 0;
   std::int64_t nested_completed = 0;
   std::int64_t acks = 0;
   std::int64_t commits = 0;
+  std::int64_t relays = 0;  // kRelay envelopes (tree-mode dissemination)
   sim::Time resolution_latency = 0;  // raise -> last handler start
   bool all_handled = false;          // every participant ran a handler
 };
@@ -168,5 +172,13 @@ RunStats collect_stats(World& world,
 /// Same formula bench_throughput has always recorded, shared so campaign
 /// results and bench rows stay comparable across PRs.
 [[nodiscard]] std::uint64_t world_checksum(World& world, std::int64_t events);
+
+/// Fingerprint of WHAT was resolved, independent of WHEN: per participant
+/// (creation order), every handled record's (instance, round, exception).
+/// Tree-mode relaying changes delivery timing — and therefore
+/// world_checksum — but must resolve the exact same exceptions as flat
+/// mode on the same seed; this is the value that equality is gated on.
+[[nodiscard]] std::uint64_t resolved_checksum(
+    const std::vector<action::Participant*>& objects);
 
 }  // namespace caa::scenario

@@ -25,8 +25,12 @@ void usage() {
       "usage: caa-chaos [--plans N] [--seed S] [--threads T]\n"
       "                 [--profile mixed|crash-heavy|network-only|"
       "resolver-hunt]\n"
+      "                 [--participants MIN[:MAX]] [--tree [FANOUT]]\n"
       "                 [--dump-dir DIR] [--no-shrink]\n"
-      "                 [--index I [--show-plan] [--trace]]\n");
+      "                 [--index I [--show-plan] [--trace]]\n"
+      "  --participants  committee size range per trial (default 3:6)\n"
+      "  --tree          relay-tree dissemination (optional fanout, "
+      "default 8)\n");
 }
 
 }  // namespace
@@ -59,6 +63,29 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.mix = mix.value();
+    } else if (arg == "--participants") {
+      const std::string range = next();
+      const std::size_t colon = range.find(':');
+      options.min_participants = static_cast<std::uint32_t>(
+          std::strtoul(range.c_str(), nullptr, 10));
+      options.max_participants =
+          colon == std::string::npos
+              ? options.min_participants
+              : static_cast<std::uint32_t>(
+                    std::strtoul(range.c_str() + colon + 1, nullptr, 10));
+      if (options.min_participants < 2 ||
+          options.max_participants < options.min_participants) {
+        std::fprintf(stderr, "caa-chaos: bad --participants range '%s'\n",
+                     range.c_str());
+        return 2;
+      }
+    } else if (arg == "--tree") {
+      options.overlay.mode = caa::overlay::OverlayParams::Mode::kTree;
+      // Optional fanout operand (next arg if numeric).
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+        options.overlay.fanout =
+            static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      }
     } else if (arg == "--dump-dir") {
       options.dump_dir = next();
     } else if (arg == "--no-shrink") {

@@ -35,11 +35,21 @@ for preset in "${presets[@]}"; do
     ctest --preset "${preset}" -j "${jobs}"
   fi
   # Bounded chaos smoke: a few hundred generated fault plans through the
-  # full plan/inject/oracle pipeline. Under asan this doubles as a memory
-  # audit of the crash/restart/partition paths.
+  # full plan/inject/oracle pipeline, then 100 crash-heavy plans against
+  # 64-member committees over the relay-tree overlay (relays crash and
+  # restart mid-broadcast). Under asan these double as a memory audit of
+  # the crash/restart/partition and tree-healing paths.
   case "${preset}" in
-    dev)  "build/tools/caa-chaos" --plans 200 --threads "${jobs}" ;;
-    asan) "build-asan/tools/caa-chaos" --plans 200 --threads "${jobs}" ;;
+    dev)
+      "build/tools/caa-chaos" --plans 200 --threads "${jobs}"
+      "build/tools/caa-chaos" --plans 100 --profile crash-heavy \
+        --participants 64 --tree 8 --threads "${jobs}"
+      ;;
+    asan)
+      "build-asan/tools/caa-chaos" --plans 200 --threads "${jobs}"
+      "build-asan/tools/caa-chaos" --plans 100 --profile crash-heavy \
+        --participants 64 --tree 8 --threads "${jobs}"
+      ;;
   esac
 done
 
