@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "caa/action_decl.h"
+#include "exit/exit_kind.h"
 #include "net/message.h"
 #include "overlay/params.h"
 #include "util/ids.h"
@@ -30,6 +31,13 @@ struct InstanceInfo {
   /// from this shared record (src/overlay/).
   bool use_tree = false;
   overlay::OverlayParams overlay;
+
+  /// Exit/commit protocol every member of this instance synchronizes its
+  /// exit through, stamped at create_instance from the manager's defaults
+  /// (WorldConfig.exit_protocol); a participant's EnterConfig may override
+  /// its own selection. All members must agree — mixed selections within
+  /// one committee are a scenario bug.
+  exit::ExitKind exit = exit::ExitKind::kBarrier;
 
   [[nodiscard]] ObjectId leader() const { return members.front(); }
   [[nodiscard]] bool is_member(ObjectId o) const;

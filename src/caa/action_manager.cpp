@@ -45,6 +45,7 @@ const InstanceInfo& ActionManager::create_instance(const ActionDecl& decl,
   inst->group = groups_.create(inst->members);  // closed group per §4.5
   inst->overlay = overlay_defaults_;
   inst->use_tree = overlay_defaults_.tree_for(inst->members.size());
+  inst->exit = exit_default_;
   const InstanceInfo& ref = *inst;
   instances_.emplace(inst->instance, std::move(inst));
   return ref;

@@ -48,9 +48,21 @@ class ActionManager {
     return overlay_defaults_;
   }
 
+  /// Exit-protocol default stamped onto every instance created afterwards
+  /// (see WorldConfig::exit_protocol).
+  void set_exit_defaults(exit::ExitKind kind) { exit_default_ = kind; }
+  [[nodiscard]] exit::ExitKind exit_defaults() const { return exit_default_; }
+
+  /// When on, participants ACK applied final Leaves so the per-scope leave
+  /// records can be garbage-collected (see WorldConfig::exit_gc).
+  void set_exit_gc(bool on) { exit_gc_ = on; }
+  [[nodiscard]] bool exit_gc() const { return exit_gc_; }
+
  private:
   net::GroupDirectory& groups_;
   overlay::OverlayParams overlay_defaults_;
+  exit::ExitKind exit_default_ = exit::ExitKind::kBarrier;
+  bool exit_gc_ = false;
   std::vector<std::unique_ptr<ActionDecl>> decls_;
   std::unordered_map<ActionInstanceId, std::unique_ptr<InstanceInfo>>
       instances_;

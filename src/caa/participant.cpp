@@ -28,6 +28,10 @@ const CounterId kCounterRestartAbandoned =
     CounterId::of("caa.restart_abandoned");
 const CounterId kCounterFromCrashedDropped =
     CounterId::of("caa.from_crashed_dropped");
+// Leave-record GC accounting (only ever incremented when WorldConfig.exit_gc
+// is on, so checksum-pinned worlds never see them).
+const CounterId kCounterLeaveRecorded = CounterId::of("exit.leave_recorded");
+const CounterId kCounterLeaveCollected = CounterId::of("exit.leave_collected");
 }  // namespace
 
 ex::HandlerTable uniform_handlers(const ex::ExceptionTree& tree,
@@ -43,6 +47,7 @@ ex::HandlerTable uniform_handlers(const ex::ExceptionTree& tree,
 // ---------------------------------------------------------------------------
 
 bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
+  retired_exits_.clear();  // no exit-protocol frames on the stack here
   const InstanceInfo& info = manager_.info(instance);
   CAA_CHECK_MSG(info.is_member(id()), "enter(): not a declared member");
   if (dead_.contains(instance)) {
@@ -112,6 +117,11 @@ bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
   if (info.use_tree) ensure_overlay(info);
 
   dyn.engine = make_engine(dyn, instance);
+  dyn.exit = dyn.config.exit_factory
+                 ? dyn.config.exit_factory(*this, info)
+                 : exit::make_exit_protocol(
+                       dyn.config.exit_protocol.value_or(info.exit), *this,
+                       info);
   // Entering an action some members already crashed out of: sync with the
   // live members before resolving anything. Their status replies carry any
   // commit of a round this belated entrant missed entirely (its buffered
@@ -210,6 +220,7 @@ std::uint32_t Participant::attempt_of(ActionInstanceId instance) const {
 
 void Participant::on_message(ObjectId from, net::MsgKind kind,
                              const net::Bytes& payload) {
+  if (!retired_exits_.empty()) retired_exits_.clear();  // quiet entry: sweep
   switch (kind) {
     case net::MsgKind::kException:
     case net::MsgKind::kHaveNested:
@@ -224,29 +235,16 @@ void Participant::on_message(ObjectId from, net::MsgKind kind,
     case net::MsgKind::kRelay:
       on_relay(from, payload);
       return;
-    case net::MsgKind::kActionDone: {
-      auto sr = resolve::peek_scope_round(payload);
-      if (!sr.is_ok()) return;
-      if (dead_.contains(sr.value().scope)) {
-        // A member that missed the final Leave (lost with the crashed
-        // leader) re-sends its Done to us as the re-elected leader; if we
-        // exited this scope through the barrier, release it with the
-        // outcome everyone else applied.
-        if (const auto it = left_.find(sr.value().scope);
-            it != left_.end()) {
-          send(from, net::MsgKind::kActionLeave, encode(it->second));
-          return;
-        }
-        runtime().simulator().counters().add(kCounterDeadScopeDropped);
-        return;
-      }
-      if (find_dyn(sr.value().scope) == nullptr) {
-        pending_[sr.value().scope].push_back(RawMsg{from, kind, payload});
-        return;
-      }
-      on_done_msg(from, payload);
+    case net::MsgKind::kActionDone:
+    case net::MsgKind::kPaxosPrepare:
+    case net::MsgKind::kPaxosPromise:
+    case net::MsgKind::kPaxosVote:
+    case net::MsgKind::kPaxosAccepted:
+      on_exit_msg(from, kind, payload);
       return;
-    }
+    case net::MsgKind::kActionLeaveAck:
+      on_leave_ack(from, payload);
+      return;
     case net::MsgKind::kActionLeave: {
       auto sr = resolve::peek_scope_round(payload);
       if (!sr.is_ok()) return;
@@ -708,7 +706,7 @@ void Participant::abort_step() {
 }
 
 // ---------------------------------------------------------------------------
-// Exit barrier
+// Exit (delegated to the scope's pluggable exit::ExitProtocol)
 // ---------------------------------------------------------------------------
 
 void Participant::complete_internal(ActionInstanceId scope, bool ok,
@@ -729,7 +727,6 @@ void Participant::complete_internal(ActionInstanceId scope, bool ok,
   dyn->done_sent = true;
   dyn->handling = false;  // handler (if any) has completed the action part
   DoneMsg m{scope, dyn->round, id(), ok, signal};
-  dyn->last_done = m;  // kept for re-send on leader re-election
   trace("done", std::string(ok ? "ok" : "acceptance-failed") +
                     (signal.valid() ? " +signal" : ""));
   if (obs::Observability* o = observing()) {
@@ -737,96 +734,50 @@ void Participant::complete_internal(ActionInstanceId scope, bool ok,
         id().value(), "barrier", "barrier r" + std::to_string(dyn->round),
         ok ? std::string() : "acceptance failed");
   }
-  const ObjectId leader = live_leader(*dyn);
-  if (leader == id()) {
-    on_done(m);
-  } else if (dyn->info->use_tree) {
-    // The live leader is the lowest live member — exactly the relay-tree
-    // root — so Done traffic aggregates up the tree into shared envelopes.
-    ensure_overlay(*dyn->info);
-    overlay_.route(scope, leader, net::MsgKind::kActionDone, encode(m));
-  } else {
-    send(leader, net::MsgKind::kActionDone, encode(m));
+  // From here the exit protocol owns everything up to the Leave decision.
+  dyn->exit->on_complete(m);
+}
+
+void Participant::on_exit_msg(ObjectId from, net::MsgKind kind,
+                              const net::Bytes& payload) {
+  auto sr = resolve::peek_scope_round(payload);
+  if (!sr.is_ok()) return;
+  const ActionInstanceId scope = sr.value().scope;
+  if (dead_.contains(scope)) {
+    // A member that missed the final Leave (lost with the crashed leader)
+    // re-sends its Done/vote to us after re-election; if we exited this
+    // scope through its exit protocol, release the sender with the outcome
+    // everyone else applied.
+    if (const LeaveMsg* rec = leave_log_.find(scope); rec != nullptr) {
+      send(from, net::MsgKind::kActionLeave, encode(*rec));
+      return;
+    }
+    runtime().simulator().counters().add(kCounterDeadScopeDropped);
+    return;
   }
-}
-
-void Participant::on_done_msg(ObjectId from, const net::Bytes& payload) {
-  (void)from;
-  auto m = decode_done(payload);
-  if (!m.is_ok()) return;
-  on_done(m.value());
-}
-
-void Participant::on_done(const DoneMsg& m) {
-  Dyn* dyn = find_dyn(m.scope);
-  CAA_CHECK(dyn != nullptr);
-  // We may receive Dones slightly before learning that the previous leader
-  // crashed (the sender learned first); store them, decide only when we
-  // believe we lead.
-  dyn->barrier[m.round][m.sender] = m;
-  if (live_leader(*dyn) == id()) maybe_decide(m.scope);
-}
-
-void Participant::maybe_decide(ActionInstanceId scope) {
   Dyn* dyn = find_dyn(scope);
-  CAA_CHECK(dyn != nullptr);
-  if (dyn->aborting) return;  // abortion supersedes the exit barrier
-  if (live_leader(*dyn) != id()) return;
-  auto it = dyn->barrier.find(dyn->round);
-  if (it == dyn->barrier.end()) return;
-  // All LIVE members must have reported (crashed ones are waived).
-  if (dyn->excluded.empty()) {
-    // Fault-free fast path: senders are distinct members, so a full barrier
-    // is a size check. The leader runs this on every Done arrival; scanning
-    // the member list each time made the exit barrier O(N^2) per round.
-    if (it->second.size() < dyn->info->members.size()) return;
-  } else {
-    for (ObjectId member : dyn->info->members) {
-      if (dyn->excluded.contains(member)) continue;
-      if (!it->second.contains(member)) return;
-    }
+  if (dyn == nullptr) {
+    pending_[scope].push_back(RawMsg{from, kind, payload});
+    return;
   }
-  CAA_CHECK_MSG(dyn->engine->state() == resolve::ResolverCore::State::kNormal,
-                "exit barrier complete while a resolution is in progress");
+  dyn->exit->on_message(from, kind, payload);
+}
 
-  bool all_ok = true;
-  std::vector<ExceptionId> signals;
-  for (const auto& [sender, done] : it->second) {
-    if (dyn->excluded.contains(sender)) continue;
-    all_ok = all_ok && done.ok;
-    if (done.signal.valid()) signals.push_back(done.signal);
+void Participant::on_leave_ack(ObjectId from, const net::Bytes& payload) {
+  (void)from;
+  auto m = exit::decode_leave_ack(payload);
+  if (!m.is_ok()) return;
+  const ActionInstanceId scope = m.value().scope;
+  if (abandoned_.contains(scope) ||
+      (dead_.contains(scope) && leave_log_.find(scope) == nullptr)) {
+    // We never recorded a Leave for this scope (restart wiped it, or we
+    // aborted out while peers exited): nothing to collect, and no record
+    // will ever appear — do not buffer the ACK.
+    return;
   }
-
-  LeaveMsg leave;
-  leave.scope = scope;
-  leave.round = dyn->round;
-  if (!all_ok) {
-    // Acceptance failure: backward recovery while attempts remain (§3.1 /
-    // Figure 2(b)), otherwise signal the configured failure exception.
-    if (dyn->attempt + 1 < dyn->config.max_attempts) {
-      leave.outcome = LeaveOutcome::kRestored;
-      leave.attempt = dyn->attempt + 1;
-    } else {
-      leave.outcome = LeaveOutcome::kSignalled;
-      leave.signal = dyn->config.failure_signal;
-    }
-  } else if (!signals.empty()) {
-    leave.outcome = LeaveOutcome::kSignalled;
-    if (dyn->info->parent.valid()) {
-      const ex::ExceptionTree& parent_tree =
-          manager_.info(dyn->info->parent).decl->tree();
-      leave.signal = parent_tree.resolve(signals);
-    } else {
-      leave.signal = signals.front();
-    }
-  } else {
-    leave.outcome = LeaveOutcome::kCommitted;
+  if (leave_log_.on_ack(scope, m.value().sender)) {
+    runtime().simulator().counters().add(kCounterLeaveCollected);
   }
-  dyn->barrier.erase(dyn->barrier.begin(), std::next(it));
-
-  const net::Bytes payload = encode(leave);
-  multicast(*dyn->info, net::MsgKind::kActionLeave, payload);
-  apply_leave(leave);
 }
 
 void Participant::on_leave_msg(const net::Bytes& payload) {
@@ -860,7 +811,7 @@ void Participant::apply_leave(const LeaveMsg& m) {
         tracer.end(dyn->barrier_span);
         tracer.end_args(dyn->action_span, "committed");
       }
-      left_.insert_or_assign(m.scope, m);
+      record_leave(*dyn, m);
       pop_context(m.scope, /*dead=*/true);
       return;
     }
@@ -874,7 +825,7 @@ void Participant::apply_leave(const LeaveMsg& m) {
         tracer.end_args(dyn->action_span, "signalled");
       }
       const ActionInstanceId parent = info.parent;
-      left_.insert_or_assign(m.scope, m);
+      record_leave(*dyn, m);
       pop_context(m.scope, /*dead=*/true);
       if (!leader) return;
       if (parent.valid() && m.signal.valid()) {
@@ -915,7 +866,7 @@ void Participant::apply_leave(const LeaveMsg& m) {
       dyn->attempt = m.attempt;
       dyn->done_sent = false;
       dyn->handling = false;
-      dyn->last_done.reset();
+      dyn->exit->on_restored();  // drop the previous attempt's pending Done
       ++dyn->round;  // a new attempt is a new protocol round
       dyn->engine = make_engine(*dyn, m.scope);
       drain_future(m.scope);
@@ -930,8 +881,30 @@ void Participant::apply_leave(const LeaveMsg& m) {
   }
 }
 
+void Participant::record_leave(const Dyn& dyn, const LeaveMsg& m) {
+  const bool gc = manager_.exit_gc();
+  leave_log_.record(m, dyn.info->members, id(), dyn.excluded, gc);
+  if (!gc) return;
+  runtime().simulator().counters().add(kCounterLeaveRecorded);
+  // Tell every live member we applied the final Leave; once a member holds
+  // ACKs from the whole committee its record can never be needed again.
+  const net::Bytes ack =
+      exit::encode(exit::LeaveAckMsg{m.scope, m.round, id()});
+  for (ObjectId member : dyn.info->members) {
+    if (member == id() || dyn.excluded.contains(member)) continue;
+    send(member, net::MsgKind::kActionLeaveAck,
+         net::BytesPool::local().copy_of(ack));
+  }
+}
+
 void Participant::pop_context(ActionInstanceId scope, bool dead) {
   CAA_CHECK(in_action() && contexts_.active().instance == scope);
+  if (Dyn* dyn = find_dyn(scope); dyn != nullptr && dyn->exit != nullptr) {
+    // The decide path ends inside the protocol (exit_deliver_leave -> here),
+    // so its frames may still be on the stack: retire, don't destroy. The
+    // graveyard is swept at the next quiet entry into this participant.
+    retired_exits_.push_back(std::move(dyn->exit));
+  }
   if (Dyn* dyn = find_dyn(scope);
       dyn != nullptr &&
       (dyn->action_span.valid() || dyn->barrier_span.valid() ||
@@ -971,10 +944,7 @@ std::unique_ptr<resolve::ResolverCore> Participant::make_engine(
 }
 
 ObjectId Participant::live_leader(const Dyn& dyn) const {
-  for (ObjectId member : dyn.info->members) {
-    if (!dyn.excluded.contains(member)) return member;
-  }
-  return dyn.info->leader();  // everyone crashed: degenerate, keep static
+  return exit::live_leader(*dyn.info, dyn.excluded);
 }
 
 Participant::Dyn* Participant::find_dyn(ActionInstanceId scope) {
@@ -982,9 +952,123 @@ Participant::Dyn* Participant::find_dyn(ActionInstanceId scope) {
   return it == dyn_.end() ? nullptr : &it->second;
 }
 
+const Participant::Dyn& Participant::dyn_of(ActionInstanceId scope) const {
+  auto it = dyn_.find(scope);
+  CAA_CHECK_MSG(it != dyn_.end(), "exit host: scope not open here");
+  return it->second;
+}
+
+const exit::ExitProtocol* Participant::exit_protocol_of(
+    ActionInstanceId scope) const {
+  auto it = dyn_.find(scope);
+  return it == dyn_.end() ? nullptr : it->second.exit.get();
+}
+
+// ---------------------------------------------------------------------------
+// exit::ExitHost — the seam the exit protocols talk back through
+// ---------------------------------------------------------------------------
+
+ObjectId Participant::exit_self() const { return id(); }
+
+std::uint32_t Participant::exit_round(ActionInstanceId scope) const {
+  return dyn_of(scope).round;
+}
+
+const std::set<ObjectId>& Participant::exit_excluded(
+    ActionInstanceId scope) const {
+  return dyn_of(scope).excluded;
+}
+
+bool Participant::exit_aborting(ActionInstanceId scope) const {
+  return dyn_of(scope).aborting;
+}
+
+bool Participant::exit_resolution_idle(ActionInstanceId scope) const {
+  return dyn_of(scope).engine->state() ==
+         resolve::ResolverCore::State::kNormal;
+}
+
+void Participant::exit_unicast(ActionInstanceId scope, ObjectId to,
+                               net::MsgKind kind, net::Bytes payload) {
+  const Dyn& dyn = dyn_of(scope);
+  if (dyn.info->use_tree) {
+    // The live leader is the lowest live member — exactly the relay-tree
+    // root — so exit traffic aggregates up the tree into shared envelopes.
+    ensure_overlay(*dyn.info);
+    overlay_.route(scope, to, kind, std::move(payload));
+    return;
+  }
+  send(to, kind, std::move(payload));
+}
+
+void Participant::exit_multicast(ActionInstanceId scope, net::MsgKind kind,
+                                 const net::Bytes& payload) {
+  multicast(*dyn_of(scope).info, kind, payload);
+}
+
+void Participant::exit_announce_live(ActionInstanceId scope,
+                                     net::MsgKind kind,
+                                     const net::Bytes& payload) {
+  const Dyn& dyn = dyn_of(scope);
+  if (dyn.info->use_tree) {
+    ensure_overlay(*dyn.info);
+    overlay_.flood(scope, kind, payload);
+    return;
+  }
+  for (ObjectId member : dyn.info->members) {
+    if (member == id() || dyn.excluded.contains(member)) continue;
+    send(member, kind, net::BytesPool::local().copy_of(payload));
+  }
+}
+
+LeaveMsg Participant::exit_decide(ActionInstanceId scope, std::uint32_t round,
+                                  const std::vector<DoneMsg>& dones) {
+  const Dyn& dyn = dyn_of(scope);
+  bool all_ok = true;
+  std::vector<ExceptionId> signals;
+  for (const DoneMsg& done : dones) {
+    all_ok = all_ok && done.ok;
+    if (done.signal.valid()) signals.push_back(done.signal);
+  }
+
+  LeaveMsg leave;
+  leave.scope = scope;
+  leave.round = round;
+  if (!all_ok) {
+    // Acceptance failure: backward recovery while attempts remain (§3.1 /
+    // Figure 2(b)), otherwise signal the configured failure exception.
+    if (dyn.attempt + 1 < dyn.config.max_attempts) {
+      leave.outcome = LeaveOutcome::kRestored;
+      leave.attempt = dyn.attempt + 1;
+    } else {
+      leave.outcome = LeaveOutcome::kSignalled;
+      leave.signal = dyn.config.failure_signal;
+    }
+  } else if (!signals.empty()) {
+    leave.outcome = LeaveOutcome::kSignalled;
+    if (dyn.info->parent.valid()) {
+      const ex::ExceptionTree& parent_tree =
+          manager_.info(dyn.info->parent).decl->tree();
+      leave.signal = parent_tree.resolve(signals);
+    } else {
+      leave.signal = signals.front();
+    }
+  } else {
+    leave.outcome = LeaveOutcome::kCommitted;
+  }
+  return leave;
+}
+
+void Participant::exit_deliver_leave(const LeaveMsg& m) { apply_leave(m); }
+
+void Participant::exit_trace(std::string_view event, std::string detail) {
+  trace(event, std::move(detail));
+}
+
 void Participant::notify_peer_crashed(ObjectId peer) {
   if (peer == id()) return;
   if (!crashed_.insert(peer).second) return;  // already known
+  retired_exits_.clear();  // no exit-protocol frames on the stack here
   purge_pending_from(peer);
   // Heal the relay trees first: the re-announcements below must travel the
   // repaired topology, not through the dead relay.
@@ -1005,29 +1089,15 @@ void Participant::notify_peer_crashed(ObjectId peer) {
     // never come — waive it (may complete that barrier).
     crash_sync_heard(instance, dyn, peer);
     const ObjectId new_leader = live_leader(dyn);
-    if (new_leader != old_leader && dyn.last_done.has_value() &&
-        dyn.last_done->round == dyn.round) {
-      // The exit-barrier leader died: re-announce our Done to every live
-      // member, not just the successor. The old leader may have decided and
-      // left with its Leave only partially delivered; a member that already
-      // exited answers a Done for the dead scope with the recorded final
-      // Leave, releasing us — the successor alone may be the one stuck.
-      // Members still at the barrier simply record the Done, so whoever
-      // ends up leading re-collects the full barrier.
-      const net::Bytes payload = encode(*dyn.last_done);
-      if (dyn.info->use_tree) {
-        ensure_overlay(*dyn.info);
-        overlay_.flood(instance, net::MsgKind::kActionDone, payload);
-      } else {
-        for (ObjectId member : dyn.info->members) {
-          if (member == id() || dyn.excluded.contains(member)) continue;
-          send(member, net::MsgKind::kActionDone,
-               net::BytesPool::local().copy_of(payload));
-        }
-      }
-      if (new_leader == id()) on_done(*dyn.last_done);
-    }
-    if (new_leader == id()) maybe_decide(instance);
+    // Exit-side consequences (leader re-election, pending-Done re-announce,
+    // quorum re-evaluation) belong to the scope's exit protocol. May decide
+    // and tear the scope down; nothing touches `dyn` afterwards.
+    dyn.exit->on_peer_crashed(peer, old_leader, new_leader);
+  }
+  // The peer will never ACK a Leave again: complete any waiting records.
+  if (const std::size_t collected = leave_log_.waive(peer); collected > 0) {
+    runtime().simulator().counters().add(
+        kCounterLeaveCollected, static_cast<std::int64_t>(collected));
   }
   // Forward recovery among survivors: raise the configured crash exception
   // if this participant is still working in its active action.
@@ -1210,6 +1280,7 @@ void Participant::on_restarted() {
   // path. Durable records (handled_, aborts_) survive — commits that were
   // applied before the crash stay applied.
   abort_chain_.reset();
+  retired_exits_.clear();  // no exit-protocol frames on the stack here
   obs::FlightRecorder& recorder = runtime().simulator().obs().recorder();
   while (in_action()) {
     const ActionInstanceId scope = contexts_.active().instance;

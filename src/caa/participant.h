@@ -32,6 +32,8 @@
 
 #include "caa/action_manager.h"
 #include "ex/context_stack.h"
+#include "exit/exit_protocol.h"
+#include "exit/leave_log.h"
 #include "overlay/disseminator.h"
 #include "resolve/resolver_core.h"
 #include "rt/managed_object.h"
@@ -91,6 +93,19 @@ struct EnterConfig {
   /// participant is still working — turning peer failure into forward
   /// recovery among the survivors.
   ExceptionId crash_exception;
+
+  // ---- Exit-protocol seam (src/exit/) ---------------------------------
+
+  /// Overrides the exit/commit protocol for this entry. Unset (the default)
+  /// inherits the instance's stamped selection (WorldConfig.exit_protocol).
+  /// Every member of a committee must end up with the same protocol.
+  std::optional<exit::ExitKind> exit_protocol;
+
+  /// Test hook: builds the exit protocol instead of make_exit_protocol().
+  /// Lets tests interpose a fake/instrumented ExitProtocol at the seam.
+  std::function<std::unique_ptr<exit::ExitProtocol>(
+      exit::ExitHost&, const InstanceInfo&)>
+      exit_factory;
 
   class Builder;
   /// Starts a fluent build from the mandatory handler table:
@@ -163,6 +178,17 @@ class EnterConfig::Builder {
     config_.crash_exception = exception;
     return *this;
   }
+  Builder& exit_protocol(exit::ExitKind kind) {
+    config_.exit_protocol = kind;
+    return *this;
+  }
+  Builder& exit_factory(
+      std::function<std::unique_ptr<exit::ExitProtocol>(
+          exit::ExitHost&, const InstanceInfo&)>
+          factory) {
+    config_.exit_factory = std::move(factory);
+    return *this;
+  }
 
   [[nodiscard]] EnterConfig build() const& { return config_; }
   [[nodiscard]] EnterConfig build() && { return std::move(config_); }
@@ -196,7 +222,7 @@ struct AbortRecord {
   sim::Time at = 0;
 };
 
-class Participant : public rt::ManagedObject {
+class Participant : public rt::ManagedObject, private exit::ExitHost {
  public:
   explicit Participant(ActionManager& manager) : manager_(manager) {}
 
@@ -282,6 +308,16 @@ class Participant : public rt::ManagedObject {
     return overlay_;
   }
 
+  /// Final-Leave records of exited scopes (replayed to members whose Leave
+  /// copy was lost; GC'd by LeaveAcks when WorldConfig.exit_gc is on).
+  /// Exposed for the retained-records gauge and tests.
+  [[nodiscard]] const exit::LeaveLog& leave_log() const { return leave_log_; }
+
+  /// The exit protocol currently driving `scope` at this participant, or
+  /// nullptr when the scope is not open here (introspection for tests).
+  [[nodiscard]] const exit::ExitProtocol* exit_protocol_of(
+      ActionInstanceId scope) const;
+
   // ---- rt::ManagedObject --------------------------------------------------
 
   void on_message(ObjectId from, net::MsgKind kind,
@@ -310,8 +346,11 @@ class Participant : public rt::ManagedObject {
                              // §3.1): no raises, entries or completions
                              // from the superseded body until the handler
                              // completes the action
-    std::set<ObjectId> excluded;       // crashed members (extension)
-    std::optional<DoneMsg> last_done;  // re-sent on leader re-election
+    std::set<ObjectId> excluded;  // crashed members (extension)
+    // The pluggable exit/commit protocol driving this scope's exit
+    // (src/exit/): owns the Done collection state that used to be inlined
+    // here. Created in enter(), retired (not destroyed) at pop_context.
+    std::unique_ptr<exit::ExitProtocol> exit;
     // CrashSync barrier (extension): the result of this participant's most
     // recent finished round, advertised to survivors so a resolution the
     // crashed resolver committed is not lost with it.
@@ -334,8 +373,6 @@ class Participant : public rt::ManagedObject {
     obs::SpanId barrier_span = obs::SpanId::invalid();
     obs::SpanId handler_span = obs::SpanId::invalid();
     std::vector<RawMsg> future;  // messages for rounds we have not reached
-    // Leader-only exit barrier: round -> sender -> Done.
-    std::map<std::uint32_t, std::map<ObjectId, DoneMsg>> barrier;
   };
 
   // Routing.
@@ -343,7 +380,9 @@ class Participant : public rt::ManagedObject {
                         const net::Bytes& payload);
   void deliver_to_engine(Dyn& dyn, bool scope_is_active, ObjectId from,
                          net::MsgKind kind, const net::Bytes& payload);
-  void on_done_msg(ObjectId from, const net::Bytes& payload);
+  void on_exit_msg(ObjectId from, net::MsgKind kind,
+                   const net::Bytes& payload);
+  void on_leave_ack(ObjectId from, const net::Bytes& payload);
   void on_leave_msg(const net::Bytes& payload);
   void on_crash_sync(ObjectId from, const net::Bytes& payload);
   void ack_stale(ObjectId from, net::MsgKind kind, ActionInstanceId scope,
@@ -389,18 +428,41 @@ class Participant : public rt::ManagedObject {
                          std::function<void(ExceptionId)> done);
   void abort_step();
 
-  // Exit barrier.
+  // Exit (delegated to the scope's pluggable exit::ExitProtocol).
   void complete_internal(ActionInstanceId scope, bool ok, ExceptionId signal);
-  void on_done(const DoneMsg& m);
-  void maybe_decide(ActionInstanceId scope);
   void apply_leave(const LeaveMsg& m);
+  void record_leave(const Dyn& dyn, const LeaveMsg& m);
   void pop_context(ActionInstanceId scope, bool dead);
+
+  // ---- exit::ExitHost (the seam the exit protocols talk back through) ----
+  [[nodiscard]] ObjectId exit_self() const override;
+  [[nodiscard]] std::uint32_t exit_round(ActionInstanceId scope)
+      const override;
+  [[nodiscard]] const std::set<ObjectId>& exit_excluded(ActionInstanceId
+                                                            scope)
+      const override;
+  [[nodiscard]] bool exit_aborting(ActionInstanceId scope) const override;
+  [[nodiscard]] bool exit_resolution_idle(ActionInstanceId scope)
+      const override;
+  void exit_unicast(ActionInstanceId scope, ObjectId to, net::MsgKind kind,
+                    net::Bytes payload) override;
+  void exit_multicast(ActionInstanceId scope, net::MsgKind kind,
+                      const net::Bytes& payload) override;
+  void exit_announce_live(ActionInstanceId scope, net::MsgKind kind,
+                          const net::Bytes& payload) override;
+  [[nodiscard]] LeaveMsg exit_decide(ActionInstanceId scope,
+                                     std::uint32_t round,
+                                     const std::vector<DoneMsg>& dones)
+      override;
+  void exit_deliver_leave(const LeaveMsg& m) override;
+  void exit_trace(std::string_view event, std::string detail) override;
 
   // Helpers.
   [[nodiscard]] std::unique_ptr<resolve::ResolverCore> make_engine(
       Dyn& dyn, ActionInstanceId scope);
   [[nodiscard]] ObjectId live_leader(const Dyn& dyn) const;
   [[nodiscard]] Dyn* find_dyn(ActionInstanceId scope);
+  [[nodiscard]] const Dyn& dyn_of(ActionInstanceId scope) const;
   [[nodiscard]] bool is_live(ActionInstanceId scope) const;
   void run_guarded(ActionInstanceId scope, sim::Time delay,
                    std::function<void()> fn);
@@ -415,12 +477,18 @@ class Participant : public rt::ManagedObject {
   std::map<ActionInstanceId, std::vector<RawMsg>> pending_;  // belated
   std::set<ActionInstanceId> dead_;
   std::set<ActionInstanceId> abandoned_;  // scopes wiped by our own restarts
-  // Final Leave of every scope this participant exited through the barrier.
-  // A member whose Leave copy died with the old leader re-sends its Done on
-  // re-election; the new leader may have left already, so it answers from
-  // this record instead of dropping the Done (the sender is released by the
-  // same outcome everyone else applied).
-  std::map<ActionInstanceId, LeaveMsg> left_;
+  // Final Leave of every scope this participant exited through an exit
+  // protocol. A member whose Leave copy died with the old leader re-sends
+  // its Done/vote on re-election; the recipient may have left already, so
+  // it answers from this record instead of dropping the message (the sender
+  // is released by the same outcome everyone else applied). With
+  // WorldConfig.exit_gc the records are ACK-collected (exit/leave_log.h).
+  exit::LeaveLog leave_log_;
+  // Exit protocols whose scope tore down while their frames may still be on
+  // the stack (the decide path ends in exit_deliver_leave, which pops the
+  // context). Retired here instead of destroyed; swept at the next quiet
+  // entry into this participant.
+  std::vector<std::unique_ptr<exit::ExitProtocol>> retired_exits_;
   std::set<ObjectId> crashed_;  // peers known to have crashed (extension)
   overlay::Disseminator overlay_;  // relay engine for tree-mode scopes
   bool overlay_ready_ = false;     // configure() ran (identity bound)

@@ -14,6 +14,8 @@ World::World(WorldConfig config)
       network_(simulator_, config.seed),
       actions_(groups_) {
   actions_.set_overlay_defaults(config_.overlay);
+  actions_.set_exit_defaults(config_.exit_protocol);
+  actions_.set_exit_gc(config_.exit_gc);
   network_.set_default_link(config_.link);
   trace_.enable(config_.trace);
   simulator_.obs().set_enabled(config_.observe);

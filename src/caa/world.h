@@ -53,6 +53,15 @@ struct WorldConfig {
   /// (src/overlay/). The kAuto default keeps every committee below
   /// tree_threshold on the paper's flat all-to-all protocol.
   overlay::OverlayParams overlay;
+  /// Exit/commit protocol stamped onto every action instance (src/exit/):
+  /// the paper's leader barrier, or Gray & Lamport's non-blocking Paxos
+  /// Commit. Per-entry override: EnterConfig::Builder::exit_protocol().
+  exit::ExitKind exit_protocol = exit::ExitKind::kBarrier;
+  /// Garbage-collect per-scope final-Leave records once every committee
+  /// member has ACKed its Leave. Adds one LeaveAck broadcast per member per
+  /// exited scope, so it is off by default (existing worlds stay
+  /// message-for-message identical); chaos campaigns turn it on.
+  bool exit_gc = false;
 };
 
 class World {

@@ -1,0 +1,110 @@
+#include "exit/barrier_exit.h"
+
+#include <iterator>
+#include <vector>
+
+#include "util/check.h"
+
+namespace caa::exit {
+
+void BarrierExit::on_complete(const action::DoneMsg& m) {
+  last_done_ = m;  // kept for re-send on leader re-election
+  const ObjectId to = leader();
+  if (to == host_.exit_self()) {
+    on_done(m);
+  } else {
+    // The live leader is the lowest live member — exactly the relay-tree
+    // root in tree mode — so the host routes Done traffic up the tree.
+    host_.exit_unicast(info_.instance, to, net::MsgKind::kActionDone,
+                       encode(m));
+  }
+}
+
+void BarrierExit::on_message(ObjectId from, net::MsgKind kind,
+                             const net::Bytes& payload) {
+  (void)from;
+  if (kind != net::MsgKind::kActionDone) return;  // not ours (paxos kinds)
+  auto m = action::decode_done(payload);
+  if (!m.is_ok()) return;
+  on_done(m.value());
+}
+
+void BarrierExit::on_done(const action::DoneMsg& m) {
+  // We may receive Dones slightly before learning that the previous leader
+  // crashed (the sender learned first); store them, decide only when we
+  // believe we lead.
+  barrier_[m.round][m.sender] = m;
+  if (leader() == host_.exit_self()) maybe_decide();
+}
+
+void BarrierExit::maybe_decide() {
+  const ActionInstanceId scope = info_.instance;
+  if (host_.exit_aborting(scope)) return;  // abortion supersedes the exit
+  if (leader() != host_.exit_self()) return;
+  const std::uint32_t round = host_.exit_round(scope);
+  auto it = barrier_.find(round);
+  if (it == barrier_.end()) return;
+  // All LIVE members must have reported (crashed ones are waived).
+  const std::set<ObjectId>& excluded = host_.exit_excluded(scope);
+  if (excluded.empty()) {
+    // Fault-free fast path: senders are distinct members, so a full barrier
+    // is a size check. The leader runs this on every Done arrival; scanning
+    // the member list each time made the exit barrier O(N^2) per round.
+    if (it->second.size() < info_.members.size()) return;
+  } else {
+    for (ObjectId member : info_.members) {
+      if (excluded.contains(member)) continue;
+      if (!it->second.contains(member)) return;
+    }
+  }
+  CAA_CHECK_MSG(host_.exit_resolution_idle(scope),
+                "exit barrier complete while a resolution is in progress");
+
+  std::vector<action::DoneMsg> dones;
+  dones.reserve(it->second.size());
+  for (const auto& [sender, done] : it->second) {
+    if (excluded.contains(sender)) continue;
+    dones.push_back(done);
+  }
+  const action::LeaveMsg leave = host_.exit_decide(scope, round, dones);
+  barrier_.erase(barrier_.begin(), std::next(it));
+
+  const net::Bytes payload = encode(leave);
+  host_.exit_multicast(scope, net::MsgKind::kActionLeave, payload);
+  host_.exit_deliver_leave(leave);
+  // deliver_leave may tear down the scope (and retire this object); nothing
+  // below this line.
+}
+
+void BarrierExit::on_peer_crashed(ObjectId peer, ObjectId old_leader,
+                                  ObjectId new_leader) {
+  (void)peer;
+  const ActionInstanceId scope = info_.instance;
+  if (new_leader != old_leader && last_done_.has_value() &&
+      last_done_->round == host_.exit_round(scope)) {
+    // The exit-barrier leader died: re-announce our Done to every live
+    // member, not just the successor. The old leader may have decided and
+    // left with its Leave only partially delivered; a member that already
+    // exited answers a Done for the dead scope with the recorded final
+    // Leave, releasing us — the successor alone may be the one stuck.
+    // Members still at the barrier simply record the Done, so whoever
+    // ends up leading re-collects the full barrier.
+    host_.exit_announce_live(scope, net::MsgKind::kActionDone,
+                             encode(*last_done_));
+    if (new_leader == host_.exit_self()) {
+      // on_done runs maybe_decide itself and may decide and tear the scope
+      // down — it must stay the tail call, with no host access after it.
+      on_done(*last_done_);
+      return;
+    }
+  }
+  if (new_leader == host_.exit_self()) maybe_decide();
+}
+
+void BarrierExit::on_restored() {
+  // A new attempt is a new protocol round; the previous attempt's Done must
+  // not be re-announced on later leader re-elections.
+  last_done_.reset();
+}
+
+}  // namespace caa::exit

@@ -1,0 +1,52 @@
+// The paper's leader-based exit barrier as an ExitProtocol.
+//
+// Every member reports its Done to the lowest live member; once all live
+// members of the current round have reported, the leader asks the host for
+// the Leave decision and multicasts it. Leader crash re-announces the
+// pending Done to every live member (PR 5's lost-final-Leave fix). This is
+// a straight extraction of the machinery previously inlined in Participant:
+// message patterns, iteration orders and decision points are unchanged, so
+// worlds running BarrierExit stay checksum-identical to the pre-seam code.
+//
+// The barrier map and the pending Done are private here: Participant can no
+// longer reach into exit state, which is the compile-time guarantee the
+// seam exists to provide.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "exit/exit_protocol.h"
+
+namespace caa::exit {
+
+class BarrierExit final : public ExitProtocol {
+ public:
+  BarrierExit(ExitHost& host, const action::InstanceInfo& info)
+      : host_(host), info_(info) {}
+
+  [[nodiscard]] ExitKind kind() const override { return ExitKind::kBarrier; }
+
+  void on_complete(const action::DoneMsg& m) override;
+  void on_message(ObjectId from, net::MsgKind kind,
+                  const net::Bytes& payload) override;
+  void on_peer_crashed(ObjectId peer, ObjectId old_leader,
+                       ObjectId new_leader) override;
+  void on_restored() override;
+
+ private:
+  void on_done(const action::DoneMsg& m);
+  void maybe_decide();
+  [[nodiscard]] ObjectId leader() const {
+    return live_leader(info_, host_.exit_excluded(info_.instance));
+  }
+
+  ExitHost& host_;
+  const action::InstanceInfo& info_;
+  // This member's Done for the current round, re-sent on leader re-election.
+  std::optional<action::DoneMsg> last_done_;
+  // Leader-only: round -> sender -> Done.
+  std::map<std::uint32_t, std::map<ObjectId, action::DoneMsg>> barrier_;
+};
+
+}  // namespace caa::exit

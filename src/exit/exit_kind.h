@@ -1,0 +1,33 @@
+// Exit-protocol selection tag.
+//
+// Kept free of any other dependency so low-level headers (InstanceInfo, the
+// WorldConfig) can stamp the selected strategy without pulling in the
+// protocol implementations.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace caa::exit {
+
+/// Which exit/commit protocol a CA-action committee synchronizes through.
+enum class ExitKind : std::uint8_t {
+  /// The paper's leader-based exit barrier: every member reports Done to
+  /// the lowest live member, which decides and multicasts the Leave.
+  /// Blocks (until re-election) when the coordinator crashes mid-decision.
+  kBarrier = 0,
+  /// Gray & Lamport's Paxos Commit: every member's Done is a proposed value
+  /// in its own Paxos instance over 2F+1 acceptors drawn deterministically
+  /// from the committee. Non-blocking: any single crash — including the
+  /// current exit leader — leaves a live quorum able to finish the commit.
+  kPaxos = 1,
+};
+
+[[nodiscard]] std::string_view exit_kind_name(ExitKind kind);
+
+/// Parses "barrier" / "paxos".
+[[nodiscard]] Result<ExitKind> parse_exit_kind(std::string_view name);
+
+}  // namespace caa::exit

@@ -1,0 +1,83 @@
+#include "exit/leave_log.h"
+
+#include "net/wire.h"
+
+namespace caa::exit {
+
+net::Bytes encode(const LeaveAckMsg& m) {
+  net::WireWriter w;
+  w.u64(m.scope.value());
+  w.u32(m.round);
+  w.u32(m.sender.value());
+  return std::move(w).take();
+}
+
+Result<LeaveAckMsg> decode_leave_ack(const net::Bytes& bytes) {
+  net::WireReader r(bytes);
+  auto scope = r.u64();
+  if (!scope.is_ok()) return scope.status();
+  auto round = r.u32();
+  if (!round.is_ok()) return round.status();
+  auto sender = r.u32();
+  if (!sender.is_ok()) return sender.status();
+  return LeaveAckMsg{ActionInstanceId(scope.value()), round.value(),
+                     ObjectId(sender.value())};
+}
+
+void LeaveLog::record(const action::LeaveMsg& leave,
+                      const std::vector<ObjectId>& members, ObjectId self,
+                      const std::set<ObjectId>& excluded, bool gc) {
+  Entry entry;
+  entry.leave = leave;
+  entry.gc = gc;
+  if (gc) {
+    for (ObjectId member : members) {
+      if (member == self || excluded.contains(member)) continue;
+      entry.pending.insert(member);
+    }
+    if (auto early = early_acks_.find(leave.scope);
+        early != early_acks_.end()) {
+      for (ObjectId acked : early->second) entry.pending.erase(acked);
+      early_acks_.erase(early);
+    }
+    if (entry.pending.empty()) return;  // everyone already has it
+  }
+  entries_.insert_or_assign(leave.scope, std::move(entry));
+}
+
+const action::LeaveMsg* LeaveLog::find(ActionInstanceId scope) const {
+  auto it = entries_.find(scope);
+  return it == entries_.end() ? nullptr : &it->second.leave;
+}
+
+bool LeaveLog::on_ack(ActionInstanceId scope, ObjectId from) {
+  auto it = entries_.find(scope);
+  if (it == entries_.end()) {
+    early_acks_[scope].insert(from);
+    return false;
+  }
+  if (!it->second.gc) return false;  // retained forever by configuration
+  it->second.pending.erase(from);
+  if (!it->second.pending.empty()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::size_t LeaveLog::waive(ObjectId peer) {
+  std::size_t collected = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    if (entry.gc) {
+      entry.pending.erase(peer);
+      if (entry.pending.empty()) {
+        it = entries_.erase(it);
+        ++collected;
+        continue;
+      }
+    }
+    ++it;
+  }
+  return collected;
+}
+
+}  // namespace caa::exit

@@ -1,0 +1,74 @@
+// Final-Leave records with ACK-driven garbage collection.
+//
+// Every scope a participant exits through an exit protocol leaves a record
+// here: a member whose Leave copy was lost (crashed leader, transport
+// give-up) re-sends its Done/vote after re-election, and the recipient —
+// who may have left long ago — answers from this record instead of dropping
+// the message, releasing the sender with the outcome everyone else applied.
+//
+// Historically the records lived in `Participant::left_` and grew without
+// bound across long campaigns. With GC enabled (WorldConfig.exit_gc), every
+// member that applies a final Leave also broadcasts a LeaveAck; once every
+// live committee member of a scope has ACKed, nobody can ever need the
+// replay again and the record is dropped. Crashed members are waived.
+// GC defaults off so existing worlds emit no extra messages and stay
+// checksum-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "caa/action_instance.h"
+#include "net/message.h"
+#include "util/status.h"
+
+namespace caa::exit {
+
+/// Member -> every other member: "I applied this scope's final Leave".
+struct LeaveAckMsg {
+  ActionInstanceId scope;
+  std::uint32_t round = 0;
+  ObjectId sender;
+};
+
+net::Bytes encode(const LeaveAckMsg& m);
+Result<LeaveAckMsg> decode_leave_ack(const net::Bytes& bytes);
+
+class LeaveLog {
+ public:
+  /// Records `leave` as the final outcome of its scope. With `gc` the entry
+  /// waits for ACKs from every member except `self` and the `excluded`
+  /// (early ACKs buffered before the record existed count immediately);
+  /// without it the entry is retained forever (the pre-GC behavior).
+  void record(const action::LeaveMsg& leave,
+              const std::vector<ObjectId>& members, ObjectId self,
+              const std::set<ObjectId>& excluded, bool gc);
+
+  /// The recorded Leave, or nullptr (never recorded, or collected).
+  [[nodiscard]] const action::LeaveMsg* find(ActionInstanceId scope) const;
+
+  /// ACK from `from` for `scope`. Returns true when this ACK completed the
+  /// entry's committee and the record was collected.
+  bool on_ack(ActionInstanceId scope, ObjectId from);
+
+  /// `peer` crashed: it will never ACK. Returns how many entries this
+  /// completed (and collected).
+  std::size_t waive(ObjectId peer);
+
+  /// Entries currently held (the satellite's retained-records gauge).
+  [[nodiscard]] std::size_t retained() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    action::LeaveMsg leave;
+    std::set<ObjectId> pending;  // members whose ACK is still awaited
+    bool gc = false;
+  };
+  std::map<ActionInstanceId, Entry> entries_;
+  // ACKs that outran our own Leave application, keyed by scope.
+  std::map<ActionInstanceId, std::set<ObjectId>> early_acks_;
+};
+
+}  // namespace caa::exit

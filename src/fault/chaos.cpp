@@ -43,7 +43,9 @@ FaultPlan chaos_plan(std::uint64_t trial_seed, const ChaosOptions& options) {
   gen.nodes = trial_participants(trial_seed, options);
   gen.horizon = options.horizon;
   Rng rng(trial_seed ^ kPlanStream);
-  return generate_plan(rng, gen);
+  FaultPlan plan = generate_plan(rng, gen);
+  plan.exit = options.exit;
+  return plan;
 }
 
 run::WorldResult run_chaos_trial(std::uint64_t trial_seed,
@@ -70,6 +72,11 @@ run::WorldResult run_chaos_trial(std::uint64_t trial_seed,
   config.reliable.rto = 300;
   config.reliable.max_retries = 40;
   config.overlay = options.overlay;
+  // The plan (not the options) carries the exit protocol so a shrunk repro
+  // replays against the protocol it was found with. GC'd leave records keep
+  // long campaigns lean and exercise the ack path under faults.
+  config.exit_protocol = plan.exit;
+  config.exit_gc = true;
   World w(config);
 
   std::vector<action::Participant*> objects;

@@ -50,6 +50,10 @@ struct ChaosOptions {
   /// runs the whole fault mix — including relay crashes mid-broadcast —
   /// over the relay tree instead of the flat fan-out.
   overlay::OverlayParams overlay;
+  /// Exit protocol stamped onto every generated plan and trial world:
+  /// kPaxos runs the whole fault mix — including the exit-assassin
+  /// coordinator kill — over Paxos Commit instead of the done-barrier.
+  exit::ExitKind exit = exit::ExitKind::kBarrier;
 };
 
 struct ChaosReport {

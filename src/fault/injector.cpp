@@ -74,18 +74,44 @@ void FaultInjector::arm() {
         });
         break;
       case FaultKind::kResolverCrash:
-        // The tap fires inside Network::send() with participant frames on
-        // the stack: only *schedule* the crash, never apply it here.
-        network.set_send_tap([this, delay = e.extra](const net::Packet& p) {
-          if (trigger_fired_ || p.kind != net::MsgKind::kException) return;
-          trigger_fired_ = true;
-          world_.simulator().schedule_at(
-              world_.simulator().now() + delay,
-              [this, node = p.src.node] { crash_node(world_, node); });
-        });
+        resolver_delay_ = e.extra;
+        break;
+      case FaultKind::kExitAssassin:
+        assassin_delay_ = e.extra;
         break;
     }
   }
+  if (!resolver_delay_.has_value() && !assassin_delay_.has_value()) return;
+  // The Network has ONE send tap, so the trigger faults share it. The tap
+  // fires inside Network::send() with participant frames on the stack: only
+  // *schedule* the crashes, never apply them here.
+  network.set_send_tap([this](const net::Packet& p) {
+    if (resolver_delay_.has_value() && !trigger_fired_ &&
+        p.kind == net::MsgKind::kException) {
+      trigger_fired_ = true;
+      world_.simulator().schedule_at(
+          world_.simulator().now() + *resolver_delay_,
+          [this, node = p.src.node] { crash_node(world_, node); });
+    }
+    if (assassin_delay_.has_value() && !assassin_fired_ &&
+        (p.kind == net::MsgKind::kActionDone ||
+         p.kind == net::MsgKind::kPaxosVote)) {
+      // The committee has started exiting: take out the coordinator. The
+      // victim is chosen at crash time — the lowest live node hosts the
+      // lowest live member, i.e. whoever leads the exit at that moment.
+      assassin_fired_ = true;
+      world_.simulator().schedule_at(
+          world_.simulator().now() + *assassin_delay_, [this] {
+            net::Network& network = world_.network();
+            for (std::uint32_t n = 0; n < world_.node_count(); ++n) {
+              if (network.node_up(NodeId(n))) {
+                crash_node(world_, NodeId(n));
+                return;
+              }
+            }
+          });
+    }
+  });
 }
 
 }  // namespace caa::fault

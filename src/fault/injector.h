@@ -4,13 +4,18 @@
 // Network's fault primitives (set_node_up, set_partitioned, windowed drop /
 // latency overrides) plus the crash-notification choreography the
 // fail-stop extension expects (every live participant learns of a crashed
-// peer's objects). The trigger-based resolver crash uses the Network's
-// send tap: the first Exception packet schedules a crash of its sender a
-// configured delay later — never synchronously, since the tap runs inside
-// send() with participant frames on the stack.
+// peer's objects). The trigger-based faults share the Network's single send
+// tap: the resolver crash schedules a crash of the first Exception packet's
+// sender a configured delay later, and the exit assassin schedules a crash
+// of the current exit leader (the lowest live node) once the first
+// exit-protocol packet (ActionDone / PaxosVote) is seen. Both only
+// *schedule* — the tap runs inside send() with participant frames on the
+// stack, so nothing may crash synchronously.
 //
 // One injector serves one run of one world and must outlive it.
 #pragma once
+
+#include <optional>
 
 #include "caa/world.h"
 #include "fault/plan.h"
@@ -38,7 +43,12 @@ class FaultInjector {
 
   World& world_;
   FaultPlan plan_;
+  // Trigger delays armed from the plan; set => that trigger participates in
+  // the shared send tap. Each fires at most once.
+  std::optional<sim::Time> resolver_delay_;
+  std::optional<sim::Time> assassin_delay_;
   bool trigger_fired_ = false;
+  bool assassin_fired_ = false;
 };
 
 }  // namespace caa::fault

@@ -21,6 +21,9 @@ constexpr net::MsgKind kAllKinds[] = {
     net::MsgKind::kCentralCommit,   net::MsgKind::kActionJoin,
     net::MsgKind::kActionJoinAck,   net::MsgKind::kActionDone,
     net::MsgKind::kActionLeave,     net::MsgKind::kActionAborted,
+    net::MsgKind::kActionLeaveAck,  net::MsgKind::kPaxosPrepare,
+    net::MsgKind::kPaxosPromise,    net::MsgKind::kPaxosVote,
+    net::MsgKind::kPaxosAccepted,
     net::MsgKind::kTxnOpRequest,    net::MsgKind::kTxnOpReply,
     net::MsgKind::kTxnPrepare,      net::MsgKind::kTxnVote,
     net::MsgKind::kTxnDecision,     net::MsgKind::kTxnDecisionAck,

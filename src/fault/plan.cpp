@@ -8,7 +8,8 @@ namespace {
 
 // One directive name per kind, in enum order.
 constexpr std::string_view kKindNames[] = {
-    "crash", "restart", "partition", "drop", "latency", "resolver-crash",
+    "crash",   "restart", "partition",      "drop",
+    "latency", "resolver-crash", "assassin",
 };
 
 void append_field(std::string& out, std::string_view key, std::int64_t value) {
@@ -54,6 +55,11 @@ std::string_view fault_kind_name(FaultKind kind) {
 
 std::string FaultPlan::to_text() const {
   std::string out = "faultplan v1\n";
+  if (exit != exit::ExitKind::kBarrier) {
+    out += "exit ";
+    out += exit::exit_kind_name(exit);
+    out += '\n';
+  }
   for (const FaultEvent& e : events) {
     out += fault_kind_name(e.kind);
     switch (e.kind) {
@@ -83,6 +89,7 @@ std::string FaultPlan::to_text() const {
         append_field(out, "extra", e.extra);
         break;
       case FaultKind::kResolverCrash:
+      case FaultKind::kExitAssassin:
         append_field(out, "delay", e.extra);
         break;
     }
@@ -112,6 +119,21 @@ Result<FaultPlan> FaultPlan::parse(std::string_view text) {
             std::to_string(line_no) + ")");
       }
       saw_header = true;
+      continue;
+    }
+    if (tokens[0] == "exit") {
+      if (tokens.size() != 2) {
+        return Status::invalid_argument(
+            "fault plan line " + std::to_string(line_no) +
+            ": expected 'exit <barrier|paxos>'");
+      }
+      auto kind = exit::parse_exit_kind(tokens[1]);
+      if (!kind.is_ok()) {
+        return Status::invalid_argument("fault plan line " +
+                                        std::to_string(line_no) + ": " +
+                                        kind.status().message());
+      }
+      plan.exit = kind.value();
       continue;
     }
     FaultEvent e;
@@ -160,6 +182,7 @@ Result<FaultPlan> FaultPlan::parse(std::string_view text) {
                  {"extra", &extra}};
         break;
       case FaultKind::kResolverCrash:
+      case FaultKind::kExitAssassin:
         slots = {{"delay", &extra}};
         break;
     }
@@ -189,6 +212,7 @@ Result<FaultPlan> FaultPlan::parse(std::string_view text) {
 
 Status FaultPlan::validate(std::uint32_t nodes) const {
   std::size_t triggers = 0;
+  std::size_t assassins = 0;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const FaultEvent& e = events[i];
     const auto bad = [&](std::string_view what) {
@@ -214,6 +238,9 @@ Status FaultPlan::validate(std::uint32_t nodes) const {
         break;
       case FaultKind::kResolverCrash:
         if (++triggers > 1) return bad("at most one resolver-crash trigger");
+        break;
+      case FaultKind::kExitAssassin:
+        if (++assassins > 1) return bad("at most one exit-assassin trigger");
         break;
     }
   }
@@ -316,6 +343,19 @@ FaultPlan generate_plan(Rng& rng, const PlanGenOptions& o) {
   const std::uint64_t crash_cap = o.nodes > 2 ? o.nodes - 2 : 0;
   if (crashes > crash_cap) crashes = crash_cap;
   if (hunt && crashes > 0 && crashes == crash_cap) --crashes;
+  // Coordinator assassination: crash the current exit leader right as the
+  // committee starts exiting. Drawn unconditionally so plan #i stays a pure
+  // function of (seed, i); armed only when the crash budget has room for
+  // one more victim on top of the scheduled crashes and the hunt trigger.
+  double assassin_chance = 0.0;
+  switch (o.mix) {
+    case FaultMix::kMixed: assassin_chance = 0.10; break;
+    case FaultMix::kCrashHeavy: assassin_chance = 0.15; break;
+    case FaultMix::kNetworkOnly: assassin_chance = 0.0; break;
+    case FaultMix::kResolverHunt: assassin_chance = 0.10; break;
+  }
+  bool assassin = rng.chance(assassin_chance);
+  if (crashes + (hunt ? 1 : 0) + 1 > crash_cap) assassin = false;
 
   std::vector<std::uint32_t> victims;
   for (std::uint64_t i = 0; i < crashes; ++i) {
@@ -354,6 +394,12 @@ FaultPlan generate_plan(Rng& rng, const PlanGenOptions& o) {
   if (hunt) {
     FaultEvent trigger;
     trigger.kind = FaultKind::kResolverCrash;
+    trigger.extra = 10 + static_cast<sim::Time>(rng.below(200));
+    plan.events.push_back(trigger);
+  }
+  if (assassin) {
+    FaultEvent trigger;
+    trigger.kind = FaultKind::kExitAssassin;
     trigger.extra = 10 + static_cast<sim::Time>(rng.below(200));
     plan.events.push_back(trigger);
   }

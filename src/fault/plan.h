@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exit/exit_kind.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -36,6 +37,10 @@ enum class FaultKind : std::uint8_t {
   kResolverCrash,  // crash the sender of the FIRST Exception message,
                    // `extra` ticks after that send (trigger-based; `at`,
                    // `until`, `a`, `b` unused)
+  kExitAssassin,   // crash the CURRENT exit leader (lowest live node)
+                   // `extra` ticks after the first exit-protocol send
+                   // (ActionDone / PaxosVote) — aimed at the coordinator
+                   // mid-decision, the classic 2PC blocking window
 };
 
 [[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
@@ -57,6 +62,11 @@ struct FaultEvent {
 struct FaultPlan {
   std::vector<FaultEvent> events;
 
+  /// Exit protocol the trial world runs under. Part of the plan so a shrunk
+  /// repro replays against the protocol it was found with; serialized as an
+  /// "exit <name>" line (omitted for the default barrier).
+  exit::ExitKind exit = exit::ExitKind::kBarrier;
+
   /// Serializes to the "faultplan v1" text format, one event per line, in
   /// event order. parse(to_text()) reproduces the plan exactly.
   [[nodiscard]] std::string to_text() const;
@@ -67,7 +77,7 @@ struct FaultPlan {
 
   /// Structural validation against a world of `nodes` nodes: node ids in
   /// range, windows not inverted, permille <= 1000, at most one
-  /// resolver-crash trigger.
+  /// resolver-crash trigger, at most one exit-assassin trigger.
   [[nodiscard]] Status validate(std::uint32_t nodes) const;
 
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;

@@ -30,7 +30,10 @@ class Shrinker {
       bool removed_any = false;
       for (std::size_t start = 0;
            start < plan.events.size() && budget_left();) {
-        FaultPlan candidate;
+        // Copy the whole plan so non-event fields (the exit protocol)
+        // survive shrinking; only the event list is minimized.
+        FaultPlan candidate = plan;
+        candidate.events.clear();
         const std::size_t end =
             std::min(start + chunk, plan.events.size());
         candidate.events.reserve(plan.events.size() - (end - start));
@@ -109,7 +112,9 @@ class Shrinker {
       full.permille = 1000;
       out.push_back(full);
     }
-    if (e.kind == FaultKind::kResolverCrash && e.extra != 0) {
+    if ((e.kind == FaultKind::kResolverCrash ||
+         e.kind == FaultKind::kExitAssassin) &&
+        e.extra != 0) {
       FaultEvent instant = e;
       instant.extra = 0;
       out.push_back(instant);

@@ -32,6 +32,11 @@ std::string_view kind_name(MsgKind kind) {
     case MsgKind::kActionDone: return "ActionDone";
     case MsgKind::kActionLeave: return "ActionLeave";
     case MsgKind::kActionAborted: return "ActionAborted";
+    case MsgKind::kActionLeaveAck: return "ActionLeaveAck";
+    case MsgKind::kPaxosPrepare: return "PaxosPrepare";
+    case MsgKind::kPaxosPromise: return "PaxosPromise";
+    case MsgKind::kPaxosVote: return "PaxosVote";
+    case MsgKind::kPaxosAccepted: return "PaxosAccepted";
     case MsgKind::kTxnOpRequest: return "TxnOpRequest";
     case MsgKind::kTxnOpReply: return "TxnOpReply";
     case MsgKind::kTxnPrepare: return "TxnPrepare";

@@ -70,6 +70,16 @@ enum class MsgKind : std::uint16_t {
   kActionDone = 202,
   kActionLeave = 203,
   kActionAborted = 204,
+  // "I applied this scope's final Leave" — drives the leave-record GC
+  // (src/exit/leave_log.h). Only sent when WorldConfig.exit_gc is on.
+  kActionLeaveAck = 205,
+
+  // Paxos Commit exit protocol (src/exit/paxos_exit.h): each member's
+  // Done is a Paxos instance over 2F+1 committee acceptors.
+  kPaxosPrepare = 210,   // phase 1a: new exit leader -> acceptors
+  kPaxosPromise = 211,   // phase 1b: acceptor -> leader, accepted state
+  kPaxosVote = 212,      // phase 2a: voter (ballot 0) or leader -> acceptors
+  kPaxosAccepted = 213,  // phase 2b: acceptor -> leader
 
   // Transactions on external atomic objects.
   kTxnOpRequest = 300,

@@ -26,11 +26,15 @@ void usage() {
       "                 [--profile mixed|crash-heavy|network-only|"
       "resolver-hunt]\n"
       "                 [--participants MIN[:MAX]] [--tree [FANOUT]]\n"
-      "                 [--dump-dir DIR] [--no-shrink]\n"
+      "                 [--exit barrier|paxos] [--dump-dir DIR] "
+      "[--no-shrink]\n"
       "                 [--index I [--show-plan] [--trace]]\n"
       "  --participants  committee size range per trial (default 3:6)\n"
       "  --tree          relay-tree dissemination (optional fanout, "
-      "default 8)\n");
+      "default 8)\n"
+      "  --exit          exit protocol per trial: the done-barrier "
+      "(default)\n"
+      "                  or non-blocking Paxos Commit\n");
 }
 
 }  // namespace
@@ -86,6 +90,14 @@ int main(int argc, char** argv) {
         options.overlay.fanout =
             static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
       }
+    } else if (arg == "--exit") {
+      const auto kind = caa::exit::parse_exit_kind(next());
+      if (!kind.is_ok()) {
+        std::fprintf(stderr, "caa-chaos: %s\n",
+                     kind.status().message().c_str());
+        return 2;
+      }
+      options.exit = kind.value();
     } else if (arg == "--dump-dir") {
       options.dump_dir = next();
     } else if (arg == "--no-shrink") {

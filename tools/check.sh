@@ -37,21 +37,40 @@ for preset in "${presets[@]}"; do
   # Bounded chaos smoke: a few hundred generated fault plans through the
   # full plan/inject/oracle pipeline, then 100 crash-heavy plans against
   # 64-member committees over the relay-tree overlay (relays crash and
-  # restart mid-broadcast). Under asan these double as a memory audit of
-  # the crash/restart/partition and tree-healing paths.
+  # restart mid-broadcast), then 200 crash-heavy plans with Paxos Commit
+  # as the exit protocol (exit-assassin trigger included in the mix).
+  # Under asan these double as a memory audit of the crash/restart/
+  # partition, tree-healing and paxos-recovery paths.
   case "${preset}" in
     dev)
       "build/tools/caa-chaos" --plans 200 --threads "${jobs}"
       "build/tools/caa-chaos" --plans 100 --profile crash-heavy \
         --participants 64 --tree 8 --threads "${jobs}"
+      "build/tools/caa-chaos" --plans 200 --profile crash-heavy \
+        --exit paxos --threads "${jobs}"
       ;;
     asan)
       "build-asan/tools/caa-chaos" --plans 200 --threads "${jobs}"
       "build-asan/tools/caa-chaos" --plans 100 --profile crash-heavy \
         --participants 64 --tree 8 --threads "${jobs}"
+      "build-asan/tools/caa-chaos" --plans 200 --profile crash-heavy \
+        --exit paxos --threads "${jobs}"
       ;;
   esac
 done
+
+# The exit seam must stay sealed: Participant may only reach exit machinery
+# through the ExitProtocol interface. If barrier internals (the done
+# barrier map, the pending Done, the leader decide loop) regrow inside
+# src/caa/participant.*, the seam has been bypassed.
+echo "==== exit-seam grep gate ==================================="
+if grep -nE 'last_done_|barrier_\[|maybe_decide|on_done\b' \
+    src/caa/participant.h src/caa/participant.cpp; then
+  echo "exit barrier internals leaked back into src/caa/participant.*" >&2
+  echo "(route them through src/exit/ — see exit/exit_protocol.h)" >&2
+  exit 1
+fi
+echo "participant is clean of barrier internals"
 
 # caa-inspect must keep decoding the committed dump format: render the
 # golden .caafr and diff against the golden rendering the tests pin.
