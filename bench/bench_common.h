@@ -57,4 +57,46 @@ inline RunResult run_tree_scenario(int n, int p, int q,
   return s.run();
 }
 
+/// The same §4.4 configuration run twice — full exchange vs coordination
+/// avoidance (WorldConfig.resolve_avoidance) — with the resolved-exception
+/// equality the fast path is gated on: identical fingerprints, or the row
+/// is a failure regardless of any message savings.
+struct AvoidCompare {
+  RunResult full;
+  RunResult avoid;
+  std::int64_t fast_commits = 0;  // resolve.fast_commits in the avoid world
+  std::int64_t fallbacks = 0;     // resolve.fallbacks in the avoid world
+  bool resolved_equal = false;
+};
+
+inline AvoidCompare run_avoid_compare(
+    int n, int p, int q,
+    overlay::OverlayParams::Mode mode = overlay::OverlayParams::Mode::kFlat,
+    std::uint32_t fanout = 8) {
+  AvoidCompare c;
+  std::uint64_t full_resolved = 0;
+  std::uint64_t avoid_resolved = 0;
+  auto one = [&](bool avoid, std::uint64_t& resolved) {
+    scenario::FlatOptions options;
+    options.participants = n;
+    options.raisers = p;
+    options.nested = q;
+    options.world.overlay.mode = mode;
+    options.world.overlay.fanout = fanout;
+    options.world.resolve_avoidance = avoid;
+    scenario::FlatScenario s(options);
+    const RunResult r = s.run();
+    resolved = scenario::resolved_checksum(s.objects());
+    if (avoid) {
+      c.fast_commits = s.world().metrics().value("resolve.fast_commits");
+      c.fallbacks = s.world().metrics().value("resolve.fallbacks");
+    }
+    return r;
+  };
+  c.full = one(false, full_resolved);
+  c.avoid = one(true, avoid_resolved);
+  c.resolved_equal = full_resolved == avoid_resolved;
+  return c;
+}
+
 }  // namespace caa::bench

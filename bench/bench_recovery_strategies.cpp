@@ -328,6 +328,112 @@ int main(int argc, char** argv) {
       "   recovery ballots under faults) to stay non-blocking, and both\n"
       "   settle identical resolved exceptions.\n");
 
+  // -------------------------------------------------------------------
+  // Paxos 2a batching over the relay tree: route_multi carries one shared
+  // payload per tree edge with the acceptor list alongside, instead of
+  // one routed copy per acceptor.
+  // -------------------------------------------------------------------
+  std::printf("\nPaxos 2a/Prepare batching over the relay tree "
+              "(Disseminator::route_multi):\n");
+  std::printf("%4s %10s %12s %12s %14s %7s\n", "N", "envelopes", "2a groups",
+              "2a targets", "copies saved", "same");
+  Json multi_rows = Json::array();
+  for (const int n : {16, 64, 256}) {
+    scenario::FlatOptions options;
+    options.participants = n;
+    options.raisers = 1;
+    options.world.overlay.mode = overlay::OverlayParams::Mode::kTree;
+    options.world.overlay.fanout = 8;
+    options.world.exit_protocol = exit::ExitKind::kPaxos;
+    scenario::FlatScenario tree_paxos(options);
+    const RunResult tr = tree_paxos.run();
+    const obs::Metrics& tm = tree_paxos.world().metrics();
+    const std::int64_t groups = tm.value("overlay.multi_groups");
+    const std::int64_t targets = tm.value("overlay.multi_targets");
+    // A flat run of the same cell pins the resolution fingerprint.
+    const ExitRun flat_paxos =
+        run_exit_scenario(n, 1, 0, exit::ExitKind::kPaxos);
+    const bool same = tr.all_handled && flat_paxos.stats.all_handled &&
+                      scenario::resolved_checksum(tree_paxos.objects()) ==
+                          flat_paxos.resolved;
+    if (!same || groups <= 0 || targets <= groups) all_ok = false;
+    std::printf("%4d %10lld %12lld %12lld %14lld %7s\n", n,
+                static_cast<long long>(tm.value("overlay.envelopes")),
+                static_cast<long long>(groups),
+                static_cast<long long>(targets),
+                static_cast<long long>(targets - groups),
+                same ? "yes" : "NO");
+    multi_rows.push(Json::object()
+                        .set("participants", Json::num(std::int64_t{n}))
+                        .set("envelopes",
+                             Json::num(tm.value("overlay.envelopes")))
+                        .set("multi_groups", Json::num(groups))
+                        .set("multi_targets", Json::num(targets))
+                        .set("payload_copies_saved",
+                             Json::num(targets - groups))
+                        .set("resolved_equal", Json::boolean(same)));
+  }
+  std::printf(
+      "=> every 2a/Prepare wave serializes its vote once per shared tree\n"
+      "   edge (groups) instead of once per acceptor (targets); the gap is\n"
+      "   the payload copies the batching removes from the wire.\n");
+
+  // -------------------------------------------------------------------
+  // Coordination avoidance: the census fast path vs the full exchange.
+  // -------------------------------------------------------------------
+  header("Coordination avoidance — census fast path vs the full exchange");
+  std::printf(
+      "(flat wire pattern; GATED: resolved checksums must be identical, and\n"
+      " the commutative all-raise must cost <= 2N messages)\n\n");
+  std::printf("%4s %3s %3s %10s %10s %9s %9s %9s %7s\n", "N", "P", "Q",
+              "full msgs", "avoid", "lat full", "lat avoid", "fast/fb",
+              "same");
+  struct AvoidCell {
+    int n, p, q;
+  };
+  const std::vector<AvoidCell> avoid_cells = {
+      {4, 4, 0}, {8, 8, 0}, {16, 16, 0}, {8, 2, 2}, {16, 4, 4}};
+  Json avoid_rows = Json::array();
+  for (const AvoidCell& cell : avoid_cells) {
+    const AvoidCompare c = run_avoid_compare(cell.n, cell.p, cell.q);
+    const bool commutative = cell.q == 0 && cell.p == cell.n;
+    bool row_ok = c.resolved_equal && c.full.all_handled &&
+                  c.avoid.all_handled;
+    if (commutative) {
+      row_ok = row_ok && c.avoid.messages <= 2 * cell.n &&
+               c.avoid.exceptions == 0 && c.avoid.acks == 0;
+    }
+    if (!row_ok) all_ok = false;
+    char fastfb[24];
+    std::snprintf(fastfb, sizeof fastfb, "%lld/%lld",
+                  static_cast<long long>(c.fast_commits),
+                  static_cast<long long>(c.fallbacks));
+    std::printf("%4d %3d %3d %10lld %10lld %9lld %9lld %9s %7s\n", cell.n,
+                cell.p, cell.q, static_cast<long long>(c.full.messages),
+                static_cast<long long>(c.avoid.messages),
+                static_cast<long long>(c.full.resolution_latency),
+                static_cast<long long>(c.avoid.resolution_latency), fastfb,
+                row_ok ? "yes" : "NO");
+    avoid_rows.push(
+        Json::object()
+            .set("participants", Json::num(std::int64_t{cell.n}))
+            .set("raisers", Json::num(std::int64_t{cell.p}))
+            .set("nested", Json::num(std::int64_t{cell.q}))
+            .set("messages_full", Json::num(c.full.messages))
+            .set("messages_avoid", Json::num(c.avoid.messages))
+            .set("latency_full",
+                 Json::num(std::int64_t{c.full.resolution_latency}))
+            .set("latency_avoid",
+                 Json::num(std::int64_t{c.avoid.resolution_latency}))
+            .set("fast_commits", Json::num(c.fast_commits))
+            .set("fallbacks", Json::num(c.fallbacks))
+            .set("resolved_equal", Json::boolean(c.resolved_equal)));
+  }
+  std::printf(
+      "=> commutative raise sets commit in <= 2N messages; nested (busy)\n"
+      "   members force the fallback, which replays into the untouched\n"
+      "   full exchange — same resolution fingerprint in every cell.\n");
+
   std::printf("\nIdentical chaos campaigns per exit protocol (%zu plans per "
               "profile, seed 42):\n",
               plans);
@@ -374,12 +480,54 @@ int main(int argc, char** argv) {
       "   Commit stays live through leader assassination via recovery\n"
       "   ballots. Violations must be 0 for both.\n");
 
-  Json doc = bench_doc("bench_recovery_strategies", /*schema_version=*/2,
+  std::printf("\nand the same campaigns with coordination avoidance ON "
+              "(census fast path,\n crashes land mid-census):\n");
+  std::printf("%-14s %11s %10s %9s\n", "profile", "violations", "plans/s",
+              "wall ms");
+  Json avoid_chaos_rows = Json::array();
+  for (const fault::FaultMix mix :
+       {fault::FaultMix::kMixed, fault::FaultMix::kCrashHeavy,
+        fault::FaultMix::kNetworkOnly, fault::FaultMix::kResolverHunt}) {
+    fault::ChaosOptions options;
+    options.seed = 42;
+    options.plans = plans;
+    options.threads = threads;
+    options.mix = mix;
+    options.avoid = true;
+    const fault::ChaosReport report = run_chaos_campaign(options);
+    const double wall = report.campaign.wall_ms;
+    const double per_s =
+        wall > 0.0 ? 1e3 * static_cast<double>(plans) / wall : 0.0;
+    std::printf("%-14s %11zu %10.0f %9.0f\n",
+                std::string(fault_mix_name(mix)).c_str(), report.violations,
+                per_s, wall);
+    if (!report.ok()) {
+      std::printf("%s", report.failure_report().c_str());
+      all_ok = false;
+    }
+    avoid_chaos_rows.push(
+        Json::object()
+            .set("profile", Json::str(std::string(fault_mix_name(mix))))
+            .set("plans", Json::num(std::int64_t(plans)))
+            .set("violations", Json::num(std::int64_t(report.violations)))
+            .set("plans_per_sec", Json::num(per_s))
+            .set("latency",
+                 latency_percentiles(report.campaign.merged_metrics)));
+  }
+  std::printf(
+      "=> every oracle holds with the fast path in the line of fire;\n"
+      "   fallback replays keep the protocol state indistinguishable from\n"
+      "   an avoidance-off run.\n");
+
+  Json doc = bench_doc("bench_recovery_strategies", /*schema_version=*/3,
                        result.threads_used)
                  .set("trials_per_cell", Json::num(std::int64_t{trials}))
                  .set("results", std::move(rows))
                  .set("exit_messages", std::move(msg_rows))
-                 .set("exit_chaos", std::move(chaos_rows));
+                 .set("exit_tree_batching", std::move(multi_rows))
+                 .set("avoidance", std::move(avoid_rows))
+                 .set("exit_chaos", std::move(chaos_rows))
+                 .set("avoidance_chaos", std::move(avoid_chaos_rows));
   if (!doc.write_file(json_path)) return 1;
   std::printf("\nwrote %s\n", json_path.c_str());
   return all_ok ? 0 : 1;

@@ -14,6 +14,7 @@
 #include "exit/exit_kind.h"
 #include "net/message.h"
 #include "overlay/params.h"
+#include "sim/event_queue.h"
 #include "util/ids.h"
 #include "util/status.h"
 
@@ -38,6 +39,17 @@ struct InstanceInfo {
   /// its own selection. All members must agree — mixed selections within
   /// one committee are a scenario bug.
   exit::ExitKind exit = exit::ExitKind::kBarrier;
+
+  /// Coordination avoidance for this instance's resolutions, stamped at
+  /// create_instance from the manager's defaults (WorldConfig.
+  /// resolve_avoidance); a participant's EnterConfig may override its own
+  /// selection — a member with it off simply answers census probes and
+  /// never initiates fast rounds.
+  bool resolve_avoidance = false;
+
+  /// Census probe delay for this instance's fast rounds (see
+  /// WorldConfig::avoidance_probe_delay).
+  sim::Time avoidance_probe_delay = 250;
 
   [[nodiscard]] ObjectId leader() const { return members.front(); }
   [[nodiscard]] bool is_member(ObjectId o) const;

@@ -58,11 +58,24 @@ class ActionManager {
   void set_exit_gc(bool on) { exit_gc_ = on; }
   [[nodiscard]] bool exit_gc() const { return exit_gc_; }
 
+  /// Coordination-avoidance default stamped onto every instance created
+  /// afterwards (see WorldConfig::resolve_avoidance).
+  void set_resolve_avoidance(bool on) { resolve_avoidance_ = on; }
+  [[nodiscard]] bool resolve_avoidance() const { return resolve_avoidance_; }
+
+  /// Census probe delay stamped onto every instance created afterwards
+  /// (see WorldConfig::avoidance_probe_delay).
+  void set_avoidance_probe_delay(sim::Time delay) {
+    avoidance_probe_delay_ = delay;
+  }
+
  private:
   net::GroupDirectory& groups_;
   overlay::OverlayParams overlay_defaults_;
   exit::ExitKind exit_default_ = exit::ExitKind::kBarrier;
   bool exit_gc_ = false;
+  bool resolve_avoidance_ = false;
+  sim::Time avoidance_probe_delay_ = 250;
   std::vector<std::unique_ptr<ActionDecl>> decls_;
   std::unordered_map<ActionInstanceId, std::unique_ptr<InstanceInfo>>
       instances_;

@@ -72,7 +72,8 @@ bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
                   "enter(): instance is not nested in the active action");
     const Dyn& active_dyn = dyn_.at(contexts_.active().instance);
     if (active_dyn.aborting || active_dyn.done_sent || active_dyn.handling ||
-        active_dyn.engine->state() != resolve::ResolverCore::State::kNormal) {
+        active_dyn.engine->state() != resolve::ResolverCore::State::kNormal ||
+        (active_dyn.avoidance != nullptr && !active_dyn.avoidance->idle())) {
       // Resolution/abortion in progress in the containing action, or this
       // participant already finished its part of it: entry is impossible
       // now (belated participant).
@@ -161,7 +162,19 @@ void Participant::raise(ExceptionId exception, std::string message) {
     runtime().simulator().counters().add(kCounterRaiseSuperseded);
     return;
   }
+  if (dyn.avoidance != nullptr && dyn.avoidance->raise_pending()) {
+    // One suppressed raise is already in flight; a second raise from the
+    // same object is superseded, mirroring the engine's Exceptional guard.
+    runtime().simulator().counters().add(kCounterRaiseSuperseded);
+    return;
+  }
   dyn.raise_time = now();
+  const ActionInstanceId scope = contexts_.active().instance;
+  if (dyn.config.resolve_avoidance.value_or(dyn.info->resolve_avoidance) &&
+      ensure_avoidance(dyn, scope)
+          .try_fast_raise(exception, std::move(message))) {
+    return;  // suppressed: the census decides; the engine stays Normal
+  }
   dyn.engine->raise(exception, std::move(message));
 }
 
@@ -178,9 +191,12 @@ void Participant::complete(bool acceptance_ok) {
   const ActionInstanceId scope = contexts_.active().instance;
   Dyn& dyn = dyn_.at(scope);
   if (dyn.aborting || dyn.done_sent || dyn.handling ||
-      dyn.engine->state() != resolve::ResolverCore::State::kNormal) {
+      dyn.engine->state() != resolve::ResolverCore::State::kNormal ||
+      (dyn.avoidance != nullptr && dyn.avoidance->raise_pending())) {
     // A resolution superseded the normal outcome (the handler will complete
-    // the action — termination model, §3.1), or Done was already sent.
+    // the action — termination model, §3.1), or Done was already sent. A
+    // suppressed fast raise supersedes exactly like the engine's
+    // Exceptional state would have in the full protocol.
     runtime().simulator().counters().add(kCounterCompleteSuperseded);
     return;
   }
@@ -231,6 +247,9 @@ void Participant::on_message(ObjectId from, net::MsgKind kind,
       return;
     case net::MsgKind::kCrashSync:
       on_crash_sync(from, payload);
+      return;
+    case net::MsgKind::kFastCover:
+      on_fast_cover(from, payload);
       return;
     case net::MsgKind::kRelay:
       on_relay(from, payload);
@@ -335,6 +354,13 @@ void Participant::deliver_to_engine(Dyn& dyn, bool scope_is_active,
                                     ObjectId from, net::MsgKind kind,
                                     const net::Bytes& payload) {
   (void)from;
+  if (dyn.avoidance != nullptr &&
+      (kind == net::MsgKind::kException || kind == net::MsgKind::kHaveNested)) {
+    // A non-commuting raise went slow: the full exchange supersedes any fast
+    // round. A suppressed raise replays BEFORE the trigger is delivered, so
+    // this member's Exception multicast precedes its ACK of the trigger.
+    dyn.avoidance->on_slow_traffic();
+  }
   resolve::ResolverCore& engine = *dyn.engine;
   const bool trigger_branch =
       !scope_is_active &&
@@ -395,7 +421,11 @@ void Participant::drain_future(ActionInstanceId scope) {
   std::vector<RawMsg> future = std::move(dyn->future);
   dyn->future.clear();
   for (auto& raw : future) {
-    route_resolution(raw.from, raw.kind, raw.payload);
+    if (raw.kind == net::MsgKind::kFastCover) {
+      on_fast_cover(raw.from, raw.payload);
+    } else {
+      route_resolution(raw.from, raw.kind, raw.payload);
+    }
   }
 }
 
@@ -418,9 +448,123 @@ void Participant::purge_pending_from(ObjectId peer) {
   }
 }
 
+void Participant::on_fast_cover(ObjectId from, const net::Bytes& payload) {
+  if (crashed_.contains(from)) {
+    runtime().simulator().counters().add(kCounterFromCrashedDropped);
+    return;
+  }
+  auto decoded = resolve::decode_fast_cover(payload);
+  if (!decoded.is_ok()) return;  // malformed: never trust the wire
+  const resolve::FastCoverMsg m = decoded.value();
+  if (dead_.contains(m.scope)) {
+    runtime().simulator().counters().add(kCounterDeadScopeDropped);
+    return;
+  }
+  Dyn* dyn = find_dyn(m.scope);
+  if (dyn == nullptr) {
+    // Belated: not (yet) entered. Buffer until entry, like any resolution
+    // traffic (§4.2 entry rule).
+    pending_[m.scope].push_back(RawMsg{from, net::MsgKind::kFastCover,
+                                       payload});
+    return;
+  }
+  if (dyn->aborting) {
+    runtime().simulator().counters().add(kCounterAbortingDropped);
+    return;
+  }
+  if (m.round < dyn->round) {
+    ensure_avoidance(*dyn, m.scope).on_stale(from, m);
+    return;
+  }
+  if (m.round > dyn->round || dyn->engine->round() != dyn->round) {
+    dyn->future.push_back(RawMsg{from, net::MsgKind::kFastCover, payload});
+    return;
+  }
+  ensure_avoidance(*dyn, m.scope).on_message(from, m);
+}
+
 // ---------------------------------------------------------------------------
 // Resolution plumbing
 // ---------------------------------------------------------------------------
+
+resolve::AvoidanceCoordinator& Participant::ensure_avoidance(
+    Dyn& dyn, ActionInstanceId scope) {
+  if (dyn.avoidance != nullptr) return *dyn.avoidance;
+  resolve::AvoidanceCoordinator::Hooks hooks;
+  hooks.send = [this, scope](ObjectId to, net::Bytes payload) {
+    if (const Dyn* d = find_dyn(scope);
+        d != nullptr && d->info->use_tree) {
+      // Census traffic rides the relay overlay like exit traffic: the
+      // leader is the lowest live member — exactly the relay-tree root.
+      ensure_overlay(*d->info);
+      overlay_.route(scope, to, net::MsgKind::kFastCover, std::move(payload));
+      return;
+    }
+    send(to, net::MsgKind::kFastCover, std::move(payload));
+  };
+  hooks.multicast = [this, scope](const net::Bytes& payload) {
+    Dyn* d = find_dyn(scope);
+    CAA_CHECK(d != nullptr);
+    multicast(*d->info, net::MsgKind::kFastCover, payload);
+  };
+  hooks.round = [this, scope] {
+    const Dyn* d = find_dyn(scope);
+    CAA_CHECK(d != nullptr);
+    return d->round;
+  };
+  hooks.live_leader = [this, scope] {
+    const Dyn* d = find_dyn(scope);
+    CAA_CHECK(d != nullptr);
+    return live_leader(*d);
+  };
+  hooks.engine_normal = [this, scope] {
+    const Dyn* d = find_dyn(scope);
+    return d != nullptr &&
+           d->engine->state() == resolve::ResolverCore::State::kNormal;
+  };
+  hooks.answer_idle = [this, scope] {
+    const Dyn* d = find_dyn(scope);
+    if (d == nullptr || d->aborting || d->done_sent || d->handling) {
+      return false;
+    }
+    if (!d->excluded.empty()) return false;
+    // The scope must be this participant's active context: a nested child
+    // in flight needs the HaveNested/abortion machinery the census skips.
+    if (!in_action() || contexts_.active().instance != scope) return false;
+    return d->engine->state() == resolve::ResolverCore::State::kNormal;
+  };
+  hooks.apply_fast_commit = [this, scope](const resolve::CommitMsg& m) {
+    Dyn* d = find_dyn(scope);
+    CAA_CHECK(d != nullptr);
+    d->engine->apply_fast_commit(m);
+  };
+  hooks.apply_synced_commit = [this, scope](const resolve::CommitMsg& m) {
+    Dyn* d = find_dyn(scope);
+    CAA_CHECK(d != nullptr);
+    d->engine->apply_synced_commit(m);
+  };
+  hooks.replay_raise = [this, scope](ExceptionId e, std::string msg) {
+    Dyn* d = find_dyn(scope);
+    if (d == nullptr || d->aborting ||
+        d->engine->state() != resolve::ResolverCore::State::kNormal) {
+      return;  // superseded meanwhile; the coordinator counted it stale
+    }
+    // raise_time keeps the original raise's timestamp: the fallback's
+    // latency sample spans suppression AND the full exchange.
+    d->engine->raise(e, std::move(msg));
+  };
+  hooks.schedule = [this, scope](sim::Time delay, std::function<void()> fn) {
+    run_guarded(scope, delay, std::move(fn));
+  };
+  hooks.trace = [this](std::string_view event, std::string detail) {
+    trace(event, std::move(detail));
+  };
+  dyn.avoidance = std::make_unique<resolve::AvoidanceCoordinator>(
+      id(), &dyn.info->members, &dyn.excluded, &dyn.info->decl->tree(), scope,
+      dyn.info->avoidance_probe_delay, std::move(hooks),
+      &runtime().simulator().counters());
+  return *dyn.avoidance;
+}
 
 resolve::ResolverCore::Hooks Participant::make_hooks(ActionInstanceId scope) {
   resolve::ResolverCore::Hooks hooks;
@@ -558,6 +702,9 @@ void Participant::on_round_finished(ActionInstanceId scope,
   const std::uint32_t resolved_round = dyn->round;
   ++dyn->round;  // subsequent messages of the old round become stale
   dyn->handling = true;  // the handler takes over this participant's duties
+  // Census, promise and suppressed-raise state belonged to the finished
+  // round (a suppressed raise is subsumed by the commit that finished it).
+  if (dyn->avoidance != nullptr) dyn->avoidance->on_round_finished();
   // Replace the engine and run the handler from a fresh event: finish() is
   // still on the stack of the old engine, which we must not destroy here.
   schedule_after(0, [this, scope, resolved, resolved_round] {
@@ -984,8 +1131,12 @@ bool Participant::exit_aborting(ActionInstanceId scope) const {
 }
 
 bool Participant::exit_resolution_idle(ActionInstanceId scope) const {
-  return dyn_of(scope).engine->state() ==
-         resolve::ResolverCore::State::kNormal;
+  const Dyn& dyn = dyn_of(scope);
+  // A fast round in flight (suppressed raise, open census, or a kNoRaise
+  // promise) leaves the engine Normal but a commit may still land: the exit
+  // decision must wait until the census settles.
+  return dyn.engine->state() == resolve::ResolverCore::State::kNormal &&
+         (dyn.avoidance == nullptr || dyn.avoidance->idle());
 }
 
 void Participant::exit_unicast(ActionInstanceId scope, ObjectId to,
@@ -999,6 +1150,25 @@ void Participant::exit_unicast(ActionInstanceId scope, ObjectId to,
     return;
   }
   send(to, kind, std::move(payload));
+}
+
+void Participant::exit_unicast_many(ActionInstanceId scope,
+                                    const std::vector<ObjectId>& targets,
+                                    net::MsgKind kind,
+                                    const net::Bytes& payload) {
+  if (targets.empty()) return;
+  const Dyn& dyn = dyn_of(scope);
+  if (dyn.info->use_tree) {
+    // One payload per shared tree edge instead of one RouteItem per target
+    // — the whole 2a wave to an acceptor subtree rides a single envelope
+    // entry.
+    ensure_overlay(*dyn.info);
+    overlay_.route_multi(scope, targets, kind, payload);
+    return;
+  }
+  for (ObjectId to : targets) {
+    send(to, kind, net::BytesPool::local().copy_of(payload));
+  }
 }
 
 void Participant::exit_multicast(ActionInstanceId scope, net::MsgKind kind,
@@ -1078,6 +1248,10 @@ void Participant::notify_peer_crashed(ObjectId peer) {
     const ActionInstanceId instance = contexts_.at(depth).instance;
     Dyn& dyn = dyn_.at(instance);
     if (!dyn.info->is_member(peer) || dyn.excluded.contains(peer)) continue;
+    // Avoidance first: any census aborts and suppressed raises replay into
+    // the engine NOW, so the CrashSync barrier and the exit protocol's
+    // decide re-evaluation below see settled (engine-held) state.
+    if (dyn.avoidance != nullptr) dyn.avoidance->on_peer_crashed(peer);
     const ObjectId old_leader = live_leader(dyn);
     dyn.excluded.insert(peer);
     // Barrier before exclusion: the gate must be on before exclude_member's

@@ -35,6 +35,7 @@
 #include "exit/exit_protocol.h"
 #include "exit/leave_log.h"
 #include "overlay/disseminator.h"
+#include "resolve/avoidance.h"
 #include "resolve/resolver_core.h"
 #include "rt/managed_object.h"
 
@@ -93,6 +94,14 @@ struct EnterConfig {
   /// participant is still working — turning peer failure into forward
   /// recovery among the survivors.
   ExceptionId crash_exception;
+
+  // ---- Coordination avoidance (src/resolve/avoidance.h) ---------------
+
+  /// Overrides the commutative-exception fast path for this entry. Unset
+  /// (the default) inherits the instance's stamped selection
+  /// (WorldConfig.resolve_avoidance). A member with it off still answers
+  /// census probes — the override only gates *initiating* fast raises.
+  std::optional<bool> resolve_avoidance;
 
   // ---- Exit-protocol seam (src/exit/) ---------------------------------
 
@@ -176,6 +185,10 @@ class EnterConfig::Builder {
   }
   Builder& on_peer_crash(ExceptionId exception) {
     config_.crash_exception = exception;
+    return *this;
+  }
+  Builder& resolve_avoidance(bool on) {
+    config_.resolve_avoidance = on;
     return *this;
   }
   Builder& exit_protocol(exit::ExitKind kind) {
@@ -351,6 +364,11 @@ class Participant : public rt::ManagedObject, private exit::ExitHost {
     // (src/exit/): owns the Done collection state that used to be inlined
     // here. Created in enter(), retired (not destroyed) at pop_context.
     std::unique_ptr<exit::ExitProtocol> exit;
+    // Coordination-avoidance coordinator (src/resolve/avoidance.h).
+    // Created lazily on the first fast raise OR the first incoming
+    // kFastCover, so members whose per-entry override disables initiation
+    // still answer the census.
+    std::unique_ptr<resolve::AvoidanceCoordinator> avoidance;
     // CrashSync barrier (extension): the result of this participant's most
     // recent finished round, advertised to survivors so a resolution the
     // crashed resolver committed is not lost with it.
@@ -385,6 +403,7 @@ class Participant : public rt::ManagedObject, private exit::ExitHost {
   void on_leave_ack(ObjectId from, const net::Bytes& payload);
   void on_leave_msg(const net::Bytes& payload);
   void on_crash_sync(ObjectId from, const net::Bytes& payload);
+  void on_fast_cover(ObjectId from, const net::Bytes& payload);
   void ack_stale(ObjectId from, net::MsgKind kind, ActionInstanceId scope,
                  std::uint32_t round);
   void drain_future(ActionInstanceId scope);
@@ -393,6 +412,10 @@ class Participant : public rt::ManagedObject, private exit::ExitHost {
 
   // Resolution plumbing.
   resolve::ResolverCore::Hooks make_hooks(ActionInstanceId scope);
+  /// The scope's avoidance coordinator, created on first use (every member
+  /// must handle census traffic regardless of its own initiation override).
+  resolve::AvoidanceCoordinator& ensure_avoidance(Dyn& dyn,
+                                                  ActionInstanceId scope);
   void multicast(const InstanceInfo& info, net::MsgKind kind,
                  const net::Bytes& payload);
 
@@ -446,6 +469,10 @@ class Participant : public rt::ManagedObject, private exit::ExitHost {
       const override;
   void exit_unicast(ActionInstanceId scope, ObjectId to, net::MsgKind kind,
                     net::Bytes payload) override;
+  void exit_unicast_many(ActionInstanceId scope,
+                         const std::vector<ObjectId>& targets,
+                         net::MsgKind kind,
+                         const net::Bytes& payload) override;
   void exit_multicast(ActionInstanceId scope, net::MsgKind kind,
                       const net::Bytes& payload) override;
   void exit_announce_live(ActionInstanceId scope, net::MsgKind kind,

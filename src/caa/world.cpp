@@ -16,6 +16,8 @@ World::World(WorldConfig config)
   actions_.set_overlay_defaults(config_.overlay);
   actions_.set_exit_defaults(config_.exit_protocol);
   actions_.set_exit_gc(config_.exit_gc);
+  actions_.set_resolve_avoidance(config_.resolve_avoidance);
+  actions_.set_avoidance_probe_delay(config_.avoidance_probe_delay);
   network_.set_default_link(config_.link);
   trace_.enable(config_.trace);
   simulator_.obs().set_enabled(config_.observe);

@@ -57,6 +57,21 @@ struct WorldConfig {
   /// the paper's leader barrier, or Gray & Lamport's non-blocking Paxos
   /// Commit. Per-entry override: EnterConfig::Builder::exit_protocol().
   exit::ExitKind exit_protocol = exit::ExitKind::kBarrier;
+  /// Coordination avoidance (src/resolve/avoidance.h): commutative raise
+  /// rounds — every concurrent raise provably joins to one universal cover
+  /// in the exception tree — are decided by a leader census over kFastCover
+  /// messages and commit with zero Exception/ACK round-trips, falling back
+  /// to the paper's full exchange on any conflict, crash, or busy member.
+  /// Resolved checksums are identical either way. Per-entry override:
+  /// EnterConfig::Builder::resolve_avoidance().
+  bool resolve_avoidance = false;
+  /// How long a census leader lets reports land before probing silent
+  /// members, in simulated ticks. An efficiency knob only (correctness
+  /// never depends on it): the default clears one LinkParams::latency_base
+  /// + jitter hop, so §4.4-style simultaneous raises all report before the
+  /// probe fires and the probe becomes a no-op. Tree-mode scopes should
+  /// budget extra relay hops.
+  sim::Time avoidance_probe_delay = 250;
   /// Garbage-collect per-scope final-Leave records once every committee
   /// member has ACKed its Leave. Adds one LeaveAck broadcast per member per
   /// exited scope, so it is off by default (existing worlds stay

@@ -1,5 +1,7 @@
 #include "ex/exception_tree.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace caa::ex {
@@ -75,9 +77,67 @@ ExceptionId ExceptionTree::resolve(std::span<const ExceptionId> raised) const {
   if (raised.empty()) return ExceptionId::invalid();
   ExceptionId acc = raised.front();
   for (std::size_t i = 1; i < raised.size(); ++i) {
-    acc = lca(acc, raised[i]);
+    // Through the join memo: committees re-resolve overlapping raise sets
+    // round after round, so the fold is O(1) per pair after the first round.
+    acc = frozen_ ? join(acc, raised[i]).cover : lca(acc, raised[i]);
   }
   return acc;
+}
+
+void ExceptionTree::freeze() {
+  if (frozen_) return;
+  frozen_ = true;
+  // Universal-cover bits: a node is universal iff nothing in its subtree is
+  // at distance >= 2, i.e. none of its children has children of its own.
+  // Having a descendant at distance >= 2 implies one at distance exactly 2,
+  // so marking every node's grandparent non-universal covers all ancestors
+  // transitively (an ancestor above a non-universal node is non-universal).
+  universal_.assign(parents_.size(), 1);
+  for (std::uint32_t i = 0; i < parents_.size(); ++i) {
+    if (depths_[i] < 2) continue;
+    universal_[parents_[parents_[i].value()].value()] = 0;
+  }
+  // Outermost universal ancestor-or-self. Universality is downward-closed
+  // along ancestor chains, so walking up stops at the first non-universal.
+  universal_cover_.assign(parents_.size(), ExceptionId::invalid());
+  for (std::uint32_t i = 0; i < parents_.size(); ++i) {
+    const ExceptionId id{i};
+    if (universal_[i] == 0) continue;  // self not universal: no cover
+    ExceptionId best = id;
+    ExceptionId cursor = id;
+    while (cursor != root()) {
+      cursor = parents_[cursor.value()];
+      if (universal_[cursor.value()] == 0) break;
+      best = cursor;
+    }
+    universal_cover_[i] = best;
+  }
+}
+
+const ExceptionTree::JoinEntry& ExceptionTree::join(ExceptionId a,
+                                                    ExceptionId b) const {
+  CAA_CHECK_MSG(contains(a) && contains(b), "join(): unknown exception");
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  const std::uint64_t key = (hi << 32) | lo;
+  if (const auto it = join_memo_.find(key); it != join_memo_.end()) {
+    ++join_hits_;
+    return it->second;
+  }
+  ++join_misses_;
+  return join_memo_.emplace(key, JoinEntry{lca(a, b)}).first->second;
+}
+
+bool ExceptionTree::universal(ExceptionId id) const {
+  CAA_CHECK_MSG(frozen_, "universal(): lattice needs a frozen tree");
+  CAA_CHECK_MSG(contains(id), "universal(): unknown exception");
+  return universal_[id.value()] != 0;
+}
+
+ExceptionId ExceptionTree::universal_cover(ExceptionId id) const {
+  CAA_CHECK_MSG(frozen_, "universal_cover(): lattice needs a frozen tree");
+  CAA_CHECK_MSG(contains(id), "universal_cover(): unknown exception");
+  return universal_cover_[id.value()];
 }
 
 std::vector<ExceptionId> ExceptionTree::path_to_root(ExceptionId id) const {

@@ -15,6 +15,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "util/ids.h"
@@ -37,8 +38,9 @@ class ExceptionTree {
   ExceptionId declare(std::string_view name);
 
   /// Freezes the tree; declare() afterwards is a contract violation.
-  /// Participants only ever see frozen trees.
-  void freeze() { frozen_ = true; }
+  /// Participants only ever see frozen trees. Freezing also precomputes the
+  /// join lattice (universal-cover bits) used by coordination avoidance.
+  void freeze();
   [[nodiscard]] bool frozen() const { return frozen_; }
 
   [[nodiscard]] ExceptionId root() const { return ExceptionId(0); }
@@ -68,6 +70,41 @@ class ExceptionTree {
   /// All ancestors of `id` from itself up to the root (inclusive).
   [[nodiscard]] std::vector<ExceptionId> path_to_root(ExceptionId id) const;
 
+  // ---- Join lattice (coordination avoidance; ROADMAP item 3) ------------
+  //
+  // The §3.2 resolve() operation is a fold of lca() — a join in the lattice
+  // the tree induces. The lattice view adds two things on top of the raw
+  // walks: a memo cache so repeated joins of the same pair are O(1), and a
+  // per-node "universal cover" bit marking subtrees where ANY concurrent
+  // pair of raises joins to the same ancestor, which is what lets a raise be
+  // classified as commutative without seeing the rest of the raise set.
+
+  /// One memoized join. Entries are allocated once per distinct pair and
+  /// never move, so repeated lookups return pointer-identical results.
+  struct JoinEntry {
+    ExceptionId cover;
+  };
+
+  /// Memoized lca(a, b). The first call for a pair computes and caches; all
+  /// later calls (either argument order) return the same cached entry.
+  const JoinEntry& join(ExceptionId a, ExceptionId b) const;
+
+  /// True when any concurrent pair of distinct raises drawn from `id`'s
+  /// subtree joins to `id` itself — i.e. the subtree has depth <= 1 below
+  /// `id`. Universality is downward-closed along ancestor chains. Frozen
+  /// trees only.
+  [[nodiscard]] bool universal(ExceptionId id) const;
+
+  /// The outermost (closest to the root) universal ancestor-or-self of
+  /// `id`, or invalid when `id` itself is not universal (its subtree is
+  /// deep, so no single cover bounds an arbitrary concurrent raise set).
+  /// Frozen trees only; O(1).
+  [[nodiscard]] ExceptionId universal_cover(ExceptionId id) const;
+
+  /// Join-memo accounting, for the resolve.lattice_* observability counters.
+  [[nodiscard]] std::uint64_t join_hits() const { return join_hits_; }
+  [[nodiscard]] std::uint64_t join_misses() const { return join_misses_; }
+
   /// Structural fingerprint (names + parent links). §4.1 requires every
   /// participant of an action to hold "the same resolution tree"; in a real
   /// deployment with separately compiled objects, entry-time fingerprint
@@ -79,6 +116,13 @@ class ExceptionTree {
   std::vector<ExceptionId> parents_;  // index = id; root's parent = itself
   std::vector<std::uint32_t> depths_;
   bool frozen_ = false;
+  // Lattice, computed by freeze(). The memo is lazy: worlds that never
+  // resolve pay nothing beyond the O(n) bit pass.
+  std::vector<std::uint8_t> universal_;       // subtree depth <= 1
+  std::vector<ExceptionId> universal_cover_;  // outermost universal ancestor
+  mutable std::unordered_map<std::uint64_t, JoinEntry> join_memo_;
+  mutable std::uint64_t join_hits_ = 0;
+  mutable std::uint64_t join_misses_ = 0;
 };
 
 /// Convenience builders for the tree shapes used in tests and benches.

@@ -302,18 +302,22 @@ void PaxosCommitExit::send_vote(std::uint32_t round, std::uint32_t ballot,
   w.u32(ballot);
   w.u32(voter.value());
   put_value(w, value.waived, value.ok, value.signal);
-  const net::Bytes payload = std::move(w).take();
+  net::Bytes payload = std::move(w).take();
   const std::set<ObjectId>& excluded = host_.exit_excluded(info_.instance);
   bool self_accepts = false;
+  std::vector<ObjectId> targets;
+  targets.reserve(acceptors_.size());
   for (ObjectId a : acceptors_) {
     if (a == self()) {
       self_accepts = true;
       continue;
     }
     if (excluded.contains(a)) continue;
-    host_.exit_unicast(info_.instance, a, net::MsgKind::kPaxosVote,
-                       net::BytesPool::local().copy_of(payload));
+    targets.push_back(a);
   }
+  host_.exit_unicast_many(info_.instance, targets, net::MsgKind::kPaxosVote,
+                          payload);
+  net::BytesPool::local().recycle(std::move(payload));
   // Self-delivery last: its 2b can cascade all the way into the decision
   // (and the scope's teardown), so nothing may follow it.
   if (self_accepts) {
@@ -354,18 +358,22 @@ void PaxosCommitExit::start_prepare(std::uint32_t round) {
   w.u32(round);
   w.u32(l.my_ballot);
   w.u32(self().value());
-  const net::Bytes payload = std::move(w).take();
+  net::Bytes payload = std::move(w).take();
   const std::set<ObjectId>& excluded = host_.exit_excluded(info_.instance);
   bool self_accepts = false;
+  std::vector<ObjectId> targets;
+  targets.reserve(acceptors_.size());
   for (ObjectId a : acceptors_) {
     if (a == self()) {
       self_accepts = true;
       continue;
     }
     if (excluded.contains(a)) continue;
-    host_.exit_unicast(info_.instance, a, net::MsgKind::kPaxosPrepare,
-                       net::BytesPool::local().copy_of(payload));
+    targets.push_back(a);
   }
+  host_.exit_unicast_many(info_.instance, targets, net::MsgKind::kPaxosPrepare,
+                          payload);
+  net::BytesPool::local().recycle(std::move(payload));
   if (self_accepts) {
     handle_prepare(PrepareMsg{info_.instance, round, l.my_ballot, self()});
   }

@@ -45,6 +45,7 @@ FaultPlan chaos_plan(std::uint64_t trial_seed, const ChaosOptions& options) {
   Rng rng(trial_seed ^ kPlanStream);
   FaultPlan plan = generate_plan(rng, gen);
   plan.exit = options.exit;
+  plan.avoid = options.avoid;
   return plan;
 }
 
@@ -76,6 +77,7 @@ run::WorldResult run_chaos_trial(std::uint64_t trial_seed,
   // replays against the protocol it was found with. GC'd leave records keep
   // long campaigns lean and exercise the ack path under faults.
   config.exit_protocol = plan.exit;
+  config.resolve_avoidance = plan.avoid;
   config.exit_gc = true;
   World w(config);
 

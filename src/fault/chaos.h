@@ -54,6 +54,9 @@ struct ChaosOptions {
   /// kPaxos runs the whole fault mix — including the exit-assassin
   /// coordinator kill — over Paxos Commit instead of the done-barrier.
   exit::ExitKind exit = exit::ExitKind::kBarrier;
+  /// Coordination avoidance stamped onto every generated plan and trial
+  /// world: fast rounds must fall back cleanly under the whole fault mix.
+  bool avoid = false;
 };
 
 struct ChaosReport {

@@ -86,8 +86,12 @@ void FaultInjector::arm() {
   // fires inside Network::send() with participant frames on the stack: only
   // *schedule* the crashes, never apply them here.
   network.set_send_tap([this](const net::Packet& p) {
+    // A fast round's kFastCover report is the avoidance path's analogue of
+    // the first Exception send — count it so the resolver hunt still aims
+    // at raisers when coordination avoidance suppresses the broadcast.
     if (resolver_delay_.has_value() && !trigger_fired_ &&
-        p.kind == net::MsgKind::kException) {
+        (p.kind == net::MsgKind::kException ||
+         p.kind == net::MsgKind::kFastCover)) {
       trigger_fired_ = true;
       world_.simulator().schedule_at(
           world_.simulator().now() + *resolver_delay_,

@@ -13,7 +13,7 @@ constexpr net::MsgKind kAllKinds[] = {
     net::MsgKind::kTransportAck,    net::MsgKind::kException,
     net::MsgKind::kHaveNested,      net::MsgKind::kNestedCompleted,
     net::MsgKind::kAck,             net::MsgKind::kCommit,
-    net::MsgKind::kCrashSync,
+    net::MsgKind::kFastCover,       net::MsgKind::kCrashSync,
     net::MsgKind::kCrRaise,         net::MsgKind::kCrCommit,
     net::MsgKind::kCrAck,           net::MsgKind::kArcheReport,
     net::MsgKind::kArcheConcerted,  net::MsgKind::kCentralException,

@@ -60,6 +60,9 @@ std::string FaultPlan::to_text() const {
     out += exit::exit_kind_name(exit);
     out += '\n';
   }
+  if (avoid) {
+    out += "avoid\n";
+  }
   for (const FaultEvent& e : events) {
     out += fault_kind_name(e.kind);
     switch (e.kind) {
@@ -134,6 +137,15 @@ Result<FaultPlan> FaultPlan::parse(std::string_view text) {
                                         kind.status().message());
       }
       plan.exit = kind.value();
+      continue;
+    }
+    if (tokens[0] == "avoid") {
+      if (tokens.size() != 1) {
+        return Status::invalid_argument("fault plan line " +
+                                        std::to_string(line_no) +
+                                        ": 'avoid' takes no fields");
+      }
+      plan.avoid = true;
       continue;
     }
     FaultEvent e;

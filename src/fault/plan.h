@@ -67,6 +67,11 @@ struct FaultPlan {
   /// "exit <name>" line (omitted for the default barrier).
   exit::ExitKind exit = exit::ExitKind::kBarrier;
 
+  /// Coordination avoidance (WorldConfig.resolve_avoidance) the trial world
+  /// runs under — same reproducibility contract as `exit`; serialized as a
+  /// bare "avoid" line (omitted when off).
+  bool avoid = false;
+
   /// Serializes to the "faultplan v1" text format, one event per line, in
   /// event order. parse(to_text()) reproduces the plan exactly.
   [[nodiscard]] std::string to_text() const;

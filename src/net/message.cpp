@@ -16,6 +16,7 @@ std::string_view kind_name(MsgKind kind) {
     case MsgKind::kNestedCompleted: return "NestedCompleted";
     case MsgKind::kAck: return "ACK";
     case MsgKind::kCommit: return "Commit";
+    case MsgKind::kFastCover: return "FastCover";
     case MsgKind::kCrRaise: return "CrRaise";
     case MsgKind::kCrCommit: return "CrCommit";
     case MsgKind::kCrAck: return "CrAck";

@@ -38,6 +38,11 @@ enum class MsgKind : std::uint16_t {
   kNestedCompleted = 102,
   kAck = 103,
   kCommit = 104,
+  // Coordination-avoidance fast path (src/resolve/avoidance.h): census
+  // reports, probes and fast commits for commutative rounds. Resolution-
+  // adjacent but deliberately NOT in is_resolution_kind() — the §4.4
+  // five-kind totals and the zero-Exception/ACK assertions stay exact.
+  kFastCover = 105,
 
   // CR baseline protocol (§3.3 / [5]).
   kCrRaise = 120,

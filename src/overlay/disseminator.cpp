@@ -20,6 +20,8 @@ struct OverlayCounterIds {
   CounterId cache_overflow = CounterId::of("overlay.cache_overflow");
   CounterId dead_target = CounterId::of("overlay.dropped_dead_target");
   CounterId malformed = CounterId::of("overlay.malformed");
+  CounterId multi_groups = CounterId::of("overlay.multi_groups");
+  CounterId multi_targets = CounterId::of("overlay.multi_targets");
 };
 
 const OverlayCounterIds& counter_ids() {
@@ -122,6 +124,15 @@ void Disseminator::flush(ActionInstanceId scope) {
       w.u32(key.second);
       w.blob(bits);
     }
+    w.u32(static_cast<std::uint32_t>(box.multis.size()));
+    for (MultiItem& m : box.multis) {
+      w.u32(static_cast<std::uint32_t>(m.targets.size()));
+      for (ObjectId t : m.targets) w.u32(t.value());
+      w.u32(m.origin.value());
+      w.u16(static_cast<std::uint16_t>(m.kind));
+      w.blob(m.payload);
+      net::BytesPool::local().recycle(std::move(m.payload));
+    }
     if (counters_ != nullptr) counters_->add(counter_ids().envelopes);
     hooks_.send_envelope(neighbor, w.take());
   }
@@ -151,6 +162,15 @@ void Disseminator::cache_route(Scope& s, const RouteItem& item) {
   }
   s.route_cache.push_back({item.target, item.origin, item.kind,
                            net::BytesPool::local().copy_of(item.payload)});
+}
+
+void Disseminator::cache_route(Scope& s, RouteItem&& item) {
+  if (s.route_cache.size() >= s.params.heal_cache_limit) {
+    if (counters_ != nullptr) counters_->add(counter_ids().cache_overflow);
+    net::BytesPool::local().recycle(std::move(item.payload));
+    return;
+  }
+  s.route_cache.push_back(std::move(item));
 }
 
 void Disseminator::merge_ack(std::map<AckKey, AckBitmap>& into,
@@ -211,6 +231,43 @@ void Disseminator::route(ActionInstanceId scope, ObjectId target,
   const ObjectId hop = s.tree.next_hop(self_, target);
   outbox_for(scope, s, hop).routes.push_back(std::move(item));
   if (counters_ != nullptr) counters_->add(counter_ids().items);
+}
+
+void Disseminator::forward_multi(ActionInstanceId scope, Scope& s,
+                                 const std::vector<ObjectId>& targets,
+                                 ObjectId origin, net::MsgKind kind,
+                                 const net::Bytes& payload) {
+  // Partition the live targets by next hop; each group shares ONE payload
+  // copy on its edge. The heal cache keeps per-target RouteItems instead —
+  // after a rebuild the groups would be stale anyway, and the route-cache
+  // re-offer machinery already re-partitions towards current next hops.
+  std::map<ObjectId, std::vector<ObjectId>> by_hop;
+  for (ObjectId target : targets) {
+    CAA_CHECK_MSG(target != self_, "Disseminator: route_multi to self");
+    if (!s.tree.contains(target)) {
+      if (counters_ != nullptr) counters_->add(counter_ids().dead_target);
+      continue;
+    }
+    by_hop[s.tree.next_hop(self_, target)].push_back(target);
+    cache_route(s, RouteItem{target, origin, kind,
+                             net::BytesPool::local().copy_of(payload)});
+  }
+  for (auto& [hop, group] : by_hop) {
+    if (counters_ != nullptr) {
+      counters_->add(counter_ids().multi_groups);
+      counters_->add(counter_ids().multi_targets,
+                     static_cast<std::int64_t>(group.size()));
+    }
+    outbox_for(scope, s, hop).multis.push_back(
+        MultiItem{std::move(group), origin, kind,
+                  net::BytesPool::local().copy_of(payload)});
+  }
+}
+
+void Disseminator::route_multi(ActionInstanceId scope,
+                               const std::vector<ObjectId>& targets,
+                               net::MsgKind kind, const net::Bytes& payload) {
+  forward_multi(scope, scope_state(scope), targets, self_, kind, payload);
 }
 
 void Disseminator::on_envelope(ObjectId from, const net::Bytes& payload) {
@@ -302,6 +359,38 @@ void Disseminator::on_envelope(ObjectId from, const net::Bytes& payload) {
       counters_->add(counter_ids().dead_target);
     }
     net::BytesPool::local().recycle(std::move(bits));
+  }
+
+  const auto multi_count = r.u32();
+  if (!multi_count) return bump_malformed();
+  for (std::uint32_t i = 0; i < multi_count.value(); ++i) {
+    const auto target_count = r.u32();
+    if (!target_count) return bump_malformed();
+    std::vector<ObjectId> targets;
+    targets.reserve(target_count.value());
+    bool mine = false;
+    for (std::uint32_t t = 0; t < target_count.value(); ++t) {
+      const auto target_raw = r.u32();
+      if (!target_raw) return bump_malformed();
+      const ObjectId target(target_raw.value());
+      if (target == self_) {
+        mine = true;
+      } else {
+        targets.push_back(target);
+      }
+    }
+    const auto origin_raw = r.u32();
+    const auto kind_raw = r.u16();
+    auto body = r.blob();
+    if (!origin_raw || !kind_raw || !body) return bump_malformed();
+    const ObjectId origin(origin_raw.value());
+    const auto kind = static_cast<net::MsgKind>(kind_raw.value());
+    net::Bytes bytes = std::move(body).take();
+    // Forward the remainder of the group before delivering our share — the
+    // same relay-duty-first ordering the flood path keeps.
+    if (!targets.empty()) forward_multi(scope, s, targets, origin, kind, bytes);
+    if (mine) hooks_.deliver(scope, origin, kind, bytes);
+    net::BytesPool::local().recycle(std::move(bytes));
   }
 }
 

@@ -97,6 +97,13 @@ class Disseminator {
   /// Forwards a unicast (e.g. Done) towards `target` along the tree.
   void route(ActionInstanceId scope, ObjectId target, net::MsgKind kind,
              const net::Bytes& payload);
+  /// Forwards ONE payload towards many targets (e.g. a Paxos 2a to the
+  /// whole acceptor set), sharing the bytes on every common tree edge: each
+  /// edge carries the payload once plus the target list, and relays split
+  /// the group per next hop. Targets may not include self; dead targets are
+  /// dropped and counted like route()'s.
+  void route_multi(ActionInstanceId scope, const std::vector<ObjectId>& targets,
+                   net::MsgKind kind, const net::Bytes& payload);
 
   // ---- Receive side ---------------------------------------------------
 
@@ -130,6 +137,12 @@ class Disseminator {
     net::MsgKind kind = net::MsgKind::kInvalid;
     net::Bytes payload;
   };
+  struct MultiItem {
+    std::vector<ObjectId> targets;  // all routed via the same next hop
+    ObjectId origin;
+    net::MsgKind kind = net::MsgKind::kInvalid;
+    net::Bytes payload;
+  };
   using AckKey = std::pair<ObjectId, std::uint32_t>;  // (target, round)
   using AckBitmap = net::Bytes;  // bit per member rank (full committee order)
 
@@ -137,8 +150,10 @@ class Disseminator {
     std::vector<FloodItem> floods;
     std::vector<RouteItem> routes;
     std::map<AckKey, AckBitmap> acks;
+    std::vector<MultiItem> multis;
     [[nodiscard]] bool empty() const {
-      return floods.empty() && routes.empty() && acks.empty();
+      return floods.empty() && routes.empty() && acks.empty() &&
+             multis.empty();
     }
   };
 
@@ -166,6 +181,10 @@ class Disseminator {
                  std::uint32_t round, const AckBitmap& bits, bool count_merges);
   void cache_flood(Scope& s, FloodItem&& item);
   void cache_route(Scope& s, const RouteItem& item);
+  void cache_route(Scope& s, RouteItem&& item);
+  void forward_multi(ActionInstanceId scope, Scope& s,
+                     const std::vector<ObjectId>& targets, ObjectId origin,
+                     net::MsgKind kind, const net::Bytes& payload);
   void deliver_ack_bitmap(ActionInstanceId scope, const Scope& s,
                           std::uint32_t round, const AckBitmap& bits);
   [[nodiscard]] static std::uint64_t squelch_key(ObjectId origin,

@@ -89,6 +89,16 @@ net::Bytes encode(const CrashSyncMsg& m) {
   return std::move(w).take();
 }
 
+net::Bytes encode(const FastCoverMsg& m) {
+  net::WireWriter w;
+  put_header(w, m.scope, m.round);
+  w.u32(m.sender.value());
+  w.u32(static_cast<std::uint32_t>(m.phase));
+  w.u32(m.exception.value());
+  w.u32(m.cover.value());
+  return std::move(w).take();
+}
+
 Result<ExceptionMsg> decode_exception(const net::Bytes& bytes) {
   net::WireReader r(bytes);
   auto h = get_header(r);
@@ -170,6 +180,29 @@ Result<CrashSyncMsg> decode_crash_sync(const net::Bytes& bytes) {
                       commit_round.value(),
                       commit_resolver.value(),
                       commit_resolved.value()};
+}
+
+Result<FastCoverMsg> decode_fast_cover(const net::Bytes& bytes) {
+  net::WireReader r(bytes);
+  auto h = get_header(r);
+  if (!h.is_ok()) return h.status();
+  auto sender = get_object(r);
+  if (!sender.is_ok()) return sender.status();
+  auto phase = r.u32();
+  if (!phase.is_ok()) return phase.status();
+  if (phase.value() > static_cast<std::uint32_t>(FastCoverMsg::Phase::kStale)) {
+    return Status::invalid_argument("FastCover: bad phase");
+  }
+  auto exception = get_exception(r);
+  if (!exception.is_ok()) return exception.status();
+  auto cover = get_exception(r);
+  if (!cover.is_ok()) return cover.status();
+  return FastCoverMsg{h.value().scope,
+                      h.value().round,
+                      sender.value(),
+                      static_cast<FastCoverMsg::Phase>(phase.value()),
+                      exception.value(),
+                      cover.value()};
 }
 
 Result<ScopeRound> peek_scope_round(const net::Bytes& bytes) {

@@ -77,12 +77,39 @@ struct CrashSyncMsg {
   ExceptionId commit_resolved;  // invalid() = no commit known
 };
 
+/// Coordination-avoidance fast path (src/resolve/avoidance.h; not one of the
+/// paper's five). A commutative round is decided by a census at the scope's
+/// live leader: raisers report their exception + lattice cover, the leader
+/// probes members it has not heard from, idle members answer kNoRaise, busy
+/// ones kBusy. A unanimous census commits in one broadcast; anything else
+/// broadcasts kFallback and every suppressed raiser replays into the full
+/// Exception/ACK exchange. kStale redirects a report from a finished round.
+struct FastCoverMsg {
+  enum class Phase : std::uint8_t {
+    kReport = 0,    // raiser -> leader: exception + universal cover
+    kProbe = 1,     // leader -> silent member: raise status?
+    kNoRaise = 2,   // member -> leader: idle, not raising this round
+    kBusy = 3,      // member -> leader: not eligible (nested/aborting/...)
+    kFallback = 4,  // leader -> all: census failed, replay via full exchange
+    kCommit = 5,    // leader -> all: unanimous census, resolved locally
+    kStale = 6,     // leader -> reporter: round already over, replay
+  };
+
+  ActionInstanceId scope;
+  std::uint32_t round = 0;
+  ObjectId sender;
+  Phase phase = Phase::kReport;
+  ExceptionId exception;  // kReport/kCommit; invalid() otherwise
+  ExceptionId cover;      // kReport: sender's universal cover; else invalid()
+};
+
 net::Bytes encode(const ExceptionMsg& m);
 net::Bytes encode(const HaveNestedMsg& m);
 net::Bytes encode(const NestedCompletedMsg& m);
 net::Bytes encode(const AckMsg& m);
 net::Bytes encode(const CommitMsg& m);
 net::Bytes encode(const CrashSyncMsg& m);
+net::Bytes encode(const FastCoverMsg& m);
 
 Result<ExceptionMsg> decode_exception(const net::Bytes& bytes);
 Result<HaveNestedMsg> decode_have_nested(const net::Bytes& bytes);
@@ -90,6 +117,7 @@ Result<NestedCompletedMsg> decode_nested_completed(const net::Bytes& bytes);
 Result<AckMsg> decode_ack(const net::Bytes& bytes);
 Result<CommitMsg> decode_commit(const net::Bytes& bytes);
 Result<CrashSyncMsg> decode_crash_sync(const net::Bytes& bytes);
+Result<FastCoverMsg> decode_fast_cover(const net::Bytes& bytes);
 
 /// Scope and round of any resolution-kind packet, without full decoding.
 struct ScopeRound {

@@ -325,6 +325,14 @@ void ResolverCore::apply_synced_commit(const CommitMsg& m) {
   maybe_ready();
 }
 
+void ResolverCore::apply_fast_commit(const CommitMsg& m) {
+  CAA_CHECK(m.scope == scope_ && m.round == round_);
+  CAA_CHECK_MSG(state_ == State::kNormal,
+                "fast commit: engine saw protocol traffic this round");
+  suspend_if_normal();
+  finish(m);
+}
+
 void ResolverCore::record_exception(ExceptionId exception, ObjectId raiser,
                                     std::string message) {
   CAA_CHECK_MSG(tree_->contains(exception),

@@ -133,6 +133,14 @@ class ResolverCore {
   /// applying it cannot diverge from the survivors.
   void apply_synced_commit(const CommitMsg& m);
 
+  /// Coordination-avoidance fast path (src/resolve/avoidance.h): applies a
+  /// commit decided by a unanimous leader census. The engine must still be
+  /// Normal — a fast round, by construction, exchanges none of the five
+  /// protocol messages, so the engine wakes from Normal straight into the
+  /// handler. If slow traffic crossed the census the owner replays the
+  /// suppressed raise first and applies via apply_synced_commit instead.
+  void apply_fast_commit(const CommitMsg& m);
+
   /// Crash-tolerance extension: true iff some KNOWN raiser is still alive.
   /// When false while Suspended, the round can never commit (no live
   /// object is allowed to resolve) — a survivor must promote itself with

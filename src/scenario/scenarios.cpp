@@ -20,7 +20,9 @@ RunStats collect_stats(World& world,
   stats.acks = metrics.sent(net::MsgKind::kAck);
   stats.commits = metrics.sent(net::MsgKind::kCommit);
   stats.relays = metrics.sent(net::MsgKind::kRelay);
-  stats.messages = metrics.resolution_messages() + stats.relays;
+  stats.fast_covers = metrics.sent(net::MsgKind::kFastCover);
+  stats.messages =
+      metrics.resolution_messages() + stats.relays + stats.fast_covers;
   stats.all_handled = true;
   sim::Time last = raise_at;
   for (const Participant* o : objects) {

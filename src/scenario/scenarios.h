@@ -33,6 +33,7 @@ struct RunStats {
   std::int64_t acks = 0;
   std::int64_t commits = 0;
   std::int64_t relays = 0;  // kRelay envelopes (tree-mode dissemination)
+  std::int64_t fast_covers = 0;  // kFastCover census messages (avoidance)
   sim::Time resolution_latency = 0;  // raise -> last handler start
   bool all_handled = false;          // every participant ran a handler
 };

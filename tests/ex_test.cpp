@@ -127,6 +127,61 @@ TEST(ExceptionTree, BalancedBinaryLcaWorks) {
 }
 
 
+TEST(ExceptionTree, JoinIsMemoizedAndPointerStable) {
+  ExceptionTree tree = shapes::balanced_binary(3);
+  const auto b3 = tree.find("b3");
+  const auto b4 = tree.find("b4");
+  const ExceptionTree::JoinEntry& first = tree.join(b3, b4);
+  EXPECT_EQ(first.cover, tree.lca(b3, b4));
+  EXPECT_EQ(tree.join_misses(), 1u);
+  // Either argument order returns the SAME cached entry — pointer identity,
+  // not just equal covers.
+  EXPECT_EQ(&tree.join(b4, b3), &first);
+  EXPECT_EQ(&tree.join(b3, b4), &first);
+  EXPECT_EQ(tree.join_misses(), 1u);
+  EXPECT_EQ(tree.join_hits(), 2u);
+}
+
+TEST(ExceptionTree, UniversalBitMarksShallowSubtrees) {
+  // star: the root's subtree has depth 1, so EVERYTHING is universal and
+  // every leaf's cover is the root (the outermost universal ancestor).
+  ExceptionTree star = shapes::star(4);
+  EXPECT_TRUE(star.universal(star.root()));
+  EXPECT_TRUE(star.universal(star.find("s2")));
+  EXPECT_EQ(star.universal_cover(star.find("s2")), star.root());
+  EXPECT_EQ(star.universal_cover(star.root()), star.root());
+
+  // chain: only the last two nodes bound their subtree; the deep interior
+  // has NO universal cover, so raising there can never commute.
+  ExceptionTree chain = shapes::chain(4);
+  EXPECT_FALSE(chain.universal(chain.root()));
+  EXPECT_FALSE(chain.universal(chain.find("e1")));
+  EXPECT_FALSE(chain.universal(chain.find("e2")));
+  EXPECT_TRUE(chain.universal(chain.find("e3")));
+  EXPECT_TRUE(chain.universal(chain.find("e4")));
+  EXPECT_FALSE(chain.universal_cover(chain.find("e2")).valid());
+  EXPECT_EQ(chain.universal_cover(chain.find("e4")), chain.find("e3"));
+}
+
+TEST(ExceptionTree, UniversalityIsDownwardClosed) {
+  ExceptionTree tree = shapes::balanced_binary(3);
+  for (std::uint32_t id = 0; id < tree.size(); ++id) {
+    const ExceptionId e{id};
+    if (!tree.universal(e)) continue;
+    const ExceptionId cover = tree.universal_cover(e);
+    ASSERT_TRUE(cover.valid());
+    EXPECT_TRUE(tree.universal(cover));
+    EXPECT_TRUE(tree.covers(cover, e));
+    // Everything below a universal node is universal with the same cover.
+    for (std::uint32_t child = 0; child < tree.size(); ++child) {
+      const ExceptionId c{child};
+      if (tree.parent(c) != e || c == e) continue;
+      EXPECT_TRUE(tree.universal(c));
+      EXPECT_EQ(tree.universal_cover(c), cover);
+    }
+  }
+}
+
 TEST(ExceptionTree, FingerprintDetectsDrift) {
   ExceptionTree a = shapes::chain(5);
   ExceptionTree b = shapes::chain(5);

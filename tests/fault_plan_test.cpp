@@ -134,6 +134,26 @@ TEST(FaultPlan, ValidateCatchesStructuralProblems) {
   EXPECT_TRUE(one.validate(4).is_ok());
 }
 
+TEST(FaultPlan, AvoidDirectiveRoundTrips) {
+  FaultPlan plan;
+  plan.avoid = true;
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.a = 1;
+  crash.at = 500;
+  plan.events.push_back(crash);
+  const std::string text = plan.to_text();
+  EXPECT_NE(text.find("avoid\n"), std::string::npos);
+  const auto parsed = FaultPlan::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value(), plan);
+  // Off by default, omitted from the canonical text.
+  FaultPlan off;
+  EXPECT_EQ(off.to_text().find("avoid"), std::string::npos);
+  // The bare directive takes no fields.
+  EXPECT_FALSE(FaultPlan::parse("faultplan v1\navoid now\n").is_ok());
+}
+
 TEST(FaultPlan, MixNamesRoundTrip) {
   for (const FaultMix mix : kAllMixes) {
     const auto parsed = parse_fault_mix(fault_mix_name(mix));

@@ -224,6 +224,47 @@ TEST(OverlayDissemination, TreeCutsAllRaiseTrafficAtN256) {
       << f.stats.messages;
 }
 
+// ---- Paxos 2a batching over shared tree edges (route_multi) ---------------
+
+TEST(OverlayDissemination, PaxosVoteWaveBatchesIntoSharedEnvelopes) {
+  // Paxos Commit sends the SAME 2a vote to every acceptor. In tree mode
+  // the host hands the whole target set to Disseminator::route_multi, which
+  // carries the payload once per shared tree edge with the target list
+  // alongside — instead of one routed copy per acceptor.
+  scenario::FlatOptions options;
+  options.participants = 24;
+  options.raisers = 2;
+  options.committee = 2;
+  options.world.exit_protocol = exit::ExitKind::kPaxos;
+
+  scenario::FlatOptions flat = options;
+  flat.world.overlay.mode = OverlayParams::Mode::kFlat;
+  scenario::FlatOptions tree = options;
+  tree.world.overlay.mode = OverlayParams::Mode::kTree;
+  tree.world.overlay.fanout = 3;
+
+  scenario::FlatScenario f(flat);
+  const scenario::RunStats fs = f.run();
+  scenario::FlatScenario t(tree);
+  const scenario::RunStats ts = t.run();
+
+  ASSERT_TRUE(fs.all_handled);
+  ASSERT_TRUE(ts.all_handled);
+  // Batching is a wire-pattern change only: what resolves is identical.
+  EXPECT_EQ(scenario::resolved_checksum(f.objects()),
+            scenario::resolved_checksum(t.objects()));
+  // Flat mode never groups (plain per-target sends).
+  EXPECT_EQ(f.world().metrics().value("overlay.multi_groups"), 0);
+  const std::int64_t groups =
+      t.world().metrics().value("overlay.multi_groups");
+  const std::int64_t targets =
+      t.world().metrics().value("overlay.multi_targets");
+  EXPECT_GT(groups, 0);
+  // Strictly more targets than groups == at least one payload actually
+  // shared a tree edge between multiple acceptors.
+  EXPECT_GT(targets, groups) << "no 2a payload was shared across an edge";
+}
+
 // ---- Healing under relay crashes ------------------------------------------
 
 ex::ExceptionTree crash_tree() {
@@ -320,6 +361,29 @@ TEST(OverlayHealing, RelayCrashDuringAckWaveStillResolves) {
     ASSERT_EQ(cw.objects[i]->handled().size(), 1u) << "object " << i;
     EXPECT_FALSE(cw.objects[i]->in_action()) << "object " << i;
   }
+  EXPECT_GT(cw.world.metrics().value("overlay.heals"), 0);
+}
+
+TEST(OverlayHealing, RelayCrashDuringPaxosVoteWaveStillExits) {
+  // Batched 2a envelopes must not weaken healing: an interior relay dies
+  // while the scope is resolving/exiting under Paxos Commit in tree mode.
+  // Per-target route-cache entries back every MultiItem, so the existing
+  // re-offer machinery re-routes each acceptor's share after the rebuild;
+  // every survivor must still leave the action.
+  WorldConfig config = tree_config(2);
+  config.exit_protocol = exit::ExitKind::kPaxos;
+  TreeCrashWorld cw(config);
+  cw.build(16);
+  cw.world.at(1000, [&] { cw.objects[15]->raise("app_fault"); });
+  cw.crash(1, 1650);  // interior relay, child of the root
+  cw.world.run();
+
+  for (int i = 0; i < 16; ++i) {
+    if (i == 1) continue;
+    ASSERT_EQ(cw.objects[i]->handled().size(), 1u) << "object " << i;
+    EXPECT_FALSE(cw.objects[i]->in_action()) << "object " << i;
+  }
+  EXPECT_GT(cw.world.metrics().value("overlay.multi_groups"), 0);
   EXPECT_GT(cw.world.metrics().value("overlay.heals"), 0);
 }
 

@@ -26,7 +26,7 @@ void usage() {
       "                 [--profile mixed|crash-heavy|network-only|"
       "resolver-hunt]\n"
       "                 [--participants MIN[:MAX]] [--tree [FANOUT]]\n"
-      "                 [--exit barrier|paxos] [--dump-dir DIR] "
+      "                 [--exit barrier|paxos] [--avoid] [--dump-dir DIR] "
       "[--no-shrink]\n"
       "                 [--index I [--show-plan] [--trace]]\n"
       "  --participants  committee size range per trial (default 3:6)\n"
@@ -34,7 +34,9 @@ void usage() {
       "default 8)\n"
       "  --exit          exit protocol per trial: the done-barrier "
       "(default)\n"
-      "                  or non-blocking Paxos Commit\n");
+      "                  or non-blocking Paxos Commit\n"
+      "  --avoid         coordination avoidance: commutative raise sets\n"
+      "                  commit via the leader census fast path\n");
 }
 
 }  // namespace
@@ -98,6 +100,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.exit = kind.value();
+    } else if (arg == "--avoid") {
+      options.avoid = true;
     } else if (arg == "--dump-dir") {
       options.dump_dir = next();
     } else if (arg == "--no-shrink") {

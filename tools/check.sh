@@ -38,9 +38,11 @@ for preset in "${presets[@]}"; do
   # full plan/inject/oracle pipeline, then 100 crash-heavy plans against
   # 64-member committees over the relay-tree overlay (relays crash and
   # restart mid-broadcast), then 200 crash-heavy plans with Paxos Commit
-  # as the exit protocol (exit-assassin trigger included in the mix).
+  # as the exit protocol (exit-assassin trigger included in the mix),
+  # then 200 crash-heavy plans with coordination avoidance on (crashes
+  # land mid-census, forcing the fast path's fallback/replay machinery).
   # Under asan these double as a memory audit of the crash/restart/
-  # partition, tree-healing and paxos-recovery paths.
+  # partition, tree-healing, paxos-recovery and census-fallback paths.
   case "${preset}" in
     dev)
       "build/tools/caa-chaos" --plans 200 --threads "${jobs}"
@@ -48,6 +50,8 @@ for preset in "${presets[@]}"; do
         --participants 64 --tree 8 --threads "${jobs}"
       "build/tools/caa-chaos" --plans 200 --profile crash-heavy \
         --exit paxos --threads "${jobs}"
+      "build/tools/caa-chaos" --plans 200 --profile crash-heavy \
+        --avoid --threads "${jobs}"
       ;;
     asan)
       "build-asan/tools/caa-chaos" --plans 200 --threads "${jobs}"
@@ -55,6 +59,8 @@ for preset in "${presets[@]}"; do
         --participants 64 --tree 8 --threads "${jobs}"
       "build-asan/tools/caa-chaos" --plans 200 --profile crash-heavy \
         --exit paxos --threads "${jobs}"
+      "build-asan/tools/caa-chaos" --plans 200 --profile crash-heavy \
+        --avoid --threads "${jobs}"
       ;;
   esac
 done
@@ -71,6 +77,19 @@ if grep -nE 'last_done_|barrier_\[|maybe_decide|on_done\b' \
   exit 1
 fi
 echo "participant is clean of barrier internals"
+
+# Same discipline for coordination avoidance: commutativity classification
+# (the universal-cover lattice walk, the census ledger, the fallback fold)
+# belongs to src/resolve/avoidance.*; Participant only routes kFastCover
+# bytes and answers through the AvoidanceCoordinator interface.
+echo "==== avoidance-seam grep gate =============================="
+if grep -nE 'universal_cover|census_record|fall_back_census|replay_suppressed|join_hits|join_misses' \
+    src/caa/participant.h src/caa/participant.cpp; then
+  echo "avoidance classification leaked into src/caa/participant.*" >&2
+  echo "(keep it behind resolve::AvoidanceCoordinator — see src/resolve/avoidance.h)" >&2
+  exit 1
+fi
+echo "participant is clean of avoidance classification internals"
 
 # caa-inspect must keep decoding the committed dump format: render the
 # golden .caafr and diff against the golden rendering the tests pin.
