@@ -59,12 +59,18 @@ struct Config {
 /// predate the relay tree and must not flip when N crosses the kAuto
 /// threshold. The tree family is the same flat scenario over batched
 /// kRelay envelopes, so the flat_nX / tree_nX row pairs read side by side.
+/// Telemetry window for the sweep worlds. Sampling rides the simulator
+/// clock and schedules nothing, so arming it must not move any checksum —
+/// the committed per-config checksums are the proof.
+constexpr sim::Time kTelemetryWindow = 500;
+
 run::WorldResult run_config(const Config& config, bool recorder = true) {
   if (config.family == "flat" || config.family == "tree") {
     scenario::FlatOptions options;
     options.participants = config.participants;
     options.raisers = 2;
     options.world.flight_recorder = recorder;
+    options.world.telemetry.window = kTelemetryWindow;
     options.world.overlay.mode = config.family == "tree"
                                      ? overlay::OverlayParams::Mode::kTree
                                      : overlay::OverlayParams::Mode::kFlat;
@@ -76,6 +82,7 @@ run::WorldResult run_config(const Config& config, bool recorder = true) {
   options.participants = config.participants;
   options.depth = 3;
   options.world.flight_recorder = recorder;
+  options.world.telemetry.window = kTelemetryWindow;
   options.world.overlay.mode = overlay::OverlayParams::Mode::kFlat;
   scenario::NestedChainScenario s(options);
   return run::measure(config.name, s.world(),
@@ -242,6 +249,24 @@ int main(int argc, char** argv) {
     for (const auto& [name, value] : best->metrics.counters) {
       metrics.set(name, Json::num(value));
     }
+    // Per-window peaks from the virtual-time sampler: how *hot* the run got,
+    // which end-of-run totals cannot show. Deterministic (virtual-time
+    // windows), so the --compare gate can diff them across PRs.
+    const obs::TimeSeriesTable& ts = best->timeseries;
+    Json telemetry =
+        Json::object()
+            .set("window", Json::num(static_cast<std::int64_t>(ts.window)))
+            .set("windows",
+                 Json::num(static_cast<std::int64_t>(ts.windows.size())))
+            .set("peak_sim_queue_depth",
+                 Json::num(ts.peak_of("sim.queue_depth")))
+            .set("peak_net_in_flight", Json::num(ts.peak_of("net.in_flight")))
+            .set("peak_resolve_outstanding_acks",
+                 Json::num(ts.peak_of("resolve.outstanding_acks")))
+            .set("peak_overlay_outbox_backlog",
+                 Json::num(ts.peak_of("overlay.outbox_backlog")))
+            .set("peak_caa_open_scopes",
+                 Json::num(ts.peak_of("caa.open_scopes")));
     results.push(
         Json::object()
             .set("bench", Json::str("bench_throughput"))
@@ -256,6 +281,7 @@ int main(int argc, char** argv) {
             .set("wall_ms", Json::num(best->wall_ms))
             .set("sim_time", Json::num(static_cast<std::int64_t>(best->sim_time)))
             .set("checksum", Json::str(checksum))
+            .set("telemetry", std::move(telemetry))
             .set("metrics", std::move(metrics)));
   }
 
@@ -511,7 +537,7 @@ int main(int argc, char** argv) {
                 dump_dir.c_str());
   }
 
-  Json doc = bench_doc("bench_throughput", /*schema_version=*/4, threads)
+  Json doc = bench_doc("bench_throughput", /*schema_version=*/5, threads)
                  .set("repetitions", Json::num(std::int64_t{repetitions}))
                  .set("results", std::move(results))
                  .set("dissemination", std::move(dissemination))

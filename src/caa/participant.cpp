@@ -138,6 +138,8 @@ bool Participant::enter(ActionInstanceId instance, EnterConfig config) {
         o->tracer().begin(id().value(), "action", info.decl->name(),
                           "instance " + std::to_string(instance.value()));
   }
+  sync_caa_health();
+  wd_open(instance);
 
   drain_pending(instance);  // §4.2 "process messages having arrived"
 
@@ -170,6 +172,7 @@ void Participant::raise(ExceptionId exception, std::string message) {
   }
   dyn.raise_time = now();
   const ActionInstanceId scope = contexts_.active().instance;
+  wd_progress(scope);
   if (dyn.config.resolve_avoidance.value_or(dyn.info->resolve_avoidance) &&
       ensure_avoidance(dyn, scope)
           .try_fast_raise(exception, std::move(message))) {
@@ -354,6 +357,7 @@ void Participant::deliver_to_engine(Dyn& dyn, bool scope_is_active,
                                     ObjectId from, net::MsgKind kind,
                                     const net::Bytes& payload) {
   (void)from;
+  wd_progress(dyn.info->instance);
   if (dyn.avoidance != nullptr &&
       (kind == net::MsgKind::kException || kind == net::MsgKind::kHaveNested)) {
     // A non-commuting raise went slow: the full exchange supersedes any fast
@@ -562,7 +566,8 @@ resolve::AvoidanceCoordinator& Participant::ensure_avoidance(
   dyn.avoidance = std::make_unique<resolve::AvoidanceCoordinator>(
       id(), &dyn.info->members, &dyn.excluded, &dyn.info->decl->tree(), scope,
       dyn.info->avoidance_probe_delay, std::move(hooks),
-      &runtime().simulator().counters());
+      &runtime().simulator().counters(),
+      &runtime().simulator().obs().health());
   return *dyn.avoidance;
 }
 
@@ -658,7 +663,8 @@ void Participant::ensure_overlay(const InstanceInfo& info) {
       schedule_after(delay, std::move(fn));
     };
     overlay_.configure(id(), std::move(hooks),
-                       &runtime().simulator().counters());
+                       &runtime().simulator().counters(),
+                       &runtime().simulator().obs().health());
     overlay_ready_ = true;
   }
   overlay_.register_scope(info.instance, info.members, info.overlay, crashed_);
@@ -687,6 +693,7 @@ void Participant::on_round_finished(ActionInstanceId scope,
                                     ExceptionId resolved, ObjectId resolver) {
   Dyn* dyn = find_dyn(scope);
   CAA_CHECK(dyn != nullptr);
+  wd_progress(scope);
   // Remembered for CrashSync: if the resolver crashes right after deciding,
   // this applied commit is what the survivors' barrier redistributes.
   dyn->last_commit = resolve::CommitMsg{scope, dyn->round, resolver, resolved};
@@ -720,6 +727,7 @@ void Participant::on_round_finished(ActionInstanceId scope,
     }
     d->engine = make_engine(*d, scope);
     d->done_sent = false;  // the handler takes over and completes anew
+    sync_caa_health();     // exit occupancy: the handler re-opened our part
     drain_future(scope);
     invoke_handler(scope, resolved, resolved_round);
   });
@@ -881,6 +889,8 @@ void Participant::complete_internal(ActionInstanceId scope, bool ok,
         id().value(), "barrier", "barrier r" + std::to_string(dyn->round),
         ok ? std::string() : "acceptance failed");
   }
+  sync_caa_health();  // exit occupancy: done_sent flipped on
+  wd_progress(scope);
   // From here the exit protocol owns everything up to the Leave decision.
   dyn->exit->on_complete(m);
 }
@@ -907,6 +917,7 @@ void Participant::on_exit_msg(ObjectId from, net::MsgKind kind,
     pending_[scope].push_back(RawMsg{from, kind, payload});
     return;
   }
+  wd_progress(scope);
   dyn->exit->on_message(from, kind, payload);
 }
 
@@ -943,6 +954,7 @@ void Participant::apply_leave(const LeaveMsg& m) {
   }
   CAA_CHECK_MSG(in_action() && contexts_.active().instance == m.scope,
                 "Leave for a non-active context");
+  wd_progress(m.scope);
   const InstanceInfo& info = *dyn->info;
   const bool leader = live_leader(*dyn) == id();
 
@@ -1016,6 +1028,7 @@ void Participant::apply_leave(const LeaveMsg& m) {
       dyn->exit->on_restored();  // drop the previous attempt's pending Done
       ++dyn->round;  // a new attempt is a new protocol round
       dyn->engine = make_engine(*dyn, m.scope);
+      sync_caa_health();  // exit occupancy: the new attempt re-opened our part
       drain_future(m.scope);
       if (dyn->config.body) {
         run_guarded(m.scope, 0, [this, scope = m.scope] {
@@ -1067,6 +1080,8 @@ void Participant::pop_context(ActionInstanceId scope, bool dead) {
   dyn_.erase(scope);
   if (dead) dead_.insert(scope);
   pending_.erase(scope);
+  sync_caa_health();
+  wd_closed(scope);
 }
 
 // ---------------------------------------------------------------------------
@@ -1471,6 +1486,9 @@ void Participant::on_restarted() {
   // Relay caches and squelch state are volatile too: the healed survivor
   // trees exclude us, and on_relay drops envelopes for abandoned scopes.
   overlay_.clear();
+  // Watchdog holds for the abandoned scopes were released at crash time;
+  // instances entered from now on are watched normally again.
+  wd_released_ = false;
 }
 
 bool Participant::is_live(ActionInstanceId scope) const {
@@ -1497,6 +1515,107 @@ obs::Observability* Participant::observing() const {
   if (!attached()) return nullptr;
   obs::Observability& o = runtime().simulator().obs();
   return o.enabled() ? &o : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Health gauges + liveness watchdog (src/obs/)
+// ---------------------------------------------------------------------------
+
+void Participant::sync_caa_health() {
+  if (!attached()) return;
+  obs::HealthGauges& h = runtime().simulator().obs().health();
+  const auto scopes = static_cast<std::int64_t>(dyn_.size());
+  std::int64_t barrier = 0;
+  std::int64_t paxos = 0;
+  for (const auto& [scope, dyn] : dyn_) {
+    // "Exit occupancy": this member sent its Done and the scope has not
+    // left yet — the window where the committee protocol is in charge.
+    if (!dyn.done_sent || dyn.exit == nullptr) continue;
+    if (dyn.exit->kind() == exit::ExitKind::kPaxos) {
+      ++paxos;
+    } else {
+      ++barrier;
+    }
+  }
+  if (scopes != scopes_gauge_) {
+    h.add(obs::Gauge::kCaaOpenScopes, scopes - scopes_gauge_);
+    scopes_gauge_ = scopes;
+  }
+  h.set_max(obs::Gauge::kCaaNestingDepth,
+            static_cast<std::int64_t>(contexts_.size()));
+  if (barrier != exit_barrier_gauge_) {
+    h.add(obs::Gauge::kExitBarrierOpen, barrier - exit_barrier_gauge_);
+    exit_barrier_gauge_ = barrier;
+  }
+  if (paxos != exit_paxos_gauge_) {
+    h.add(obs::Gauge::kExitPaxosOpen, paxos - exit_paxos_gauge_);
+    exit_paxos_gauge_ = paxos;
+  }
+}
+
+void Participant::wd_open(ActionInstanceId scope) {
+  if (!attached()) return;
+  obs::Watchdog& w = runtime().simulator().obs().watchdog();
+  if (w.armed()) w.note_open(scope.value(), now());
+}
+
+void Participant::wd_progress(ActionInstanceId scope) {
+  if (!attached()) return;
+  obs::Watchdog& w = runtime().simulator().obs().watchdog();
+  if (w.armed()) w.note_progress(scope.value(), now());
+}
+
+void Participant::wd_closed(ActionInstanceId scope) {
+  if (!attached() || wd_released_) return;
+  obs::Watchdog& w = runtime().simulator().obs().watchdog();
+  if (w.armed()) w.note_closed(scope.value(), now());
+}
+
+void Participant::wd_release_open_scopes() {
+  if (wd_released_) return;
+  for (const auto& [scope, dyn] : dyn_) wd_closed(scope);
+  wd_released_ = true;
+}
+
+bool Participant::describe_scope(ActionInstanceId scope,
+                                 obs::WatchdogReport& report) const {
+  auto it = dyn_.find(scope);
+  if (it == dyn_.end()) return false;
+  const Dyn& dyn = it->second;
+  report.scope_name = dyn.info->decl->name();
+  std::vector<ObjectId> awaited;
+  if (dyn.aborting) {
+    report.phase = "aborting nested chain";
+  } else if (dyn.engine != nullptr &&
+             dyn.engine->state() != resolve::ResolverCore::State::kNormal) {
+    report.phase =
+        "resolve (" + std::string(resolve::to_string(dyn.engine->state())) +
+        ", round " + std::to_string(dyn.round) + ")";
+    awaited = dyn.engine->awaited_members();
+  } else if (dyn.avoidance != nullptr && !dyn.avoidance->idle()) {
+    report.phase =
+        "avoidance (" + std::string(dyn.avoidance->phase()) + ")";
+  } else if (dyn.done_sent && dyn.exit != nullptr) {
+    dyn.exit->describe(report.phase, awaited);
+    if (report.phase.empty()) report.phase = "exit (awaiting committee)";
+  } else if (dyn.handling) {
+    report.phase = "handler running";
+  } else {
+    report.phase = "body running (no Done sent)";
+  }
+  if (attached()) {
+    const rt::Directory& dir = runtime().directory();
+    for (ObjectId o : awaited) report.awaited.push_back(dir.name_of(o));
+  } else {
+    for (ObjectId o : awaited) {
+      report.awaited.push_back("obj" + std::to_string(o.value()));
+    }
+  }
+  if (!dyn.excluded.empty()) {
+    report.detail =
+        std::to_string(dyn.excluded.size()) + " member(s) excluded (crashed)";
+  }
+  return true;
 }
 
 }  // namespace caa::action

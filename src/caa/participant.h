@@ -34,6 +34,7 @@
 #include "ex/context_stack.h"
 #include "exit/exit_protocol.h"
 #include "exit/leave_log.h"
+#include "obs/watchdog.h"
 #include "overlay/disseminator.h"
 #include "resolve/avoidance.h"
 #include "resolve/resolver_core.h"
@@ -331,6 +332,20 @@ class Participant : public rt::ManagedObject, private exit::ExitHost {
   [[nodiscard]] const exit::ExitProtocol* exit_protocol_of(
       ActionInstanceId scope) const;
 
+  /// Liveness introspection (obs::Watchdog describer): fills `report` with
+  /// this participant's view of `scope` — the stage it believes the scope
+  /// is in (resolution state, avoidance census, exit protocol, handler) and
+  /// the peers it is waiting to hear from. Returns false when the scope is
+  /// not open here.
+  bool describe_scope(ActionInstanceId scope,
+                      obs::WatchdogReport& report) const;
+
+  /// Fail-stop crash of this participant's node (World's down-hook): its
+  /// open scopes must not pin the liveness watchdog — the survivors exclude
+  /// it and can finish without it. Idempotent; the holds re-arm after
+  /// on_restarted() for instances entered post-restart.
+  void wd_release_open_scopes();
+
   // ---- rt::ManagedObject --------------------------------------------------
 
   void on_message(ObjectId from, net::MsgKind kind,
@@ -498,6 +513,16 @@ class Participant : public rt::ManagedObject, private exit::ExitHost {
   /// one branch every instrumentation site pays.
   [[nodiscard]] obs::Observability* observing() const;
 
+  // Health gauges + liveness watchdog (src/obs/). Gauge pushes recompute
+  // this participant's contribution and push the delta; watchdog notes are
+  // one-compare no-ops while disarmed and compile out entirely under
+  // CAA_OBS_DISABLED. None of these touch counters or schedule events, so
+  // behaviour checksums are unaffected.
+  void sync_caa_health();
+  void wd_open(ActionInstanceId scope);
+  void wd_progress(ActionInstanceId scope);
+  void wd_closed(ActionInstanceId scope);
+
   ActionManager& manager_;
   ex::ContextStack contexts_;
   std::map<ActionInstanceId, Dyn> dyn_;
@@ -523,6 +548,13 @@ class Participant : public rt::ManagedObject, private exit::ExitHost {
   std::vector<HandledRecord> handled_;
   std::vector<AbortRecord> aborts_;
   std::function<void(ActionInstanceId, ExceptionId)> failure_sink_;
+  // Last-pushed health-gauge contributions (delta tracking).
+  std::int64_t scopes_gauge_ = 0;
+  std::int64_t exit_barrier_gauge_ = 0;
+  std::int64_t exit_paxos_gauge_ = 0;
+  // Watchdog holds already released by a crash (wd_release_open_scopes):
+  // the restart's pop_context must not double-release them.
+  bool wd_released_ = false;
 };
 
 }  // namespace caa::action

@@ -1,6 +1,7 @@
 #include "caa/world.h"
 
 #include <exception>
+#include <fstream>
 
 #include "obs/causal.h"
 #include "obs/chrome_trace.h"
@@ -33,11 +34,45 @@ World::World(WorldConfig config)
   CAA_CHECK_MSG(config_.link.drop_probability == 0.0 ||
                     config_.reliable_transport,
                 "lossy links require the reliable transport");
+  if (config_.telemetry.window > 0) {
+    simulator_.obs().timeseries().arm(config_.telemetry);
+  }
+  if (config_.watchdog_deadline > 0) {
+    simulator_.obs().watchdog().arm(
+        config_.watchdog_deadline,
+        [this](std::uint64_t scope, obs::WatchdogReport& report) {
+          // Prefer the member with the most concrete view: one that names
+          // peers it is waiting on; otherwise the first that still holds
+          // the scope open.
+          bool found = false;
+          for (const auto& p : participants_) {
+            obs::WatchdogReport view;
+            if (!p->describe_scope(ActionInstanceId(scope), view)) continue;
+            view.scope_name += " @ " + p->name();
+            if (!found || (report.awaited.empty() && !view.awaited.empty())) {
+              report.scope_name = view.scope_name;
+              report.phase = view.phase;
+              report.awaited = view.awaited;
+              report.detail = view.detail;
+              found = true;
+            }
+          }
+        });
+  }
   // The up-transition of a node is its restart signal: a fail-stop crash
   // wiped the node's volatile state, so its participants must abandon their
   // open contexts before processing any new traffic.
   network_.set_node_hook([this](NodeId node, bool up) {
-    if (up) on_node_restarted(node);
+    if (up) {
+      on_node_restarted(node);
+    } else if (simulator_.obs().watchdog().armed()) {
+      // A fail-stop crash releases the victims' watchdog holds: the
+      // survivors exclude them and can finish without them, so their open
+      // scopes must not read as stalls.
+      for (const auto& p : participants_) {
+        if (p->runtime().node() == node) p->wd_release_open_scopes();
+      }
+    }
   });
 }
 
@@ -157,7 +192,18 @@ void World::at(sim::Time t, std::function<void()> fn) {
 }
 
 std::size_t World::run(std::size_t max_events) {
-  return simulator_.run_to_quiescence(max_events);
+  const std::size_t fired = simulator_.run_to_quiescence(max_events);
+  // Quiescence with open scopes is a stall by definition: no event will
+  // ever progress them, so diagnose without waiting out the deadline.
+  simulator_.obs().watchdog().finish(simulator_.now());
+  return fired;
+}
+
+bool World::write_timeseries_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << simulator_.obs().timeseries().table().to_json();
+  return static_cast<bool>(out);
 }
 
 std::string World::chrome_trace() const {

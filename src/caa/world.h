@@ -77,6 +77,17 @@ struct WorldConfig {
   /// exited scope, so it is off by default (existing worlds stay
   /// message-for-message identical); chaos campaigns turn it on.
   bool exit_gc = false;
+  /// Virtual-time telemetry (src/obs/timeseries.h): window > 0 arms the
+  /// sampler, which snapshots counter/histogram deltas and health-gauge
+  /// levels every `telemetry.window` ticks. Sampling is passive (no events
+  /// scheduled, no counters written), so behaviour checksums are identical
+  /// with it on or off.
+  obs::TimeSeriesConfig telemetry;
+  /// Liveness watchdog (src/obs/watchdog.h): > 0 arms stall detection — a
+  /// scope with no progress for this many virtual ticks (or still open at
+  /// quiescence) is diagnosed with phase, awaited members and a causal
+  /// tail. Same zero-perturbation contract as the sampler.
+  sim::Time watchdog_deadline = 0;
 };
 
 class World {
@@ -121,6 +132,22 @@ class World {
   [[nodiscard]] obs::FlightRecorder& recorder() {
     return simulator_.obs().recorder();
   }
+
+  /// The virtual-time sampler (armed iff WorldConfig.telemetry.window > 0).
+  [[nodiscard]] obs::TimeSeries& timeseries() {
+    return simulator_.obs().timeseries();
+  }
+  /// The liveness watchdog (armed iff WorldConfig.watchdog_deadline > 0).
+  [[nodiscard]] obs::Watchdog& watchdog() {
+    return simulator_.obs().watchdog();
+  }
+  /// The sampler's window table (closed windows + open partial window).
+  [[nodiscard]] obs::TimeSeriesTable timeseries_table() const {
+    return simulator_.obs().timeseries().table();
+  }
+  /// Writes timeseries_table().to_json() to `path` (caa-report input).
+  /// Returns false on I/O failure.
+  bool write_timeseries_json(const std::string& path) const;
   /// Writes the recorder's binary dump (decodable by tools/caa-inspect) to
   /// `path`, stamped with this world's seed and `world_index`. Returns
   /// false on I/O failure.

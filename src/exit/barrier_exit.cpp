@@ -101,6 +101,28 @@ void BarrierExit::on_peer_crashed(ObjectId peer, ObjectId old_leader,
   if (new_leader == host_.exit_self()) maybe_decide();
 }
 
+void BarrierExit::describe(std::string& phase,
+                           std::vector<ObjectId>& awaited) const {
+  // Quiet until this member voted or started collecting: an entered scope
+  // with no Done in flight is the resolver's (or the program's) to explain.
+  if (!last_done_.has_value() && barrier_.empty()) return;
+  const ActionInstanceId scope = info_.instance;
+  if (leader() == host_.exit_self()) {
+    phase = "exit.barrier (leader, collecting Done)";
+    const std::set<ObjectId>& excluded = host_.exit_excluded(scope);
+    auto it = barrier_.find(host_.exit_round(scope));
+    for (ObjectId member : info_.members) {
+      if (excluded.contains(member)) continue;
+      if (it == barrier_.end() || !it->second.contains(member)) {
+        awaited.push_back(member);
+      }
+    }
+  } else {
+    phase = "exit.barrier (awaiting Leave from leader)";
+    awaited.push_back(leader());
+  }
+}
+
 void BarrierExit::on_restored() {
   // A new attempt is a new protocol round; the previous attempt's Done must
   // not be re-announced on later leader re-elections.

@@ -33,6 +33,8 @@ class BarrierExit final : public ExitProtocol {
   void on_peer_crashed(ObjectId peer, ObjectId old_leader,
                        ObjectId new_leader) override;
   void on_restored() override;
+  void describe(std::string& phase,
+                std::vector<ObjectId>& awaited) const override;
 
  private:
   void on_done(const action::DoneMsg& m);

@@ -114,6 +114,16 @@ class ExitProtocol {
   /// The scope was backward-recovered (Leave kRestored): the host bumped
   /// the round; per-attempt exit state (a pending Done) must be dropped.
   virtual void on_restored() = 0;
+
+  /// Liveness introspection for watchdog diagnoses: fills `phase` with the
+  /// protocol's current stage ("" when nothing is in flight) and `awaited`
+  /// with the members it is waiting to hear from. Default: nothing to
+  /// report.
+  virtual void describe(std::string& phase,
+                        std::vector<ObjectId>& awaited) const {
+    (void)phase;
+    (void)awaited;
+  }
 };
 
 /// True for the message kinds owned by the exit protocols; the Participant

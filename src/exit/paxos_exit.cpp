@@ -195,6 +195,55 @@ void PaxosCommitExit::on_restored() {
   last_done_.reset();
 }
 
+void PaxosCommitExit::describe(std::string& phase,
+                               std::vector<ObjectId>& awaited) const {
+  const ActionInstanceId scope = info_.instance;
+  const std::uint32_t round = host_.exit_round(scope);
+  const auto lit = leader_.find(round);
+  if (!last_done_.has_value() && lit == leader_.end()) return;
+  if (lit != leader_.end() && lit->second.decided) return;
+  if (leader() != self()) {
+    phase = last_done_.has_value() ? "exit.paxos (vote sent, awaiting Leave)"
+                                   : "exit.paxos (awaiting Leave)";
+    awaited.push_back(leader());
+    return;
+  }
+  const std::set<ObjectId>& excluded = host_.exit_excluded(scope);
+  static const LeaderRound kIdle;
+  const LeaderRound& l = lit != leader_.end() ? lit->second : kIdle;
+  if (l.preparing) {
+    phase = "exit.paxos (leader, prepare ballot " +
+            std::to_string(l.my_ballot) + ")";
+    for (ObjectId a : acceptors_) {
+      if (excluded.contains(a)) continue;
+      if (!l.promised.contains(a)) awaited.push_back(a);
+    }
+    return;
+  }
+  phase = "exit.paxos (leader, collecting acceptances)";
+  // Awaited: members whose instance has no value chosen by a majority of
+  // the live acceptors — the same tally maybe_decide runs.
+  const std::size_t live = live_acceptors();
+  const std::size_t quorum = live / 2 + 1;
+  for (ObjectId voter : info_.members) {
+    bool chosen = false;
+    if (auto rit = l.reports.find(voter); rit != l.reports.end()) {
+      std::map<std::uint32_t, std::size_t> tally;
+      for (const auto& [acceptor, acc] : rit->second) {
+        if (excluded.contains(acceptor)) continue;
+        ++tally[acc.ballot];
+      }
+      for (const auto& [ballot, count] : tally) {
+        if (count >= quorum) {
+          chosen = true;
+          break;
+        }
+      }
+    }
+    if (!chosen) awaited.push_back(voter);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Acceptor role
 // ---------------------------------------------------------------------------

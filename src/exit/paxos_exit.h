@@ -48,6 +48,8 @@ class PaxosCommitExit final : public ExitProtocol {
   void on_peer_crashed(ObjectId peer, ObjectId old_leader,
                        ObjectId new_leader) override;
   void on_restored() override;
+  void describe(std::string& phase,
+                std::vector<ObjectId>& awaited) const override;
 
   /// Acceptors used for a committee of `members` objects: 2F+1 with
   /// F = (members-1)/2, except that both members of a pair serve (a lone

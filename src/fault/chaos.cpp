@@ -54,7 +54,8 @@ run::WorldResult run_chaos_trial(std::uint64_t trial_seed,
                                  const ChaosOptions& options,
                                  std::size_t index,
                                  std::string* critical_path,
-                                 std::string* trace_log) {
+                                 std::string* trace_log,
+                                 std::string* watchdog_report) {
   Rng rng = scenario_rng(trial_seed);
   const std::uint32_t n =
       options.min_participants +
@@ -79,6 +80,7 @@ run::WorldResult run_chaos_trial(std::uint64_t trial_seed,
   config.exit_protocol = plan.exit;
   config.resolve_avoidance = plan.avoid;
   config.exit_gc = true;
+  config.watchdog_deadline = options.watchdog_deadline;
   World w(config);
 
   std::vector<action::Participant*> objects;
@@ -140,6 +142,10 @@ run::WorldResult run_chaos_trial(std::uint64_t trial_seed,
                    });
 
   if (trace_log != nullptr) *trace_log = w.trace().to_string();
+  // run_until bypasses World::run, so close the watchdog here: any scope
+  // still open at the deadline is a stall worth explaining.
+  w.watchdog().finish(w.simulator().now());
+  if (watchdog_report != nullptr) *watchdog_report = w.watchdog().report_text();
   OracleOptions oracle;
   oracle.deadline = options.deadline;
   const OracleReport report = check_invariants(w, oracle);

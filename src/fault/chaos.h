@@ -57,6 +57,11 @@ struct ChaosOptions {
   /// Coordination avoidance stamped onto every generated plan and trial
   /// world: fast rounds must fall back cleanly under the whole fault mix.
   bool avoid = false;
+  /// Liveness watchdog per trial (WorldConfig.watchdog_deadline): > 0 arms
+  /// stall diagnoses. Replay tooling turns it on so a stuck trial explains
+  /// itself (phase, awaited members, causal tail) next to the critical
+  /// path. Zero-perturbation: checksums are identical armed or not.
+  sim::Time watchdog_deadline = 0;
 };
 
 struct ChaosReport {
@@ -86,11 +91,14 @@ struct ChaosReport {
 /// plan text in .artifact. When `critical_path` is non-null and the trial
 /// fails, it receives the flight recorder's per-action critical-path
 /// report. When `trace_log` is non-null and options.trace is set, it
-/// receives the world's full protocol narrative.
+/// receives the world's full protocol narrative. When `watchdog_report` is
+/// non-null and options.watchdog_deadline armed the watchdog, it receives
+/// every stall diagnosis the trial produced ("" when none).
 [[nodiscard]] run::WorldResult run_chaos_trial(
     std::uint64_t trial_seed, const FaultPlan& plan,
     const ChaosOptions& options, std::size_t index = 0,
-    std::string* critical_path = nullptr, std::string* trace_log = nullptr);
+    std::string* critical_path = nullptr, std::string* trace_log = nullptr,
+    std::string* watchdog_report = nullptr);
 
 /// The full campaign: generate + run + check `options.plans` trials, then
 /// shrink every violation and attach repro recipes.

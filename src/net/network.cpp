@@ -180,11 +180,13 @@ void Network::send(Packet packet) {
   simulator_.schedule_at(at, [this, p = std::move(packet)]() mutable {
     deliver(std::move(p));
   });
+  simulator_.obs().health().add(obs::Gauge::kNetInFlight, duplicate ? 2 : 1);
 }
 
 void Network::deliver(Packet&& packet) {
   NodeState* dst = node_state(packet.dst.node);
   CAA_CHECK(dst != nullptr);
+  simulator_.obs().health().add(obs::Gauge::kNetInFlight, -1);
   const KindCounters& kc = kind_counters(packet.kind);
   obs::FlightRecorder& recorder = simulator_.obs().recorder();
   if (!dst->up) {

@@ -1,0 +1,23 @@
+#include "obs/health.h"
+
+namespace caa::obs {
+
+std::string_view gauge_name(Gauge gauge) {
+  switch (gauge) {
+    case Gauge::kSimQueueDepth: return "sim.queue_depth";
+    case Gauge::kNetInFlight: return "net.in_flight";
+    case Gauge::kResolveActiveRounds: return "resolve.active_rounds";
+    case Gauge::kResolveOutstandingAcks: return "resolve.outstanding_acks";
+    case Gauge::kResolveMaxRound: return "resolve.max_round";
+    case Gauge::kResolveCensusOpen: return "resolve.census_open";
+    case Gauge::kOverlayOutboxBacklog: return "overlay.outbox_backlog";
+    case Gauge::kExitBarrierOpen: return "exit.barrier_open";
+    case Gauge::kExitPaxosOpen: return "exit.paxos_open";
+    case Gauge::kCaaOpenScopes: return "caa.open_scopes";
+    case Gauge::kCaaNestingDepth: return "caa.nesting_depth";
+    case Gauge::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace caa::obs

@@ -1,0 +1,109 @@
+// Per-subsystem health gauges: the *current* shape of a running world.
+//
+// Counters are monotone totals; what a stalled run hides is level state —
+// how deep the event queue is, how many packets are in flight, how many
+// resolution rounds are open, how big the overlay outboxes are. Each
+// subsystem pushes its level into one fixed, dense gauge slot as it changes
+// (a store or two per update; no allocation, no strings), and the
+// TimeSeries sampler (obs/timeseries.h) snapshots values + in-window peaks
+// at every window boundary.
+//
+// Cost contract: gauges never feed counters or behaviour checksums — they
+// are pure observers of state the subsystem already holds. Under
+// -DCAA_OBS_DISABLED every mutator compiles to nothing (the zero-drift
+// test pins that checksums are unchanged either way).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace caa::obs {
+
+/// The fixed gauge registry. One slot per subsystem level worth watching;
+/// names double as the column headers of time-series tables.
+enum class Gauge : std::uint8_t {
+  kSimQueueDepth = 0,     // pending simulator events
+  kNetInFlight,           // packets sent but not yet delivered/dropped
+  kResolveActiveRounds,   // engines away from Normal (resolution running)
+  kResolveOutstandingAcks,// ACKs awaited across all engines
+  kResolveMaxRound,       // high-water resolution round (never decreases)
+  kResolveCensusOpen,     // avoidance censuses / suppressed raises in flight
+  kOverlayOutboxBacklog,  // queued items across per-neighbor relay outboxes
+  kExitBarrierOpen,       // scopes currently inside a BarrierExit exit phase
+  kExitPaxosOpen,         // scopes currently inside a PaxosCommitExit phase
+  kCaaOpenScopes,         // entered, not-yet-left contexts across objects
+  kCaaNestingDepth,       // context-stack depth of the last (re)entered
+                          // object; the in-window peak is the figure
+  kCount,
+};
+
+[[nodiscard]] std::string_view gauge_name(Gauge gauge);
+
+/// Dense value + in-window peak storage for every Gauge. One per
+/// Observability hub (one per world).
+class HealthGauges {
+ public:
+  static constexpr int kGauges = static_cast<int>(Gauge::kCount);
+
+  void set([[maybe_unused]] Gauge gauge, [[maybe_unused]] std::int64_t value) {
+#ifndef CAA_OBS_DISABLED
+    auto& slot = values_[index(gauge)];
+    slot = value;
+    auto& peak = peaks_[index(gauge)];
+    if (value > peak) peak = value;
+#endif
+  }
+
+  void add([[maybe_unused]] Gauge gauge, [[maybe_unused]] std::int64_t delta) {
+#ifndef CAA_OBS_DISABLED
+    set(gauge, values_[index(gauge)] + delta);
+#endif
+  }
+
+  /// High-water update: the slot only ever rises (kResolveMaxRound).
+  void set_max([[maybe_unused]] Gauge gauge,
+               [[maybe_unused]] std::int64_t value) {
+#ifndef CAA_OBS_DISABLED
+    if (value > values_[index(gauge)]) set(gauge, value);
+#endif
+  }
+
+  [[nodiscard]] std::int64_t value(Gauge gauge) const {
+#ifdef CAA_OBS_DISABLED
+    (void)gauge;
+    return 0;
+#else
+    return values_[index(gauge)];
+#endif
+  }
+
+  /// Max the gauge reached since the last reset_peaks() (>= value()).
+  [[nodiscard]] std::int64_t peak(Gauge gauge) const {
+#ifdef CAA_OBS_DISABLED
+    (void)gauge;
+    return 0;
+#else
+    return peaks_[index(gauge)];
+#endif
+  }
+
+  /// Starts a new peak window: every peak collapses to the current value.
+  void reset_peaks() {
+#ifndef CAA_OBS_DISABLED
+    peaks_ = values_;
+#endif
+  }
+
+ private:
+  static constexpr std::size_t index(Gauge gauge) {
+    return static_cast<std::size_t>(gauge);
+  }
+
+#ifndef CAA_OBS_DISABLED
+  std::array<std::int64_t, kGauges> values_{};
+  std::array<std::int64_t, kGauges> peaks_{};
+#endif
+};
+
+}  // namespace caa::obs

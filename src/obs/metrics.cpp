@@ -4,6 +4,8 @@
 #include <bit>
 #include <sstream>
 
+#include "util/check.h"
+
 namespace caa::obs {
 
 void Histogram::record(std::int64_t value) {
@@ -25,7 +27,11 @@ namespace {
 std::int64_t bucket_quantile(const std::int64_t* buckets, int n_buckets,
                              std::int64_t count, std::int64_t fallback,
                              double q) {
+  CAA_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile_bound: q outside [0,1]");
   if (count == 0) return 0;
+  // q=1 has the exact answer on hand — the recorded max — and the bucket
+  // scan would only round it up to the bucket bound.
+  if (q >= 1.0) return fallback;
   const auto threshold =
       static_cast<std::int64_t>(q * static_cast<double>(count));
   std::int64_t seen = 0;

@@ -14,13 +14,21 @@
 #pragma once
 
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
+#include "obs/watchdog.h"
 
 namespace caa::obs {
 
 class Observability {
  public:
+  Observability() {
+    timeseries_.bind(&metrics_, &health_);
+    watchdog_.bind(&recorder_);
+  }
+
   /// True when structured tracing / per-round tabulation should record.
   [[nodiscard]] bool enabled() const {
 #ifdef CAA_OBS_DISABLED
@@ -53,6 +61,20 @@ class Observability {
   /// is the black box that should still be running when a world crashes.
   [[nodiscard]] FlightRecorder& recorder() { return recorder_; }
   [[nodiscard]] const FlightRecorder& recorder() const { return recorder_; }
+  /// Per-subsystem level gauges (obs/health.h). Like the recorder, these
+  /// are independent of enabled(): mutators compile out under
+  /// -DCAA_OBS_DISABLED and never touch counters, so pushing them
+  /// unconditionally cannot drift behaviour checksums.
+  [[nodiscard]] HealthGauges& health() { return health_; }
+  [[nodiscard]] const HealthGauges& health() const { return health_; }
+  /// The virtual-time telemetry sampler (obs/timeseries.h), bound to this
+  /// hub's metrics + gauges. Disarmed until TimeSeries::arm.
+  [[nodiscard]] TimeSeries& timeseries() { return timeseries_; }
+  [[nodiscard]] const TimeSeries& timeseries() const { return timeseries_; }
+  /// The liveness watchdog (obs/watchdog.h), bound to the recorder for
+  /// causal tails. Disarmed until Watchdog::arm.
+  [[nodiscard]] Watchdog& watchdog() { return watchdog_; }
+  [[nodiscard]] const Watchdog& watchdog() const { return watchdog_; }
 
  private:
 #ifndef CAA_OBS_DISABLED
@@ -61,6 +83,9 @@ class Observability {
   Tracer tracer_;
   Metrics metrics_;
   FlightRecorder recorder_;
+  HealthGauges health_;
+  TimeSeries timeseries_;
+  Watchdog watchdog_;
 };
 
 }  // namespace caa::obs

@@ -41,10 +41,29 @@ bool bit_set(const net::Bytes& bits, std::size_t rank) {
 
 }  // namespace
 
-void Disseminator::configure(ObjectId self, Hooks hooks, Counters* counters) {
+void Disseminator::configure(ObjectId self, Hooks hooks, Counters* counters,
+                             obs::HealthGauges* health) {
   self_ = self;
   hooks_ = std::move(hooks);
   counters_ = counters;
+  health_ = health;
+}
+
+void Disseminator::sync_backlog() {
+  if (health_ == nullptr) return;
+  std::int64_t backlog = 0;
+  for (const auto& [id, s] : scopes_) {
+    for (const auto& [neighbor, box] : s.outbox) {
+      backlog += static_cast<std::int64_t>(box.floods.size()) +
+                 static_cast<std::int64_t>(box.routes.size()) +
+                 static_cast<std::int64_t>(box.acks.size()) +
+                 static_cast<std::int64_t>(box.multis.size());
+    }
+  }
+  if (backlog != backlog_gauge_) {
+    health_->add(obs::Gauge::kOverlayOutboxBacklog, backlog - backlog_gauge_);
+    backlog_gauge_ = backlog;
+  }
 }
 
 void Disseminator::register_scope(ActionInstanceId scope,
@@ -136,6 +155,7 @@ void Disseminator::flush(ActionInstanceId scope) {
     if (counters_ != nullptr) counters_->add(counter_ids().envelopes);
     hooks_.send_envelope(neighbor, w.take());
   }
+  sync_backlog();
 }
 
 void Disseminator::enqueue_flood(ActionInstanceId scope, Scope& s,
@@ -196,6 +216,7 @@ void Disseminator::flood(ActionInstanceId scope, net::MsgKind kind,
     enqueue_flood(scope, s, n, item);
   }
   cache_flood(s, std::move(item));
+  sync_backlog();
 }
 
 void Disseminator::send_ack(ActionInstanceId scope, std::uint32_t round,
@@ -215,6 +236,7 @@ void Disseminator::send_ack(ActionInstanceId scope, std::uint32_t round,
   const ObjectId hop = s.tree.next_hop(self_, target);
   merge_ack(outbox_for(scope, s, hop).acks, target, round, bits,
             /*count_merges=*/true);
+  sync_backlog();
 }
 
 void Disseminator::route(ActionInstanceId scope, ObjectId target,
@@ -231,6 +253,7 @@ void Disseminator::route(ActionInstanceId scope, ObjectId target,
   const ObjectId hop = s.tree.next_hop(self_, target);
   outbox_for(scope, s, hop).routes.push_back(std::move(item));
   if (counters_ != nullptr) counters_->add(counter_ids().items);
+  sync_backlog();
 }
 
 void Disseminator::forward_multi(ActionInstanceId scope, Scope& s,
@@ -268,6 +291,7 @@ void Disseminator::route_multi(ActionInstanceId scope,
                                const std::vector<ObjectId>& targets,
                                net::MsgKind kind, const net::Bytes& payload) {
   forward_multi(scope, scope_state(scope), targets, self_, kind, payload);
+  sync_backlog();
 }
 
 void Disseminator::on_envelope(ObjectId from, const net::Bytes& payload) {
@@ -392,6 +416,7 @@ void Disseminator::on_envelope(ObjectId from, const net::Bytes& payload) {
     if (mine) hooks_.deliver(scope, origin, kind, bytes);
     net::BytesPool::local().recycle(std::move(bytes));
   }
+  sync_backlog();
 }
 
 void Disseminator::deliver_ack_bitmap(ActionInstanceId scope, const Scope& s,
@@ -463,9 +488,13 @@ void Disseminator::on_peer_crashed(ObjectId peer) {
       if (counters_ != nullptr) counters_->add(counter_ids().heal_items);
     }
   }
+  sync_backlog();
 }
 
-void Disseminator::clear() { scopes_.clear(); }
+void Disseminator::clear() {
+  scopes_.clear();
+  sync_backlog();
+}
 
 std::size_t Disseminator::rank_of(const std::vector<ObjectId>& members,
                                   ObjectId member) {

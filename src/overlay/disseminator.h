@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "obs/health.h"
 #include "overlay/params.h"
 #include "overlay/relay_tree.h"
 #include "util/counters.h"
@@ -71,8 +72,11 @@ class Disseminator {
   };
 
   /// Binds identity, callbacks and the counter store. Idempotent; must run
-  /// before any scope is registered.
-  void configure(ObjectId self, Hooks hooks, Counters* counters);
+  /// before any scope is registered. `health` (optional) receives this
+  /// relay's queued-item contribution to
+  /// obs::Gauge::kOverlayOutboxBacklog.
+  void configure(ObjectId self, Hooks hooks, Counters* counters,
+                 obs::HealthGauges* health = nullptr);
 
   /// Starts serving `scope` over its deterministic tree. `crashed` seeds
   /// the exclusion set so a late registrant computes the same live tree as
@@ -193,10 +197,15 @@ class Disseminator {
   }
   [[nodiscard]] static std::size_t rank_of(const std::vector<ObjectId>& members,
                                            ObjectId member);
+  /// Recounts queued outbox items across managed scopes and pushes the
+  /// delta into the backlog gauge. O(tree neighbors); no counters touched.
+  void sync_backlog();
 
   ObjectId self_;
   Hooks hooks_;
   Counters* counters_ = nullptr;
+  obs::HealthGauges* health_ = nullptr;
+  std::int64_t backlog_gauge_ = 0;  // last-pushed contribution
   std::map<ActionInstanceId, Scope> scopes_;
 };
 

@@ -22,7 +22,7 @@ AvoidanceCoordinator::AvoidanceCoordinator(
     ObjectId self, const std::vector<ObjectId>* members,
     const std::set<ObjectId>* excluded, const ex::ExceptionTree* tree,
     ActionInstanceId scope, sim::Time probe_delay, Hooks hooks,
-    Counters* counters)
+    Counters* counters, obs::HealthGauges* health)
     : self_(self),
       members_(members),
       excluded_(excluded),
@@ -30,8 +30,27 @@ AvoidanceCoordinator::AvoidanceCoordinator(
       scope_(scope),
       probe_delay_(probe_delay),
       hooks_(std::move(hooks)),
-      counters_(counters) {
+      counters_(counters),
+      health_(health) {
   CAA_CHECK(members_ != nullptr && excluded_ != nullptr && tree_ != nullptr);
+}
+
+AvoidanceCoordinator::~AvoidanceCoordinator() {
+  // A coordinator destroyed mid-census (scope aborted) retracts its gauge
+  // contribution so the world-level census count stays exact.
+  if (health_ != nullptr) {
+    health_->add(obs::Gauge::kResolveCensusOpen, -gauge_);
+  }
+}
+
+void AvoidanceCoordinator::sync_health() {
+  if (health_ == nullptr) return;
+  const std::int64_t open =
+      (census_active_ ? 1 : 0) + (pending_ ? 1 : 0);
+  if (open != gauge_) {
+    health_->add(obs::Gauge::kResolveCensusOpen, open - gauge_);
+    gauge_ = open;
+  }
 }
 
 net::Bytes AvoidanceCoordinator::make(FastCoverMsg::Phase phase,
@@ -95,6 +114,7 @@ bool AvoidanceCoordinator::try_fast_raise(ExceptionId exception,
     hooks_.send(leader, make(FastCoverMsg::Phase::kReport, exception, cover,
                              pending_round_));
   }
+  sync_health();
   return true;
 }
 
@@ -112,6 +132,7 @@ void AvoidanceCoordinator::census_record(ObjectId member, Entry entry) {
     });
   }
   maybe_decide();
+  sync_health();
 }
 
 void AvoidanceCoordinator::send_probes() {
@@ -211,6 +232,7 @@ void AvoidanceCoordinator::decide() {
   } else {
     hooks_.apply_synced_commit(commit);
   }
+  sync_health();
 }
 
 void AvoidanceCoordinator::fall_back_census(std::string_view reason) {
@@ -222,11 +244,13 @@ void AvoidanceCoordinator::fall_back_census(std::string_view reason) {
                         ExceptionId::invalid(), census_round_));
   promised_.reset();
   replay_suppressed();
+  sync_health();
 }
 
 void AvoidanceCoordinator::replay_suppressed() {
   if (!pending_) return;
   pending_ = false;
+  sync_health();
   if (counters_ != nullptr) counters_->add(kCounterFallbackReplays);
   if (!hooks_.engine_normal()) {
     // A commit or exchange already superseded the suppressed raise — the
@@ -249,6 +273,7 @@ void AvoidanceCoordinator::on_slow_traffic() {
     if (counters_ != nullptr) counters_->add(kCounterFallbacks);
   }
   replay_suppressed();
+  sync_health();
 }
 
 void AvoidanceCoordinator::on_peer_crashed(ObjectId peer) {
@@ -260,6 +285,7 @@ void AvoidanceCoordinator::on_peer_crashed(ObjectId peer) {
     if (counters_ != nullptr) counters_->add(kCounterFallbacks);
   }
   replay_suppressed();
+  sync_health();
 }
 
 void AvoidanceCoordinator::on_round_finished() {
@@ -269,6 +295,7 @@ void AvoidanceCoordinator::on_round_finished() {
   census_active_ = false;
   census_.clear();
   probes_sent_ = false;
+  sync_health();
 }
 
 void AvoidanceCoordinator::on_stale(ObjectId from, const FastCoverMsg& m) {
@@ -334,6 +361,7 @@ void AvoidanceCoordinator::on_message(ObjectId from, const FastCoverMsg& m) {
 void AvoidanceCoordinator::handle_commit(const FastCoverMsg& m) {
   promised_.reset();
   pending_ = false;  // subsumed: our report is folded into the commit
+  sync_health();
   const CommitMsg commit{scope_, m.round, m.sender, m.exception};
   if (hooks_.engine_normal()) {
     hooks_.apply_fast_commit(commit);

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "ex/exception_tree.h"
+#include "obs/health.h"
 #include "resolve/messages.h"
 #include "sim/event_queue.h"
 #include "util/counters.h"
@@ -92,11 +93,15 @@ class AvoidanceCoordinator {
   /// silent members — an efficiency knob only (correctness never depends on
   /// it): in the §4.4 all-raise every report beats the probe and the round
   /// costs (N-1) reports + (N-1) commits, under the 2N bench gate.
+  /// `health` (optional) receives the census-open level
+  /// (obs::Gauge::kResolveCensusOpen: open censuses + suppressed raises at
+  /// this member); gauge pushes never touch `counters`.
   AvoidanceCoordinator(ObjectId self, const std::vector<ObjectId>* members,
                        const std::set<ObjectId>* excluded,
                        const ex::ExceptionTree* tree, ActionInstanceId scope,
-                       sim::Time probe_delay, Hooks hooks,
-                       Counters* counters);
+                       sim::Time probe_delay, Hooks hooks, Counters* counters,
+                       obs::HealthGauges* health = nullptr);
+  ~AvoidanceCoordinator();
 
   /// Raise-side classification: suppresses the raise and reports it to the
   /// census when `exception` provably commutes — it has a valid universal
@@ -143,6 +148,16 @@ class AvoidanceCoordinator {
   /// current round; everything else is protocol residue and dropped.
   void on_stale(ObjectId from, const FastCoverMsg& m);
 
+  /// The fast path's current phase at this member, for watchdog diagnoses:
+  /// "census" (leader, census open), "suppressed-raise", "promised", or
+  /// "idle".
+  [[nodiscard]] std::string_view phase() const {
+    if (census_active_) return "census";
+    if (pending_) return "suppressed-raise";
+    if (promised_.has_value()) return "promised";
+    return "idle";
+  }
+
  private:
   struct Entry {
     enum class Kind : std::uint8_t { kRaise, kNoRaise, kBusy };
@@ -163,6 +178,8 @@ class AvoidanceCoordinator {
                                 std::uint32_t round) const;
   [[nodiscard]] std::size_t live_members() const;
   void trace(std::string_view event, std::string detail = {});
+  /// Re-derives the census-open gauge contribution and pushes the delta.
+  void sync_health();
 
   ObjectId self_;
   const std::vector<ObjectId>* members_;   // sorted, includes self
@@ -172,6 +189,8 @@ class AvoidanceCoordinator {
   sim::Time probe_delay_;
   Hooks hooks_;
   Counters* counters_ = nullptr;
+  obs::HealthGauges* health_ = nullptr;
+  std::int64_t gauge_ = 0;  // last-pushed census-open contribution
 
   // Raiser side: the suppressed raise (engine untouched until commit or
   // replay).

@@ -45,6 +45,52 @@ ResolverCore::~ResolverCore() {
   if (round_span_.valid() && hooks_.obs != nullptr) {
     hooks_.obs->tracer().end_args(round_span_, "superseded");
   }
+  // A superseded engine retracts its gauge contributions so world-level
+  // levels stay exact.
+  if (obs::HealthGauges* h = health(); h != nullptr) {
+    h->add(obs::Gauge::kResolveActiveRounds, -active_gauge_);
+    h->add(obs::Gauge::kResolveOutstandingAcks, -acks_gauge_);
+  }
+}
+
+obs::HealthGauges* ResolverCore::health() const {
+  return hooks_.obs != nullptr ? &hooks_.obs->health() : nullptr;
+}
+
+void ResolverCore::sync_health() {
+  obs::HealthGauges* h = health();
+  if (h == nullptr) return;
+  const std::int64_t active =
+      state_ != State::kNormal && state_ != State::kHandling ? 1 : 0;
+  if (active != active_gauge_) {
+    h->add(obs::Gauge::kResolveActiveRounds, active - active_gauge_);
+    active_gauge_ = active;
+    if (active != 0) {
+      h->set_max(obs::Gauge::kResolveMaxRound,
+                 static_cast<std::int64_t>(round_) + 1);
+    }
+  }
+  std::int64_t awaited = 0;
+  if (awaiting_acks_ && active != 0) {
+    awaited = static_cast<std::int64_t>(members_.size() - 1 -
+                                        excluded_.size() - acks_live_);
+  }
+  if (awaited != acks_gauge_) {
+    h->add(obs::Gauge::kResolveOutstandingAcks, awaited - acks_gauge_);
+    acks_gauge_ = awaited;
+  }
+}
+
+std::vector<ObjectId> ResolverCore::awaited_members() const {
+  std::vector<ObjectId> waiting;
+  for (std::size_t rank = 0; rank < members_.size(); ++rank) {
+    const ObjectId member = members_[rank];
+    if (member == self_ || excluded_.contains(member)) continue;
+    const bool ack_due = awaiting_acks_ && state_ != State::kHandling &&
+                         acked_[rank] == 0;
+    if (ack_due || lo_state_[rank] == kLoPending) waiting.push_back(member);
+  }
+  return waiting;
 }
 
 std::size_t ResolverCore::member_rank(ObjectId member) const {
@@ -112,6 +158,7 @@ void ResolverCore::raise(ExceptionId exception, std::string message) {
   note_send(net::MsgKind::kException,
             static_cast<std::int64_t>(members_.size() - 1));
   maybe_ready();  // degenerate single-member group resolves immediately
+  sync_health();
 }
 
 void ResolverCore::on_trigger_while_nested(
@@ -136,6 +183,7 @@ void ResolverCore::on_trigger_while_nested(
   hooks_.abort_nested([this](ExceptionId signalled) {
     abort_finished(signalled);
   });
+  sync_health();
 }
 
 void ResolverCore::abort_finished(ExceptionId signalled) {
@@ -171,6 +219,7 @@ void ResolverCore::abort_finished(ExceptionId signalled) {
   queued_.clear();
   for (const auto& m : queued) process(m);
   maybe_ready();
+  sync_health();
 }
 
 void ResolverCore::process(const AnyMsg& m) {
@@ -198,6 +247,7 @@ void ResolverCore::on_exception(const ExceptionMsg& m) {
     return;
   }
   handle_exception(m);
+  sync_health();
 }
 
 void ResolverCore::on_have_nested(const HaveNestedMsg& m) {
@@ -206,6 +256,7 @@ void ResolverCore::on_have_nested(const HaveNestedMsg& m) {
     return;
   }
   handle_have_nested(m);
+  sync_health();
 }
 
 void ResolverCore::on_nested_completed(const NestedCompletedMsg& m) {
@@ -214,6 +265,7 @@ void ResolverCore::on_nested_completed(const NestedCompletedMsg& m) {
     return;
   }
   handle_nested_completed(m);
+  sync_health();
 }
 
 void ResolverCore::on_ack(const AckMsg& m) {
@@ -222,6 +274,7 @@ void ResolverCore::on_ack(const AckMsg& m) {
     return;
   }
   handle_ack(m);
+  sync_health();
 }
 
 void ResolverCore::on_commit(const CommitMsg& m) {
@@ -230,6 +283,7 @@ void ResolverCore::on_commit(const CommitMsg& m) {
     return;
   }
   handle_commit(m);
+  sync_health();
 }
 
 void ResolverCore::handle_exception(const ExceptionMsg& m) {
@@ -323,6 +377,7 @@ void ResolverCore::apply_synced_commit(const CommitMsg& m) {
   // kExceptional holds it until Ready; kAborting keeps it pending and the
   // post-abortion maybe_ready() applies it.
   maybe_ready();
+  sync_health();
 }
 
 void ResolverCore::apply_fast_commit(const CommitMsg& m) {
@@ -331,6 +386,7 @@ void ResolverCore::apply_fast_commit(const CommitMsg& m) {
                 "fast commit: engine saw protocol traffic this round");
   suspend_if_normal();
   finish(m);
+  sync_health();
 }
 
 void ResolverCore::record_exception(ExceptionId exception, ObjectId raiser,
@@ -402,6 +458,7 @@ void ResolverCore::raise_from_suspended(ExceptionId exception) {
   note_send(net::MsgKind::kException,
             static_cast<std::int64_t>(members_.size() - 1));
   maybe_ready();
+  sync_health();
 }
 
 void ResolverCore::exclude_member(ObjectId peer) {
@@ -425,6 +482,7 @@ void ResolverCore::exclude_member(ObjectId peer) {
   }
   trace("member excluded (crash)", "O" + std::to_string(peer.value()));
   maybe_ready();
+  sync_health();
 }
 
 void ResolverCore::set_commit_gate(bool gated) {
@@ -432,6 +490,7 @@ void ResolverCore::set_commit_gate(bool gated) {
   commit_gated_ = gated;
   trace(gated ? "commit gate on (crash sync)" : "commit gate off");
   if (!gated) maybe_ready();
+  sync_health();
 }
 
 void ResolverCore::maybe_ready() {

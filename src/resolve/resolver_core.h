@@ -184,6 +184,12 @@ class ResolverCore {
   /// True once the round finished (handler started).
   [[nodiscard]] bool finished() const { return state_ == State::kHandling; }
 
+  /// Members this engine is still waiting on: live peers whose ACK has not
+  /// arrived (while one is awaited) plus peers with a pending nested
+  /// completion. Empty for a round that cannot stall. The liveness
+  /// watchdog's "awaiting" list.
+  [[nodiscard]] std::vector<ObjectId> awaited_members() const;
+
   /// Resolution result, valid once finished().
   [[nodiscard]] ExceptionId resolved() const { return resolved_; }
 
@@ -222,6 +228,13 @@ class ResolverCore {
   [[nodiscard]] bool all_nested_completed() const;
   [[nodiscard]] bool self_in_committee() const;
 
+  /// The hub's gauge store (nullptr when no hub is wired — unit tests).
+  [[nodiscard]] obs::HealthGauges* health() const;
+  /// Re-derives this engine's contribution to the resolve gauges (active
+  /// rounds, outstanding ACKs) and pushes the deltas. Called from every
+  /// public entry point; a few integer ops, no counters touched.
+  void sync_health();
+
   /// Index of `member` in the sorted members_ list; contract violation if
   /// the id is not a group member (the router only delivers group traffic).
   [[nodiscard]] std::size_t member_rank(ObjectId member) const;
@@ -257,6 +270,10 @@ class ResolverCore {
   std::vector<AnyMsg> queued_;  // messages deferred while kAborting
   ExceptionId resolved_;
   obs::SpanId round_span_ = obs::SpanId::invalid();
+  // This engine's last-pushed gauge contributions (so deltas are exact and
+  // the destructor can retract them when a round is superseded).
+  std::int64_t active_gauge_ = 0;
+  std::int64_t acks_gauge_ = 0;
 };
 
 [[nodiscard]] std::string_view to_string(ResolverCore::State state);

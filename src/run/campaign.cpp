@@ -134,6 +134,7 @@ CampaignResult Campaign::run() {
     result.total_events += w.events;
     result.total_messages += w.messages;
     result.merged_metrics.merge(w.metrics);
+    result.merged_timeseries.merge(w.timeseries);
     for (const auto& [key, value] : w.values) {
       result.merged_values[key] += value;
     }
@@ -154,6 +155,9 @@ WorldResult measure(std::string name, World& world,
   r.sim_time = world.simulator().now();
   r.messages = world.metrics().total_sent();
   r.metrics = world.metrics().snapshot();
+  if (world.timeseries().armed()) {
+    r.timeseries = world.timeseries().table();
+  }
   r.checksum = scenario::world_checksum(world, r.events);
   return r;
 }

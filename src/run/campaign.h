@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "sim/event_queue.h"
 
 namespace caa {
@@ -72,6 +73,10 @@ struct WorldResult {
   sim::Time sim_time = 0;
   std::uint64_t checksum = 0;  // behavioural fingerprint (world_checksum)
   obs::MetricsSnapshot metrics;
+  /// Virtual-time telemetry windows (empty unless the world armed
+  /// WorldConfig.telemetry). Merged window-index-aligned, so the campaign
+  /// aggregate is bit-identical at any thread count.
+  obs::TimeSeriesTable timeseries;
   /// Free-form per-world figures (bench cells: latencies, abort counts...).
   /// Merged by key-wise sum.
   std::map<std::string, std::int64_t, std::less<>> values;
@@ -106,6 +111,9 @@ struct CampaignResult {
   std::vector<WorldResult> worlds;  // add() order, regardless of scheduling
   std::uint64_t merged_checksum = 0;
   obs::MetricsSnapshot merged_metrics;
+  /// Window-aligned element-wise sum of every world's telemetry table
+  /// (empty when no world armed the sampler).
+  obs::TimeSeriesTable merged_timeseries;
   std::map<std::string, std::int64_t, std::less<>> merged_values;
   std::int64_t total_events = 0;
   std::int64_t total_messages = 0;

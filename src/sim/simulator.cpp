@@ -27,6 +27,17 @@ bool Simulator::step() {
   auto fired = queue_.pop();
   CAA_CHECK(fired.time >= now_);
   now_ = fired.time;
+  // Telemetry hooks ride the step loop — never scheduled events — so arming
+  // them cannot change event counts or behaviour checksums. Both are one
+  // time compare when disarmed. Sampling happens BEFORE the event executes:
+  // an event at exactly a window boundary counts into the new window.
+  obs::TimeSeries& ts = obs_.timeseries();
+  if (ts.armed()) {
+    obs_.health().set(obs::Gauge::kSimQueueDepth,
+                      static_cast<std::int64_t>(queue_.size()));
+    ts.maybe_roll(now_);
+  }
+  obs_.watchdog().maybe_poll(now_);
   obs::FlightRecorder& recorder = obs_.recorder();
   recorder.set_current_cause(fired.cause);
   fired.fn();

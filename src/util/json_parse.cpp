@@ -1,0 +1,191 @@
+#include "util/json_parse.h"
+
+#include <cstdlib>
+
+namespace caa::util {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> run() {
+    skip_ws();
+    JsonValue root;
+    if (Status s = value(root, 0); !s.is_ok()) return s;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return root;
+  }
+
+ private:
+  Status fail(std::string_view what) const {
+    return Status::invalid_argument("json: " + std::string(what) +
+                                    " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eat_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Status value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return object(out, depth);
+      case '[': return array(out, depth);
+      case '"': {
+        out.kind = JsonValue::Kind::kString;
+        return string(out.string);
+      }
+      case 't':
+        if (!eat_word("true")) return fail("bad literal");
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return Status::ok();
+      case 'f':
+        if (!eat_word("false")) return fail("bad literal");
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return Status::ok();
+      case 'n':
+        if (!eat_word("null")) return fail("bad literal");
+        out.kind = JsonValue::Kind::kNull;
+        return Status::ok();
+      default: return number(out);
+    }
+  }
+
+  Status object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return Status::ok();
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (Status s = string(key); !s.is_ok()) return s;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      skip_ws();
+      JsonValue member;
+      if (Status s = value(member, depth + 1); !s.is_ok()) return s;
+      out.members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return Status::ok();
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  Status array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return Status::ok();
+    while (true) {
+      skip_ws();
+      JsonValue element;
+      if (Status s = value(element, depth + 1); !s.is_ok()) return s;
+      out.elements.push_back(std::move(element));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return Status::ok();
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  Status string(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::ok();
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          if (code >= 0x80) return fail("non-ascii \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status number(JsonValue& out) {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(begin, &end);
+    if (end == begin) return fail("expected value");
+    out.kind = JsonValue::Kind::kNumber;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return Status::ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace caa::util

@@ -1,0 +1,57 @@
+// Minimal read-side JSON: a recursive-descent parser into a small DOM.
+//
+// The write side lives in bench/perf_json.h (insertion-ordered builder);
+// this is its read-side counterpart for the few places that must consume
+// JSON the repo itself emits — time-series exports (obs/timeseries.h) and
+// the BENCH_*.json regression gate in tools/caa-report. It is not a
+// general-purpose JSON library: numbers parse via strtod, strings handle
+// the standard escapes (\uXXXX maps below 0x80 only, the range our
+// emitters produce), and depth is bounded to keep malformed input from
+// recursing away.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace caa::util {
+
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> elements;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject,
+                                                             // insertion order
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// First member with `key`, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// The number truncated to int64 (0 for non-numbers).
+  [[nodiscard]] std::int64_t as_int() const {
+    return is_number() ? static_cast<std::int64_t>(number) : 0;
+  }
+};
+
+/// Parses one JSON document (surrounding whitespace allowed; trailing
+/// garbage is an error).
+[[nodiscard]] Result<JsonValue> parse_json(std::string_view text);
+
+}  // namespace caa::util

@@ -36,7 +36,9 @@ void usage() {
       "(default)\n"
       "                  or non-blocking Paxos Commit\n"
       "  --avoid         coordination avoidance: commutative raise sets\n"
-      "                  commit via the leader census fast path\n");
+      "                  commit via the leader census fast path\n"
+      "  --watchdog T    stall-diagnosis deadline in virtual ticks for\n"
+      "                  --index replays (default 10000; 0 disarms)\n");
 }
 
 }  // namespace
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
   caa::fault::ChaosOptions options;
   options.threads = 0;  // CLI default: all cores (results are invariant)
   long long replay_index = -1;
+  long long watchdog_deadline = 10'000;  // --index replays only
   bool show_plan = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +111,8 @@ int main(int argc, char** argv) {
       options.shrink = false;
     } else if (arg == "--index") {
       replay_index = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--watchdog") {
+      watchdog_deadline = std::strtoll(next(), nullptr, 10);
     } else if (arg == "--show-plan") {
       show_plan = true;
     } else if (arg == "--trace") {
@@ -119,17 +124,28 @@ int main(int argc, char** argv) {
   }
 
   if (replay_index >= 0) {
-    // Replay one trial exactly as the campaign would run it.
+    // Replay one trial exactly as the campaign would run it — plus the
+    // liveness watchdog, whose diagnoses (stuck scope, phase, awaited
+    // members, causal tail) print alongside the critical path. Arming it
+    // never changes the trial's checksum.
+    options.watchdog_deadline = watchdog_deadline;
     const std::uint64_t trial_seed =
         caa::run::derive_seed(options.seed, static_cast<std::size_t>(replay_index));
     const caa::fault::FaultPlan plan =
         caa::fault::chaos_plan(trial_seed, options);
     if (show_plan) std::fputs(plan.to_text().c_str(), stdout);
     std::string trace_log;
+    std::string critical_path;
+    std::string watchdog_report;
     const caa::run::WorldResult result = caa::fault::run_chaos_trial(
         trial_seed, plan, options, static_cast<std::size_t>(replay_index),
-        nullptr, options.trace ? &trace_log : nullptr);
+        &critical_path, options.trace ? &trace_log : nullptr,
+        &watchdog_report);
     if (!trace_log.empty()) std::fputs(trace_log.c_str(), stdout);
+    if (!result.ok && !critical_path.empty()) {
+      std::fputs(critical_path.c_str(), stdout);
+    }
+    if (!watchdog_report.empty()) std::fputs(watchdog_report.c_str(), stdout);
     std::printf("trial %lld: %s (events %lld, checksum %016llx)\n",
                 replay_index, result.ok ? "ok" : result.error.c_str(),
                 static_cast<long long>(result.events),

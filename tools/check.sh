@@ -95,13 +95,14 @@ echo "participant is clean of avoidance classification internals"
 # golden .caafr and diff against the golden rendering the tests pin.
 echo "==== caa-inspect golden decode ============================="
 inspect=""
+tooldir=""
 for preset in "${presets[@]}"; do
   case "${preset}" in
     dev)     candidate="build/tools/caa-inspect" ;;
     release) candidate="build-release/tools/caa-inspect" ;;
     *)       continue ;;
   esac
-  [ -x "${candidate}" ] && inspect="${candidate}"
+  [ -x "${candidate}" ] && { inspect="${candidate}"; tooldir="$(dirname "${candidate}")"; }
 done
 if [ -n "${inspect}" ]; then
   "${inspect}" tests/golden/example1_recorder.caafr \
@@ -112,12 +113,39 @@ else
   echo "skipped (no dev/release preset in this run)"
 fi
 
+# caa-report must keep rendering the committed telemetry format: the
+# timeline of the golden export is byte-stable, and the committed perf
+# record must compare clean against itself (the same gate PRs run against
+# a freshly regenerated BENCH_throughput.json — anything beyond 15% on a
+# checked deterministic metric fails).
+echo "==== caa-report golden timeline + compare gate ============="
+if [ -n "${tooldir}" ] && [ -x "${tooldir}/caa-report" ]; then
+  "${tooldir}/caa-report" tests/golden/timeseries_flat.json \
+    | diff -u tests/golden/timeseries_flat_timeline.txt - \
+    || { echo "caa-report timeline drifted from tests/golden/timeseries_flat_timeline.txt" >&2; exit 1; }
+  echo "caa-report timeline matches the golden"
+  bench_dir="${tooldir%/tools}"
+  fresh_bench=""
+  if [ -x "${bench_dir}/bench/bench_throughput" ]; then
+    fresh_bench="$(mktemp /tmp/BENCH_throughput.XXXXXX.json)"
+    "${bench_dir}/bench/bench_throughput" --reps 1 --json "${fresh_bench}" \
+      > /dev/null
+    "${tooldir}/caa-report" --compare BENCH_throughput.json "${fresh_bench}" \
+      || { echo "fresh bench drifted >15% from the committed BENCH_throughput.json" >&2; exit 1; }
+    rm -f "${fresh_bench}"
+    echo "fresh bench compares clean against the committed perf record"
+  fi
+else
+  echo "skipped (no dev/release preset in this run)"
+fi
+
 # The observability kill switch must stay buildable: compile the library
-# and the inspector with the recorder compiled out.
+# and the telemetry-consuming tools with the recorder, gauges, sampler and
+# watchdog compiled out.
 echo "==== -DCAA_OBS_DISABLED build =============================="
 cmake -B build-obsoff -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS=-DCAA_OBS_DISABLED
-cmake --build build-obsoff -j "${jobs}" --target caactions caa-inspect
+cmake --build build-obsoff -j "${jobs}" --target caactions caa-inspect caa-report
 echo "CAA_OBS_DISABLED build compiles clean"
 
 echo "==== all presets green: ${presets[*]}"
