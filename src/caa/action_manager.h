@@ -17,6 +17,22 @@
 
 namespace caa::action {
 
+/// Test-only switches that re-introduce protocol bugs fixed by the chaos
+/// campaigns (PR 5), each behind its own flag. The systematic explorer
+/// (src/explore/) asserts it rediscovers both deterministically — the
+/// planted-bug gate that proves exhaustive exploration actually bites.
+/// Never set outside tests.
+struct DebugBugs {
+  /// Committee exclusion divergence: skip the crash-sync barrier and keep
+  /// crashed raisers in the local exception lists, so survivors that heard
+  /// different subsets of a dead peer's raises resolve different covers.
+  bool exclusion_divergence = false;
+  /// Lost final Leave: drop belated ActionDone messages addressed to a dead
+  /// scope instead of replaying the recorded final Leave, so a member that
+  /// missed the Leave when the exit leader crashed re-announces forever.
+  bool lost_final_leave = false;
+};
+
 class ActionManager {
  public:
   explicit ActionManager(net::GroupDirectory& groups) : groups_(groups) {}
@@ -69,6 +85,10 @@ class ActionManager {
     avoidance_probe_delay_ = delay;
   }
 
+  /// Test-only planted-bug switches (see DebugBugs / WorldConfig).
+  void set_debug_bugs(const DebugBugs& bugs) { debug_bugs_ = bugs; }
+  [[nodiscard]] const DebugBugs& debug_bugs() const { return debug_bugs_; }
+
  private:
   net::GroupDirectory& groups_;
   overlay::OverlayParams overlay_defaults_;
@@ -76,6 +96,7 @@ class ActionManager {
   bool exit_gc_ = false;
   bool resolve_avoidance_ = false;
   sim::Time avoidance_probe_delay_ = 250;
+  DebugBugs debug_bugs_;
   std::vector<std::unique_ptr<ActionDecl>> decls_;
   std::unordered_map<ActionInstanceId, std::unique_ptr<InstanceInfo>>
       instances_;

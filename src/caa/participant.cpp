@@ -286,11 +286,14 @@ void Participant::on_message(ObjectId from, net::MsgKind kind,
 
 void Participant::route_resolution(ObjectId from, net::MsgKind kind,
                                    const net::Bytes& payload) {
-  if (crashed_.contains(from)) {
+  if (crashed_.contains(from) &&
+      !manager_.debug_bugs().exclusion_divergence) {
     // Fail-stop: a crashed sender's in-flight resolution content is void
     // (ResolverCore::exclude_member expunged its contribution), and it must
     // stay void uniformly — survivors the message reaches and survivors it
-    // misses have to compute the same resolution.
+    // misses have to compute the same resolution. The planted-bug flag
+    // re-opens the PR 5 exclusion-divergence hole by accepting such
+    // messages (see action::DebugBugs).
     runtime().simulator().counters().add(kCounterFromCrashedDropped);
     return;
   }
@@ -905,7 +908,10 @@ void Participant::on_exit_msg(ObjectId from, net::MsgKind kind,
     // re-sends its Done/vote to us after re-election; if we exited this
     // scope through its exit protocol, release the sender with the outcome
     // everyone else applied.
-    if (const LeaveMsg* rec = leave_log_.find(scope); rec != nullptr) {
+    if (const LeaveMsg* rec = leave_log_.find(scope);
+        rec != nullptr && !manager_.debug_bugs().lost_final_leave) {
+      // The planted-bug flag re-opens the PR 5 lost-final-Leave hole by
+      // dropping the belated Done instead (see action::DebugBugs).
       send(from, net::MsgKind::kActionLeave, encode(*rec));
       return;
     }
@@ -1093,6 +1099,9 @@ std::unique_ptr<resolve::ResolverCore> Participant::make_engine(
   auto engine = std::make_unique<resolve::ResolverCore>(
       id(), dyn.info->members, &dyn.info->decl->tree(), scope, dyn.round,
       make_hooks(scope), dyn.config.resolver_committee);
+  if (manager_.debug_bugs().exclusion_divergence) {
+    engine->set_debug_keep_crashed(true);
+  }
   for (ObjectId member : dyn.info->members) {
     if (crashed_.contains(member)) {
       dyn.excluded.insert(member);
@@ -1271,12 +1280,15 @@ void Participant::notify_peer_crashed(ObjectId peer) {
     dyn.excluded.insert(peer);
     // Barrier before exclusion: the gate must be on before exclude_member's
     // readiness re-check, or this object could commit from its own partial
-    // view the instant the crashed member's ACK is waived.
-    begin_crash_sync(instance, dyn, peer);
+    // view the instant the crashed member's ACK is waived. The planted-bug
+    // flag (action::DebugBugs::exclusion_divergence) skips the barrier,
+    // restoring the pre-PR 5 race the explorer must rediscover.
+    const bool skip_sync = manager_.debug_bugs().exclusion_divergence;
+    if (!skip_sync) begin_crash_sync(instance, dyn, peer);
     dyn.engine->exclude_member(peer);
     // If an earlier barrier was still waiting on this peer, its reply will
     // never come — waive it (may complete that barrier).
-    crash_sync_heard(instance, dyn, peer);
+    if (!skip_sync) crash_sync_heard(instance, dyn, peer);
     const ObjectId new_leader = live_leader(dyn);
     // Exit-side consequences (leader re-election, pending-Done re-announce,
     // quorum re-evaluation) belong to the scope's exit protocol. May decide

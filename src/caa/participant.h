@@ -275,6 +275,12 @@ class Participant : public rt::ManagedObject, private exit::ExitHost {
   [[nodiscard]] const std::vector<HandledRecord>& handled() const {
     return handled_;
   }
+  /// Test-only: plants a handled record as if a commit had been applied.
+  /// Exists so the invariant oracle's agreement check can be exercised on a
+  /// minimal divergence without reproducing a full protocol bug.
+  void debug_inject_handled(const HandledRecord& record) {
+    handled_.push_back(record);
+  }
   [[nodiscard]] const std::vector<AbortRecord>& aborts() const {
     return aborts_;
   }

@@ -88,6 +88,13 @@ struct WorldConfig {
   /// quiescence) is diagnosed with phase, awaited members and a causal
   /// tail. Same zero-perturbation contract as the sampler.
   sim::Time watchdog_deadline = 0;
+  /// Managed network delivery (net::Network::set_managed): send() parks
+  /// packets for an external scheduler instead of sampling latency/faults.
+  /// Only the systematic explorer (src/explore/) sets this.
+  bool managed_network = false;
+  /// Test-only planted protocol bugs (action::DebugBugs). Never set outside
+  /// the explorer's planted-bug gates.
+  action::DebugBugs debug_bugs;
 };
 
 class World {

@@ -36,6 +36,10 @@ bool PaxosCommitExit::is_acceptor(ObjectId o) const {
   return std::binary_search(acceptors_.begin(), acceptors_.end(), o);
 }
 
+bool PaxosCommitExit::is_member(ObjectId o) const {
+  return std::binary_search(info_.members.begin(), info_.members.end(), o);
+}
+
 std::size_t PaxosCommitExit::live_acceptors() const {
   const std::set<ObjectId>& excluded = host_.exit_excluded(info_.instance);
   std::size_t live = 0;
@@ -89,6 +93,9 @@ void PaxosCommitExit::on_message(ObjectId from, net::MsgKind kind,
           !signal.is_ok()) {
         return;
       }
+      // Embedded ids name reply targets and quorum entries; only scope
+      // members may appear (a garbage id must not reach the directory).
+      if (!is_member(ObjectId(voter.value()))) return;
       handle_vote(VoteMsg{info_.instance, round.value(), ballot.value(),
                           ObjectId(voter.value()),
                           Value{waived.value(), ok.value(),
@@ -105,6 +112,10 @@ void PaxosCommitExit::on_message(ObjectId from, net::MsgKind kind,
           !ok.is_ok() || !signal.is_ok()) {
         return;
       }
+      if (!is_member(ObjectId(acceptor.value())) ||
+          !is_member(ObjectId(voter.value()))) {
+        return;
+      }
       handle_accepted(AcceptedMsg{info_.instance, round.value(),
                                   ballot.value(), ObjectId(acceptor.value()),
                                   ObjectId(voter.value()),
@@ -115,6 +126,7 @@ void PaxosCommitExit::on_message(ObjectId from, net::MsgKind kind,
     case net::MsgKind::kPaxosPrepare: {
       auto sender = r.u32();
       if (!sender.is_ok()) return;
+      if (!is_member(ObjectId(sender.value()))) return;
       handle_prepare(PrepareMsg{info_.instance, round.value(), ballot.value(),
                                 ObjectId(sender.value())});
       return;
@@ -123,6 +135,7 @@ void PaxosCommitExit::on_message(ObjectId from, net::MsgKind kind,
       auto acceptor = r.u32();
       auto count = r.u32();
       if (!acceptor.is_ok() || !count.is_ok()) return;
+      if (!is_member(ObjectId(acceptor.value()))) return;
       PromiseMsg m{info_.instance, round.value(), ballot.value(),
                    ObjectId(acceptor.value()), {}};
       for (std::uint32_t i = 0; i < count.value(); ++i) {
@@ -135,6 +148,7 @@ void PaxosCommitExit::on_message(ObjectId from, net::MsgKind kind,
             !ok.is_ok() || !signal.is_ok()) {
           return;
         }
+        if (!is_member(ObjectId(voter.value()))) return;
         m.accepted[ObjectId(voter.value())] =
             Accepted{aballot.value(), Value{waived.value(), ok.value(),
                                             ExceptionId(signal.value())}};

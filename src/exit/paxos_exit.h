@@ -119,6 +119,7 @@ class PaxosCommitExit final : public ExitProtocol {
     bool decided = false;
   };
 
+  [[nodiscard]] bool is_member(ObjectId o) const;
   void handle_vote(const VoteMsg& m);
   void handle_accepted(const AcceptedMsg& m);
   void handle_prepare(const PrepareMsg& m);

@@ -1,0 +1,111 @@
+// One managed-world execution: a model instance driven transition by
+// transition.
+//
+// The Execution owns a freshly built managed-network world (model.h) and
+// exposes the explorer's state interface:
+//
+//   enabled()  — the sorted set of transitions the scheduler may take now:
+//                every per-channel FIFO-head parked packet is deliverable;
+//                a head whose sender has crashed may instead be dropped
+//                (fail-stop: in-flight mail from the dead may or may not
+//                arrive); the virtual-clock timer fires only once
+//                deliveries drain (race_timers relaxes that); a crash of a
+//                configured victim is available while budget remains and
+//                the run is not already over.
+//   take(t)    — execute one enabled transition, drain the same-time event
+//                cohort it triggers, and record the step's happens-before
+//                predecessors (hb.h).
+//
+// Determinism contract: two Executions of the same model taking the same
+// transition sequence are bit-identical — packet ids, step metadata and
+// checksums all replay exactly. The explorer leans on this to rebuild
+// prefixes from scratch when it backtracks.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "explore/hb.h"
+#include "explore/model.h"
+#include "explore/transition.h"
+#include "fault/oracle.h"
+#include "net/network.h"
+
+namespace caa::explore {
+
+/// An enabled transition plus the channel facts dependence needs.
+struct TransitionInfo {
+  Transition t;
+  NodeId src{0};  // deliver/drop: packet channel; crash: the victim
+  NodeId dst{0};
+  net::MsgKind kind = net::MsgKind::kAppData;
+};
+
+/// May executing `a` and `b` in either order differ? Deliveries conflict on
+/// their destination node (handler order there is observable); a drop
+/// conflicts only with its own packet's delivery; timers and crashes are
+/// conservatively dependent with everything.
+[[nodiscard]] bool dependent(const TransitionInfo& a, const TransitionInfo& b);
+
+struct ExecOptions {
+  /// Let the timer race enabled deliveries instead of waiting for delivery
+  /// quiescence. Off by default: the equality gates are stated over the
+  /// quiescence-separated phase model, and racing timers grows the
+  /// state space without growing protocol coverage (timer handlers only
+  /// inject scripted scenario steps).
+  bool race_timers = false;
+};
+
+class Execution {
+ public:
+  explicit Execution(const ModelOptions& model, ExecOptions options = {});
+
+  /// Enabled transitions, sorted by Transition ordering (so .front() is the
+  /// default policy's choice). Cached until the next take().
+  [[nodiscard]] const std::vector<TransitionInfo>& enabled();
+  [[nodiscard]] bool done() { return enabled().empty(); }
+
+  /// Executes `t` if enabled; returns false (state untouched) otherwise.
+  bool take(const Transition& t);
+
+  struct Step {
+    TransitionInfo info;
+    /// For deliver/drop: the step whose execution parked this packet
+    /// (HbTracker::kNone when the world's construction script sent it).
+    std::size_t sent_step = HbTracker::kNone;
+  };
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
+  [[nodiscard]] const HbTracker& hb() const { return hb_; }
+
+  [[nodiscard]] World& world() { return instance_->world(); }
+  [[nodiscard]] ModelInstance& instance() { return *instance_; }
+  [[nodiscard]] std::uint64_t resolved_checksum() const {
+    return instance_->resolved_checksum();
+  }
+
+  /// The PR 5 invariant oracle at the current (maximal) state.
+  [[nodiscard]] fault::OracleReport check();
+
+ private:
+  void refresh_enabled();
+  void drain_cohort();
+  /// Stamps packets first seen after step `idx` as sent by that step.
+  void note_new_packets(std::size_t idx);
+
+  ModelOptions model_;
+  ExecOptions options_;
+  std::unique_ptr<ModelInstance> instance_;
+  std::vector<std::uint32_t> victims_;  // sorted, deduped
+  std::vector<TransitionInfo> enabled_;
+  bool enabled_valid_ = false;
+  std::vector<Step> steps_;
+  HbTracker hb_;
+  std::unordered_map<std::uint64_t, std::size_t> sent_step_;
+  std::unordered_map<std::uint64_t, std::size_t> last_channel_delivery_;
+  std::unordered_map<std::uint32_t, std::size_t> crash_step_;
+  std::uint32_t crashes_ = 0;
+  std::vector<net::Network::ManagedPacket> scratch_;
+};
+
+}  // namespace caa::explore

@@ -1,0 +1,480 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "fault/repro.h"
+#include "net/message.h"
+#include "run/thread_pool.h"
+#include "util/check.h"
+
+namespace caa::explore {
+namespace {
+
+const TransitionInfo* find_info(const std::vector<TransitionInfo>& infos,
+                                const Transition& t) {
+  for (const TransitionInfo& info : infos) {
+    if (info.t == t) return &info;
+  }
+  return nullptr;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+Result<Transition> parse_transition(const std::string& line) {
+  if (line == "timer") return Transition{TransitionKind::kTimer, 0};
+  struct {
+    std::string_view prefix;
+    TransitionKind kind;
+  } const kForms[] = {
+      {"deliver ", TransitionKind::kDeliver},
+      {"drop ", TransitionKind::kDrop},
+      {"crash ", TransitionKind::kCrash},
+  };
+  for (const auto& form : kForms) {
+    if (line.starts_with(form.prefix)) {
+      return Transition{form.kind,
+                        std::strtoull(line.c_str() + form.prefix.size(),
+                                      nullptr, 10)};
+    }
+  }
+  return Status::invalid_argument("bad schedule transition '" + line + "'");
+}
+
+// One depth-first search over one subtree of the schedule space. The
+// parallel splitter hands each branch a forced prefix (whose last element
+// is that branch's pinned first choice) plus the sibling transitions
+// already covered by earlier branches, which become the pinned node's sleep
+// set. Nodes at depth < prefix.size() are frozen: no backtrack points are
+// planted there — siblings cover those alternatives by construction, and
+// every state above the split has exactly one enabled transition anyway.
+class Dfs {
+ public:
+  Dfs(const ModelOptions& model, const ExploreOptions& options,
+      std::vector<Transition> prefix, std::set<Transition> split_sleep)
+      : model_(model),
+        options_(options),
+        prefix_(std::move(prefix)),
+        split_sleep_(std::move(split_sleep)),
+        frozen_(prefix_.size()) {}
+
+  ExploreStats run() {
+    fresh_execution();
+    for (std::size_t k = 0; k < prefix_.size(); ++k) {
+      Node node;
+      node.enabled = exec_->enabled();
+      if (k + 1 == prefix_.size()) node.sleep = split_sleep_;
+      node.chosen = prefix_[k];
+      take(node.chosen);
+      stack_.push_back(std::move(node));
+    }
+    std::size_t fresh_from = 0;
+    for (;;) {
+      const End end = extend();
+      if (end == End::kSleepBlocked) {
+        ++stats_.sleep_blocked;
+      } else {
+        finish_schedule(end, fresh_from);
+      }
+      if (stopped_) break;
+      if (!backtrack(&fresh_from)) break;
+    }
+    return std::move(stats_);
+  }
+
+ private:
+  enum class End { kMaximal, kDepthBound, kSleepBlocked };
+
+  struct Node {
+    Transition chosen{};
+    std::vector<TransitionInfo> enabled;  // at the state BEFORE chosen
+    std::set<Transition> todo;            // backtrack candidates
+    std::set<Transition> done;            // children fully explored
+    std::set<Transition> sleep;           // entry sleep + explored children
+    std::size_t base_delays = 0;  // non-default choices strictly above
+  };
+
+  void fresh_execution() {
+    exec_ = std::make_unique<Execution>(model_,
+                                        ExecOptions{options_.race_timers});
+  }
+
+  void take(const Transition& t) {
+    CAA_CHECK_MSG(exec_->take(t), "explore: replayed transition not enabled");
+    ++stats_.transitions;
+  }
+
+  std::size_t delays_with(const Node& node, const Transition& t) const {
+    return node.base_delays + (t == node.enabled.front().t ? 0 : 1);
+  }
+
+  // Non-delivery alternatives never fall out of the race analysis — the
+  // default policy never schedules them, so no execution would ever
+  // witness the race. Plant them as backtrack points outright; sleep sets
+  // still collapse the placements that commute.
+  void seed_todo(Node& node) {
+    if (!options_.dpor) {
+      for (const TransitionInfo& e : node.enabled) node.todo.insert(e.t);
+      return;
+    }
+    if (node.enabled.size() <= 1) return;
+    for (const TransitionInfo& e : node.enabled) {
+      if (e.t.kind == TransitionKind::kDrop ||
+          e.t.kind == TransitionKind::kCrash ||
+          (options_.race_timers && e.t.kind == TransitionKind::kTimer)) {
+        node.todo.insert(e.t);
+      }
+    }
+  }
+
+  /// Extends the current execution by the default policy until it is
+  /// maximal, depth-bounded, or every enabled transition is asleep.
+  End extend() {
+    for (;;) {
+      if (stack_.size() >= options_.max_steps) return End::kDepthBound;
+      const std::vector<TransitionInfo>& enabled = exec_->enabled();
+      if (enabled.empty()) return End::kMaximal;
+      Node node;
+      node.enabled = enabled;
+      if (!stack_.empty()) {
+        const Node& parent = stack_.back();
+        node.base_delays = delays_with(parent, parent.chosen);
+        if (options_.dpor) {
+          // A sleeping transition stays asleep while independent
+          // transitions run; the parent's chosen wakes whatever it
+          // conflicts with. Dependence is judged on parent-state infos
+          // (the packet facts at the state where both were enabled).
+          const TransitionInfo* chosen_info =
+              find_info(parent.enabled, parent.chosen);
+          for (const Transition& s : parent.sleep) {
+            const TransitionInfo* sleep_info = find_info(parent.enabled, s);
+            if (sleep_info != nullptr && chosen_info != nullptr &&
+                !dependent(*sleep_info, *chosen_info)) {
+              node.sleep.insert(s);
+            }
+          }
+        }
+      }
+      const Transition* pick = nullptr;
+      for (const TransitionInfo& e : node.enabled) {
+        if (!node.sleep.contains(e.t)) {
+          pick = &e.t;
+          break;
+        }
+      }
+      if (pick == nullptr) return End::kSleepBlocked;
+      if (options_.max_delays > 0 &&
+          delays_with(node, *pick) > options_.max_delays) {
+        stats_.capped = true;
+        return End::kSleepBlocked;  // pruned by the delay bound
+      }
+      node.chosen = *pick;
+      seed_todo(node);
+      take(node.chosen);
+      stack_.push_back(std::move(node));
+    }
+  }
+
+  void record_violation(std::string what, std::uint64_t checksum,
+                        const std::string& schedule) {
+    Violation v;
+    v.what = std::move(what);
+    v.checksum = checksum;
+    v.repro = "  repro (schedule " + std::to_string(stats_.schedules) +
+              ", depth " + std::to_string(stack_.size()) + "):\n";
+    fault::append_indented(v.repro, schedule);
+    stats_.violations.push_back(std::move(v));
+  }
+
+  void finish_schedule(End end, std::size_t fresh_from) {
+    ++stats_.schedules;
+    stats_.max_depth = std::max(stats_.max_depth, stack_.size());
+    const std::uint64_t checksum = exec_->resolved_checksum();
+    std::string text;
+    const auto ensure_text = [&] {
+      if (text.empty()) {
+        text = schedule_to_text(model_, options_.race_timers, exec_->steps());
+      }
+    };
+    if (!stats_.classes.contains(checksum)) {
+      ensure_text();
+      stats_.classes.emplace(checksum, text);
+    }
+    ++stats_.class_counts[checksum];
+    if (end == End::kDepthBound) {
+      ensure_text();
+      record_violation(
+          "depth bound " + std::to_string(options_.max_steps) +
+              " exceeded (possible livelock): " +
+              std::to_string(exec_->world().network().managed_in_flight_count()) +
+              " packets in flight, " +
+              std::to_string(exec_->world().simulator().pending_events()) +
+              " events pending",
+          checksum, text);
+    } else {
+      const fault::OracleReport report = exec_->check();
+      if (!report.ok()) {
+        ensure_text();
+        record_violation(report.summary(), checksum, text);
+      }
+    }
+    if (options_.fail_fast && !stats_.violations.empty()) stopped_ = true;
+    if (options_.max_schedules > 0 &&
+        stats_.schedules >= options_.max_schedules) {
+      stats_.capped = true;
+      stopped_ = true;
+    }
+    if (options_.dpor && !stopped_) race_analysis(fresh_from);
+  }
+
+  /// Flanagan-Godefroid race scan: a pair of dependent, happens-before-
+  /// unordered deliveries is a reversible race; plant the later delivery
+  /// (or, if it is not yet enabled there, every choice) as a backtrack
+  /// point at the earlier one's state. Pairs entirely inside the replayed
+  /// prefix (< fresh_from) were scanned when that prefix was first run.
+  void race_analysis(std::size_t fresh_from) {
+    const std::vector<Execution::Step>& steps = exec_->steps();
+    const HbTracker& hb = exec_->hb();
+    for (std::size_t j = std::max(fresh_from, frozen_ + 1); j < steps.size();
+         ++j) {
+      const TransitionInfo& tj = steps[j].info;
+      if (tj.t.kind != TransitionKind::kDeliver) continue;
+      for (std::size_t i = frozen_; i < j; ++i) {
+        const TransitionInfo& ti = steps[i].info;
+        if (ti.t.kind != TransitionKind::kDeliver) continue;
+        if (!dependent(ti, tj)) continue;
+        if (hb.ordered(i, j)) continue;
+        ++stats_.races;
+        Node& target = stack_[i];
+        if (find_info(target.enabled, tj.t) != nullptr) {
+          if (tj.t != target.chosen) target.todo.insert(tj.t);
+        } else {
+          for (const TransitionInfo& e : target.enabled) {
+            target.todo.insert(e.t);
+          }
+        }
+      }
+    }
+  }
+
+  /// Retreats to the deepest node with an unexplored backtrack candidate,
+  /// replays its prefix from scratch and takes the candidate. Returns
+  /// false when the subtree is exhausted.
+  bool backtrack(std::size_t* fresh_from) {
+    while (stack_.size() > frozen_) {
+      Node& node = stack_.back();
+      const std::size_t d = stack_.size() - 1;
+      node.done.insert(node.chosen);
+      if (options_.dpor) node.sleep.insert(node.chosen);
+      const Transition* next = nullptr;
+      for (const Transition& t : node.todo) {
+        if (node.done.contains(t)) continue;
+        if (options_.dpor && node.sleep.contains(t)) continue;
+        if (options_.max_delays > 0 &&
+            delays_with(node, t) > options_.max_delays) {
+          stats_.capped = true;
+          continue;
+        }
+        next = &t;
+        break;
+      }
+      if (next == nullptr) {
+        stack_.pop_back();
+        continue;
+      }
+      node.chosen = *next;
+      fresh_execution();
+      for (std::size_t k = 0; k < d; ++k) take(stack_[k].chosen);
+      take(node.chosen);
+      *fresh_from = d;
+      return true;
+    }
+    return false;
+  }
+
+  ModelOptions model_;
+  ExploreOptions options_;
+  std::vector<Transition> prefix_;
+  std::set<Transition> split_sleep_;
+  std::size_t frozen_ = 0;
+  std::unique_ptr<Execution> exec_;
+  std::vector<Node> stack_;
+  ExploreStats stats_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+std::string ExploreStats::summary() const {
+  std::ostringstream out;
+  out << "schedules=" << schedules << " classes=" << classes.size()
+      << " violations=" << violations.size() << " races=" << races
+      << " sleep_blocked=" << sleep_blocked << " transitions=" << transitions
+      << " max_depth=" << max_depth;
+  if (capped) out << " (capped)";
+  return out.str();
+}
+
+ExploreStats explore(const ModelOptions& model, const ExploreOptions& options) {
+  const Status valid = validate_model(model);
+  CAA_CHECK_MSG(valid.is_ok(), valid.message().c_str());
+  if (options.threads <= 1) {
+    return Dfs(model, options, {}, {}).run();
+  }
+  // Probe the default schedule for the first state with a genuine choice;
+  // everything above it is a forced single-transition corridor, so no
+  // backtrack point can ever land there and pinning the corridor plus one
+  // split choice per branch partitions the schedule space exactly.
+  Execution probe(model, ExecOptions{options.race_timers});
+  std::vector<Transition> prefix;
+  std::vector<TransitionInfo> split;
+  while (prefix.size() < options.max_steps) {
+    const std::vector<TransitionInfo>& enabled = probe.enabled();
+    if (enabled.empty()) break;
+    if (enabled.size() >= 2) {
+      split = enabled;
+      break;
+    }
+    prefix.push_back(enabled.front().t);
+    CAA_CHECK(probe.take(prefix.back()));
+  }
+  if (split.empty()) {
+    // At most one choice anywhere: the default schedule is the whole space.
+    return Dfs(model, options, {}, {}).run();
+  }
+  std::vector<ExploreStats> branch(split.size());
+  ExploreOptions sequential = options;
+  sequential.threads = 1;
+  run::ThreadPool::for_each_index(
+      options.threads, split.size(), [&](std::size_t i) {
+        std::vector<Transition> p = prefix;
+        p.push_back(split[i].t);
+        // Earlier siblings are fully covered by earlier branches; carrying
+        // them as the split node's sleep set keeps branches disjoint.
+        std::set<Transition> sleep;
+        for (std::size_t j = 0; j < i; ++j) sleep.insert(split[j].t);
+        branch[i] = Dfs(model, sequential, std::move(p), std::move(sleep))
+                        .run();
+      });
+  // Merge in branch-index order so every stat (and the first witness per
+  // checksum class) is invariant under the thread count.
+  ExploreStats merged;
+  for (ExploreStats& b : branch) {
+    merged.schedules += b.schedules;
+    merged.sleep_blocked += b.sleep_blocked;
+    merged.transitions += b.transitions;
+    merged.races += b.races;
+    merged.max_depth = std::max(merged.max_depth, b.max_depth);
+    merged.capped = merged.capped || b.capped;
+    for (auto& [checksum, text] : b.classes) {
+      merged.classes.emplace(checksum, std::move(text));
+    }
+    for (const auto& [checksum, count] : b.class_counts) {
+      merged.class_counts[checksum] += count;
+    }
+    for (Violation& v : b.violations) {
+      merged.violations.push_back(std::move(v));
+    }
+  }
+  return merged;
+}
+
+std::string schedule_to_text(const ModelOptions& model, bool race_timers,
+                             const std::vector<Execution::Step>& steps) {
+  std::string out =
+      race_timers ? "schedule v1 race-timers\n" : "schedule v1\n";
+  out += "model " + model.to_text() + "\n";
+  for (const Execution::Step& s : steps) {
+    std::string line = to_string(s.info.t);
+    if (s.info.t.kind == TransitionKind::kDeliver ||
+        s.info.t.kind == TransitionKind::kDrop) {
+      line += "  # " + std::string(net::kind_name(s.info.kind)) + " " +
+              std::to_string(s.info.src.value()) + "->" +
+              std::to_string(s.info.dst.value());
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+Result<ScheduleArtifact> parse_schedule(const std::string& text) {
+  ScheduleArtifact artifact;
+  std::istringstream in(text);
+  std::string raw;
+  bool in_block = false;
+  bool have_model = false;
+  while (std::getline(in, raw)) {
+    std::string line = raw;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = trimmed(line);
+    if (!in_block) {
+      if (line == "schedule v1") {
+        in_block = true;
+      } else if (line == "schedule v1 race-timers") {
+        in_block = true;
+        artifact.race_timers = true;
+      }
+      continue;
+    }
+    if (line.empty()) {
+      if (have_model) break;  // blank line ends the block
+      continue;
+    }
+    if (!have_model) {
+      if (!line.starts_with("model ")) {
+        return Status::invalid_argument(
+            "schedule block: expected 'model ...' after 'schedule v1'");
+      }
+      auto model = ModelOptions::parse(line.substr(6));
+      if (!model.is_ok()) return model.status();
+      artifact.model = model.value();
+      have_model = true;
+      continue;
+    }
+    auto transition = parse_transition(line);
+    if (!transition.is_ok()) return transition.status();
+    artifact.transitions.push_back(transition.value());
+  }
+  if (!in_block) {
+    return Status::invalid_argument("no 'schedule v1' block found");
+  }
+  if (!have_model) {
+    return Status::invalid_argument("schedule block missing model line");
+  }
+  return artifact;
+}
+
+ReplayOutcome replay_schedule(const ScheduleArtifact& artifact) {
+  ReplayOutcome outcome;
+  Execution exec(artifact.model, ExecOptions{artifact.race_timers});
+  for (const Transition& t : artifact.transitions) {
+    if (!exec.take(t)) {
+      outcome.error = "step " + std::to_string(outcome.steps + 1) +
+                      " not enabled: " + to_string(t);
+      outcome.checksum = exec.resolved_checksum();
+      return outcome;
+    }
+    ++outcome.steps;
+  }
+  outcome.checksum = exec.resolved_checksum();
+  if (exec.done()) {
+    const fault::OracleReport report = exec.check();
+    if (!report.ok()) {
+      outcome.error = report.summary();
+      return outcome;
+    }
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+}  // namespace caa::explore

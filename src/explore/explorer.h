@@ -1,0 +1,128 @@
+// Stateless-model-checking driver: systematic enumeration of message
+// interleavings (and optional crash points) over the deterministic
+// simulator, with dynamic partial-order reduction.
+//
+// The explorer does what the chaos campaign (src/fault/chaos.h) cannot:
+// instead of sampling random fault plans it walks EVERY inequivalent
+// delivery order of a small world and checks the PR 5 invariant oracle at
+// every maximal state. Two executions that only ever swap independent
+// transitions (deliveries to different nodes, drops on unrelated channels)
+// reach the same state, so exploring both is waste; classic DPOR
+// (Flanagan & Godefroid, POPL'05) with sleep sets prunes such
+// Mazurkiewicz-equivalent schedules:
+//
+//   * each finished execution is scanned for races — pairs of dependent,
+//     happens-before-unordered deliveries — and every race plants a
+//     backtrack point where the later delivery is tried first;
+//   * sleep sets carry "already explored elsewhere" transitions down the
+//     tree and abort executions that could only revisit known territory;
+//   * crash and drop alternatives never arise from races (the default
+//     policy never picks them), so they are seeded as explicit backtrack
+//     points wherever they are enabled.
+//
+// On top of the oracle, the explorer checks cross-schedule determinism:
+// every crash-free schedule of a model must resolve the exact same
+// exceptions (scenario::resolved_checksum). Schedules are classified by
+// that checksum; more than one class on a crash-free model is a resolution
+// nondeterminism bug even when each individual schedule satisfies the
+// oracle.
+//
+// Violations carry a self-contained repro in the chaos shrinker's artifact
+// style: a `schedule v1` block (model line + transition list) that
+// `caa-explore --replay` re-executes exactly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "explore/execution.h"
+#include "util/status.h"
+
+namespace caa::explore {
+
+struct ExploreOptions {
+  /// false = naive full DFS over all enabled transitions (the baseline the
+  /// reduction factor is measured against).
+  bool dpor = true;
+  bool race_timers = false;
+  /// Stop after this many maximal schedules (0 = unlimited). Hitting the
+  /// cap sets stats.capped — the run is then a bounded smoke, not a proof.
+  /// With threads > 1 the cap applies to each parallel branch separately
+  /// (the merged total can reach branches x cap); the result is still
+  /// thread-count invariant because branching is fixed by the model, not
+  /// the worker count.
+  std::size_t max_schedules = 0;
+  /// Depth bound per execution; an execution still live after this many
+  /// transitions is reported as a livelock violation.
+  std::size_t max_steps = 600;
+  /// Delay bound: maximum non-default scheduler choices per schedule
+  /// (0 = unlimited). Bounds exploration like a context-switch bound.
+  std::size_t max_delays = 0;
+  /// Stop (this branch) at the first violation.
+  bool fail_fast = false;
+  /// > 1 splits the first multi-choice state across a worker pool
+  /// (run::ThreadPool::for_each_index); results merge in branch order, so
+  /// stats and violations are thread-count invariant.
+  unsigned threads = 1;
+};
+
+struct Violation {
+  std::string what;            // oracle summary / livelock / replay error
+  std::uint64_t checksum = 0;  // resolved_checksum at the violating state
+  std::string repro;           // indented artifact ("  repro (...)" block)
+};
+
+struct ExploreStats {
+  std::uint64_t schedules = 0;      // maximal executions oracle-checked
+  std::uint64_t sleep_blocked = 0;  // executions pruned by sleep sets
+  std::uint64_t transitions = 0;    // take() calls, replays included
+  std::uint64_t races = 0;          // backtrack points planted
+  std::size_t max_depth = 0;
+  bool capped = false;  // a schedule/delay cap truncated the search
+  /// resolved_checksum -> first witnessing schedule (raw `schedule v1`
+  /// text). One entry on a healthy crash-free model.
+  std::map<std::uint64_t, std::string> classes;
+  std::map<std::uint64_t, std::uint64_t> class_counts;
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Explores the model. CAA_CHECKs validate_model().
+[[nodiscard]] ExploreStats explore(const ModelOptions& model,
+                                   const ExploreOptions& options);
+
+// ---- Schedule artifacts ---------------------------------------------------
+
+struct ScheduleArtifact {
+  ModelOptions model;
+  bool race_timers = false;
+  std::vector<Transition> transitions;
+};
+
+/// Renders a `schedule v1` block: header, model line, one transition per
+/// line (annotated with packet kind and channel when `steps` metadata is
+/// supplied; annotations are comments the parser ignores).
+[[nodiscard]] std::string schedule_to_text(
+    const ModelOptions& model, bool race_timers,
+    const std::vector<Execution::Step>& steps);
+
+/// Parses a schedule block out of free-form text (a saved failure report,
+/// possibly indented — mirrors fault::parse_repro's tolerance).
+[[nodiscard]] Result<ScheduleArtifact> parse_schedule(const std::string& text);
+
+struct ReplayOutcome {
+  bool ok = false;
+  std::string error;  // transition-not-enabled / oracle summary
+  std::uint64_t checksum = 0;
+  std::size_t steps = 0;
+};
+
+/// Re-executes a parsed schedule and oracle-checks the final state. A
+/// schedule shorter than a full run leaves the world mid-flight; the oracle
+/// is only consulted when the replayed state is maximal.
+[[nodiscard]] ReplayOutcome replay_schedule(const ScheduleArtifact& artifact);
+
+}  // namespace caa::explore

@@ -1,0 +1,29 @@
+#include "explore/hb.h"
+
+namespace caa::explore {
+
+void HbTracker::push_impl(const std::size_t* preds, std::size_t count) {
+  const std::size_t j = closure_.size();
+  std::vector<std::uint64_t> bits((j + 63) / 64, 0);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t p = preds[k];
+    if (p == kNone) continue;
+    bits[p >> 6] |= std::uint64_t{1} << (p & 63);
+    const std::vector<std::uint64_t>& up = closure_[p];
+    for (std::size_t w = 0; w < up.size(); ++w) bits[w] |= up[w];
+  }
+  closure_.push_back(std::move(bits));
+}
+
+void HbTracker::push_barrier() {
+  const std::size_t j = closure_.size();
+  std::vector<std::uint64_t> bits((j + 63) / 64, 0xffffffffffffffffULL);
+  if (!bits.empty()) {
+    // Mask the tail word so bits >= j stay clear.
+    const std::size_t tail = j & 63;
+    if (tail != 0) bits.back() = (std::uint64_t{1} << tail) - 1;
+  }
+  closure_.push_back(std::move(bits));
+}
+
+}  // namespace caa::explore

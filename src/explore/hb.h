@@ -1,0 +1,48 @@
+// Happens-before tracker over an executed schedule.
+//
+// Each executed transition becomes one step; the Execution feeds every
+// step's immediate predecessors (the send that parked a delivered packet —
+// the cause-id DAG edge — plus the previous delivery on the same FIFO
+// channel, and barrier edges for timer cohorts and crashes). The tracker
+// keeps the transitive closure as one bitset per step, so the DPOR race
+// analysis answers "must step i precede step j?" in O(1): a dependent,
+// unordered pair is a reversible race worth a backtrack point.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace caa::explore {
+
+class HbTracker {
+ public:
+  void clear() { closure_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return closure_.size(); }
+
+  /// Appends the next step with the given immediate predecessors (step
+  /// indices < size()). kNone entries are ignored.
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  void push(std::initializer_list<std::size_t> preds) {
+    push_impl(preds.begin(), preds.size());
+  }
+
+  /// Appends a step ordered after EVERY previous step (timer cohorts in
+  /// quiescence-separated mode, crash notifications).
+  void push_barrier();
+
+  /// True iff step i is (transitively) ordered before step j. Requires
+  /// i < j < size().
+  [[nodiscard]] bool ordered(std::size_t i, std::size_t j) const {
+    return (closure_[j][i >> 6] >> (i & 63)) & 1;
+  }
+
+ private:
+  void push_impl(const std::size_t* preds, std::size_t count);
+
+  // closure_[j] = bitset of steps that happen-before step j.
+  std::vector<std::vector<std::uint64_t>> closure_;
+};
+
+}  // namespace caa::explore

@@ -1,0 +1,279 @@
+#include "explore/model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace caa::explore {
+namespace {
+
+constexpr sim::Time kRaiseAt = 1000;
+
+// Guarded completion waves, the chaos campaign's idiom: a participant that
+// is back to normal work completes; anyone mid-resolution or already at the
+// acceptance line is left alone and caught by a later wave (nested scopes
+// complete one level per wave).
+void schedule_completion_waves(World& world,
+                               const std::vector<action::Participant*>& objects) {
+  for (action::Participant* o : objects) {
+    for (sim::Time t = 6000; t <= 18000; t += 6000) {
+      world.at(t, [o] {
+        if (o->in_action() && !o->at_acceptance_line() &&
+            o->resolver_state() == resolve::ResolverCore::State::kNormal) {
+          o->complete();
+        }
+      });
+    }
+  }
+}
+
+WorldConfig world_config(const ModelOptions& options, bool managed) {
+  WorldConfig config;
+  config.exit_protocol = options.exit;
+  config.resolve_avoidance = options.avoid;
+  config.debug_bugs = options.bugs;
+  config.managed_network = managed;
+  // Exploration rebuilds thousands of short-lived worlds; the black box
+  // never helps there (violations carry a schedule repro instead) and its
+  // ring reservation would dominate replay cost.
+  if (managed) config.flight_recorder = false;
+  return config;
+}
+
+// The chaos trial's world shape with explicit choices: object i of the
+// first `raisers` raises at kRaiseAt — "eb" for the last raiser when there
+// is more than one, "ea" otherwise — so concurrent raises exercise the
+// commutative cover join without any RNG draw.
+std::unique_ptr<World> build_crash_world(
+    const ModelOptions& options, bool managed,
+    std::vector<action::Participant*>& objects) {
+  auto world = std::make_unique<World>(world_config(options, managed));
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < options.participants; ++i) {
+    const NodeId node = world->add_node();
+    objects.push_back(
+        &world->add_participant("O" + std::to_string(i + 1), node));
+    ids.push_back(objects.back()->id());
+  }
+  ex::ExceptionTree tree;
+  const auto cover = tree.declare("cover");
+  tree.declare("ea", cover);
+  tree.declare("eb", cover);
+  tree.declare("peer_crash");
+  const auto& decl = world->actions().declare("A", std::move(tree));
+  const auto& inst = world->actions().create_instance(decl, ids);
+  for (auto* o : objects) {
+    const bool entered = o->enter(
+        inst.instance,
+        action::EnterConfig::with(
+            action::uniform_handlers(decl.tree(),
+                                     ex::HandlerResult::recovered()))
+            .committee(options.committee)
+            .on_peer_crash(decl.tree().find("peer_crash")));
+    CAA_CHECK_MSG(entered, "explore crash model: initial enter refused");
+  }
+  for (int i = 0; i < options.raisers; ++i) {
+    action::Participant* p = objects[static_cast<std::size_t>(i)];
+    const bool last = options.raisers > 1 && i == options.raisers - 1;
+    world->at(kRaiseAt, [p, last] {
+      if (!p->in_action()) return;
+      if (p->at_acceptance_line()) return;
+      if (p->resolver_state() != resolve::ResolverCore::State::kNormal) return;
+      p->raise(last ? "eb" : "ea");
+    });
+  }
+  return world;
+}
+
+std::string_view bug_name(const action::DebugBugs& bugs) {
+  if (bugs.exclusion_divergence && bugs.lost_final_leave) return "both";
+  if (bugs.exclusion_divergence) return "exclusion";
+  if (bugs.lost_final_leave) return "lost-leave";
+  return "none";
+}
+
+Result<action::DebugBugs> parse_bug(std::string_view name) {
+  action::DebugBugs bugs;
+  if (name == "none") return bugs;
+  if (name == "exclusion" || name == "both") bugs.exclusion_divergence = true;
+  if (name == "lost-leave" || name == "both") bugs.lost_final_leave = true;
+  if (!bugs.exclusion_divergence && !bugs.lost_final_leave) {
+    return Status::invalid_argument("unknown bug '" + std::string(name) +
+                                    "' (none|exclusion|lost-leave|both)");
+  }
+  return bugs;
+}
+
+}  // namespace
+
+std::string ModelOptions::to_text() const {
+  std::ostringstream out;
+  out << "scenario=" << scenario << " n=" << participants
+      << " raisers=" << raisers << " nested=" << nested << " depth=" << depth
+      << " committee=" << committee << " exit=" << exit::exit_kind_name(exit)
+      << " avoid=" << (avoid ? 1 : 0) << " max_crashes=" << max_crashes
+      << " victims=";
+  if (crash_victims.empty()) {
+    out << "-";
+  } else {
+    for (std::size_t i = 0; i < crash_victims.size(); ++i) {
+      if (i != 0) out << ",";
+      out << crash_victims[i];
+    }
+  }
+  out << " bug=" << bug_name(bugs);
+  return out.str();
+}
+
+Result<ModelOptions> ModelOptions::parse(std::string_view line) {
+  ModelOptions options;
+  options.crash_victims.clear();
+  std::istringstream in{std::string(line)};
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::invalid_argument("model token without '=': " + token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    const auto as_int = [&value] { return std::atoi(value.c_str()); };
+    if (key == "scenario") {
+      options.scenario = value;
+    } else if (key == "n") {
+      options.participants = as_int();
+    } else if (key == "raisers") {
+      options.raisers = as_int();
+    } else if (key == "nested") {
+      options.nested = as_int();
+    } else if (key == "depth") {
+      options.depth = as_int();
+    } else if (key == "committee") {
+      options.committee = static_cast<std::uint32_t>(as_int());
+    } else if (key == "exit") {
+      auto kind = exit::parse_exit_kind(value);
+      if (!kind.is_ok()) return kind.status();
+      options.exit = kind.value();
+    } else if (key == "avoid") {
+      options.avoid = value == "1";
+    } else if (key == "max_crashes") {
+      options.max_crashes = static_cast<std::uint32_t>(as_int());
+    } else if (key == "victims") {
+      if (value != "-") {
+        std::istringstream list(value);
+        std::string item;
+        while (std::getline(list, item, ',')) {
+          options.crash_victims.push_back(
+              static_cast<std::uint32_t>(std::atoi(item.c_str())));
+        }
+      }
+    } else if (key == "bug") {
+      auto bugs = parse_bug(value);
+      if (!bugs.is_ok()) return bugs.status();
+      options.bugs = bugs.value();
+    } else {
+      return Status::invalid_argument("unknown model key '" + key + "'");
+    }
+  }
+  const Status valid = validate_model(options);
+  if (!valid.is_ok()) return valid;
+  return options;
+}
+
+Status validate_model(const ModelOptions& options) {
+  const std::string& s = options.scenario;
+  if (s != "example1" && s != "flat" && s != "nested" && s != "figure4" &&
+      s != "crash") {
+    return Status::invalid_argument(
+        "unknown scenario '" + s +
+        "' (example1|flat|nested|figure4|crash)");
+  }
+  if (options.participants < 2 || options.participants > 8) {
+    return Status::invalid_argument("participants must be in [2, 8]");
+  }
+  if ((s == "flat" || s == "crash") &&
+      (options.raisers < 1 || options.raisers > options.participants)) {
+    return Status::invalid_argument("raisers must be in [1, participants]");
+  }
+  if (s == "flat" && options.raisers + options.nested > options.participants) {
+    return Status::invalid_argument("raisers + nested must not exceed n");
+  }
+  if (s == "nested" && options.depth < 1) {
+    return Status::invalid_argument("depth must be >= 1");
+  }
+  if (options.committee < 1) {
+    return Status::invalid_argument("committee must be >= 1");
+  }
+  if (s != "crash" &&
+      (!options.crash_victims.empty() || options.max_crashes > 0)) {
+    return Status::invalid_argument(
+        "crash exploration requires scenario=crash (only that model "
+        "configures peer-crash handlers)");
+  }
+  if (s != "crash" &&
+      (options.bugs.exclusion_divergence || options.bugs.lost_final_leave)) {
+    return Status::invalid_argument("planted bugs require scenario=crash");
+  }
+  for (const std::uint32_t v : options.crash_victims) {
+    if (v >= static_cast<std::uint32_t>(options.participants)) {
+      return Status::invalid_argument("crash victim out of range");
+    }
+  }
+  if (options.max_crashes >
+      static_cast<std::uint32_t>(options.participants - 1)) {
+    return Status::invalid_argument(
+        "max_crashes must leave at least one survivor");
+  }
+  return Status::ok();
+}
+
+std::unique_ptr<ModelInstance> make_model(const ModelOptions& options,
+                                          bool managed) {
+  const Status valid = validate_model(options);
+  CAA_CHECK_MSG(valid.is_ok(), valid.message().c_str());
+  auto instance = std::unique_ptr<ModelInstance>(new ModelInstance());
+  if (options.scenario == "example1") {
+    scenario::Example1Options opt;
+    opt.raise_at = kRaiseAt;
+    opt.world = world_config(options, managed);
+    instance->example1_ = std::make_unique<scenario::Example1Scenario>(opt);
+    instance->world_ = &instance->example1_->world();
+    instance->objects_ = instance->example1_->objects();
+  } else if (options.scenario == "flat") {
+    scenario::FlatOptions opt;
+    opt.participants = options.participants;
+    opt.raisers = options.raisers;
+    opt.nested = options.nested;
+    opt.raise_at = kRaiseAt;
+    opt.committee = options.committee;
+    opt.world = world_config(options, managed);
+    instance->flat_ = std::make_unique<scenario::FlatScenario>(opt);
+    instance->world_ = &instance->flat_->world();
+    instance->objects_ = instance->flat_->objects();
+  } else if (options.scenario == "nested") {
+    scenario::NestedChainOptions opt;
+    opt.participants = options.participants;
+    opt.depth = options.depth;
+    opt.raise_at = kRaiseAt;
+    opt.world = world_config(options, managed);
+    instance->chain_ = std::make_unique<scenario::NestedChainScenario>(opt);
+    instance->world_ = &instance->chain_->world();
+    instance->objects_ = instance->chain_->objects();
+  } else if (options.scenario == "figure4") {
+    scenario::Figure4Options opt;
+    opt.raise_at = kRaiseAt;
+    opt.world = world_config(options, managed);
+    instance->figure4_ = std::make_unique<scenario::Figure4Scenario>(opt);
+    instance->world_ = &instance->figure4_->world();
+    instance->objects_ = instance->figure4_->objects();
+  } else {
+    instance->crash_world_ =
+        build_crash_world(options, managed, instance->objects_);
+    instance->world_ = instance->crash_world_.get();
+  }
+  schedule_completion_waves(*instance->world_, instance->objects_);
+  return instance;
+}
+
+}  // namespace caa::explore

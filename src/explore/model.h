@@ -1,0 +1,91 @@
+// Small-world models for the systematic explorer.
+//
+// A model is a deterministic scenario construction (no RNG draws in the
+// script) that the explorer can rebuild from scratch for every schedule it
+// enumerates. Five are available:
+//
+//   example1  — §4.3 Example 1: three objects, tree E -> {E1, E2},
+//               concurrent E1/E2 raises (scenario::Example1Scenario);
+//   flat      — the §4.4 counting world: N objects, P concurrent raisers,
+//               Q singleton nested actions (scenario::FlatScenario);
+//   nested    — the nested-chain world: object 0 raises in the outermost
+//               action of a depth-D chain (scenario::NestedChainScenario);
+//   figure4   — §4.3 Example 2 exactly: A1 ⊃ A2 ⊃ A3, belated entry,
+//               abortion signalling E3 (scenario::Figure4Scenario);
+//   crash     — the chaos trial's world shape (cover -> {ea, eb} plus a
+//               peer_crash channel, committee exits, crash handlers) with
+//               *explicit* raiser choices instead of seeded ones, so the
+//               explorer can enumerate crash points against it.
+//
+// Every model also schedules guarded completion waves (the chaos campaign's
+// idiom) so a clean run reaches the empty state and the PR 5 oracle's
+// stuck-survivor check is meaningful at maximal states.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "caa/world.h"
+#include "scenario/scenarios.h"
+#include "util/status.h"
+
+namespace caa::explore {
+
+struct ModelOptions {
+  std::string scenario = "example1";  // example1|flat|nested|figure4|crash
+  int participants = 3;               // N (flat / crash)
+  int raisers = 1;                    // P (flat / crash)
+  int nested = 0;                     // Q (flat)
+  int depth = 1;                      // chain depth (nested)
+  std::uint32_t committee = 1;
+  exit::ExitKind exit = exit::ExitKind::kBarrier;
+  bool avoid = false;  // coordination-avoidance fast path
+  /// Nodes the explorer may crash (crash scenario only; a crash transition
+  /// exists per victim while max_crashes budget remains).
+  std::vector<std::uint32_t> crash_victims;
+  std::uint32_t max_crashes = 0;
+  /// Test-only planted protocol bugs (crash scenario only).
+  action::DebugBugs bugs;
+
+  /// One-line key=value form, parseable by parse(); embedded in schedule
+  /// repro artifacts so a saved violation replays self-contained.
+  [[nodiscard]] std::string to_text() const;
+  static Result<ModelOptions> parse(std::string_view line);
+};
+
+[[nodiscard]] Status validate_model(const ModelOptions& options);
+
+/// One freshly built world for `options`, ready to be driven. With
+/// managed=true the network parks packets for the explorer; with false the
+/// world runs normally (the baseline the determinism gate compares against).
+class ModelInstance {
+ public:
+  [[nodiscard]] World& world() { return *world_; }
+  [[nodiscard]] const std::vector<action::Participant*>& objects() const {
+    return objects_;
+  }
+  /// scenario::resolved_checksum over this world's participants: the value
+  /// the cross-schedule determinism gate classifies on.
+  [[nodiscard]] std::uint64_t resolved_checksum() const {
+    return scenario::resolved_checksum(objects_);
+  }
+
+ private:
+  friend std::unique_ptr<ModelInstance> make_model(const ModelOptions&, bool);
+  ModelInstance() = default;
+
+  std::unique_ptr<scenario::Example1Scenario> example1_;
+  std::unique_ptr<scenario::FlatScenario> flat_;
+  std::unique_ptr<scenario::NestedChainScenario> chain_;
+  std::unique_ptr<scenario::Figure4Scenario> figure4_;
+  std::unique_ptr<World> crash_world_;
+  World* world_ = nullptr;
+  std::vector<action::Participant*> objects_;
+};
+
+/// Builds a fresh world for the model. CAA_CHECKs validate_model(options).
+[[nodiscard]] std::unique_ptr<ModelInstance> make_model(
+    const ModelOptions& options, bool managed);
+
+}  // namespace caa::explore

@@ -7,6 +7,7 @@
 #include "caa/world.h"
 #include "fault/injector.h"
 #include "fault/oracle.h"
+#include "fault/repro.h"
 
 namespace caa::fault {
 namespace {
@@ -15,13 +16,6 @@ namespace {
 // are pure functions of the trial seed, but must not consume each other's
 // draws or a shrunk plan would change the world it replays against.
 constexpr std::uint64_t kPlanStream = 0x9e3779b97f4a7c15ULL;
-
-std::string seed_hex(std::uint64_t seed) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(seed));
-  return buf;
-}
 
 Rng scenario_rng(std::uint64_t trial_seed) { return Rng(trial_seed); }
 
@@ -216,25 +210,16 @@ ChaosReport run_chaos_campaign(const ChaosOptions& options) {
                         " replays" +
                         (shrunk.minimal ? "" : ", replay budget hit") +
                         "):\n";
+    // The recipe body is exactly what parse_repro reads back, so a saved
+    // failure report replays with `caa-chaos --replay <file>`.
     repro += "    trial seed 0x" + seed_hex(trial_seed) + ", mix " +
              std::string(fault_mix_name(options.mix)) + ", " +
              std::to_string(trial_participants(trial_seed, options)) +
              " participants\n";
-    const std::string plan_text = shrunk.plan.to_text();
-    for (std::string_view line(plan_text); !line.empty();) {
-      const std::size_t eol = line.find('\n');
-      repro += "    " + std::string(line.substr(0, eol)) + "\n";
-      line = eol == std::string_view::npos ? std::string_view{}
-                                           : line.substr(eol + 1);
-    }
+    append_indented(repro, shrunk.plan.to_text());
     if (!critical_path.empty()) {
       repro += "  critical path (caa-inspect decodes the dump):\n";
-      for (std::string_view line(critical_path); !line.empty();) {
-        const std::size_t eol = line.find('\n');
-        repro += "    " + std::string(line.substr(0, eol)) + "\n";
-        line = eol == std::string_view::npos ? std::string_view{}
-                                             : line.substr(eol + 1);
-      }
+      append_indented(repro, critical_path);
     }
     world.repro = std::move(repro);
   }

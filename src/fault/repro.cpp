@@ -1,0 +1,112 @@
+#include "fault/repro.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace caa::fault {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string seed_hex(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+void append_indented(std::string& out, std::string_view block,
+                     std::string_view indent) {
+  for (std::string_view line(block); !line.empty();) {
+    const std::size_t eol = line.find('\n');
+    out += indent;
+    out += line.substr(0, eol);
+    out += '\n';
+    line = eol == std::string_view::npos ? std::string_view{}
+                                         : line.substr(eol + 1);
+  }
+}
+
+Result<ReproArtifact> parse_repro(std::string_view text) {
+  ReproArtifact out;
+  bool have_seed = false;
+  bool in_plan = false;
+  bool plan_done = false;
+  std::string plan_text;
+  for (std::string_view rest(text); !rest.empty();) {
+    const std::size_t eol = rest.find('\n');
+    const std::string_view line = trim(rest.substr(0, eol));
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 1);
+    if (in_plan) {
+      if (line.empty() || line.starts_with("critical path") ||
+          line.starts_with("repro (")) {
+        in_plan = false;
+        plan_done = true;
+        continue;
+      }
+      plan_text += std::string(line) + "\n";
+      continue;
+    }
+    if (!have_seed && line.starts_with("trial seed 0x")) {
+      // "trial seed 0x<hex>, mix <name>, <N> participants"
+      const std::string tail(line.substr(std::string_view("trial seed 0x").size()));
+      char* end = nullptr;
+      out.seed = std::strtoull(tail.c_str(), &end, 16);
+      if (end == tail.c_str()) {
+        return Status::invalid_argument("repro: bad trial seed in '" +
+                                        std::string(line) + "'");
+      }
+      const std::size_t mix_at = line.find("mix ");
+      if (mix_at == std::string_view::npos) {
+        return Status::invalid_argument("repro: header line missing 'mix'");
+      }
+      std::string_view mix_name = line.substr(mix_at + 4);
+      const std::size_t comma = mix_name.find(',');
+      if (comma == std::string_view::npos) {
+        return Status::invalid_argument(
+            "repro: header line missing participant count");
+      }
+      auto mix = parse_fault_mix(trim(mix_name.substr(0, comma)));
+      if (!mix.is_ok()) return mix.status();
+      out.mix = mix.value();
+      const std::string count(trim(mix_name.substr(comma + 1)));
+      out.participants =
+          static_cast<std::uint32_t>(std::strtoul(count.c_str(), &end, 10));
+      if (end == count.c_str() || out.participants < 2) {
+        return Status::invalid_argument("repro: bad participant count in '" +
+                                        std::string(line) + "'");
+      }
+      have_seed = true;
+      continue;
+    }
+    if (!plan_done && line == "faultplan v1") {
+      in_plan = true;
+      plan_text = "faultplan v1\n";
+    }
+  }
+  if (!have_seed) {
+    return Status::invalid_argument(
+        "repro: no 'trial seed 0x..., mix ..., N participants' header found");
+  }
+  if (plan_text.empty()) {
+    return Status::invalid_argument("repro: no 'faultplan v1' block found");
+  }
+  auto plan = FaultPlan::parse(plan_text);
+  if (!plan.is_ok()) return plan.status();
+  out.plan = std::move(plan.value());
+  return out;
+}
+
+}  // namespace caa::fault

@@ -1,0 +1,47 @@
+// Shared repro-recipe plumbing: the text format every violation report
+// emits and every replay entry point reads back.
+//
+// A repro recipe is self-contained: one header line naming the trial seed,
+// fault mix and participant count, followed by an indented "faultplan v1"
+// block (and optionally a critical-path section, which parsing ignores).
+// The chaos campaign post-pass writes recipes with append_indented; the
+// systematic explorer (src/explore/) writes its schedule repros with the
+// same indentation; caa-chaos --replay feeds a saved recipe straight back
+// in through parse_repro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fault/plan.h"
+
+namespace caa::fault {
+
+/// "00000000deadbeef": the 16-digit lowercase hex every repro recipe uses
+/// for trial seeds.
+[[nodiscard]] std::string seed_hex(std::uint64_t value);
+
+/// Appends `block` to `out` one line at a time, each prefixed with
+/// `indent` — the recipe indentation failure reports use (and parse_repro
+/// strips again).
+void append_indented(std::string& out, std::string_view block,
+                     std::string_view indent = "    ");
+
+/// One chaos repro artifact reparsed from a failure report (or from any
+/// file containing one recipe):
+///   trial seed 0x<16 hex>, mix <name>, <N> participants
+///   faultplan v1
+///   ...
+struct ReproArtifact {
+  std::uint64_t seed = 0;
+  FaultMix mix = FaultMix::kMixed;
+  std::uint32_t participants = 0;
+  FaultPlan plan;
+};
+
+/// Extracts the first recipe found in `text`. Leading whitespace per line
+/// is irrelevant; everything after the plan block is ignored.
+[[nodiscard]] Result<ReproArtifact> parse_repro(std::string_view text);
+
+}  // namespace caa::fault

@@ -147,6 +147,24 @@ void Network::send(Packet packet) {
     return;  // a crashed node cannot send
   }
 
+  if (managed_) {
+    // Park for the external scheduler instead of sampling a delivery time.
+    // A destination that is already down drops now (counted) — the explorer
+    // eagerly drops in-flight packets to a crash victim, so nothing
+    // addressed to a down node may linger in the buffer.
+    if (!node_state(packet.dst.node)->up) {
+      count(kc.dropped);
+      recorder.record_drop(static_cast<std::uint16_t>(packet.kind),
+                           packet.dst.node.value(), packet.cause);
+      BytesPool::local().recycle(std::move(packet.payload));
+      return;
+    }
+    parked_.push_back(
+        Parked{next_managed_id_++, simulator_.now(), std::move(packet)});
+    simulator_.obs().health().add(obs::Gauge::kNetInFlight, 1);
+    return;
+  }
+
   ChannelState& ch = channel(packet.src.node, packet.dst.node);
   if (ch.partitioned || ch.rng.chance(ch.params.drop_probability) ||
       ch.burst_dropped(simulator_.now())) {
@@ -181,6 +199,41 @@ void Network::send(Packet packet) {
     deliver(std::move(p));
   });
   simulator_.obs().health().add(obs::Gauge::kNetInFlight, duplicate ? 2 : 1);
+}
+
+void Network::managed_in_flight(std::vector<ManagedPacket>& out) const {
+  out.clear();
+  out.reserve(parked_.size());
+  for (const Parked& p : parked_) {
+    out.push_back(ManagedPacket{p.id, p.packet.src.node, p.packet.dst.node,
+                                p.packet.kind, p.sent_at});
+  }
+}
+
+bool Network::managed_deliver(std::uint64_t id) {
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    if (it->id != id) continue;
+    Packet packet = std::move(it->packet);
+    parked_.erase(it);
+    deliver(std::move(packet));  // does the in-flight gauge -1 + accounting
+    return true;
+  }
+  return false;
+}
+
+bool Network::managed_drop(std::uint64_t id) {
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    if (it->id != id) continue;
+    simulator_.obs().health().add(obs::Gauge::kNetInFlight, -1);
+    count(kind_counters(it->packet.kind).dropped);
+    simulator_.obs().recorder().record_drop(
+        static_cast<std::uint16_t>(it->packet.kind),
+        it->packet.src.node.value(), it->packet.cause);
+    BytesPool::local().recycle(std::move(it->packet.payload));
+    parked_.erase(it);
+    return true;
+  }
+  return false;
 }
 
 void Network::deliver(Packet&& packet) {

@@ -1,6 +1,7 @@
 // The simulated network: nodes, FIFO channels, fault injection, accounting.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -75,6 +76,44 @@ class Network {
   /// the channel's latency model unless a fault drops the packet.
   void send(Packet packet);
 
+  // ---- Managed delivery (src/explore/) --------------------------------
+  //
+  // In managed mode the network stops sampling latency, faults and
+  // duplicates: send() parks each packet in an in-flight buffer and an
+  // external scheduler (the DPOR explorer) decides which parked packet is
+  // delivered — or, for crashed senders, dropped — next. Send-side
+  // accounting, the send tap and flight-recorder records are unchanged, so
+  // the oracles and causal traces read identically to the sampled mode.
+  // Per-channel FIFO is the scheduler's obligation: it must only deliver a
+  // channel's lowest-id parked packet.
+
+  /// Descriptor of one parked packet — everything the scheduler needs to
+  /// compute enabled transitions without touching payload bytes.
+  struct ManagedPacket {
+    std::uint64_t id = 0;  // birth order; deterministic across replays
+    NodeId src;
+    NodeId dst;
+    MsgKind kind = MsgKind::kAppData;
+    sim::Time sent_at = 0;
+  };
+
+  void set_managed(bool on) { managed_ = on; }
+  [[nodiscard]] bool managed() const { return managed_; }
+
+  /// Overwrites `out` with a descriptor per parked packet, in birth order.
+  void managed_in_flight(std::vector<ManagedPacket>& out) const;
+  [[nodiscard]] std::size_t managed_in_flight_count() const {
+    return parked_.size();
+  }
+
+  /// Delivers the parked packet `id` now (invokes the destination handler
+  /// synchronously). Returns false if no such packet is parked.
+  bool managed_deliver(std::uint64_t id);
+
+  /// Drops the parked packet `id`, counted like a fault-engine drop.
+  /// Returns false if no such packet is parked.
+  bool managed_drop(std::uint64_t id);
+
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
 
   /// Total packets delivered since construction (all kinds).
@@ -117,6 +156,15 @@ class Network {
   std::vector<std::vector<ChannelState>> channels_;
   std::vector<std::vector<bool>> channels_init_;
   std::int64_t delivered_total_ = 0;
+  // Managed-mode in-flight buffer (empty and untouched in sampled mode).
+  struct Parked {
+    std::uint64_t id;
+    sim::Time sent_at;
+    Packet packet;
+  };
+  bool managed_ = false;
+  std::uint64_t next_managed_id_ = 0;
+  std::deque<Parked> parked_;
 };
 
 }  // namespace caa::net

@@ -294,7 +294,7 @@ void ResolverCore::handle_exception(const ExceptionMsg& m) {
   // survivors it reached and survivors it missed have to agree. Replays of
   // messages queued during an abortion land here too, so the router's
   // from-crashed filter alone is not enough.
-  if (excluded_.contains(m.raiser)) {
+  if (excluded_.contains(m.raiser) && !debug_keep_crashed_) {
     trace("exception from crashed member dropped",
           "O" + std::to_string(m.raiser.value()));
     return;
@@ -475,7 +475,7 @@ void ResolverCore::exclude_member(ObjectId peer) {
   // messages are part of the round — the only consistent reading of the
   // fail-stop model is that they are not. Any resolution the member already
   // produced from them is preserved by the owner's CrashSync barrier.
-  if (raisers_.erase(peer) != 0) {
+  if (!debug_keep_crashed_ && raisers_.erase(peer) != 0) {
     std::erase_if(le_, [peer](const ex::Exception& e) {
       return e.raised_by == peer;
     });

@@ -120,6 +120,11 @@ class ResolverCore {
   /// commit stays allowed. Ungating re-evaluates readiness immediately.
   void set_commit_gate(bool gated);
 
+  /// Test-only (action::DebugBugs::exclusion_divergence): keep a crashed
+  /// member's exceptions in LE and accept its belated deliveries, restoring
+  /// the pre-PR 5 divergence hole the systematic explorer must rediscover.
+  void set_debug_keep_crashed(bool on) { debug_keep_crashed_ = on; }
+
   /// A commit received while Exceptional and held until Ready. The owner's
   /// CrashSync push advertises it so a resolution decided just before a
   /// crash survives the crash.
@@ -248,6 +253,7 @@ class ResolverCore {
   std::uint32_t committee_ = 1;
   bool members_contiguous_ = false;  // ids consecutive: rank by subtraction
   std::set<ObjectId> excluded_;  // crashed members (extension)
+  bool debug_keep_crashed_ = false;  // test-only planted bug (DebugBugs)
 
   // LO_i entry lifecycle, indexed by member rank.
   enum : std::uint8_t { kLoAbsent = 0, kLoPending = 1, kLoCompleted = 2 };

@@ -1,5 +1,7 @@
 #include "run/thread_pool.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace caa::run {
@@ -39,6 +41,21 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::for_each_index(unsigned threads, std::size_t count,
+                                const std::function<void(std::size_t)>& fn) {
+  CAA_CHECK_MSG(static_cast<bool>(fn), "for_each_index: empty fn");
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(static_cast<unsigned>(
+      std::min<std::size_t>(threads, count)));
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait_idle();
 }
 
 void ThreadPool::worker_loop() {

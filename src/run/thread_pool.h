@@ -42,6 +42,15 @@ class ThreadPool {
   /// What `threads == 0` resolves to.
   static unsigned default_threads();
 
+  /// Runs fn(0), ..., fn(count - 1) across up to `threads` workers and
+  /// blocks until all have finished. threads <= 1 (or count <= 1) runs
+  /// inline on the caller, so single-threaded users pay no pool setup.
+  /// Index-determinism is the caller's job: write results into slot i and
+  /// merge in index order after this returns (the systematic explorer's
+  /// branch-split does exactly that).
+  static void for_each_index(unsigned threads, std::size_t count,
+                             const std::function<void(std::size_t)>& fn);
+
  private:
   void worker_loop();
 

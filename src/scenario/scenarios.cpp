@@ -187,21 +187,27 @@ Figure4Scenario::Figure4Scenario(Figure4Options options)
     objects_[0]->raise("E1");
     objects_[1]->raise("E2");
   });
-}
-
-Figure4Scenario::Outcome Figure4Scenario::run() {
-  Outcome outcome;
-  bool refused = false;
-  const auto& d3 = *world_.actions().info(a3_->instance).decl;
-  world_.at(options_.belated_entry_at, [this, &refused, &d3] {
-    refused = !objects_[2]->enter(
+  // The belated entry is part of the script, not of run(): scheduling it
+  // here means callers that step the simulator themselves (the systematic
+  // explorer) exercise the same doomed attempt.
+  world_.at(options_.belated_entry_at, [this] {
+    const auto& d3 = *world_.actions().info(a3_->instance).decl;
+    belated_refused_ = !objects_[2]->enter(
         a3_->instance,
         EnterConfig::with(
             uniform_handlers(d3.tree(), ex::HandlerResult::recovered())));
   });
+}
+
+Figure4Scenario::Outcome Figure4Scenario::run() {
   world_.run();
+  return outcome();
+}
+
+Figure4Scenario::Outcome Figure4Scenario::outcome() {
+  Outcome outcome;
   outcome.stats = collect_stats(world_, objects_, options_.raise_at);
-  outcome.belated_entry_refused = refused;
+  outcome.belated_entry_refused = belated_refused_;
   if (!objects_[0]->handled().empty()) {
     outcome.resolved = objects_[0]->handled().back().resolved;
   }

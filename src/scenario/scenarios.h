@@ -114,6 +114,9 @@ struct Figure4Options {
 
 class Figure4Scenario {
  public:
+  /// Schedules the whole script — concurrent raises AND O3's belated entry
+  /// attempt — so a caller that drives the simulator by hand (the
+  /// systematic explorer) replays the same scenario run() does.
   explicit Figure4Scenario(Figure4Options options);
 
   struct Outcome {
@@ -122,10 +125,16 @@ class Figure4Scenario {
     ExceptionId resolved;             // what A1 resolved to
     bool o2_aborted_innermost_first = false;
   };
+  /// Runs to quiescence; equivalent to world().run() + outcome().
   Outcome run();
+  /// Collects the outcome of an already-finished world.
+  [[nodiscard]] Outcome outcome();
 
   [[nodiscard]] World& world() { return world_; }
   [[nodiscard]] action::Participant& o(int i) { return *objects_.at(i); }
+  [[nodiscard]] const std::vector<action::Participant*>& objects() const {
+    return objects_;
+  }
 
  private:
   Figure4Options options_;
@@ -135,6 +144,7 @@ class Figure4Scenario {
   const action::InstanceInfo* a1_ = nullptr;
   const action::InstanceInfo* a2_ = nullptr;
   const action::InstanceInfo* a3_ = nullptr;
+  bool belated_refused_ = false;
 };
 
 // ---------------------------------------------------------------------------

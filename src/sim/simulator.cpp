@@ -45,6 +45,17 @@ bool Simulator::step() {
   return true;
 }
 
+std::size_t Simulator::step_block() {
+  if (queue_.empty()) return 0;
+  const Time at = queue_.next_time();
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.next_time() <= at) {
+    step();
+    ++fired;
+  }
+  return fired;
+}
+
 std::size_t Simulator::run_to_quiescence(std::size_t max_events) {
   std::size_t fired = 0;
   while (step()) {

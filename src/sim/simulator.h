@@ -35,6 +35,20 @@ class Simulator {
   /// Fires the next event. Returns false when no events remain.
   bool step();
 
+  /// Virtual time of the next pending event. Only valid when !idle().
+  [[nodiscard]] Time next_event_time() const { return queue_.next_time(); }
+
+  /// Fires the next event plus every event scheduled for the same virtual
+  /// time — including ones the fired handlers schedule *at* that time
+  /// (zero-delay continuations). Returns events fired (0 when idle).
+  ///
+  /// This is the explorer's pluggable choice point in the step loop: one
+  /// step_block() is one atomic "timer cohort" transition, so same-time
+  /// input timers can never be interleaved with other transitions, and
+  /// next_event_time() strictly exceeds now() afterwards — the invariant
+  /// the DPOR driver's enabled-set computation relies on.
+  std::size_t step_block();
+
   /// Runs until the queue is empty (quiescence). Returns events fired.
   /// `max_events` bounds runaway protocols; hitting the bound is a CHECK
   /// failure since it means a livelock in a supposedly quiescent system.

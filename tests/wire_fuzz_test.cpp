@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "caa/action_instance.h"
+#include "caa/world.h"
+#include "exit/leave_log.h"
+#include "overlay/disseminator.h"
 #include "resolve/messages.h"
 #include "txn/transaction.h"
 #include "util/rng.h"
@@ -31,9 +34,13 @@ TEST_P(WireFuzz, AllDecodersSurviveGarbage) {
     (void)resolve::decode_nested_completed(b);
     (void)resolve::decode_ack(b);
     (void)resolve::decode_commit(b);
+    (void)resolve::decode_crash_sync(b);
+    (void)resolve::decode_fast_cover(b);
     (void)resolve::peek_scope_round(b);
     (void)action::decode_done(b);
     (void)action::decode_leave(b);
+    (void)exit::decode_leave_ack(b);
+    (void)overlay::Disseminator::peek_envelope_scope(b);
     (void)txn::decode_op_request(b);
     (void)txn::decode_op_reply(b);
     (void)txn::decode_prepare(b);
@@ -67,6 +74,47 @@ TEST_P(WireFuzz, TruncationsOfValidMessagesFailCleanly) {
   EXPECT_TRUE(txn::decode_op_request(op).is_ok());
 }
 
+TEST_P(WireFuzz, CrashSyncFastCoverLeaveAckTruncationsFailCleanly) {
+  Rng rng(GetParam() ^ 0xbeef);
+  const auto obj = [&] {
+    return ObjectId(static_cast<std::uint32_t>(rng.below(100)));
+  };
+
+  const net::Bytes sync = resolve::encode(resolve::CrashSyncMsg{
+      ActionInstanceId(rng.next()), static_cast<std::uint32_t>(rng.below(10)),
+      obj(), obj(), resolve::CrashSyncMsg::Phase::kReply,
+      static_cast<std::uint32_t>(rng.below(10)), obj(),
+      ExceptionId(static_cast<std::uint32_t>(rng.below(100)))});
+  for (std::size_t cut = 0; cut < sync.size(); ++cut) {
+    const net::Bytes truncated(
+        sync.begin(), sync.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(resolve::decode_crash_sync(truncated).is_ok());
+  }
+  EXPECT_TRUE(resolve::decode_crash_sync(sync).is_ok());
+
+  const net::Bytes cover = resolve::encode(resolve::FastCoverMsg{
+      ActionInstanceId(rng.next()), static_cast<std::uint32_t>(rng.below(10)),
+      obj(), resolve::FastCoverMsg::Phase::kReport,
+      ExceptionId(static_cast<std::uint32_t>(rng.below(100))),
+      ExceptionId(static_cast<std::uint32_t>(rng.below(100)))});
+  for (std::size_t cut = 0; cut < cover.size(); ++cut) {
+    const net::Bytes truncated(
+        cover.begin(), cover.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(resolve::decode_fast_cover(truncated).is_ok());
+  }
+  EXPECT_TRUE(resolve::decode_fast_cover(cover).is_ok());
+
+  const net::Bytes ack = exit::encode(exit::LeaveAckMsg{
+      ActionInstanceId(rng.next()), static_cast<std::uint32_t>(rng.below(10)),
+      obj()});
+  for (std::size_t cut = 0; cut < ack.size(); ++cut) {
+    const net::Bytes truncated(
+        ack.begin(), ack.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(exit::decode_leave_ack(truncated).is_ok());
+  }
+  EXPECT_TRUE(exit::decode_leave_ack(ack).is_ok());
+}
+
 TEST(WireFuzzFixed, BadEnumValuesRejected) {
   // A TxnOpRequest with op byte out of range.
   net::WireWriter w;
@@ -86,6 +134,85 @@ TEST(WireFuzzFixed, BadEnumValuesRejected) {
   w2.u32(0);
   w2.u32(0);
   EXPECT_FALSE(action::decode_leave(std::move(w2).take()).is_ok());
+
+  net::WireWriter w3;  // CrashSyncMsg with phase 7 (> kGone)
+  w3.u64(1);
+  w3.u32(0);
+  w3.u32(2);
+  w3.u32(3);
+  w3.u32(7);
+  w3.u32(0);
+  w3.u32(0);
+  w3.u32(0);
+  EXPECT_FALSE(resolve::decode_crash_sync(std::move(w3).take()).is_ok());
+
+  net::WireWriter w4;  // FastCoverMsg with phase 42 (> kStale)
+  w4.u64(1);
+  w4.u32(0);
+  w4.u32(2);
+  w4.u32(42);
+  w4.u32(0);
+  w4.u32(0);
+  EXPECT_FALSE(resolve::decode_fast_cover(std::move(w4).take()).is_ok());
+}
+
+// World-level garbage injection for the message kinds whose decoding lives
+// inside their handlers (relay envelopes, the four Paxos messages,
+// LeaveAck): a participant fed byte soup of every such kind must neither
+// crash nor wedge — the subsequent resolution round still completes.
+TEST_P(WireFuzz, HandlersSurviveGarbagePayloadsMidAction) {
+  Rng rng(GetParam() ^ 0xfeed);
+  World w({.exit_protocol = exit::ExitKind::kPaxos});
+  auto& o1 = w.add_participant("O1");
+  auto& o2 = w.add_participant("O2");
+  auto& o3 = w.add_participant("O3");
+
+  ex::ExceptionTree tree;
+  tree.declare("boom");
+  tree.freeze();
+  const auto& decl = w.actions().declare("A1", tree);
+  const auto& a1 =
+      w.actions().create_instance(decl, {o1.id(), o2.id(), o3.id()});
+  const auto config = action::EnterConfig::with(
+      action::uniform_handlers(decl.tree(), ex::HandlerResult::recovered()));
+  ASSERT_TRUE(o1.enter(a1.instance, config));
+  ASSERT_TRUE(o2.enter(a1.instance, config));
+  ASSERT_TRUE(o3.enter(a1.instance, config));
+
+  constexpr net::MsgKind kTargets[] = {
+      net::MsgKind::kRelay,        net::MsgKind::kPaxosPrepare,
+      net::MsgKind::kPaxosPromise, net::MsgKind::kPaxosVote,
+      net::MsgKind::kPaxosAccepted, net::MsgKind::kActionLeaveAck,
+      net::MsgKind::kFastCover,    net::MsgKind::kCrashSync,
+  };
+  w.at(500, [&] {
+    for (const net::MsgKind kind : kTargets) {
+      for (int i = 0; i < 20; ++i) {
+        o1.on_message(o3.id(), kind,
+                      random_bytes(rng, static_cast<std::size_t>(
+                                            rng.below(48))));
+        // Well-formed header (the live scope) with garbage after it: must
+        // fail payload validation, not poison the instance's state.
+        net::WireWriter header;
+        header.u64(a1.instance.value());
+        header.u32(0);
+        net::Bytes forged = std::move(header).take();
+        const net::Bytes tail =
+            random_bytes(rng, static_cast<std::size_t>(rng.below(32)));
+        forged.insert(forged.end(), tail.begin(), tail.end());
+        o2.on_message(o3.id(), kind, forged);
+      }
+    }
+  });
+  w.at(1000, [&] { o1.raise("boom"); });
+  w.run();
+
+  EXPECT_TRUE(w.simulator().idle());
+  for (action::Participant* p : {&o1, &o2, &o3}) {
+    ASSERT_EQ(p->handled().size(), 1u) << p->name();
+    EXPECT_FALSE(p->in_action()) << p->name();
+  }
+  EXPECT_TRUE(w.failures().empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,

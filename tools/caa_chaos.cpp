@@ -7,14 +7,19 @@
 //                                              violation (shrunk plan)
 //   caa-chaos --index 137 --show-plan          print one trial's plan and
 //                                              replay just that trial
+//   caa-chaos --replay repro.txt               replay a shrunk repro file
+//                                              (seed + plan in one artifact)
 //
 // Exit codes: 0 all plans clean, 1 oracle violations, 2 usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "fault/chaos.h"
+#include "fault/repro.h"
 #include "run/campaign.h"
 
 namespace {
@@ -29,6 +34,7 @@ void usage() {
       "                 [--exit barrier|paxos] [--avoid] [--dump-dir DIR] "
       "[--no-shrink]\n"
       "                 [--index I [--show-plan] [--trace]]\n"
+      "                 [--replay FILE]\n"
       "  --participants  committee size range per trial (default 3:6)\n"
       "  --tree          relay-tree dissemination (optional fanout, "
       "default 8)\n"
@@ -38,7 +44,10 @@ void usage() {
       "  --avoid         coordination avoidance: commutative raise sets\n"
       "                  commit via the leader census fast path\n"
       "  --watchdog T    stall-diagnosis deadline in virtual ticks for\n"
-      "                  --index replays (default 10000; 0 disarms)\n");
+      "                  --index/--replay replays (default 10000; 0 disarms)\n"
+      "  --replay FILE   replay one shrunk repro artifact — the recipe a\n"
+      "                  failure report prints (trial seed header + indented\n"
+      "                  faultplan) — without needing the original campaign\n");
 }
 
 }  // namespace
@@ -47,8 +56,9 @@ int main(int argc, char** argv) {
   caa::fault::ChaosOptions options;
   options.threads = 0;  // CLI default: all cores (results are invariant)
   long long replay_index = -1;
-  long long watchdog_deadline = 10'000;  // --index replays only
+  long long watchdog_deadline = 10'000;  // --index/--replay replays only
   bool show_plan = false;
+  std::string replay_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,6 +121,8 @@ int main(int argc, char** argv) {
       options.shrink = false;
     } else if (arg == "--index") {
       replay_index = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--replay") {
+      replay_file = next();
     } else if (arg == "--watchdog") {
       watchdog_deadline = std::strtoll(next(), nullptr, 10);
     } else if (arg == "--show-plan") {
@@ -121,6 +133,48 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+
+  if (!replay_file.empty()) {
+    // Replay a saved repro recipe: the artifact is self-contained (seed,
+    // mix, participant count, exit protocol and the shrunk plan all live in
+    // the text), so no campaign context is needed.
+    std::ifstream in(replay_file);
+    if (!in) {
+      std::fprintf(stderr, "caa-chaos: cannot read '%s'\n",
+                   replay_file.c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    const auto repro = caa::fault::parse_repro(content.str());
+    if (!repro.is_ok()) {
+      std::fprintf(stderr, "caa-chaos: %s\n",
+                   repro.status().message().c_str());
+      return 2;
+    }
+    const caa::fault::ReproArtifact& artifact = repro.value();
+    options.watchdog_deadline = watchdog_deadline;
+    options.mix = artifact.mix;
+    options.min_participants = artifact.participants;
+    options.max_participants = artifact.participants;
+    if (show_plan) std::fputs(artifact.plan.to_text().c_str(), stdout);
+    std::string trace_log;
+    std::string critical_path;
+    std::string watchdog_report;
+    const caa::run::WorldResult result = caa::fault::run_chaos_trial(
+        artifact.seed, artifact.plan, options, 0, &critical_path,
+        options.trace ? &trace_log : nullptr, &watchdog_report);
+    if (!trace_log.empty()) std::fputs(trace_log.c_str(), stdout);
+    if (!result.ok && !critical_path.empty()) {
+      std::fputs(critical_path.c_str(), stdout);
+    }
+    if (!watchdog_report.empty()) std::fputs(watchdog_report.c_str(), stdout);
+    std::printf("replay %s: %s (events %lld, checksum %016llx)\n",
+                replay_file.c_str(), result.ok ? "ok" : result.error.c_str(),
+                static_cast<long long>(result.events),
+                static_cast<unsigned long long>(result.checksum));
+    return result.ok ? 0 : 1;
   }
 
   if (replay_index >= 0) {

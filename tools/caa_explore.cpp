@@ -1,0 +1,245 @@
+// caa-explore: systematic interleaving exploration from the shell.
+//
+//   caa-explore --scenario example1                 DPOR over §4.3 Example 1
+//   caa-explore --scenario figure4 --exit both      equality gate: barrier
+//                                                   and Paxos exits resolve
+//                                                   identically
+//   caa-explore --scenario flat --n 3 --raisers 2 --avoid-gate
+//                                                   avoidance vs engine gate
+//   caa-explore --scenario crash --n 3 --raisers 2 --victims 2 --max-crashes 1
+//                                                   crash-point exploration
+//   caa-explore ... --full                          naive DFS baseline (for
+//                                                   the reduction factor)
+//   caa-explore --replay repro.txt                  re-execute a saved
+//                                                   schedule artifact
+//
+// Exit codes: 0 clean, 1 violations / gate failure, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "explore/explorer.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: caa-explore [--scenario example1|flat|nested|figure4|crash]\n"
+      "                   [--n N] [--raisers P] [--nested Q] [--depth D]\n"
+      "                   [--committee C] [--exit barrier|paxos|both]\n"
+      "                   [--avoid] [--avoid-gate]\n"
+      "                   [--victims A,B,...] [--max-crashes K]\n"
+      "                   [--bug none|exclusion|lost-leave]\n"
+      "                   [--threads T] [--full] [--fail-fast] "
+      "[--race-timers]\n"
+      "                   [--max-schedules M] [--max-steps S] "
+      "[--max-delays D]\n"
+      "                   [--show-schedules] [--replay FILE]\n"
+      "  --exit both     explore under each exit protocol and require the\n"
+      "                  same resolved-checksum classes from both\n"
+      "  --avoid-gate    explore with coordination avoidance off and on and\n"
+      "                  require identical classes\n"
+      "  --full          naive full DFS (no DPOR) — the baseline schedules\n"
+      "                  count the reduction factor is quoted against\n"
+      "  --replay FILE   re-execute one saved `schedule v1` artifact\n");
+}
+
+int run_once(const caa::explore::ModelOptions& model,
+             const caa::explore::ExploreOptions& options, bool show,
+             caa::explore::ExploreStats* out) {
+  const caa::explore::ExploreStats stats = caa::explore::explore(model, options);
+  std::printf("explore %s [%s]: %s\n", model.scenario.c_str(),
+              options.dpor ? "dpor" : "full", stats.summary().c_str());
+  for (const auto& [checksum, count] : stats.class_counts) {
+    std::printf("  class %016llx: %llu schedule(s)\n",
+                static_cast<unsigned long long>(checksum),
+                static_cast<unsigned long long>(count));
+  }
+  if (show) {
+    for (const auto& [checksum, text] : stats.classes) {
+      std::printf("  first schedule of class %016llx:\n",
+                  static_cast<unsigned long long>(checksum));
+      std::istringstream lines(text);
+      std::string line;
+      while (std::getline(lines, line)) {
+        std::printf("    %s\n", line.c_str());
+      }
+    }
+  }
+  for (const caa::explore::Violation& v : stats.violations) {
+    std::printf("  VIOLATION: %s\n%s", v.what.c_str(), v.repro.c_str());
+  }
+  if (out != nullptr) *out = stats;
+  return stats.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  caa::explore::ModelOptions model;
+  caa::explore::ExploreOptions options;
+  options.threads = 1;
+  bool exit_both = false;
+  bool avoid_gate = false;
+  bool show = false;
+  std::string replay_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      model.scenario = next();
+    } else if (arg == "--n") {
+      model.participants = std::atoi(next());
+    } else if (arg == "--raisers") {
+      model.raisers = std::atoi(next());
+    } else if (arg == "--nested") {
+      model.nested = std::atoi(next());
+    } else if (arg == "--depth") {
+      model.depth = std::atoi(next());
+    } else if (arg == "--committee") {
+      model.committee = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--exit") {
+      const std::string value = next();
+      if (value == "both") {
+        exit_both = true;
+      } else {
+        const auto kind = caa::exit::parse_exit_kind(value);
+        if (!kind.is_ok()) {
+          std::fprintf(stderr, "caa-explore: %s\n",
+                       kind.status().message().c_str());
+          return 2;
+        }
+        model.exit = kind.value();
+      }
+    } else if (arg == "--avoid") {
+      model.avoid = true;
+    } else if (arg == "--avoid-gate") {
+      avoid_gate = true;
+    } else if (arg == "--victims") {
+      std::istringstream list(next());
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        model.crash_victims.push_back(
+            static_cast<std::uint32_t>(std::atoi(item.c_str())));
+      }
+    } else if (arg == "--max-crashes") {
+      model.max_crashes = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--bug") {
+      const std::string value = next();
+      model.bugs.exclusion_divergence = value == "exclusion" || value == "both";
+      model.bugs.lost_final_leave = value == "lost-leave" || value == "both";
+      if (value != "none" && !model.bugs.exclusion_divergence &&
+          !model.bugs.lost_final_leave) {
+        std::fprintf(stderr, "caa-explore: unknown --bug '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--full") {
+      options.dpor = false;
+    } else if (arg == "--fail-fast") {
+      options.fail_fast = true;
+    } else if (arg == "--race-timers") {
+      options.race_timers = true;
+    } else if (arg == "--max-schedules") {
+      options.max_schedules = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-steps") {
+      options.max_steps = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-delays") {
+      options.max_delays = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--show-schedules") {
+      show = true;
+    } else if (arg == "--replay") {
+      replay_file = next();
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (!replay_file.empty()) {
+    std::ifstream in(replay_file);
+    if (!in) {
+      std::fprintf(stderr, "caa-explore: cannot read '%s'\n",
+                   replay_file.c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    const auto artifact = caa::explore::parse_schedule(content.str());
+    if (!artifact.is_ok()) {
+      std::fprintf(stderr, "caa-explore: %s\n",
+                   artifact.status().message().c_str());
+      return 2;
+    }
+    const caa::explore::ReplayOutcome outcome =
+        caa::explore::replay_schedule(artifact.value());
+    std::printf("replay %s: %s (steps %zu, checksum %016llx)\n",
+                replay_file.c_str(), outcome.ok ? "ok" : outcome.error.c_str(),
+                outcome.steps,
+                static_cast<unsigned long long>(outcome.checksum));
+    return outcome.ok ? 0 : 1;
+  }
+
+  const auto valid = caa::explore::validate_model(model);
+  if (!valid.is_ok()) {
+    std::fprintf(stderr, "caa-explore: %s\n", valid.message().c_str());
+    return 2;
+  }
+
+  int rc = 0;
+  if (exit_both || avoid_gate) {
+    // Equality gates: explore each variant and require the same
+    // resolved-checksum class set from both sides.
+    std::vector<std::pair<std::string, caa::explore::ModelOptions>> variants;
+    if (exit_both) {
+      caa::explore::ModelOptions barrier = model;
+      barrier.exit = caa::exit::ExitKind::kBarrier;
+      caa::explore::ModelOptions paxos = model;
+      paxos.exit = caa::exit::ExitKind::kPaxos;
+      variants.emplace_back("exit=barrier", barrier);
+      variants.emplace_back("exit=paxos", paxos);
+    } else {
+      caa::explore::ModelOptions engine = model;
+      engine.avoid = false;
+      caa::explore::ModelOptions avoid = model;
+      avoid.avoid = true;
+      variants.emplace_back("avoid=0", engine);
+      variants.emplace_back("avoid=1", avoid);
+    }
+    std::vector<caa::explore::ExploreStats> results(variants.size());
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      std::printf("-- %s\n", variants[i].first.c_str());
+      rc |= run_once(variants[i].second, options, show, &results[i]);
+    }
+    const auto keys = [](const caa::explore::ExploreStats& s) {
+      std::vector<std::uint64_t> k;
+      for (const auto& [checksum, text] : s.classes) k.push_back(checksum);
+      return k;
+    };
+    if (keys(results[0]) != keys(results[1])) {
+      std::printf("GATE FAILED: resolved-checksum classes differ between %s "
+                  "and %s\n",
+                  variants[0].first.c_str(), variants[1].first.c_str());
+      rc = 1;
+    } else {
+      std::printf("gate ok: identical resolved-checksum classes (%zu)\n",
+                  results[0].classes.size());
+    }
+  } else {
+    rc = run_once(model, options, show, nullptr);
+  }
+  return rc;
+}

@@ -63,6 +63,28 @@ for preset in "${presets[@]}"; do
         --avoid --threads "${jobs}"
       ;;
   esac
+  # Bounded systematic-exploration smoke: DPOR over the §4.3 scenarios at
+  # N<=3 under BOTH exit protocols, the avoidance equality gate, and a
+  # crash-point sweep. Exhaustive where the state space allows it, capped
+  # (--max-schedules) where it does not — every explored schedule still
+  # runs the full invariant oracle, and the exit/avoid gates require
+  # identical resolved-checksum classes from both variants. Under asan
+  # this doubles as a memory audit of replay-from-scratch backtracking.
+  case "${preset}" in
+    dev)     explore="build/tools/caa-explore" ;;
+    asan)    explore="build-asan/tools/caa-explore" ;;
+    *)       explore="" ;;
+  esac
+  if [ -n "${explore}" ]; then
+    "${explore}" --scenario example1 --exit both --max-schedules 20000 \
+      --threads "${jobs}"
+    "${explore}" --scenario flat --n 3 --raisers 2 --avoid-gate \
+      --threads "${jobs}"
+    "${explore}" --scenario nested --n 3 --depth 1 --threads "${jobs}"
+    "${explore}" --scenario figure4 --max-schedules 5000 --threads "${jobs}"
+    "${explore}" --scenario crash --n 3 --raisers 2 --committee 2 \
+      --victims 2 --max-crashes 1 --threads "${jobs}"
+  fi
 done
 
 # The exit seam must stay sealed: Participant may only reach exit machinery
@@ -90,6 +112,20 @@ if grep -nE 'universal_cover|census_record|fall_back_census|replay_suppressed|jo
   exit 1
 fi
 echo "participant is clean of avoidance classification internals"
+
+# And for the systematic explorer: schedule choice is the explorer's job
+# (src/explore/ driving the managed network), never the protocol's. If
+# Participant starts poking the managed-delivery machinery or the explorer
+# namespace, scheduling policy has leaked into protocol code and every
+# exploration result becomes suspect.
+echo "==== explorer-seam grep gate ==============================="
+if grep -nE 'managed_deliver|managed_drop|managed_in_flight|set_managed|explore::' \
+    src/caa/participant.h src/caa/participant.cpp; then
+  echo "scheduler-choice logic leaked into src/caa/participant.*" >&2
+  echo "(delivery choice belongs to src/explore/ over net::Network's managed mode)" >&2
+  exit 1
+fi
+echo "participant is clean of scheduler-choice logic"
 
 # caa-inspect must keep decoding the committed dump format: render the
 # golden .caafr and diff against the golden rendering the tests pin.
